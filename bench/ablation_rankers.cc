@@ -1,0 +1,92 @@
+// Ranker-design ablation: the paper (Sec. IV-C) argues that directly
+// learning a full neighbor ranking is harder than learning 100/y binary
+// top-x% classifiers. This bench puts both designs on the same routing
+// stack and PG:
+//   * M_rk        — the paper's classify-then-split design (via LanIndex),
+//   * regression  — direct d(Q, G') regression, sort by prediction,
+//   * oracle      — true-distance ranking (the skyline).
+
+#include <cstdio>
+
+#include "bench_env.h"
+#include "lan/ground_truth.h"
+#include "lan/regression_ranker.h"
+#include "pg/np_route.h"
+
+namespace lan {
+namespace bench {
+namespace {
+
+int Main() {
+  std::unique_ptr<BenchEnv> env = MakeBenchEnv(DatasetKind::kAidsLike);
+  PrintFigureHeader("Ablation: M_rk (classify) vs direct regression ranker",
+                    *env);
+
+  // Train the regression alternative on the same training workload.
+  ThreadPool pool(DefaultThreadCount());
+  std::vector<std::vector<double>> distances;
+  for (const Graph& q : env->workload.train) {
+    distances.push_back(
+        ComputeAllDistances(env->db, q, env->query_ged, &pool));
+  }
+  std::vector<CompressedGnnGraph> query_cgs;
+  for (const Graph& q : env->workload.train) {
+    query_cgs.push_back(env->index->QueryCg(q));
+  }
+  Rng rng(5);
+  RegressionRankerOptions options;
+  options.batch_percent = env->index->config().batch_percent;
+  options.scorer = env->index->config().scorer;
+  options.epochs = env->index->config().rank.epochs;
+  RegressionRankModel regression(env->db.num_labels(), options);
+  regression.Train(env->index->db_cgs(), query_cgs,
+                   BuildRegressionExamples(env->index->pg(), distances,
+                                           env->index->gamma_star(), 2500,
+                                           &rng));
+
+  PrintCurveHeader(env->k);
+  // M_rk (the paper's design) through the standard entry point.
+  PrintCurve(SweepIndex(*env->index, RoutingMethod::kLanRoute,
+                        InitMethod::kHnswIs, env->test_queries, env->truths,
+                        env->k, BenchBeams(), "M_rk (classify+split)"),
+             env->k);
+
+  // Regression ranker through a manual np_route harness.
+  MethodCurve reg_curve;
+  reg_curve.method = "regression ranker";
+  for (int beam : BenchBeams()) {
+    SweepPoint point = EvaluatePoint(
+        [&](const Graph& q, int k) {
+          SearchResult result;
+          DistanceOracle oracle(&env->db, &q, &env->query_ged, &result.stats);
+          const CompressedGnnGraph query_cg = env->index->QueryCg(q);
+          RegressionNeighborRanker ranker(&regression, &env->index->db_cgs(),
+                                          &query_cg, &oracle,
+                                          env->index->gamma_star());
+          NpRouteOptions np;
+          np.beam_size = beam;
+          np.k = k;
+          const GraphId init = env->index->hnsw().SelectInitialNode(&oracle);
+          RoutingResult routed =
+              NpRoute(env->index->pg(), &oracle, &ranker, init, np);
+          result.results = std::move(routed.results);
+          return result;
+        },
+        env->test_queries, env->truths, env->k);
+    point.beam = beam;
+    reg_curve.points.push_back(point);
+  }
+  PrintCurve(reg_curve, env->k);
+
+  PrintCurve(SweepIndex(*env->index, RoutingMethod::kOracleRoute,
+                        InitMethod::kHnswIs, env->test_queries, env->truths,
+                        env->k, BenchBeams(), "oracle (skyline)"),
+             env->k);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lan
+
+int main() { return lan::bench::Main(); }

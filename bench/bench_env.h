@@ -1,0 +1,69 @@
+#ifndef LAN_BENCH_BENCH_ENV_H_
+#define LAN_BENCH_BENCH_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph_generator.h"
+#include "lan/evaluation.h"
+#include "lan/l2route.h"
+#include "lan/lan_index.h"
+#include "lan/workload.h"
+
+namespace lan {
+namespace bench {
+
+/// \brief A fully prepared experiment environment for one dataset: the
+/// generated database, a trained LanIndex (whose HNSW doubles as every
+/// baseline's index), the L2route baseline, a test query set, and exact
+/// ground truths.
+///
+/// Scaled for a single machine; the published datasets are orders of
+/// magnitude larger, so absolute QPS differs from the paper while the
+/// relative shapes are preserved (see EXPERIMENTS.md). The scale factor is
+/// read from LAN_BENCH_SCALE (default 1.0) and multiplies both the
+/// database and the workload.
+struct BenchEnv {
+  DatasetSpec spec;
+  GraphDatabase db;
+  QueryWorkload workload;
+  std::vector<Graph> test_queries;
+  std::vector<KnnList> truths;
+  int k = 10;
+  GedComputer query_ged;
+  std::unique_ptr<LanIndex> index;
+  std::unique_ptr<L2RouteIndex> l2route;
+
+  const char* name() const { return DatasetKindName(spec.kind); }
+};
+
+/// Baseline database sizes at scale 1.0 (pre-multiplication).
+int64_t BaseDbSize(DatasetKind kind);
+
+/// Reads LAN_BENCH_SCALE (default 1.0, clamped to [0.05, 100]).
+double BenchScale();
+/// Reads LAN_BENCH_K (default 10).
+int BenchK();
+/// Beam sweep used by the QPS-vs-recall figures.
+std::vector<int> BenchBeams();
+
+/// The query-time GED options (paper protocol at bench scale: a small
+/// exact budget so distance computation genuinely dominates query time).
+GedOptions BenchQueryGed();
+
+/// Builds + trains everything for one dataset. Logs progress to stderr.
+std::unique_ptr<BenchEnv> MakeBenchEnv(DatasetKind kind,
+                                       bool with_l2route = false,
+                                       bool use_compressed_gnn = true);
+
+/// Datasets to run: all four when LAN_BENCH_ALL is set, else AIDS only.
+std::vector<DatasetKind> BenchDatasets();
+
+/// Prints the standard figure banner.
+void PrintFigureHeader(const std::string& title, const BenchEnv& env);
+
+}  // namespace bench
+}  // namespace lan
+
+#endif  // LAN_BENCH_BENCH_ENV_H_

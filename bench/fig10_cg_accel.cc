@@ -1,0 +1,44 @@
+// Reproduces Fig. 10: effect of the compressed-GNN-graph acceleration on
+// end-to-end k-ANN QPS. The same trained weights run the learned
+// components either on CGs (Definition 3) or on raw graphs (Definition
+// 1); Theorem 2 guarantees identical predictions, so only speed changes.
+// The paper reports ~15-18% higher QPS with CG.
+
+#include <cstdio>
+
+#include "bench_env.h"
+
+namespace lan {
+namespace bench {
+namespace {
+
+int Main() {
+  for (DatasetKind kind : BenchDatasets()) {
+    // Two identically-seeded environments differing only in the CG flag:
+    // same database, same PG, same training trajectory.
+    std::unique_ptr<BenchEnv> with_cg =
+        MakeBenchEnv(kind, /*with_l2route=*/false, /*use_compressed_gnn=*/true);
+    std::unique_ptr<BenchEnv> without_cg = MakeBenchEnv(
+        kind, /*with_l2route=*/false, /*use_compressed_gnn=*/false);
+
+    PrintFigureHeader("Fig. 10: cross-graph learning acceleration", *with_cg);
+    PrintCurveHeader(with_cg->k);
+    PrintCurve(SweepIndex(*with_cg->index, RoutingMethod::kLanRoute,
+                          InitMethod::kLanIs, with_cg->test_queries,
+                          with_cg->truths, with_cg->k, BenchBeams(),
+                          "LAN (with CG)"),
+               with_cg->k);
+    PrintCurve(SweepIndex(*without_cg->index, RoutingMethod::kLanRoute,
+                          InitMethod::kLanIs, without_cg->test_queries,
+                          without_cg->truths, without_cg->k, BenchBeams(),
+                          "LAN (no CG)"),
+               without_cg->k);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lan
+
+int main() { return lan::bench::Main(); }

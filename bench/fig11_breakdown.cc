@@ -1,0 +1,45 @@
+// Reproduces Fig. 11: breakdown of k-ANN search time into GED distance
+// computation, cross-graph learning (model inference), and everything
+// else, before the CG acceleration is applied. The paper reports
+// cross-graph learning at ~20-29% of query time.
+
+#include <cstdio>
+
+#include "bench_env.h"
+
+namespace lan {
+namespace bench {
+namespace {
+
+int Main() {
+  std::printf("=== Fig. 11: breakdown of k-ANN search time (no CG) ===\n");
+  std::printf("%-8s %12s %12s %12s %12s\n", "dataset", "GED %", "learning %",
+              "other %", "sec/query");
+  for (DatasetKind kind : BenchDatasets()) {
+    std::unique_ptr<BenchEnv> env = MakeBenchEnv(
+        kind, /*with_l2route=*/false, /*use_compressed_gnn=*/false);
+    SearchStats total;
+    for (size_t i = 0; i < env->test_queries.size(); ++i) {
+      SearchResult r = env->index->SearchWith(env->test_queries[i], env->k,
+                                              /*beam=*/16,
+                                              RoutingMethod::kLanRoute,
+                                              InitMethod::kLanIs);
+      total.Merge(r.stats);
+    }
+    const double all = total.TotalSeconds();
+    std::printf("%-8s %11.1f%% %11.1f%% %11.1f%% %12.4f\n", env->name(),
+                100.0 * total.distance_seconds / all,
+                100.0 * total.learning_seconds / all,
+                100.0 * total.other_seconds / all,
+                all / static_cast<double>(env->test_queries.size()));
+  }
+  std::printf("(paper: cross-graph learning accounts for ~20-29%% of "
+              "query time before acceleration)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lan
+
+int main() { return lan::bench::Main(); }

@@ -1,0 +1,44 @@
+// Reproduces Fig. 6: routing with neighbor pruning. LAN_Route (np_route +
+// learned M_rk) vs HNSW_Route (Algorithm 1), with the *same* initial node
+// selection (HNSW_IS) so only the routing differs. The oracle-ranked
+// np_route is added as the skyline the learned ranker approximates
+// (Theorem 1: identical results, minimal NDC).
+
+#include <cstdio>
+
+#include "bench_env.h"
+
+namespace lan {
+namespace bench {
+namespace {
+
+int Main() {
+  for (DatasetKind kind : BenchDatasets()) {
+    std::unique_ptr<BenchEnv> env = MakeBenchEnv(kind);
+    PrintFigureHeader("Fig. 6: routing with neighbor pruning (HNSW_IS init)",
+                      *env);
+    PrintCurveHeader(env->k);
+
+    PrintCurve(SweepIndex(*env->index, RoutingMethod::kLanRoute,
+                          InitMethod::kHnswIs, env->test_queries, env->truths,
+                          env->k, BenchBeams(), "LAN_Route"),
+               env->k);
+    PrintCurve(SweepIndex(*env->index, RoutingMethod::kBaselineRoute,
+                          InitMethod::kHnswIs, env->test_queries, env->truths,
+                          env->k, BenchBeams(), "HNSW_Route"),
+               env->k);
+    PrintCurve(SweepIndex(*env->index, RoutingMethod::kOracleRoute,
+                          InitMethod::kHnswIs, env->test_queries, env->truths,
+                          env->k, BenchBeams(), "Oracle_Route (skyline)"),
+               env->k);
+    std::printf("(oracle rows: only the NDC column is meaningful — the "
+                "oracle's \"free\" ranking still costs wall time here)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lan
+
+int main() { return lan::bench::Main(); }

@@ -1,0 +1,40 @@
+// Reproduces Fig. 7: initial node selection. LAN_IS (M_nh + M_c) vs
+// HNSW_IS (upper-layer descent) vs Rand_IS, all using LAN_Route for the
+// routing stage, so only the start node differs.
+
+#include <cstdio>
+
+#include "bench_env.h"
+
+namespace lan {
+namespace bench {
+namespace {
+
+int Main() {
+  for (DatasetKind kind : BenchDatasets()) {
+    std::unique_ptr<BenchEnv> env = MakeBenchEnv(kind);
+    PrintFigureHeader("Fig. 7: initial node selection (LAN_Route routing)",
+                      *env);
+    PrintCurveHeader(env->k);
+
+    PrintCurve(SweepIndex(*env->index, RoutingMethod::kLanRoute,
+                          InitMethod::kLanIs, env->test_queries, env->truths,
+                          env->k, BenchBeams(), "LAN_IS"),
+               env->k);
+    PrintCurve(SweepIndex(*env->index, RoutingMethod::kLanRoute,
+                          InitMethod::kHnswIs, env->test_queries, env->truths,
+                          env->k, BenchBeams(), "HNSW_IS"),
+               env->k);
+    PrintCurve(SweepIndex(*env->index, RoutingMethod::kLanRoute,
+                          InitMethod::kRandomIs, env->test_queries,
+                          env->truths, env->k, BenchBeams(), "Rand_IS"),
+               env->k);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lan
+
+int main() { return lan::bench::Main(); }

@@ -1,0 +1,112 @@
+// Reproduces Fig. 9: scalability on SYN. Following the paper's protocol,
+// the dataset is split into equal-size sub-databases and each query is
+// evaluated sequentially on every shard (results merged), so query time
+// grows linearly with the dataset fraction. Fractions 20%..100% reuse a
+// fixed pool of five shard indexes.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_env.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace lan {
+namespace bench {
+namespace {
+
+constexpr int kNumShards = 5;
+
+int Main() {
+  const double scale = BenchScale();
+  const int k = BenchK();
+  const int64_t shard_size = std::max<int64_t>(
+      40, static_cast<int64_t>(BaseDbSize(DatasetKind::kSynLike) * scale) /
+              kNumShards);
+
+  // One generator pass; shards are disjoint slices of the same SYN stream.
+  DatasetSpec spec = DatasetSpec::SynLike(shard_size * kNumShards);
+  GraphDatabase full = GenerateDatabase(spec, 4321);
+  std::fprintf(stderr, "[bench] SYN scalability: %d shards x %lld graphs\n",
+               kNumShards, static_cast<long long>(shard_size));
+
+  std::vector<GraphDatabase> shards;
+  for (int s = 0; s < kNumShards; ++s) {
+    GraphDatabase shard(full.num_labels());
+    shard.set_name("SYN");
+    for (int64_t i = 0; i < shard_size; ++i) {
+      LAN_CHECK(shard.Add(full.Get(static_cast<GraphId>(s * shard_size + i)))
+                    .ok());
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  // Build + train one LanIndex per shard.
+  std::vector<std::unique_ptr<LanIndex>> indexes;
+  for (int s = 0; s < kNumShards; ++s) {
+    LanConfig config;
+    config.hnsw.M = 8;
+    config.hnsw.ef_construction = 24;
+    config.query_ged = BenchQueryGed();
+    config.scorer.gnn_dims = {16, 16};
+    config.scorer.mlp_hidden = 32;
+    config.rank.epochs = 3;
+    config.nh.epochs = 3;
+    config.cluster.epochs = 30;
+    config.max_rank_examples = 800;
+    config.max_nh_examples = 800;
+    config.neighborhood_knn = std::max(20, 2 * k);
+    config.embedding.dim = 32;
+    config.seed = 999 + static_cast<uint64_t>(s);
+    auto index = std::make_unique<LanIndex>(config);
+    LAN_CHECK_OK(index->Build(&shards[static_cast<size_t>(s)]));
+    WorkloadOptions wopts;
+    wopts.num_queries = 24;
+    QueryWorkload w = SampleWorkload(shards[static_cast<size_t>(s)], wopts,
+                                     55 + static_cast<uint64_t>(s));
+    LAN_CHECK_OK(index->Train(w.train));
+    indexes.push_back(std::move(index));
+  }
+
+  // Test queries drawn from the full dataset.
+  WorkloadOptions wopts;
+  wopts.num_queries = 30;
+  QueryWorkload workload = SampleWorkload(full, wopts, 909);
+  std::vector<Graph> queries(workload.test.begin(),
+                             workload.test.begin() +
+                                 std::min<size_t>(8, workload.test.size()));
+
+  std::printf("\n=== Fig. 9: scalability on SYN (shard size %lld, k=%d) ===\n",
+              static_cast<long long>(shard_size), k);
+  std::printf("%-10s %8s %14s %12s\n", "fraction", "beam", "sec/query",
+              "avg NDC");
+  for (int used = 1; used <= kNumShards; ++used) {
+    for (int beam : {8, 16, 32}) {  // roughly: recall 0.9 / 0.95 / 0.98
+      double total_seconds = 0.0;
+      int64_t total_ndc = 0;
+      for (const Graph& query : queries) {
+        Timer timer;
+        for (int s = 0; s < used; ++s) {
+          SearchResult r = indexes[static_cast<size_t>(s)]->SearchWith(
+              query, k, beam, RoutingMethod::kLanRoute, InitMethod::kLanIs);
+          total_ndc += r.stats.ndc;
+        }
+        total_seconds += timer.ElapsedSeconds();
+      }
+      std::printf("%9d%% %8d %14.4f %12.1f\n", used * 100 / kNumShards, beam,
+                  total_seconds / static_cast<double>(queries.size()),
+                  static_cast<double>(total_ndc) /
+                      static_cast<double>(queries.size()));
+    }
+  }
+  std::printf("(expect sec/query to grow ~linearly with the fraction, "
+              "as in the paper)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lan
+
+int main() { return lan::bench::Main(); }

@@ -1,0 +1,70 @@
+// Reproduces Table I: statistics of the four datasets. Our datasets are
+// generated (see DESIGN.md); the table reports the generated statistics
+// next to the published ones, so the match in avg |V| / avg |E| / label
+// alphabet can be checked at a glance. Graph counts are scaled by
+// LAN_BENCH_SCALE relative to the bench database sizes.
+
+#include <cstdio>
+
+#include "bench_env.h"
+#include "graph/graph_generator.h"
+
+namespace lan {
+namespace bench {
+namespace {
+
+struct PaperRow {
+  DatasetKind kind;
+  int64_t paper_graphs;
+  double paper_v;
+  double paper_e;
+  int paper_labels;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {DatasetKind::kAidsLike, 42687, 25.6, 27.5, 51},
+    {DatasetKind::kLinuxLike, 47239, 35.5, 37.7, 36},
+    {DatasetKind::kPubchemLike, 22794, 48.2, 50.8, 10},
+    {DatasetKind::kSynLike, 1000000, 10.1, 15.9, 5},
+};
+
+int Main() {
+  std::printf("=== Table I: statistics of datasets (generated vs paper) ===\n");
+  std::printf("%-8s %10s %10s | %8s %8s | %8s %8s | %8s %8s\n", "dataset",
+              "#graphs", "(paper)", "avg|V|", "(paper)", "avg|E|", "(paper)",
+              "#nlabel", "(paper)");
+  for (const PaperRow& row : kPaperRows) {
+    const int64_t count = std::max<int64_t>(
+        50, static_cast<int64_t>(BaseDbSize(row.kind) * BenchScale()));
+    DatasetSpec spec;
+    switch (row.kind) {
+      case DatasetKind::kAidsLike:
+        spec = DatasetSpec::AidsLike(count);
+        break;
+      case DatasetKind::kLinuxLike:
+        spec = DatasetSpec::LinuxLike(count);
+        break;
+      case DatasetKind::kPubchemLike:
+        spec = DatasetSpec::PubchemLike(count);
+        break;
+      case DatasetKind::kSynLike:
+        spec = DatasetSpec::SynLike(count);
+        break;
+    }
+    GraphDatabase db = GenerateDatabase(spec, 1234 + static_cast<int>(row.kind));
+    std::printf("%-8s %10d %10lld | %8.1f %8.1f | %8.1f %8.1f | %8d %8d\n",
+                DatasetKindName(row.kind), db.size(),
+                static_cast<long long>(row.paper_graphs), db.AverageNodes(),
+                row.paper_v, db.AverageEdges(), row.paper_e,
+                db.DistinctLabelsUsed(), row.paper_labels);
+  }
+  std::printf("(graph counts are scaled for a single machine; "
+              "set LAN_BENCH_SCALE to change)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lan
+
+int main() { return lan::bench::Main(); }

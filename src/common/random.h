@@ -1,0 +1,67 @@
+#ifndef LAN_COMMON_RANDOM_H_
+#define LAN_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lan {
+
+/// \brief Deterministic, seedable PRNG (xoshiro256**).
+///
+/// Used everywhere instead of std::mt19937 so results are reproducible
+/// across standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi);
+
+  /// Gaussian with the given mean and standard deviation (Box–Muller).
+  double NextGaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Forks an independent stream (useful for per-thread RNGs).
+  Rng Fork();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) (count <= n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t count);
+
+  /// Samples an index from an (unnormalized, non-negative) weight vector.
+  size_t SampleDiscrete(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace lan
+
+#endif  // LAN_COMMON_RANDOM_H_

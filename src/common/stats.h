@@ -1,0 +1,90 @@
+#ifndef LAN_COMMON_STATS_H_
+#define LAN_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lan {
+
+/// \brief Online summary statistics (count / mean / min / max / stddev).
+class SummaryStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void Merge(const SummaryStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const int64_t n = count_ + other.count_;
+    m2_ += other.m2_ + delta * delta *
+                           (static_cast<double>(count_) * other.count_ / n);
+    mean_ += delta * other.count_ / static_cast<double>(n);
+    count_ = n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Exact percentile of a sample (copies + sorts; fine at our scales).
+double Percentile(std::vector<double> values, double pct);
+
+/// \brief Per-query search statistics reported by every index in this repo.
+struct SearchStats {
+  /// Number of graph-distance (GED) computations: the paper's key metric.
+  int64_t ndc = 0;
+  /// Number of routing steps (nodes explored on the PG).
+  int64_t routing_steps = 0;
+  /// Number of learned-model forward passes.
+  int64_t model_inferences = 0;
+  /// Wall-clock split (seconds) for the Fig. 11 breakdown.
+  double distance_seconds = 0.0;
+  double learning_seconds = 0.0;
+  double other_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return distance_seconds + learning_seconds + other_seconds;
+  }
+
+  void Merge(const SearchStats& o) {
+    ndc += o.ndc;
+    routing_steps += o.routing_steps;
+    model_inferences += o.model_inferences;
+    distance_seconds += o.distance_seconds;
+    learning_seconds += o.learning_seconds;
+    other_seconds += o.other_seconds;
+  }
+};
+
+}  // namespace lan
+
+#endif  // LAN_COMMON_STATS_H_

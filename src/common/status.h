@@ -1,0 +1,164 @@
+#ifndef LAN_COMMON_STATUS_H_
+#define LAN_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lan {
+
+/// \brief Canonical error codes, loosely following absl::StatusCode.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIoError = 8,
+  kTimeout = 9,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief A lightweight success-or-error value used on all fallible API
+/// boundaries. No exceptions cross public interfaces.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "<CODE>: <message>" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result / absl::StatusOr. Accessing the value of a failed
+/// result aborts the process (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {
+    AbortIfOkStatus();
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+  void AbortIfOkStatus() const;
+
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+[[noreturn]] void DieOnOkStatusInResult();
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(value_));
+}
+
+template <typename T>
+void Result<T>::AbortIfOkStatus() const {
+  if (std::holds_alternative<Status>(value_) &&
+      std::get<Status>(value_).ok()) {
+    internal::DieOnOkStatusInResult();
+  }
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define LAN_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::lan::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define LAN_ASSIGN_OR_RETURN(lhs, rexpr) \
+  LAN_ASSIGN_OR_RETURN_IMPL_(LAN_CONCAT_(_lan_result_, __LINE__), lhs, rexpr)
+
+#define LAN_CONCAT_INNER_(a, b) a##b
+#define LAN_CONCAT_(a, b) LAN_CONCAT_INNER_(a, b)
+#define LAN_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto&& result = (rexpr);                             \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+}  // namespace lan
+
+#endif  // LAN_COMMON_STATUS_H_

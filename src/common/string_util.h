@@ -1,0 +1,29 @@
+#ifndef LAN_COMMON_STRING_UTIL_H_
+#define LAN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lan {
+
+/// Splits `text` on `sep`, dropping empty tokens.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins tokens with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace lan
+
+#endif  // LAN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,56 @@
+#ifndef LAN_COMMON_THREAD_POOL_H_
+#define LAN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lan {
+
+/// \brief Fixed-size worker pool used for offline work (PG construction,
+/// ground-truth computation, model training data generation).
+///
+/// Query-time code paths are single-threaded on purpose: QPS in the paper is
+/// a per-query latency measure.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  static void ParallelFor(size_t n, size_t num_threads,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Number of hardware threads, at least 1.
+size_t DefaultThreadCount();
+
+}  // namespace lan
+
+#endif  // LAN_COMMON_THREAD_POOL_H_

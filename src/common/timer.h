@@ -1,0 +1,66 @@
+#ifndef LAN_COMMON_TIMER_H_
+#define LAN_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace lan {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates wall time across multiple start/stop intervals.
+/// Used by the per-query time-breakdown instrumentation (Fig. 11).
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_seconds_ += timer_.ElapsedSeconds(); }
+  void Reset() { total_seconds_ = 0.0; }
+  double TotalSeconds() const { return total_seconds_; }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0.0;
+};
+
+/// \brief RAII guard that adds the scope's duration to an AccumulatingTimer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(AccumulatingTimer* target) : target_(target) {
+    if (target_ != nullptr) target_->Start();
+  }
+  ~ScopedTimer() {
+    if (target_ != nullptr) target_->Stop();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  AccumulatingTimer* target_;
+};
+
+}  // namespace lan
+
+#endif  // LAN_COMMON_TIMER_H_

@@ -1,0 +1,108 @@
+#include "ged/assignment.h"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace lan {
+
+// Jonker–Volgenant style shortest augmenting path (a.k.a. the "lap"
+// algorithm as used by scipy.optimize.linear_sum_assignment).
+Assignment SolveAssignment(const CostMatrix& cost) {
+  const int32_t n = cost.n();
+  Assignment result;
+  result.row_to_col.assign(static_cast<size_t>(n), -1);
+  if (n == 0) return result;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Potentials for rows (u) and columns (v); 1-indexed internally with a
+  // virtual row/column 0 to simplify the augmenting loop.
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<int32_t> col_to_row(static_cast<size_t>(n) + 1, 0);
+  std::vector<int32_t> way(static_cast<size_t>(n) + 1, 0);
+
+  for (int32_t i = 1; i <= n; ++i) {
+    col_to_row[0] = i;
+    int32_t j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(n) + 1, kInf);
+    std::vector<bool> used(static_cast<size_t>(n) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      const int32_t i0 = col_to_row[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int32_t j1 = -1;
+      for (int32_t j = 1; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double cur = cost.at(i0 - 1, j - 1) -
+                           u[static_cast<size_t>(i0)] -
+                           v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      LAN_CHECK_GE(j1, 0);
+      for (int32_t j = 0; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(col_to_row[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (col_to_row[static_cast<size_t>(j0)] != 0);
+    // Augment along the alternating path.
+    do {
+      const int32_t j1 = way[static_cast<size_t>(j0)];
+      col_to_row[static_cast<size_t>(j0)] = col_to_row[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.cost = 0.0;
+  for (int32_t j = 1; j <= n; ++j) {
+    const int32_t i = col_to_row[static_cast<size_t>(j)];
+    if (i > 0) {
+      result.row_to_col[static_cast<size_t>(i - 1)] = j - 1;
+      result.cost += cost.at(i - 1, j - 1);
+    }
+  }
+  return result;
+}
+
+Assignment SolveAssignmentGreedy(const CostMatrix& cost) {
+  const int32_t n = cost.n();
+  Assignment result;
+  result.row_to_col.assign(static_cast<size_t>(n), -1);
+  if (n == 0) return result;
+
+  std::vector<std::tuple<double, int32_t, int32_t>> cells;
+  cells.reserve(static_cast<size_t>(n) * n);
+  for (int32_t r = 0; r < n; ++r) {
+    for (int32_t c = 0; c < n; ++c) cells.emplace_back(cost.at(r, c), r, c);
+  }
+  std::sort(cells.begin(), cells.end());
+  std::vector<bool> row_used(static_cast<size_t>(n), false);
+  std::vector<bool> col_used(static_cast<size_t>(n), false);
+  int32_t assigned = 0;
+  for (const auto& [c, r, col] : cells) {
+    if (row_used[static_cast<size_t>(r)] || col_used[static_cast<size_t>(col)])
+      continue;
+    row_used[static_cast<size_t>(r)] = true;
+    col_used[static_cast<size_t>(col)] = true;
+    result.row_to_col[static_cast<size_t>(r)] = col;
+    result.cost += c;
+    if (++assigned == n) break;
+  }
+  return result;
+}
+
+}  // namespace lan

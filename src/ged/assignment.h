@@ -1,0 +1,49 @@
+#ifndef LAN_GED_ASSIGNMENT_H_
+#define LAN_GED_ASSIGNMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lan {
+
+/// \brief Dense square cost matrix for assignment problems.
+class CostMatrix {
+ public:
+  CostMatrix(int32_t n, double fill = 0.0)
+      : n_(n), data_(static_cast<size_t>(n) * n, fill) {}
+
+  double& at(int32_t r, int32_t c) {
+    return data_[static_cast<size_t>(r) * n_ + c];
+  }
+  double at(int32_t r, int32_t c) const {
+    return data_[static_cast<size_t>(r) * n_ + c];
+  }
+  int32_t n() const { return n_; }
+
+ private:
+  int32_t n_;
+  std::vector<double> data_;
+};
+
+/// \brief Result of a linear assignment: row_to_col[r] = assigned column.
+struct Assignment {
+  std::vector<int32_t> row_to_col;
+  double cost = 0.0;
+};
+
+/// \brief Optimal linear sum assignment via the Jonker–Volgenant
+/// shortest-augmenting-path algorithm, O(n^3).
+///
+/// This is the solver behind both the `Hung` and `VJ` bipartite GED
+/// approximations (they differ in the cost matrices they build, Sec. VII).
+Assignment SolveAssignment(const CostMatrix& cost);
+
+/// \brief Greedy (suboptimal) assignment: repeatedly picks the globally
+/// cheapest remaining cell. O(n^2 log n). Used as a fast baseline and in
+/// tests as a sanity upper bound for the optimal solver.
+Assignment SolveAssignmentGreedy(const CostMatrix& cost);
+
+}  // namespace lan
+
+#endif  // LAN_GED_ASSIGNMENT_H_

@@ -1,0 +1,211 @@
+#include "ged/edit_path.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "graph/wl_labeling.h"
+
+namespace lan {
+
+const char* EditOpKindName(EditOpKind kind) {
+  switch (kind) {
+    case EditOpKind::kRelabelNode:
+      return "relabel";
+    case EditOpKind::kDeleteEdge:
+      return "del-edge";
+    case EditOpKind::kDeleteNode:
+      return "del-node";
+    case EditOpKind::kInsertNode:
+      return "ins-node";
+    case EditOpKind::kInsertEdge:
+      return "ins-edge";
+  }
+  return "?";
+}
+
+std::string EditOp::ToString() const {
+  switch (kind) {
+    case EditOpKind::kRelabelNode:
+      return StrFormat("relabel(%d -> label %d)", u, label);
+    case EditOpKind::kDeleteEdge:
+      return StrFormat("del-edge(%d,%d)", u, v);
+    case EditOpKind::kDeleteNode:
+      return StrFormat("del-node(%d)", u);
+    case EditOpKind::kInsertNode:
+      return StrFormat("ins-node(label %d)", label);
+    case EditOpKind::kInsertEdge:
+      return StrFormat("ins-edge(%d,%d)", u, v);
+  }
+  return "?";
+}
+
+std::vector<EditOp> ExtractEditPath(const Graph& g1, const Graph& g2,
+                                    const NodeMapping& map) {
+  LAN_CHECK_EQ(static_cast<int32_t>(map.image.size()), g1.NumNodes());
+  LAN_CHECK(map.IsValid(g2.NumNodes()));
+  std::vector<EditOp> path;
+
+  // Current id of each surviving original g1 node, maintained under the
+  // swap-with-last semantics of Graph::RemoveNode.
+  std::vector<NodeId> cur_id(static_cast<size_t>(g1.NumNodes()));
+  std::iota(cur_id.begin(), cur_id.end(), 0);
+  // original node currently sitting at a given id.
+  std::vector<NodeId> at_id = cur_id;
+  int32_t num_nodes = g1.NumNodes();
+
+  // 1) Delete g1 edges whose image is not a g2 edge.
+  for (const auto& [a, b] : g1.Edges()) {
+    const NodeId ia = map.image[static_cast<size_t>(a)];
+    const NodeId ib = map.image[static_cast<size_t>(b)];
+    if (ia == kEpsilon || ib == kEpsilon || !g2.HasEdge(ia, ib)) {
+      path.push_back({EditOpKind::kDeleteEdge, a, b, 0});
+    }
+  }
+
+  // 2) Delete unmapped g1 nodes (their incident edges are gone already).
+  for (NodeId orig = 0; orig < g1.NumNodes(); ++orig) {
+    if (map.image[static_cast<size_t>(orig)] != kEpsilon) continue;
+    const NodeId id = cur_id[static_cast<size_t>(orig)];
+    path.push_back({EditOpKind::kDeleteNode, id, 0, 0});
+    // Simulate RemoveNode: the node at the last slot moves to `id`.
+    const NodeId last_orig = at_id[static_cast<size_t>(num_nodes - 1)];
+    --num_nodes;
+    if (id != num_nodes) {
+      cur_id[static_cast<size_t>(last_orig)] = id;
+      at_id[static_cast<size_t>(id)] = last_orig;
+    }
+  }
+
+  // 3) Relabel mapped nodes whose labels differ.
+  for (NodeId orig = 0; orig < g1.NumNodes(); ++orig) {
+    const NodeId image = map.image[static_cast<size_t>(orig)];
+    if (image == kEpsilon) continue;
+    if (g1.label(orig) != g2.label(image)) {
+      path.push_back({EditOpKind::kRelabelNode,
+                      cur_id[static_cast<size_t>(orig)], 0, g2.label(image)});
+    }
+  }
+
+  // 4) Insert unmatched g2 nodes; record where each lands.
+  std::vector<NodeId> g2_to_working(static_cast<size_t>(g2.NumNodes()),
+                                    kEpsilon);
+  for (NodeId orig = 0; orig < g1.NumNodes(); ++orig) {
+    const NodeId image = map.image[static_cast<size_t>(orig)];
+    if (image != kEpsilon) {
+      g2_to_working[static_cast<size_t>(image)] =
+          cur_id[static_cast<size_t>(orig)];
+    }
+  }
+  for (NodeId w = 0; w < g2.NumNodes(); ++w) {
+    if (g2_to_working[static_cast<size_t>(w)] != kEpsilon) continue;
+    path.push_back({EditOpKind::kInsertNode, 0, 0, g2.label(w)});
+    g2_to_working[static_cast<size_t>(w)] = num_nodes++;
+  }
+
+  // 5) Insert g2 edges not already present as surviving g1 edges.
+  for (const auto& [a, b] : g2.Edges()) {
+    // Present iff both endpoints are images of mapped g1 nodes that were
+    // adjacent in g1 (those edges were never deleted in step 1).
+    bool already_present = false;
+    for (NodeId orig = 0; orig < g1.NumNodes() && !already_present; ++orig) {
+      if (map.image[static_cast<size_t>(orig)] != a) continue;
+      for (NodeId other : g1.Neighbors(orig)) {
+        if (map.image[static_cast<size_t>(other)] == b) {
+          already_present = true;
+          break;
+        }
+      }
+    }
+    if (!already_present) {
+      path.push_back({EditOpKind::kInsertEdge,
+                      g2_to_working[static_cast<size_t>(a)],
+                      g2_to_working[static_cast<size_t>(b)], 0});
+    }
+  }
+  return path;
+}
+
+Result<Graph> ApplyEditPath(const Graph& g, const std::vector<EditOp>& path) {
+  Graph out = g;
+  for (const EditOp& op : path) {
+    switch (op.kind) {
+      case EditOpKind::kRelabelNode:
+        if (op.u < 0 || op.u >= out.NumNodes()) {
+          return Status::OutOfRange("relabel: bad node " + op.ToString());
+        }
+        out.set_label(op.u, op.label);
+        break;
+      case EditOpKind::kDeleteEdge:
+        LAN_RETURN_NOT_OK(out.RemoveEdge(op.u, op.v));
+        break;
+      case EditOpKind::kDeleteNode:
+        LAN_RETURN_NOT_OK(out.RemoveNode(op.u));
+        break;
+      case EditOpKind::kInsertNode:
+        out.AddNode(op.label);
+        break;
+      case EditOpKind::kInsertEdge:
+        LAN_RETURN_NOT_OK(out.AddEdge(op.u, op.v));
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool BruteForceIsomorphic(const Graph& a, const Graph& b) {
+  const int32_t n = a.NumNodes();
+  std::vector<NodeId> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    bool ok = true;
+    for (NodeId v = 0; v < n && ok; ++v) {
+      if (a.label(v) != b.label(perm[static_cast<size_t>(v)])) ok = false;
+    }
+    for (NodeId v = 0; v < n && ok; ++v) {
+      for (NodeId u : a.Neighbors(v)) {
+        if (!b.HasEdge(perm[static_cast<size_t>(v)],
+                       perm[static_cast<size_t>(u)])) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+}  // namespace
+
+bool IsomorphicUpToRenumbering(const Graph& a, const Graph& b) {
+  if (a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  if (a.NumNodes() <= 10) return BruteForceIsomorphic(a, b);
+
+  // WL signature comparison on the disjoint union (shared label alphabet,
+  // so ids are comparable across the two halves).
+  Graph joint;
+  for (NodeId v = 0; v < a.NumNodes(); ++v) joint.AddNode(a.label(v));
+  for (NodeId v = 0; v < b.NumNodes(); ++v) joint.AddNode(b.label(v));
+  for (const auto& [u, v] : a.Edges()) LAN_CHECK_OK(joint.AddEdge(u, v));
+  const NodeId offset = a.NumNodes();
+  for (const auto& [u, v] : b.Edges()) {
+    LAN_CHECK_OK(joint.AddEdge(offset + u, offset + v));
+  }
+  const auto wl = ComputeWlLabels(joint, 3);
+  for (const auto& level : wl) {
+    std::vector<int32_t> la(level.begin(), level.begin() + offset);
+    std::vector<int32_t> lb(level.begin() + offset, level.end());
+    std::sort(la.begin(), la.end());
+    std::sort(lb.begin(), lb.end());
+    if (la != lb) return false;
+  }
+  return true;
+}
+
+}  // namespace lan

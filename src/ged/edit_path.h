@@ -1,0 +1,66 @@
+#ifndef LAN_GED_EDIT_PATH_H_
+#define LAN_GED_EDIT_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ged/node_mapping.h"
+#include "graph/graph.h"
+
+namespace lan {
+
+/// \brief The five edit operations of Sec. III-A.
+enum class EditOpKind : int {
+  kRelabelNode = 0,
+  kDeleteEdge = 1,
+  kDeleteNode = 2,
+  kInsertNode = 3,
+  kInsertEdge = 4,
+};
+
+const char* EditOpKindName(EditOpKind kind);
+
+/// \brief One edit operation. Node ids refer to the *working* graph at the
+/// time the operation is applied (edit paths are applied in order; see
+/// ExtractEditPath for the id discipline that makes this well defined).
+struct EditOp {
+  EditOpKind kind;
+  /// kRelabelNode: node + new label. kDeleteNode/kInsertNode: node (the
+  /// inserted node's id is always the current node count). kDeleteEdge /
+  /// kInsertEdge: endpoints u, v.
+  NodeId u = 0;
+  NodeId v = 0;
+  Label label = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Turns a complete node map phi: V(g1) -> V(g2) ∪ {ε} into an
+/// explicit edit path transforming g1 into a graph identical to g2 up to
+/// node renumbering. The path length equals MapCost(g1, g2, map).
+///
+/// Operation order (cost-preserving and always applicable):
+///   1. delete edges not preserved by the map,
+///   2. delete unmapped g1 nodes (descending id, so ids stay stable),
+///   3. relabel mapped nodes whose labels differ,
+///   4. insert unmatched g2 nodes,
+///   5. insert missing g2 edges.
+std::vector<EditOp> ExtractEditPath(const Graph& g1, const Graph& g2,
+                                    const NodeMapping& map);
+
+/// \brief Applies an edit path to a copy of `g`. Fails if an operation is
+/// inapplicable (bad ids, duplicate edges, ...).
+Result<Graph> ApplyEditPath(const Graph& g, const std::vector<EditOp>& path);
+
+/// \brief True if `a` equals `b` under SOME node renumbering with matching
+/// labels — decided exactly by brute force for small graphs (n <= 10) and
+/// by a WL-signature comparison above that (sound for our test usage:
+/// never returns false for isomorphic pairs; may rarely return true for
+/// WL-equivalent non-isomorphic pairs).
+bool IsomorphicUpToRenumbering(const Graph& a, const Graph& b);
+
+}  // namespace lan
+
+#endif  // LAN_GED_EDIT_PATH_H_

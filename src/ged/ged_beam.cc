@@ -1,0 +1,110 @@
+#include "ged/ged_beam.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "ged/node_mapping.h"
+
+namespace lan {
+namespace {
+
+struct BeamState {
+  double g = 0.0;                // resolved cost so far
+  std::vector<NodeId> images;    // images of g1 nodes [0, depth)
+};
+
+/// Incremental cost of mapping g1 node `u` (= images.size()) to `v` (or ε),
+/// given the prefix in `state`. Mirrors the A* expansion in ged_exact.cc
+/// but with nodes processed in natural order.
+double ExtendCost(const Graph& g1, const Graph& g2, const BeamState& state,
+                  NodeId v, const GedCosts& costs) {
+  const NodeId u = static_cast<NodeId>(state.images.size());
+  double delta = 0.0;
+  if (v == kEpsilon) {
+    delta += costs.node_delete;
+    for (NodeId t : g1.Neighbors(u)) {
+      if (t < u) delta += costs.edge_delete;  // edge to a mapped node
+    }
+    return delta;
+  }
+  if (g1.label(u) != g2.label(v)) delta += costs.node_relabel;
+  // preimage of used g2 nodes
+  for (NodeId t : g1.Neighbors(u)) {
+    if (t >= u) continue;
+    const NodeId wt = state.images[static_cast<size_t>(t)];
+    if (wt == kEpsilon || !g2.HasEdge(wt, v)) delta += costs.edge_delete;
+  }
+  for (NodeId w : g2.Neighbors(v)) {
+    // Is w used, and by which g1 node?
+    for (NodeId t = 0; t < u; ++t) {
+      if (state.images[static_cast<size_t>(t)] == w) {
+        if (!g1.HasEdge(t, u)) delta += costs.edge_insert;
+        break;
+      }
+    }
+  }
+  return delta;
+}
+
+}  // namespace
+
+ApproxGedResult BeamGed(const Graph& g1, const Graph& g2, int beam_width,
+                        const GedCosts& costs) {
+  LAN_CHECK_GE(beam_width, 1);
+  const int32_t n1 = g1.NumNodes();
+  const int32_t n2 = g2.NumNodes();
+
+  std::vector<BeamState> beam{BeamState{}};
+  for (NodeId u = 0; u < n1; ++u) {
+    std::vector<BeamState> next;
+    next.reserve(beam.size() * static_cast<size_t>(n2 + 1));
+    for (const BeamState& state : beam) {
+      std::vector<bool> used(static_cast<size_t>(n2), false);
+      for (NodeId w : state.images) {
+        if (w != kEpsilon) used[static_cast<size_t>(w)] = true;
+      }
+      for (NodeId v = 0; v <= n2; ++v) {
+        const bool is_epsilon = (v == n2);
+        if (!is_epsilon && used[static_cast<size_t>(v)]) continue;
+        BeamState child;
+        child.g = state.g + ExtendCost(g1, g2, state,
+                                       is_epsilon ? kEpsilon : v, costs);
+        child.images = state.images;
+        child.images.push_back(is_epsilon ? kEpsilon : v);
+        next.push_back(std::move(child));
+      }
+    }
+    if (next.size() > static_cast<size_t>(beam_width)) {
+      std::partial_sort(next.begin(),
+                        next.begin() + static_cast<ptrdiff_t>(beam_width),
+                        next.end(), [](const BeamState& a, const BeamState& b) {
+                          return a.g < b.g;
+                        });
+      next.resize(static_cast<size_t>(beam_width));
+    }
+    beam = std::move(next);
+  }
+
+  // Complete each surviving map (unmatched g2 nodes are insertions) and
+  // keep the cheapest; MapCost recomputes the exact path cost from scratch.
+  ApproxGedResult best;
+  best.distance = -1.0;
+  for (const BeamState& state : beam) {
+    NodeMapping map;
+    map.image = state.images;
+    const double cost = MapCost(g1, g2, map, costs);
+    if (best.distance < 0.0 || cost < best.distance) {
+      best.distance = cost;
+      best.mapping = std::move(map);
+    }
+  }
+  if (best.distance < 0.0) {
+    // n1 == 0: the only edit path inserts all of g2.
+    best.mapping.image.clear();
+    best.distance = MapCost(g1, g2, best.mapping, costs);
+  }
+  return best;
+}
+
+}  // namespace lan

@@ -1,0 +1,135 @@
+#include "ged/ged_bipartite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <vector>
+
+#include "common/logging.h"
+#include "ged/assignment.h"
+
+namespace lan {
+namespace {
+
+constexpr double kForbidden = 1e9;
+
+/// Sorted far-endpoint label list of every node (one pass per graph, so
+/// the O(n1*n2) substitution cells below don't re-sort per cell).
+std::vector<std::vector<Label>> SortedNeighborLabels(const Graph& g) {
+  std::vector<std::vector<Label>> out(static_cast<size_t>(g.NumNodes()));
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    auto& labels = out[static_cast<size_t>(v)];
+    labels.reserve(static_cast<size_t>(g.Degree(v)));
+    for (NodeId t : g.Neighbors(v)) labels.push_back(g.label(t));
+    std::sort(labels.begin(), labels.end());
+  }
+  return out;
+}
+
+/// Local edge-structure substitution cost for mapping u (of g1) onto v
+/// (of g2): the optimal cost of matching their incident edges, where an
+/// incident edge is described by the label of its far endpoint. Edges whose
+/// far labels cannot be paired each need one edit, shared between two
+/// endpoints, so we charge half per endpoint.
+double LocalEdgeCost(const std::vector<Label>& lu,
+                     const std::vector<Label>& lv) {
+  size_t common = 0;
+  size_t i = 0, j = 0;
+  while (i < lu.size() && j < lv.size()) {
+    if (lu[i] == lv[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (lu[i] < lv[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t unmatched = std::max(lu.size(), lv.size()) - common;
+  return 0.5 * static_cast<double>(unmatched);
+}
+
+/// Builds the classical (n1+n2) square Riesen–Bunke matrix:
+///   [ substitution | deletion  ]
+///   [ insertion    | zero      ]
+CostMatrix BuildMatrix(const Graph& g1, const Graph& g2,
+                       bool with_local_edges, const GedCosts& costs) {
+  const int32_t n1 = g1.NumNodes();
+  const int32_t n2 = g2.NumNodes();
+  std::vector<std::vector<Label>> nl1, nl2;
+  if (with_local_edges) {
+    nl1 = SortedNeighborLabels(g1);
+    nl2 = SortedNeighborLabels(g2);
+  }
+  CostMatrix cost(n1 + n2, 0.0);
+  for (int32_t i = 0; i < n1; ++i) {
+    for (int32_t j = 0; j < n2; ++j) {
+      const double edge_op = 0.5 * (costs.edge_delete + costs.edge_insert);
+      double c =
+          (g1.label(i) != g2.label(j)) ? costs.node_relabel : 0.0;
+      if (with_local_edges) {
+        c += edge_op * LocalEdgeCost(nl1[static_cast<size_t>(i)],
+                                     nl2[static_cast<size_t>(j)]);
+      } else {
+        // VJ variant: coarse degree-difference penalty.
+        c += edge_op * 0.5 * std::abs(g1.Degree(i) - g2.Degree(j));
+      }
+      cost.at(i, j) = c;
+    }
+    // Deletion of node i: the node plus half of each incident edge.
+    for (int32_t j = 0; j < n1; ++j) {
+      cost.at(i, n2 + j) =
+          (i == j) ? costs.node_delete + 0.5 * g1.Degree(i) * costs.edge_delete
+                   : kForbidden;
+    }
+  }
+  for (int32_t i = 0; i < n2; ++i) {
+    // Insertion of node i of g2.
+    for (int32_t j = 0; j < n2; ++j) {
+      cost.at(n1 + i, j) =
+          (i == j) ? costs.node_insert + 0.5 * g2.Degree(i) * costs.edge_insert
+                   : kForbidden;
+    }
+    // epsilon -> epsilon corner: free.
+  }
+  return cost;
+}
+
+ApproxGedResult FromAssignment(const Graph& g1, const Graph& g2,
+                               const Assignment& assignment,
+                               const GedCosts& costs) {
+  const int32_t n2 = g2.NumNodes();
+  ApproxGedResult result;
+  result.mapping.image.assign(static_cast<size_t>(g1.NumNodes()), kEpsilon);
+  for (NodeId u = 0; u < g1.NumNodes(); ++u) {
+    const int32_t col = assignment.row_to_col[static_cast<size_t>(u)];
+    result.mapping.image[static_cast<size_t>(u)] =
+        (col >= 0 && col < n2) ? col : kEpsilon;
+  }
+  LAN_DCHECK(result.mapping.IsValid(n2));
+  // The assignment objective is only an estimate; the true upper bound is
+  // the exact cost of the induced edit path.
+  result.distance = MapCost(g1, g2, result.mapping, costs);
+  return result;
+}
+
+}  // namespace
+
+ApproxGedResult BipartiteGedHungarian(const Graph& g1, const Graph& g2,
+                                      const GedCosts& costs) {
+  const CostMatrix cost =
+      BuildMatrix(g1, g2, /*with_local_edges=*/true, costs);
+  return FromAssignment(g1, g2, SolveAssignment(cost), costs);
+}
+
+ApproxGedResult BipartiteGedVj(const Graph& g1, const Graph& g2,
+                               const GedCosts& costs) {
+  // The VJ flavor trades matrix quality for speed: cheap substitution
+  // costs and the greedy solver.
+  const CostMatrix cost =
+      BuildMatrix(g1, g2, /*with_local_edges=*/false, costs);
+  return FromAssignment(g1, g2, SolveAssignmentGreedy(cost), costs);
+}
+
+}  // namespace lan

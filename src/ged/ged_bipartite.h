@@ -1,0 +1,34 @@
+#ifndef LAN_GED_GED_BIPARTITE_H_
+#define LAN_GED_GED_BIPARTITE_H_
+
+#include "ged/node_mapping.h"
+#include "graph/graph.h"
+
+namespace lan {
+
+/// \brief Outcome of an approximate GED computation: the distance is the
+/// exact cost of `mapping`, which is an upper bound of the true GED.
+struct ApproxGedResult {
+  double distance = 0.0;
+  NodeMapping mapping;
+};
+
+/// \brief Bipartite GED in the style of Riesen & Bunke ("Hung" in the
+/// paper's ground-truth protocol).
+///
+/// Builds an (n1+n2) x (n1+n2) cost matrix whose substitution entries
+/// include an optimal local assignment of incident-edge structures, solves
+/// it optimally, and returns the exact cost of the induced node map.
+ApproxGedResult BipartiteGedHungarian(
+    const Graph& g1, const Graph& g2,
+    const GedCosts& costs = GedCosts::Uniform());
+
+/// \brief Faster bipartite GED ("VJ" in the paper's protocol, after
+/// Fankhauser et al.): same framework with cheap degree-difference
+/// substitution costs instead of local edge assignments.
+ApproxGedResult BipartiteGedVj(const Graph& g1, const Graph& g2,
+                               const GedCosts& costs = GedCosts::Uniform());
+
+}  // namespace lan
+
+#endif  // LAN_GED_GED_BIPARTITE_H_

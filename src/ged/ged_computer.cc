@@ -1,0 +1,76 @@
+#include "ged/ged_computer.h"
+
+#include <algorithm>
+
+#include "ged/ged_beam.h"
+#include "ged/ged_lower_bounds.h"
+#include "ged/ged_bipartite.h"
+
+namespace lan {
+
+const char* GedMethodName(GedMethod method) {
+  switch (method) {
+    case GedMethod::kExact:
+      return "Exact";
+    case GedMethod::kVj:
+      return "VJ";
+    case GedMethod::kHungarian:
+      return "Hung";
+    case GedMethod::kBeam:
+      return "Beam";
+  }
+  return "?";
+}
+
+GedValue GedComputer::Compute(const Graph& g1, const Graph& g2) const {
+  // Approximate upper bounds (also used to prune the exact search).
+  const ApproxGedResult vj = BipartiteGedVj(g1, g2, options_.costs);
+  const ApproxGedResult hung = BipartiteGedHungarian(g1, g2, options_.costs);
+
+  GedValue best;
+  best.distance = vj.distance;
+  best.method = GedMethod::kVj;
+  best.exact = false;
+  if (hung.distance < best.distance) {
+    best.distance = hung.distance;
+    best.method = GedMethod::kHungarian;
+  }
+  if (options_.beam_width > 0) {
+    const ApproxGedResult beam =
+        BeamGed(g1, g2, options_.beam_width, options_.costs);
+    if (beam.distance < best.distance) {
+      best.distance = beam.distance;
+      best.method = GedMethod::kBeam;
+    }
+  }
+
+  bool try_exact = !options_.approximate_only;
+  if (try_exact && options_.skip_exact_gap >= 0.0) {
+    // The cheap lower bounds count operations; scaling by the cheapest
+    // per-operation cost keeps the bound sound under weighted models.
+    const double min_cost = std::min(
+        {options_.costs.node_insert, options_.costs.node_delete,
+         options_.costs.node_relabel, options_.costs.edge_insert,
+         options_.costs.edge_delete});
+    if (best.distance - BestLowerBound(g1, g2) * min_cost >
+        options_.skip_exact_gap) {
+      try_exact = false;
+    }
+  }
+  if (try_exact) {
+    ExactGedOptions exact_options;
+    exact_options.time_budget_seconds = options_.exact_time_budget_seconds;
+    exact_options.max_expansions = options_.exact_max_expansions;
+    exact_options.upper_bound = best.distance;
+    exact_options.costs = options_.costs;
+    Result<ExactGedResult> exact = ExactGed(g1, g2, exact_options);
+    if (exact.ok()) {
+      best.distance = exact.value().distance;
+      best.method = GedMethod::kExact;
+      best.exact = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace lan

@@ -1,0 +1,23 @@
+#include "ged/ged_costs.h"
+
+#include <algorithm>
+
+namespace lan {
+
+Status GedCosts::Validate() const {
+  for (double c : {node_insert, node_delete, node_relabel, edge_insert,
+                   edge_delete}) {
+    if (c < 0.0) return Status::InvalidArgument("edit costs must be >= 0");
+  }
+  if (node_insert == 0.0 || node_delete == 0.0) {
+    return Status::InvalidArgument(
+        "zero-cost node insert/delete degenerates the distance");
+  }
+  return Status::OK();
+}
+
+double GedCosts::MinMismatchCost() const {
+  return std::min(node_relabel, node_delete + node_insert);
+}
+
+}  // namespace lan

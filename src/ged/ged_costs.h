@@ -1,0 +1,52 @@
+#ifndef LAN_GED_GED_COSTS_H_
+#define LAN_GED_GED_COSTS_H_
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace lan {
+
+/// \brief Non-uniform edit-operation costs.
+///
+/// The paper (and the default everywhere in this repo) uses the uniform
+/// model — every operation costs 1 — but real deployments weigh
+/// operations differently (e.g., relabeling a carbon to nitrogen is
+/// "cheaper" than deleting an atom). Supported by MapCost, the exact A*
+/// solver, Beam, and the bipartite approximations; the learned-routing
+/// stack and the cheap lower-bound filters assume the uniform model.
+struct GedCosts {
+  double node_insert = 1.0;
+  double node_delete = 1.0;
+  double node_relabel = 1.0;
+  double edge_insert = 1.0;
+  double edge_delete = 1.0;
+
+  static GedCosts Uniform() { return GedCosts{}; }
+
+  bool IsUniform() const {
+    return node_insert == 1.0 && node_delete == 1.0 && node_relabel == 1.0 &&
+           edge_insert == 1.0 && edge_delete == 1.0;
+  }
+
+  /// All costs must be non-negative; fully-free operations are rejected
+  /// (a zero-cost insert/delete makes the distance degenerate).
+  Status Validate() const;
+
+  /// The mirror model: deletions become insertions and vice versa.
+  /// Needed when solving d(g1, g2) as d(g2, g1) (edit paths reverse).
+  GedCosts Swapped() const {
+    GedCosts s = *this;
+    std::swap(s.node_insert, s.node_delete);
+    std::swap(s.edge_insert, s.edge_delete);
+    return s;
+  }
+
+  /// Cheapest way to resolve one mismatched node pair (relabel, or delete
+  /// plus insert); used by admissible heuristics.
+  double MinMismatchCost() const;
+};
+
+}  // namespace lan
+
+#endif  // LAN_GED_GED_COSTS_H_

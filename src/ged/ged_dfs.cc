@@ -1,0 +1,207 @@
+#include "ged/ged_dfs.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "ged/ged_bipartite.h"
+
+namespace lan {
+namespace {
+
+class DfsSearch {
+ public:
+  DfsSearch(const Graph& g1, const Graph& g2, const ExactGedOptions& options)
+      : g1_(g1), g2_(g2), options_(options) {
+    order_.resize(static_cast<size_t>(g1_.NumNodes()));
+    for (NodeId v = 0; v < g1_.NumNodes(); ++v) {
+      order_[static_cast<size_t>(v)] = v;
+    }
+    std::stable_sort(order_.begin(), order_.end(), [&](NodeId a, NodeId b) {
+      return g1_.Degree(a) > g1_.Degree(b);
+    });
+    pos_in_order_.assign(static_cast<size_t>(g1_.NumNodes()), 0);
+    for (int32_t d = 0; d < g1_.NumNodes(); ++d) {
+      pos_in_order_[static_cast<size_t>(order_[static_cast<size_t>(d)])] = d;
+    }
+  }
+
+  Result<ExactGedResult> Run() {
+    // Incumbent: caller-provided bound or the Hungarian upper bound.
+    const ApproxGedResult seed = BipartiteGedHungarian(g1_, g2_);
+    incumbent_cost_ = seed.distance;
+    incumbent_map_ = seed.mapping;
+    if (options_.upper_bound >= 0.0 &&
+        options_.upper_bound < incumbent_cost_) {
+      incumbent_cost_ = options_.upper_bound;
+      incumbent_map_.image.clear();  // bound without a witness map
+    }
+
+    images_.assign(static_cast<size_t>(g1_.NumNodes()), kEpsilon);
+    used_.assign(static_cast<size_t>(g2_.NumNodes()), false);
+    timer_.Restart();
+    aborted_ = false;
+    expansions_ = 0;
+    Dfs(/*depth=*/0, /*g=*/0.0);
+    if (aborted_) return Status::Timeout("DF-GED: budget exhausted");
+    ExactGedResult result;
+    result.distance = incumbent_cost_;
+    result.mapping = incumbent_map_;
+    result.expansions = expansions_;
+    return result;
+  }
+
+ private:
+  void Dfs(int32_t depth, double g) {
+    if (aborted_) return;
+    ++expansions_;
+    if ((options_.max_expansions > 0 &&
+         expansions_ > options_.max_expansions) ||
+        (options_.time_budget_seconds > 0.0 && (expansions_ & 0x3F) == 0 &&
+         timer_.ElapsedSeconds() > options_.time_budget_seconds)) {
+      aborted_ = true;
+      return;
+    }
+    if (depth == g1_.NumNodes()) {
+      // Completion: unmatched g2 nodes + g2 edges with an unused endpoint.
+      double total = g;
+      int32_t used_count = 0;
+      for (bool u : used_) used_count += u;
+      total += g2_.NumNodes() - used_count;
+      for (const auto& [a, b] : g2_.Edges()) {
+        if (!used_[static_cast<size_t>(a)] || !used_[static_cast<size_t>(b)]) {
+          total += 1.0;
+        }
+      }
+      if (total < incumbent_cost_) {
+        incumbent_cost_ = total;
+        incumbent_map_.image = images_;
+      }
+      return;
+    }
+    if (g + Heuristic(depth) >= incumbent_cost_) return;  // prune
+
+    const NodeId u = order_[static_cast<size_t>(depth)];
+    // Substitutions, cheapest-first so good incumbents land early.
+    std::vector<std::pair<double, NodeId>> moves;
+    for (NodeId v = 0; v < g2_.NumNodes(); ++v) {
+      if (used_[static_cast<size_t>(v)]) continue;
+      moves.emplace_back(SubstitutionDelta(u, v, depth), v);
+    }
+    std::sort(moves.begin(), moves.end());
+    for (const auto& [delta, v] : moves) {
+      if (g + delta >= incumbent_cost_) break;  // sorted: rest are worse
+      used_[static_cast<size_t>(v)] = true;
+      images_[static_cast<size_t>(u)] = v;
+      Dfs(depth + 1, g + delta);
+      images_[static_cast<size_t>(u)] = kEpsilon;
+      used_[static_cast<size_t>(v)] = false;
+      if (aborted_) return;
+    }
+    // Deletion.
+    const double del = DeletionDelta(u, depth);
+    if (g + del < incumbent_cost_) {
+      images_[static_cast<size_t>(u)] = kEpsilon;
+      Dfs(depth + 1, g + del);
+    }
+  }
+
+  double SubstitutionDelta(NodeId u, NodeId v, int32_t depth) const {
+    double delta = (g1_.label(u) != g2_.label(v)) ? 1.0 : 0.0;
+    for (NodeId t : g1_.Neighbors(u)) {
+      if (pos_in_order_[static_cast<size_t>(t)] >= depth) continue;
+      const NodeId wt = images_[static_cast<size_t>(t)];
+      if (wt == kEpsilon || !g2_.HasEdge(wt, v)) delta += 1.0;
+    }
+    for (NodeId w : g2_.Neighbors(v)) {
+      if (!used_[static_cast<size_t>(w)]) continue;
+      // Find the mapped g1 node with image w (linear; graphs are small).
+      bool matched_edge = false;
+      for (NodeId t : g1_.Neighbors(u)) {
+        if (pos_in_order_[static_cast<size_t>(t)] < depth &&
+            images_[static_cast<size_t>(t)] == w) {
+          matched_edge = true;
+          break;
+        }
+      }
+      if (!matched_edge) delta += 1.0;
+    }
+    return delta;
+  }
+
+  double DeletionDelta(NodeId u, int32_t depth) const {
+    double delta = 1.0;
+    for (NodeId t : g1_.Neighbors(u)) {
+      if (pos_in_order_[static_cast<size_t>(t)] < depth) delta += 1.0;
+    }
+    return delta;
+  }
+
+  /// Label-multiset lower bound on the unresolved remainder.
+  double Heuristic(int32_t depth) const {
+    std::unordered_map<Label, int32_t> remaining1;
+    int32_t count1 = 0;
+    for (int32_t d = depth; d < g1_.NumNodes(); ++d) {
+      ++remaining1[g1_.label(order_[static_cast<size_t>(d)])];
+      ++count1;
+    }
+    int32_t count2 = 0;
+    int64_t common = 0;
+    std::unordered_map<Label, int32_t> remaining2;
+    for (NodeId v = 0; v < g2_.NumNodes(); ++v) {
+      if (!used_[static_cast<size_t>(v)]) {
+        ++remaining2[g2_.label(v)];
+        ++count2;
+      }
+    }
+    for (const auto& [label, count] : remaining1) {
+      auto it = remaining2.find(label);
+      if (it != remaining2.end()) common += std::min(count, it->second);
+    }
+    return static_cast<double>(std::max(count1, count2) - common);
+  }
+
+  const Graph& g1_;
+  const Graph& g2_;
+  const ExactGedOptions& options_;
+  std::vector<NodeId> order_;
+  std::vector<int32_t> pos_in_order_;
+  std::vector<NodeId> images_;
+  std::vector<bool> used_;
+  double incumbent_cost_ = 0.0;
+  NodeMapping incumbent_map_;
+  int64_t expansions_ = 0;
+  bool aborted_ = false;
+  Timer timer_;
+};
+
+}  // namespace
+
+Result<ExactGedResult> DfsGed(const Graph& g1, const Graph& g2,
+                              const ExactGedOptions& options) {
+  if (g1.NumNodes() == 0) {
+    ExactGedResult r;
+    r.distance = static_cast<double>(g2.NumNodes()) +
+                 static_cast<double>(g2.NumEdges());
+    return r;
+  }
+  if (g1.NumNodes() > g2.NumNodes()) {
+    LAN_ASSIGN_OR_RETURN(ExactGedResult swapped, DfsGed(g2, g1, options));
+    NodeMapping inverted;
+    inverted.image.assign(static_cast<size_t>(g1.NumNodes()), kEpsilon);
+    if (static_cast<int32_t>(swapped.mapping.image.size()) == g2.NumNodes()) {
+      for (NodeId u = 0; u < g2.NumNodes(); ++u) {
+        const NodeId v = swapped.mapping.image[static_cast<size_t>(u)];
+        if (v != kEpsilon) inverted.image[static_cast<size_t>(v)] = u;
+      }
+    }
+    swapped.mapping = std::move(inverted);
+    return swapped;
+  }
+  DfsSearch search(g1, g2, options);
+  return search.Run();
+}
+
+}  // namespace lan

@@ -1,0 +1,22 @@
+#ifndef LAN_GED_GED_DFS_H_
+#define LAN_GED_GED_DFS_H_
+
+#include "ged/ged_exact.h"
+
+namespace lan {
+
+/// \brief Exact GED by depth-first branch and bound (DF-GED, Abu-Aisheh et
+/// al.): the same node-map search tree as the A* solver but explored
+/// depth-first against an incumbent upper bound, using O(n) memory instead
+/// of an open list that can grow exponentially.
+///
+/// `options.upper_bound` (if >= 0) seeds the incumbent; callers typically
+/// pass the Hungarian approximation. Returns Status::Timeout when the
+/// budget expires before optimality is proven — the incumbent at that
+/// point is still a valid upper bound but is not reported as exact.
+Result<ExactGedResult> DfsGed(const Graph& g1, const Graph& g2,
+                              const ExactGedOptions& options = {});
+
+}  // namespace lan
+
+#endif  // LAN_GED_GED_DFS_H_

@@ -1,0 +1,46 @@
+#ifndef LAN_GED_GED_EXACT_H_
+#define LAN_GED_GED_EXACT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "ged/ged_costs.h"
+#include "ged/node_mapping.h"
+#include "graph/graph.h"
+
+namespace lan {
+
+/// \brief Budget for the exact A* search.
+struct ExactGedOptions {
+  /// Abort after this many expanded search states (<=0: unlimited).
+  int64_t max_expansions = 2'000'000;
+  /// Abort after this much wall time in seconds (<=0: unlimited). The
+  /// paper's ground-truth protocol uses 10 s; our default is smaller.
+  double time_budget_seconds = 1.0;
+  /// Optional known upper bound used to prune (e.g., from Hung/VJ/Beam).
+  double upper_bound = -1.0;
+  /// Edit-operation costs (uniform by default, as in the paper).
+  GedCosts costs;
+};
+
+/// \brief Outcome of an exact computation.
+struct ExactGedResult {
+  double distance = 0.0;
+  NodeMapping mapping;
+  int64_t expansions = 0;
+};
+
+/// \brief Exact graph edit distance under uniform costs via A* over node
+/// maps (the classical algorithm of Riesen et al., Sec. III-A of the
+/// paper's references).
+///
+/// Nodes of `g1` are mapped in a fixed order; each search state is a
+/// partial map; h() combines the label-multiset and edge-count lower
+/// bounds on the unmapped remainder. Returns Status::Timeout when the
+/// budget is exhausted before the optimum is proven.
+Result<ExactGedResult> ExactGed(const Graph& g1, const Graph& g2,
+                                const ExactGedOptions& options = {});
+
+}  // namespace lan
+
+#endif  // LAN_GED_GED_EXACT_H_

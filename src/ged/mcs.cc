@@ -1,0 +1,115 @@
+#include "ged/mcs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace lan {
+namespace {
+
+/// McGregor-style depth-first branch and bound over partial node
+/// correspondences. g1 nodes are considered in order; each is either
+/// matched to a compatible unused g2 node or skipped.
+class McsSearch {
+ public:
+  McsSearch(const Graph& g1, const Graph& g2, const McsOptions& options)
+      : g1_(g1), g2_(g2), options_(options) {}
+
+  McsResult Run() {
+    used_.assign(static_cast<size_t>(g2_.NumNodes()), false);
+    current_.clear();
+    best_.clear();
+    expansions_ = 0;
+    aborted_ = false;
+    timer_.Restart();
+    Dfs(0);
+    McsResult result;
+    result.correspondence = best_;
+    result.optimal = !aborted_;
+    return result;
+  }
+
+ private:
+  void Dfs(NodeId next) {
+    if (aborted_) return;
+    ++expansions_;
+    if ((options_.max_expansions > 0 &&
+         expansions_ > options_.max_expansions) ||
+        (options_.time_budget_seconds > 0.0 && (expansions_ & 0x3F) == 0 &&
+         timer_.ElapsedSeconds() > options_.time_budget_seconds)) {
+      aborted_ = true;
+      return;
+    }
+    if (current_.size() > best_.size()) best_ = current_;
+    if (next >= g1_.NumNodes()) return;
+    // Bound: even matching every remaining g1 node cannot beat best.
+    const size_t upper =
+        current_.size() + static_cast<size_t>(g1_.NumNodes() - next);
+    if (upper <= best_.size()) return;
+
+    // Try matching `next` to every compatible unused g2 node.
+    for (NodeId w = 0; w < g2_.NumNodes(); ++w) {
+      if (used_[static_cast<size_t>(w)]) continue;
+      if (g1_.label(next) != g2_.label(w)) continue;
+      if (!Consistent(next, w)) continue;
+      used_[static_cast<size_t>(w)] = true;
+      current_.emplace_back(next, w);
+      Dfs(next + 1);
+      current_.pop_back();
+      used_[static_cast<size_t>(w)] = false;
+      if (aborted_) return;
+    }
+    // Or skip it.
+    Dfs(next + 1);
+  }
+
+  /// Induced-subgraph consistency: adjacency and non-adjacency to every
+  /// already-matched pair must agree.
+  bool Consistent(NodeId u, NodeId w) const {
+    for (const auto& [pu, pw] : current_) {
+      if (g1_.HasEdge(u, pu) != g2_.HasEdge(w, pw)) return false;
+    }
+    return true;
+  }
+
+  const Graph& g1_;
+  const Graph& g2_;
+  const McsOptions& options_;
+  std::vector<bool> used_;
+  std::vector<std::pair<NodeId, NodeId>> current_;
+  std::vector<std::pair<NodeId, NodeId>> best_;
+  int64_t expansions_ = 0;
+  bool aborted_ = false;
+  Timer timer_;
+};
+
+}  // namespace
+
+McsResult MaximumCommonSubgraph(const Graph& g1, const Graph& g2,
+                                const McsOptions& options) {
+  // Search from the smaller side (shallower tree).
+  if (g1.NumNodes() > g2.NumNodes()) {
+    McsResult swapped = MaximumCommonSubgraph(g2, g1, options);
+    for (auto& [a, b] : swapped.correspondence) std::swap(a, b);
+    return swapped;
+  }
+  McsSearch search(g1, g2, options);
+  return search.Run();
+}
+
+double McsDistance(const Graph& g1, const Graph& g2,
+                   const McsOptions& options) {
+  const McsResult mcs = MaximumCommonSubgraph(g1, g2, options);
+  return static_cast<double>(g1.NumNodes() + g2.NumNodes() - 2 * mcs.size());
+}
+
+double McsSimilarity(const Graph& g1, const Graph& g2,
+                     const McsOptions& options) {
+  const int32_t larger = std::max(g1.NumNodes(), g2.NumNodes());
+  if (larger == 0) return 1.0;
+  const McsResult mcs = MaximumCommonSubgraph(g1, g2, options);
+  return static_cast<double>(mcs.size()) / static_cast<double>(larger);
+}
+
+}  // namespace lan

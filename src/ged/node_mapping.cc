@@ -1,0 +1,63 @@
+#include "ged/node_mapping.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lan {
+
+bool NodeMapping::IsValid(int32_t num_nodes2) const {
+  std::vector<bool> used(static_cast<size_t>(num_nodes2), false);
+  for (NodeId v : image) {
+    if (v == kEpsilon) continue;
+    if (v < 0 || v >= num_nodes2) return false;
+    if (used[static_cast<size_t>(v)]) return false;
+    used[static_cast<size_t>(v)] = true;
+  }
+  return true;
+}
+
+double MapCost(const Graph& g1, const Graph& g2, const NodeMapping& map,
+               const GedCosts& costs) {
+  LAN_CHECK_EQ(static_cast<int32_t>(map.image.size()), g1.NumNodes());
+  LAN_DCHECK(map.IsValid(g2.NumNodes()));
+
+  double cost = 0.0;
+  std::vector<NodeId> preimage(static_cast<size_t>(g2.NumNodes()), kEpsilon);
+  int32_t matched = 0;
+  for (NodeId u = 0; u < g1.NumNodes(); ++u) {
+    const NodeId v = map.image[static_cast<size_t>(u)];
+    if (v == kEpsilon) {
+      cost += costs.node_delete;
+    } else {
+      preimage[static_cast<size_t>(v)] = u;
+      ++matched;
+      if (g1.label(u) != g2.label(v)) cost += costs.node_relabel;
+    }
+  }
+  cost += (g2.NumNodes() - matched) * costs.node_insert;
+
+  // Edge deletions: g1 edges whose image is not an edge of g2.
+  for (const auto& [u1, u2] : g1.Edges()) {
+    const NodeId v1 = map.image[static_cast<size_t>(u1)];
+    const NodeId v2 = map.image[static_cast<size_t>(u2)];
+    if (v1 == kEpsilon || v2 == kEpsilon || !g2.HasEdge(v1, v2)) {
+      cost += costs.edge_delete;
+    }
+  }
+  // Edge insertions: g2 edges not covered by the image of a g1 edge.
+  for (const auto& [v1, v2] : g2.Edges()) {
+    const NodeId u1 = preimage[static_cast<size_t>(v1)];
+    const NodeId u2 = preimage[static_cast<size_t>(v2)];
+    if (u1 == kEpsilon || u2 == kEpsilon || !g1.HasEdge(u1, u2)) {
+      cost += costs.edge_insert;
+    }
+  }
+  return cost;
+}
+
+double MapCost(const Graph& g1, const Graph& g2, const NodeMapping& map) {
+  return MapCost(g1, g2, map, GedCosts::Uniform());
+}
+
+}  // namespace lan

@@ -1,0 +1,42 @@
+#ifndef LAN_GED_NODE_MAPPING_H_
+#define LAN_GED_NODE_MAPPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ged/ged_costs.h"
+#include "graph/graph.h"
+
+namespace lan {
+
+/// Image of a deleted node.
+constexpr NodeId kEpsilon = -1;
+
+/// \brief A complete node map phi: V(g1) -> V(g2) ∪ {ε}, injective on
+/// non-ε images. Any such map induces a valid edit path, so its cost is an
+/// upper bound on GED (tight at the optimum).
+struct NodeMapping {
+  /// image[u] = matched node in g2, or kEpsilon if u is deleted.
+  std::vector<NodeId> image;
+
+  /// True if every non-ε image is a distinct valid node of a graph with
+  /// `num_nodes2` nodes.
+  bool IsValid(int32_t num_nodes2) const;
+};
+
+/// \brief Cost of the edit path induced by `map` under uniform edit costs
+/// (every insert/delete/relabel of a node or edge costs 1).
+///
+/// Counts: node substitutions with differing labels, node deletions
+/// (ε images), node insertions (unmatched g2 nodes), edge deletions
+/// (g1 edges whose image is not a g2 edge), and edge insertions (g2 edges
+/// not covered by any g1 edge image).
+double MapCost(const Graph& g1, const Graph& g2, const NodeMapping& map);
+
+/// Weighted variant: the same edit path charged under `costs`.
+double MapCost(const Graph& g1, const Graph& g2, const NodeMapping& map,
+               const GedCosts& costs);
+
+}  // namespace lan
+
+#endif  // LAN_GED_NODE_MAPPING_H_

@@ -1,0 +1,149 @@
+#include "gnn/cross_graph.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "gnn/gnn_graph.h"
+
+namespace lan {
+
+CrossGraphComplexity ComputeCrossComplexity(const Graph& g, const Graph& q,
+                                            int num_layers) {
+  // Definition 1 over L layers: every level replicates V and E; attention
+  // touches every (u in G, v in Q) pair per layer, both directions.
+  CrossGraphComplexity c;
+  const int64_t nodes = g.NumNodes() + q.NumNodes();
+  const int64_t edges =
+      (2 * g.NumEdges() + g.NumNodes()) + (2 * q.NumEdges() + q.NumNodes());
+  c.node_terms = static_cast<int64_t>(num_layers) * nodes;
+  c.edge_terms = static_cast<int64_t>(num_layers) * edges;
+  c.attention_pairs = static_cast<int64_t>(num_layers) * 2 *
+                      static_cast<int64_t>(g.NumNodes()) * q.NumNodes();
+  return c;
+}
+
+CrossGraphComplexity ComputeCrossComplexity(const CompressedGnnGraph& g,
+                                            const CompressedGnnGraph& q) {
+  // Theorem 3: O(|V(H*)| + |E(H*)| + sum_l |V_l(G*)| |V_l(Q*)|).
+  CrossGraphComplexity c;
+  c.node_terms = g.NumNodes() + q.NumNodes();
+  c.edge_terms = g.NumEdges() + q.NumEdges();
+  for (int l = 1; l <= g.num_layers; ++l) {
+    c.attention_pairs += 2 * static_cast<int64_t>(g.NumGroups(l - 1)) *
+                         q.NumGroups(l - 1);
+  }
+  return c;
+}
+
+CrossGraphEncoder::CrossGraphEncoder(int32_t input_dim,
+                                     std::vector<int32_t> layer_dims,
+                                     ParamStore* store, Rng* rng)
+    : input_dim_(input_dim), layer_dims_(std::move(layer_dims)) {
+  LAN_CHECK_GT(input_dim_, 0);
+  LAN_CHECK(!layer_dims_.empty());
+  int32_t in = input_dim_;
+  for (int32_t out : layer_dims_) {
+    weights_.push_back(store->Create(Matrix::XavierUniform(in, out, rng)));
+    attn_self_.push_back(store->Create(Matrix::XavierUniform(in, 1, rng)));
+    attn_other_.push_back(store->Create(Matrix::XavierUniform(in, 1, rng)));
+    in = out;
+  }
+}
+
+Matrix CrossGraphEncoder::OneHot(const Graph& g) const {
+  std::vector<int32_t> ids;
+  ids.reserve(static_cast<size_t>(g.NumNodes()));
+  for (NodeId v = 0; v < g.NumNodes(); ++v) ids.push_back(g.label(v));
+  return Matrix::OneHotRows(ids, input_dim_);
+}
+
+Matrix CrossGraphEncoder::OneHot(const CompressedGnnGraph& cg) const {
+  std::vector<int32_t> ids(cg.level0_group_labels.begin(),
+                           cg.level0_group_labels.end());
+  return Matrix::OneHotRows(ids, input_dim_);
+}
+
+VarId CrossGraphEncoder::LayerOneSide(
+    Tape* tape, VarId h_self, VarId h_other, const SparseMatrix& agg,
+    int layer, const std::vector<float>* other_weights,
+    const SparseMatrix* lift_self) const {
+  const size_t l = static_cast<size_t>(layer);
+  // Attention logits e_{u,v} = a1 . h_u + a2 . h_v decompose into an outer
+  // sum of two matrix-vector products. On CGs the previous-level group
+  // embeddings are lifted to the (finer) current-level groups first, so
+  // the attention term lines up row-wise with the aggregation term.
+  VarId h_self_rows =
+      lift_self != nullptr ? tape->SparseApply(*lift_self, h_self) : h_self;
+  VarId s_self = tape->MatMul(h_self_rows, tape->Param(attn_self_[l]));
+  VarId s_other = tape->MatMul(h_other, tape->Param(attn_other_[l]));
+  VarId logits = tape->OuterSum(s_self, s_other);
+  if (other_weights != nullptr) {
+    // Definition 3: multiplicities |q| fold into the softmax as log-weights.
+    Matrix log_w(1, static_cast<int32_t>(other_weights->size()));
+    for (size_t j = 0; j < other_weights->size(); ++j) {
+      LAN_CHECK_GT((*other_weights)[j], 0.0f);
+      log_w.at(0, static_cast<int32_t>(j)) = std::log((*other_weights)[j]);
+    }
+    logits = tape->AddConstRowBroadcast(logits, log_w);
+  }
+  VarId alpha = tape->SoftmaxRows(logits);
+  VarId mu = tape->MatMul(alpha, h_other);
+  VarId t = tape->SparseApply(agg, h_self);
+  VarId x = tape->Add(t, mu);
+  return tape->Relu(tape->MatMul(x, tape->Param(weights_[l])));
+}
+
+VarId CrossGraphEncoder::Forward(Tape* tape, const Graph& g,
+                                 const Graph& q) const {
+  const GnnGraph gg(g, num_layers());
+  const GnnGraph gq(q, num_layers());
+  return ForwardWithAggregators(tape, g, gg.AggregationOperator(), q,
+                                gq.AggregationOperator());
+}
+
+VarId CrossGraphEncoder::ForwardWithAggregators(Tape* tape, const Graph& g,
+                                                const SparseMatrix& agg_g,
+                                                const Graph& q,
+                                                const SparseMatrix& agg_q) const {
+  LAN_CHECK_GT(g.NumNodes(), 0);
+  LAN_CHECK_GT(q.NumNodes(), 0);
+  VarId hg = tape->Input(OneHot(g));
+  VarId hq = tape->Input(OneHot(q));
+  for (int l = 0; l < num_layers(); ++l) {
+    VarId hg_next = LayerOneSide(tape, hg, hq, agg_g, l, nullptr, nullptr);
+    VarId hq_next = LayerOneSide(tape, hq, hg, agg_q, l, nullptr, nullptr);
+    hg = hg_next;
+    hq = hq_next;
+  }
+  VarId readout_g = tape->MeanRows(hg);
+  VarId readout_q = tape->MeanRows(hq);
+  return tape->ConcatCols(readout_g, readout_q);
+}
+
+VarId CrossGraphEncoder::ForwardCompressed(Tape* tape,
+                                           const CompressedGnnGraph& g,
+                                           const CompressedGnnGraph& q) const {
+  LAN_CHECK_EQ(g.num_layers, num_layers());
+  LAN_CHECK_EQ(q.num_layers, num_layers());
+  VarId hg = tape->Input(OneHot(g));
+  VarId hq = tape->Input(OneHot(q));
+  for (int l = 0; l < num_layers(); ++l) {
+    const size_t ls = static_cast<size_t>(l);
+    // Multiplicities of the attended (level l) groups on each side.
+    std::vector<float> wg(g.group_size[ls].begin(), g.group_size[ls].end());
+    std::vector<float> wq(q.group_size[ls].begin(), q.group_size[ls].end());
+    const SparseMatrix& lift_g = g.LiftOperator(l + 1);
+    const SparseMatrix& lift_q = q.LiftOperator(l + 1);
+    VarId hg_next =
+        LayerOneSide(tape, hg, hq, g.aggregation[ls], l, &wq, &lift_g);
+    VarId hq_next =
+        LayerOneSide(tape, hq, hg, q.aggregation[ls], l, &wg, &lift_q);
+    hg = hg_next;
+    hq = hq_next;
+  }
+  VarId readout_g = tape->WeightedMeanRows(hg, g.TopLevelWeights());
+  VarId readout_q = tape->WeightedMeanRows(hq, q.TopLevelWeights());
+  return tape->ConcatCols(readout_g, readout_q);
+}
+
+}  // namespace lan

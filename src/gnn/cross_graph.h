@@ -1,0 +1,96 @@
+#ifndef LAN_GNN_CROSS_GRAPH_H_
+#define LAN_GNN_CROSS_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "gnn/compressed_gnn_graph.h"
+#include "graph/graph.h"
+#include "nn/autograd.h"
+
+namespace lan {
+
+/// \brief Theorem 3 cost model of one cross-graph forward pass:
+/// node terms (the W multiplications), edge terms (aggregation), and
+/// attention pair terms (the dominating product of per-level sizes).
+struct CrossGraphComplexity {
+  int64_t node_terms = 0;
+  int64_t edge_terms = 0;
+  int64_t attention_pairs = 0;
+
+  int64_t Total() const { return node_terms + edge_terms + attention_pairs; }
+};
+
+/// Theorem 3 counts for the raw computation (Definition 1) of L layers.
+CrossGraphComplexity ComputeCrossComplexity(const Graph& g, const Graph& q,
+                                            int num_layers);
+/// Theorem 3 counts for the compressed computation (Definition 3).
+CrossGraphComplexity ComputeCrossComplexity(const CompressedGnnGraph& g,
+                                            const CompressedGnnGraph& q);
+
+/// \brief Cross-graph (GMN-style) encoder: Definition 1 on raw graphs and
+/// Definition 3 on compressed GNN-graphs.
+///
+/// Per layer l:
+///   h_u^l = ReLU(W^l (h_u^{l-1} + sum_{u' in N(u)} h_{u'}^{l-1} + mu_u))
+///   mu_u  = sum_{v in Q} alpha_{u,v} h_v^{l-1}
+///   alpha = softmax_v( a1 . h_u^{l-1} + a2 . h_v^{l-1} )
+/// applied symmetrically to both graphs (shared weights), followed by mean
+/// readout and concatenation: h_{G,Q} = h_G || h_Q (1 x 2 d_L).
+///
+/// On CGs the attention runs over level-(l-1) groups with multiplicity
+/// weights folded into the softmax logits (Definition 3); per Theorem 2
+/// the result is exactly equal to the raw computation. Two deviations
+/// from the paper-as-printed, both needed for that equality to hold (see
+/// DESIGN.md): attention logits use the previous-level group embedding
+/// (not the aggregate t_g), and the attended groups are level l-1 (not l).
+class CrossGraphEncoder {
+ public:
+  CrossGraphEncoder() = default;
+  CrossGraphEncoder(int32_t input_dim, std::vector<int32_t> layer_dims,
+                    ParamStore* store, Rng* rng);
+
+  /// Definition 1; result is 1 x (2 * output_dim()).
+  VarId Forward(Tape* tape, const Graph& g, const Graph& q) const;
+
+  /// Definition 3; equal to Forward on the underlying graphs (Theorem 2).
+  VarId ForwardCompressed(Tape* tape, const CompressedGnnGraph& g,
+                          const CompressedGnnGraph& q) const;
+
+  /// Ablation used by the Fig. 12 HAG comparison: Definition 1 where the
+  /// neighborhood aggregation reuses a HAG-style precomputed plan (passed
+  /// as the aggregation operators) while attention stays per-node. The
+  /// default Forward() is recovered with the GnnGraph operators.
+  VarId ForwardWithAggregators(Tape* tape, const Graph& g,
+                               const SparseMatrix& agg_g, const Graph& q,
+                               const SparseMatrix& agg_q) const;
+
+  int num_layers() const { return static_cast<int>(weights_.size()); }
+  int32_t input_dim() const { return input_dim_; }
+  int32_t output_dim() const {
+    return layer_dims_.empty() ? input_dim_ : layer_dims_.back();
+  }
+  /// Dimension of the cross embedding h_G || h_Q.
+  int32_t cross_dim() const { return 2 * output_dim(); }
+
+ private:
+  /// One side of one layer: aggregation + attention + linear + ReLU.
+  VarId LayerOneSide(Tape* tape, VarId h_self, VarId h_other,
+                     const SparseMatrix& agg, int layer,
+                     const std::vector<float>* other_weights,
+                     const SparseMatrix* lift_self) const;
+
+  Matrix OneHot(const Graph& g) const;
+  Matrix OneHot(const CompressedGnnGraph& cg) const;
+
+  int32_t input_dim_ = 0;
+  std::vector<int32_t> layer_dims_;
+  std::vector<ParamState*> weights_;  // W^l
+  std::vector<ParamState*> attn_self_;   // a1 per layer (d_{l-1} x 1)
+  std::vector<ParamState*> attn_other_;  // a2 per layer (d_{l-1} x 1)
+};
+
+}  // namespace lan
+
+#endif  // LAN_GNN_CROSS_GRAPH_H_

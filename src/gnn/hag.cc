@@ -1,0 +1,99 @@
+#include "gnn/hag.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lan {
+namespace {
+
+using Pair = std::pair<int32_t, int32_t>;
+
+Pair MakePair(int32_t a, int32_t b) {
+  return a < b ? Pair{a, b} : Pair{b, a};
+}
+
+}  // namespace
+
+HagPlan::HagPlan(const Graph& g, int max_rounds) {
+  num_graph_nodes_ = g.NumNodes();
+  sets_.resize(static_cast<size_t>(g.NumNodes()));
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    auto& set = sets_[static_cast<size_t>(u)];
+    set.push_back(u);
+    for (NodeId v : g.Neighbors(u)) set.push_back(v);
+    std::sort(set.begin(), set.end());
+    naive_adds_ += static_cast<int64_t>(set.size()) - 1;
+  }
+
+  // Greedy pair extraction: while some pair of ids co-occurs in >= 2
+  // aggregation sets, materialize its sum as a virtual id and substitute.
+  for (int round = 0; round < max_rounds; ++round) {
+    std::map<Pair, int32_t> freq;
+    for (const auto& set : sets_) {
+      for (size_t i = 0; i < set.size(); ++i) {
+        for (size_t j = i + 1; j < set.size(); ++j) {
+          ++freq[MakePair(set[i], set[j])];
+        }
+      }
+    }
+    Pair best{-1, -1};
+    int32_t best_count = 1;
+    for (const auto& [pair, count] : freq) {
+      if (count > best_count) {
+        best_count = count;
+        best = pair;
+      }
+    }
+    if (best.first < 0) break;
+
+    const int32_t virt =
+        num_graph_nodes_ + static_cast<int32_t>(virtual_pairs_.size());
+    virtual_pairs_.push_back(best);
+    for (auto& set : sets_) {
+      auto ia = std::find(set.begin(), set.end(), best.first);
+      if (ia == set.end()) continue;
+      auto ib = std::find(set.begin(), set.end(), best.second);
+      if (ib == set.end()) continue;
+      set.erase(ib);  // erase second first keeps `ia` valid? recompute both
+      ia = std::find(set.begin(), set.end(), best.first);
+      set.erase(ia);
+      set.push_back(virt);
+      std::sort(set.begin(), set.end());
+    }
+  }
+
+  num_adds_ = static_cast<int64_t>(virtual_pairs_.size());  // 1 add each
+  for (const auto& set : sets_) {
+    num_adds_ += static_cast<int64_t>(set.size()) - 1;
+  }
+}
+
+Matrix HagPlan::Aggregate(const Matrix& h) const {
+  LAN_CHECK_EQ(h.rows(), num_graph_nodes_);
+  const int32_t d = h.cols();
+  // Values of graph nodes followed by virtual sums, computed in order.
+  Matrix values(num_graph_nodes_ + static_cast<int32_t>(virtual_pairs_.size()),
+                d);
+  for (int32_t u = 0; u < num_graph_nodes_; ++u) {
+    for (int32_t j = 0; j < d; ++j) values.at(u, j) = h.at(u, j);
+  }
+  for (size_t k = 0; k < virtual_pairs_.size(); ++k) {
+    const int32_t id = num_graph_nodes_ + static_cast<int32_t>(k);
+    const auto& [a, b] = virtual_pairs_[k];
+    for (int32_t j = 0; j < d; ++j) {
+      values.at(id, j) = values.at(a, j) + values.at(b, j);
+    }
+  }
+  Matrix out(num_graph_nodes_, d);
+  for (int32_t u = 0; u < num_graph_nodes_; ++u) {
+    for (int32_t id : sets_[static_cast<size_t>(u)]) {
+      for (int32_t j = 0; j < d; ++j) out.at(u, j) += values.at(id, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace lan

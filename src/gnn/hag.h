@@ -1,0 +1,52 @@
+#ifndef LAN_GNN_HAG_H_
+#define LAN_GNN_HAG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/matrix.h"
+
+namespace lan {
+
+/// \brief Simplified HAG (hierarchically aggregated graph) plan: the
+/// Fig. 12 baseline.
+///
+/// HAG accelerates GNN aggregation by materializing sums that several
+/// nodes' neighborhoods share; we use the classic greedy variant that
+/// repeatedly extracts the most frequent co-occurring pair. It reduces the
+/// *additions* in `h_u + sum_{v in N(u)} h_v` but — as the paper points
+/// out — cannot reduce the attention matrix multiplications that dominate
+/// cross-graph learning.
+class HagPlan {
+ public:
+  /// Builds a plan for the self+neighborhood aggregation sets of `g`.
+  /// `max_rounds` bounds the greedy pair extraction.
+  explicit HagPlan(const Graph& g, int max_rounds = 1 << 20);
+
+  /// out[u] = h_u + sum_{v in N(u)} h_v, evaluated through the shared
+  /// intermediate sums. `h` is (n x d).
+  Matrix Aggregate(const Matrix& h) const;
+
+  /// Scalar additions the plan performs (per feature column).
+  int64_t NumAdds() const { return num_adds_; }
+  /// Scalar additions of the naive evaluation (per feature column).
+  int64_t NaiveNumAdds() const { return naive_adds_; }
+  /// Number of shared intermediate sums extracted.
+  int32_t NumSharedSums() const {
+    return static_cast<int32_t>(virtual_pairs_.size());
+  }
+
+ private:
+  int32_t num_graph_nodes_ = 0;
+  /// Virtual node k (id = num_graph_nodes_ + k) = sum of two earlier ids.
+  std::vector<std::pair<int32_t, int32_t>> virtual_pairs_;
+  /// Final aggregation set per output node (ids may be virtual).
+  std::vector<std::vector<int32_t>> sets_;
+  int64_t num_adds_ = 0;
+  int64_t naive_adds_ = 0;
+};
+
+}  // namespace lan
+
+#endif  // LAN_GNN_HAG_H_

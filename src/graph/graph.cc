@@ -1,0 +1,132 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lan {
+
+NodeId Graph::AddNode(Label label) {
+  labels_.push_back(label);
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(labels_.size() - 1);
+}
+
+Status Graph::AddEdge(NodeId u, NodeId v) {
+  if (!ValidNode(u) || !ValidNode(v)) {
+    return Status::OutOfRange(StrFormat("edge (%d,%d) out of range", u, v));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrFormat("self-loop at node %d", u));
+  }
+  if (HasEdge(u, v)) {
+    return Status::AlreadyExists(StrFormat("edge (%d,%d) exists", u, v));
+  }
+  auto& au = adjacency_[static_cast<size_t>(u)];
+  auto& av = adjacency_[static_cast<size_t>(v)];
+  au.insert(std::lower_bound(au.begin(), au.end(), v), v);
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  ++num_edges_;
+  return Status::OK();
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (!ValidNode(u) || !ValidNode(v)) return false;
+  const auto& au = adjacency_[static_cast<size_t>(u)];
+  return std::binary_search(au.begin(), au.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::Edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(static_cast<size_t>(num_edges_));
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (NodeId v : Neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+Label Graph::MaxLabelPlusOne() const {
+  Label max_label = -1;
+  for (Label l : labels_) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+std::unordered_map<Label, int32_t> Graph::LabelHistogram() const {
+  std::unordered_map<Label, int32_t> hist;
+  for (Label l : labels_) ++hist[l];
+  return hist;
+}
+
+bool Graph::IsConnected() const {
+  if (NumNodes() == 0) return true;
+  std::vector<bool> seen(static_cast<size_t>(NumNodes()), false);
+  std::deque<NodeId> queue{0};
+  seen[0] = true;
+  int32_t visited = 1;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : Neighbors(u)) {
+      if (!seen[static_cast<size_t>(v)]) {
+        seen[static_cast<size_t>(v)] = true;
+        ++visited;
+        queue.push_back(v);
+      }
+    }
+  }
+  return visited == NumNodes();
+}
+
+Status Graph::RemoveEdge(NodeId u, NodeId v) {
+  if (!HasEdge(u, v)) {
+    return Status::NotFound(StrFormat("edge (%d,%d) absent", u, v));
+  }
+  auto& au = adjacency_[static_cast<size_t>(u)];
+  auto& av = adjacency_[static_cast<size_t>(v)];
+  au.erase(std::lower_bound(au.begin(), au.end(), v));
+  av.erase(std::lower_bound(av.begin(), av.end(), u));
+  --num_edges_;
+  return Status::OK();
+}
+
+Status Graph::RemoveNode(NodeId v) {
+  if (!ValidNode(v)) {
+    return Status::OutOfRange(StrFormat("node %d out of range", v));
+  }
+  // Detach v from all neighbors.
+  std::vector<NodeId> neighbors = adjacency_[static_cast<size_t>(v)];
+  for (NodeId u : neighbors) LAN_CHECK_OK(RemoveEdge(v, u));
+
+  const NodeId last = NumNodes() - 1;
+  if (v != last) {
+    // Move the last node into slot v.
+    labels_[static_cast<size_t>(v)] = labels_[static_cast<size_t>(last)];
+    std::vector<NodeId> last_neighbors = adjacency_[static_cast<size_t>(last)];
+    for (NodeId u : last_neighbors) LAN_CHECK_OK(RemoveEdge(last, u));
+    labels_.pop_back();
+    adjacency_.pop_back();
+    for (NodeId u : last_neighbors) {
+      if (u == v) continue;  // cannot happen: v was already detached
+      LAN_CHECK_OK(AddEdge(v, u));
+    }
+  } else {
+    labels_.pop_back();
+    adjacency_.pop_back();
+  }
+  return Status::OK();
+}
+
+bool Graph::operator==(const Graph& other) const {
+  return labels_ == other.labels_ && adjacency_ == other.adjacency_;
+}
+
+std::string Graph::ToString() const {
+  return StrFormat("Graph(n=%d, m=%lld)", NumNodes(),
+                   static_cast<long long>(num_edges_));
+}
+
+}  // namespace lan

@@ -1,0 +1,96 @@
+#ifndef LAN_GRAPH_GRAPH_H_
+#define LAN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lan {
+
+/// Node index within a single graph.
+using NodeId = int32_t;
+/// Node label (an id into a dataset-level label alphabet).
+using Label = int32_t;
+/// Index of a graph within a GraphDatabase.
+using GraphId = int32_t;
+
+constexpr GraphId kInvalidGraphId = -1;
+
+/// \brief An undirected node-labeled graph (the paper's data model,
+/// Sec. III).
+///
+/// Nodes are dense indices [0, NumNodes()). Parallel edges and self-loops
+/// are rejected. Adjacency lists are kept sorted so neighbor iteration is
+/// deterministic.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adds a node with the given label; returns its id.
+  NodeId AddNode(Label label);
+
+  /// Adds an undirected edge {u, v}.
+  /// Fails on out-of-range endpoints, self-loops, and duplicates.
+  Status AddEdge(NodeId u, NodeId v);
+
+  /// True if the undirected edge {u, v} exists.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  int32_t NumNodes() const { return static_cast<int32_t>(labels_.size()); }
+  int64_t NumEdges() const { return num_edges_; }
+
+  Label label(NodeId v) const { return labels_[static_cast<size_t>(v)]; }
+  void set_label(NodeId v, Label label) {
+    labels_[static_cast<size_t>(v)] = label;
+  }
+
+  /// Sorted neighbor list of v.
+  const std::vector<NodeId>& Neighbors(NodeId v) const {
+    return adjacency_[static_cast<size_t>(v)];
+  }
+
+  int32_t Degree(NodeId v) const {
+    return static_cast<int32_t>(adjacency_[static_cast<size_t>(v)].size());
+  }
+
+  const std::vector<Label>& labels() const { return labels_; }
+
+  /// All edges as (u, v) with u < v, sorted lexicographically.
+  std::vector<std::pair<NodeId, NodeId>> Edges() const;
+
+  /// Largest label id present plus one (0 for an empty graph).
+  Label MaxLabelPlusOne() const;
+
+  /// Histogram over labels: label -> multiplicity.
+  std::unordered_map<Label, int32_t> LabelHistogram() const;
+
+  /// True if the graph is connected (vacuously true when empty).
+  bool IsConnected() const;
+
+  /// Removes the undirected edge {u, v}; fails if absent.
+  Status RemoveEdge(NodeId u, NodeId v);
+
+  /// Removes node v (and incident edges), renumbering the last node to v.
+  /// Fails if v is out of range.
+  Status RemoveNode(NodeId v);
+
+  /// Structural + label equality under the identity node mapping.
+  bool operator==(const Graph& other) const;
+
+  /// Compact one-line description for logs: "Graph(n=5, m=6)".
+  std::string ToString() const;
+
+ private:
+  bool ValidNode(NodeId v) const { return v >= 0 && v < NumNodes(); }
+
+  std::vector<Label> labels_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace lan
+
+#endif  // LAN_GRAPH_GRAPH_H_

@@ -1,0 +1,53 @@
+#include "graph/graph_database.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace lan {
+
+Result<GraphId> GraphDatabase::Add(Graph graph) {
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const Label l = graph.label(v);
+    if (l < 0 || l >= num_labels_) {
+      return Status::InvalidArgument(
+          StrFormat("label %d of node %d outside alphabet [0,%d)", l, v,
+                    num_labels_));
+    }
+  }
+  graphs_.push_back(std::move(graph));
+  return static_cast<GraphId>(graphs_.size() - 1);
+}
+
+double GraphDatabase::AverageNodes() const {
+  if (graphs_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Graph& g : graphs_) total += g.NumNodes();
+  return total / static_cast<double>(graphs_.size());
+}
+
+double GraphDatabase::AverageEdges() const {
+  if (graphs_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Graph& g : graphs_) total += static_cast<double>(g.NumEdges());
+  return total / static_cast<double>(graphs_.size());
+}
+
+int32_t GraphDatabase::DistinctLabelsUsed() const {
+  std::unordered_set<Label> seen;
+  for (const Graph& g : graphs_) {
+    for (Label l : g.labels()) seen.insert(l);
+  }
+  return static_cast<int32_t>(seen.size());
+}
+
+Status GraphDatabase::Truncate(GraphId count) {
+  if (count < 0 || count > size()) {
+    return Status::OutOfRange(
+        StrFormat("truncate to %d outside [0,%d]", count, size()));
+  }
+  graphs_.resize(static_cast<size_t>(count));
+  return Status::OK();
+}
+
+}  // namespace lan

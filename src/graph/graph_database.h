@@ -1,0 +1,58 @@
+#ifndef LAN_GRAPH_GRAPH_DATABASE_H_
+#define LAN_GRAPH_GRAPH_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace lan {
+
+/// \brief A collection of labeled graphs: the search universe `D`.
+///
+/// Graphs are addressed by dense GraphId. The database also records the
+/// size of the shared node-label alphabet (labels in every member graph
+/// must lie in [0, num_labels)).
+class GraphDatabase {
+ public:
+  GraphDatabase() = default;
+  explicit GraphDatabase(int32_t num_labels) : num_labels_(num_labels) {}
+
+  /// Appends a graph; returns its id. Fails if a node label is outside the
+  /// alphabet.
+  Result<GraphId> Add(Graph graph);
+
+  GraphId size() const { return static_cast<GraphId>(graphs_.size()); }
+  bool empty() const { return graphs_.empty(); }
+
+  const Graph& Get(GraphId id) const { return graphs_[static_cast<size_t>(id)]; }
+  const std::vector<Graph>& graphs() const { return graphs_; }
+
+  int32_t num_labels() const { return num_labels_; }
+  void set_num_labels(int32_t n) { num_labels_ = n; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Mean node count over all member graphs (0 when empty).
+  double AverageNodes() const;
+  /// Mean edge count over all member graphs (0 when empty).
+  double AverageEdges() const;
+  /// Number of distinct node labels actually used.
+  int32_t DistinctLabelsUsed() const;
+
+  /// Keeps only the first `count` graphs (used by the Fig. 9 scalability
+  /// sweep). Fails if count exceeds the current size.
+  Status Truncate(GraphId count);
+
+ private:
+  std::vector<Graph> graphs_;
+  int32_t num_labels_ = 0;
+  std::string name_;
+};
+
+}  // namespace lan
+
+#endif  // LAN_GRAPH_GRAPH_DATABASE_H_

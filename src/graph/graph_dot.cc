@@ -1,0 +1,32 @@
+#include "graph/graph_dot.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace lan {
+
+Status WriteDot(const Graph& g, std::ostream& out, const DotOptions& options) {
+  out << "graph " << options.name << " {\n";
+  out << "  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    out << "  n" << v;
+    if (options.show_labels) {
+      out << " [label=\"" << v << ":" << g.label(v) << "\"]";
+    }
+    out << ";\n";
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    out << "  n" << u << " -- n" << v << ";\n";
+  }
+  out << "}\n";
+  if (!out.good()) return Status::IoError("dot write failed");
+  return Status::OK();
+}
+
+std::string ToDot(const Graph& g, const DotOptions& options) {
+  std::ostringstream out;
+  (void)WriteDot(g, out, options);
+  return out.str();
+}
+
+}  // namespace lan

@@ -1,0 +1,30 @@
+#ifndef LAN_GRAPH_GRAPH_DOT_H_
+#define LAN_GRAPH_GRAPH_DOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace lan {
+
+/// \brief Graphviz DOT rendering options.
+struct DotOptions {
+  /// Graph name in the DOT header.
+  std::string name = "G";
+  /// Show numeric labels on nodes ("id:label"); otherwise just ids.
+  bool show_labels = true;
+};
+
+/// Writes a labeled graph as an undirected Graphviz DOT document
+/// (`dot -Tpng` renders it). Debugging/visualization helper.
+Status WriteDot(const Graph& g, std::ostream& out,
+                const DotOptions& options = {});
+
+/// DOT as a string.
+std::string ToDot(const Graph& g, const DotOptions& options = {});
+
+}  // namespace lan
+
+#endif  // LAN_GRAPH_GRAPH_DOT_H_

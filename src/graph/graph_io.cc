@@ -1,0 +1,125 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lan {
+namespace {
+
+constexpr const char* kMagic = "lan-graphdb v1";
+
+/// Reads the next non-comment, non-empty line.
+bool NextLine(std::istream& in, std::string* line) {
+  while (std::getline(in, *line)) {
+    std::string_view stripped = StripWhitespace(*line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    *line = std::string(stripped);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status WriteDatabase(const GraphDatabase& db, std::ostream& out) {
+  out << kMagic << "\n";
+  out << "name " << (db.name().empty() ? "unnamed" : db.name()) << "\n";
+  out << "labels " << db.num_labels() << "\n";
+  out << "graphs " << db.size() << "\n";
+  for (GraphId id = 0; id < db.size(); ++id) {
+    const Graph& g = db.Get(id);
+    out << "g " << g.NumNodes() << " " << g.NumEdges() << "\n";
+    out << "n";
+    for (NodeId v = 0; v < g.NumNodes(); ++v) out << " " << g.label(v);
+    out << "\n";
+    for (const auto& [u, v] : g.Edges()) out << "e " << u << " " << v << "\n";
+  }
+  if (!out.good()) return Status::IoError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteDatabaseToFile(const GraphDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  return WriteDatabase(db, out);
+}
+
+Result<GraphDatabase> ReadDatabase(std::istream& in) {
+  std::string line;
+  if (!NextLine(in, &line) || line != kMagic) {
+    return Status::IoError("missing magic header '" + std::string(kMagic) +
+                           "'");
+  }
+  std::string name;
+  int32_t num_labels = 0;
+  int64_t num_graphs = 0;
+  {
+    if (!NextLine(in, &line)) return Status::IoError("truncated header");
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key >> name;
+    if (key != "name") return Status::IoError("expected 'name'");
+  }
+  {
+    if (!NextLine(in, &line)) return Status::IoError("truncated header");
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key >> num_labels;
+    if (key != "labels" || ls.fail()) return Status::IoError("expected 'labels N'");
+  }
+  {
+    if (!NextLine(in, &line)) return Status::IoError("truncated header");
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key >> num_graphs;
+    if (key != "graphs" || ls.fail()) return Status::IoError("expected 'graphs N'");
+  }
+
+  GraphDatabase db(num_labels);
+  db.set_name(name);
+  for (int64_t i = 0; i < num_graphs; ++i) {
+    if (!NextLine(in, &line)) return Status::IoError("truncated graph header");
+    std::istringstream gs(line);
+    std::string key;
+    int32_t num_nodes = 0;
+    int64_t num_edges = 0;
+    gs >> key >> num_nodes >> num_edges;
+    if (key != "g" || gs.fail() || num_nodes < 0 || num_edges < 0) {
+      return Status::IoError("bad graph header: " + line);
+    }
+    Graph g;
+    if (!NextLine(in, &line)) return Status::IoError("truncated label line");
+    std::istringstream ns(line);
+    ns >> key;
+    if (key != "n") return Status::IoError("expected label line, got: " + line);
+    for (int32_t v = 0; v < num_nodes; ++v) {
+      Label l;
+      ns >> l;
+      if (ns.fail()) return Status::IoError("too few labels");
+      g.AddNode(l);
+    }
+    for (int64_t e = 0; e < num_edges; ++e) {
+      if (!NextLine(in, &line)) return Status::IoError("truncated edge list");
+      std::istringstream es(line);
+      NodeId u, v;
+      es >> key >> u >> v;
+      if (key != "e" || es.fail()) return Status::IoError("bad edge: " + line);
+      LAN_RETURN_NOT_OK(g.AddEdge(u, v));
+    }
+    auto added = db.Add(std::move(g));
+    if (!added.ok()) return added.status();
+  }
+  return db;
+}
+
+Result<GraphDatabase> ReadDatabaseFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return ReadDatabase(in);
+}
+
+}  // namespace lan

@@ -1,0 +1,30 @@
+#ifndef LAN_GRAPH_GRAPH_IO_H_
+#define LAN_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph_database.h"
+
+namespace lan {
+
+/// Text serialization of a graph database.
+///
+/// Format (line oriented, '#' comments allowed):
+///   lan-graphdb v1
+///   name <name>
+///   labels <num_labels>
+///   graphs <count>
+///   g <num_nodes> <num_edges>
+///   n <label> ...            (num_nodes labels, whitespace separated)
+///   e <u> <v>                (num_edges lines)
+Status WriteDatabase(const GraphDatabase& db, std::ostream& out);
+Status WriteDatabaseToFile(const GraphDatabase& db, const std::string& path);
+
+Result<GraphDatabase> ReadDatabase(std::istream& in);
+Result<GraphDatabase> ReadDatabaseFromFile(const std::string& path);
+
+}  // namespace lan
+
+#endif  // LAN_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,64 @@
+#include "graph/wl_labeling.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace lan {
+
+std::vector<std::vector<int32_t>> ComputeWlLabels(const Graph& g,
+                                                  int num_iterations) {
+  LAN_CHECK_GE(num_iterations, 0);
+  const size_t n = static_cast<size_t>(g.NumNodes());
+  std::vector<std::vector<int32_t>> levels;
+  levels.reserve(static_cast<size_t>(num_iterations) + 1);
+
+  // Level 0: compact the raw node labels.
+  {
+    std::unordered_map<Label, int32_t> dict;
+    std::vector<int32_t> level0(n);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      auto [it, inserted] =
+          dict.emplace(g.label(v), static_cast<int32_t>(dict.size()));
+      level0[static_cast<size_t>(v)] = it->second;
+    }
+    levels.push_back(std::move(level0));
+  }
+
+  // Refinement: new label = (own previous label, sorted neighbor labels).
+  for (int iter = 1; iter <= num_iterations; ++iter) {
+    const std::vector<int32_t>& prev = levels.back();
+    std::map<std::vector<int32_t>, int32_t> dict;
+    std::vector<int32_t> next(n);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      std::vector<int32_t> signature;
+      signature.reserve(static_cast<size_t>(g.Degree(v)) + 1);
+      signature.push_back(prev[static_cast<size_t>(v)]);
+      for (NodeId u : g.Neighbors(v)) {
+        signature.push_back(prev[static_cast<size_t>(u)]);
+      }
+      std::sort(signature.begin() + 1, signature.end());
+      auto [it, inserted] =
+          dict.emplace(std::move(signature), static_cast<int32_t>(dict.size()));
+      next[static_cast<size_t>(v)] = it->second;
+    }
+    levels.push_back(std::move(next));
+  }
+  return levels;
+}
+
+std::vector<int32_t> WlGroupCounts(
+    const std::vector<std::vector<int32_t>>& wl_labels) {
+  std::vector<int32_t> counts;
+  counts.reserve(wl_labels.size());
+  for (const auto& level : wl_labels) {
+    int32_t max_id = -1;
+    for (int32_t id : level) max_id = std::max(max_id, id);
+    counts.push_back(max_id + 1);
+  }
+  return counts;
+}
+
+}  // namespace lan

@@ -1,0 +1,28 @@
+#ifndef LAN_GRAPH_WL_LABELING_H_
+#define LAN_GRAPH_WL_LABELING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lan {
+
+/// \brief Weisfeiler–Lehman labeling of a single graph (Sec. III-C, Eq. 2-3).
+///
+/// Result of `ComputeWlLabels(g, L)`: `labels[l][v]` is a compact label id
+/// for node v after l refinement iterations, l = 0..L. Ids are only
+/// meaningful within one graph and one level: two nodes share an id at
+/// level l iff they have identical WL labels at iteration l (and hence
+/// identical GIN embeddings at layer l — the grouping used by the
+/// compressed GNN-graph).
+std::vector<std::vector<int32_t>> ComputeWlLabels(const Graph& g,
+                                                  int num_iterations);
+
+/// Number of distinct labels at each level of a WL labeling.
+std::vector<int32_t> WlGroupCounts(
+    const std::vector<std::vector<int32_t>>& wl_labels);
+
+}  // namespace lan
+
+#endif  // LAN_GRAPH_WL_LABELING_H_

@@ -1,0 +1,83 @@
+#include "lan/cluster_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace lan {
+
+ClusterModel::ClusterModel(int32_t feature_dim, ClusterModelOptions options)
+    : feature_dim_(feature_dim), options_(options) {
+  Rng rng(options_.seed);
+  mlp_ = Mlp({feature_dim_, options_.mlp_hidden, 1}, &store_, &rng);
+}
+
+Matrix ClusterModel::BuildFeatures(const std::vector<float>& query_embedding,
+                                   const std::vector<float>& centroid) const {
+  LAN_CHECK_EQ(static_cast<int32_t>(query_embedding.size() + centroid.size()),
+               feature_dim_);
+  Matrix features(1, feature_dim_);
+  int32_t j = 0;
+  for (float x : query_embedding) features.at(0, j++) = x;
+  for (float x : centroid) features.at(0, j++) = x;
+  return features;
+}
+
+void ClusterModel::Train(
+    const std::vector<std::vector<float>>& query_embeddings,
+    const std::vector<std::vector<float>>& centroids,
+    const std::vector<std::vector<float>>& intersection_counts) {
+  LAN_CHECK_EQ(query_embeddings.size(), intersection_counts.size());
+  if (query_embeddings.empty() || centroids.empty()) return;
+  Adam adam(&store_, options_.adam);
+  Rng rng(options_.seed);
+
+  struct Item {
+    size_t query;
+    size_t cluster;
+  };
+  std::vector<Item> items;
+  for (size_t q = 0; q < query_embeddings.size(); ++q) {
+    LAN_CHECK_EQ(intersection_counts[q].size(), centroids.size());
+    for (size_t c = 0; c < centroids.size(); ++c) items.push_back({q, c});
+  }
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&items);
+    int in_batch = 0;
+    for (const Item& item : items) {
+      Tape tape;
+      const VarId x = tape.Input(
+          BuildFeatures(query_embeddings[item.query], centroids[item.cluster]));
+      const VarId pred = mlp_.Forward(&tape, x);
+      Matrix target(1, 1);
+      target.at(0, 0) =
+          std::log1p(intersection_counts[item.query][item.cluster]);
+      const VarId loss = tape.MseLoss(pred, target);
+      tape.Backward(loss);
+      if (++in_batch >= options_.minibatch_size) {
+        adam.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.Step();
+    adam.OnEpochEnd();
+  }
+}
+
+std::vector<float> ClusterModel::PredictCounts(
+    const std::vector<float>& query_embedding,
+    const std::vector<std::vector<float>>& centroids) const {
+  std::vector<float> out;
+  out.reserve(centroids.size());
+  for (const auto& centroid : centroids) {
+    Tape tape(/*inference_mode=*/true);
+    const VarId x = tape.Input(BuildFeatures(query_embedding, centroid));
+    const VarId pred = mlp_.Forward(&tape, x);
+    out.push_back(std::max(0.0f, std::expm1(tape.value(pred).at(0, 0))));
+  }
+  return out;
+}
+
+}  // namespace lan

@@ -1,0 +1,36 @@
+#ifndef LAN_LAN_GROUND_TRUTH_H_
+#define LAN_LAN_GROUND_TRUTH_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ged/ged_computer.h"
+#include "graph/graph_database.h"
+
+namespace lan {
+
+/// \brief (id, distance) list ascending by distance, ties by id.
+using KnnList = std::vector<std::pair<GraphId, double>>;
+
+/// \brief Exhaustive k-NN under the ground-truth GED protocol (exact
+/// within budget, else best of VJ/Hung/Beam). O(|D|) distance
+/// computations; offline only. `pool` parallelizes across the database.
+KnnList ComputeGroundTruth(const GraphDatabase& db, const Graph& query, int k,
+                           const GedComputer& ged, ThreadPool* pool = nullptr);
+
+/// All query-to-database distances, index-aligned with the database.
+std::vector<double> ComputeAllDistances(const GraphDatabase& db,
+                                        const Graph& query,
+                                        const GedComputer& ged,
+                                        ThreadPool* pool = nullptr);
+
+/// recall@k = |result ∩ truth| / k (Sec. VII). `truth` must hold at least
+/// k entries; extra entries of either list are ignored beyond the first k.
+/// Following standard practice for distance ties, a result id is credited
+/// if its distance does not exceed the k-th true distance.
+double RecallAtK(const KnnList& result, const KnnList& truth, int k);
+
+}  // namespace lan
+
+#endif  // LAN_LAN_GROUND_TRUTH_H_

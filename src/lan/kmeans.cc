@@ -1,0 +1,103 @@
+#include "lan/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "gnn/embedding.h"
+
+namespace lan {
+namespace {
+
+double Sq(const std::vector<float>& a, const std::vector<float>& b) {
+  return SquaredL2(a, b);
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<std::vector<float>>& points,
+                    int num_clusters, int max_iterations, Rng* rng) {
+  LAN_CHECK(!points.empty());
+  LAN_CHECK_GT(num_clusters, 0);
+  const size_t n = points.size();
+  const size_t k = std::min(static_cast<size_t>(num_clusters), n);
+
+  KMeansResult result;
+  // kmeans++ seeding.
+  result.centroids.push_back(points[rng->NextBounded(n)]);
+  std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+  while (result.centroids.size() < k) {
+    for (size_t i = 0; i < n; ++i) {
+      min_sq[i] = std::min(min_sq[i], Sq(points[i], result.centroids.back()));
+    }
+    double total = 0.0;
+    for (double d : min_sq) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; fill with copies.
+      result.centroids.push_back(points[rng->NextBounded(n)]);
+      continue;
+    }
+    double r = rng->NextDouble() * total;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      r -= min_sq[i];
+      if (r <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  result.assignment.assign(n, 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (size_t i = 0; i < n; ++i) {
+      int32_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < result.centroids.size(); ++c) {
+        const double d = Sq(points[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int32_t>(c);
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update.
+    const size_t dim = points[0].size();
+    std::vector<std::vector<double>> sums(
+        result.centroids.size(), std::vector<double>(dim, 0.0));
+    std::vector<int64_t> counts(result.centroids.size(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t c = result.assignment[i];
+      ++counts[static_cast<size_t>(c)];
+      for (size_t j = 0; j < dim; ++j) {
+        sums[static_cast<size_t>(c)][j] += points[i][j];
+      }
+    }
+    for (size_t c = 0; c < result.centroids.size(); ++c) {
+      if (counts[c] == 0) continue;  // keep empty centroid in place
+      for (size_t j = 0; j < dim; ++j) {
+        result.centroids[c][j] =
+            static_cast<float>(sums[c][j] / static_cast<double>(counts[c]));
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.members.assign(result.centroids.size(), {});
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t c = result.assignment[i];
+    result.members[static_cast<size_t>(c)].push_back(static_cast<int32_t>(i));
+    result.inertia += Sq(points[i], result.centroids[static_cast<size_t>(c)]);
+  }
+  return result;
+}
+
+}  // namespace lan

@@ -1,0 +1,29 @@
+#ifndef LAN_LAN_KMEANS_H_
+#define LAN_LAN_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace lan {
+
+/// \brief KMeans clustering result over embedding vectors.
+struct KMeansResult {
+  /// centroid[c] is a vector of the input dimensionality.
+  std::vector<std::vector<float>> centroids;
+  /// assignment[i] = cluster of input point i.
+  std::vector<int32_t> assignment;
+  /// members[c] = point indices of cluster c.
+  std::vector<std::vector<int32_t>> members;
+  double inertia = 0.0;  // sum of squared distances to assigned centroids
+};
+
+/// \brief Lloyd's algorithm with kmeans++ seeding (the clustering step of
+/// the optimized M_nh design, Sec. V-B2).
+KMeansResult KMeans(const std::vector<std::vector<float>>& points,
+                    int num_clusters, int max_iterations, Rng* rng);
+
+}  // namespace lan
+
+#endif  // LAN_LAN_KMEANS_H_

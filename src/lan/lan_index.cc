@@ -1,0 +1,508 @@
+#include "lan/lan_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+#include "nn/serialization.h"
+#include "common/timer.h"
+#include "lan/learned_ranker.h"
+#include "pg/beam_search.h"
+#include "pg/init_selector.h"
+
+namespace lan {
+
+const char* RoutingMethodName(RoutingMethod m) {
+  switch (m) {
+    case RoutingMethod::kLanRoute:
+      return "LAN_Route";
+    case RoutingMethod::kBaselineRoute:
+      return "HNSW_Route";
+    case RoutingMethod::kOracleRoute:
+      return "Oracle_Route";
+  }
+  return "?";
+}
+
+const char* InitMethodName(InitMethod m) {
+  switch (m) {
+    case InitMethod::kLanIs:
+      return "LAN_IS";
+    case InitMethod::kHnswIs:
+      return "HNSW_IS";
+    case InitMethod::kRandomIs:
+      return "Rand_IS";
+  }
+  return "?";
+}
+
+LanIndex::LanIndex(LanConfig config)
+    : config_(std::move(config)), build_ged_(config_.build_ged),
+      query_ged_(config_.query_ged) {
+  const size_t threads = config_.num_threads > 0
+                             ? static_cast<size_t>(config_.num_threads)
+                             : DefaultThreadCount();
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+LanIndex::~LanIndex() = default;
+
+Status LanConfig::Validate() const {
+  if (hnsw.M <= 0) return Status::InvalidArgument("hnsw.M must be positive");
+  if (hnsw.ef_construction <= 0) {
+    return Status::InvalidArgument("hnsw.ef_construction must be positive");
+  }
+  if (batch_percent <= 0 || batch_percent > 100) {
+    return Status::InvalidArgument("batch_percent must be in (0, 100]");
+  }
+  if (step_size <= 0.0) {
+    return Status::InvalidArgument("step_size must be positive");
+  }
+  if (default_beam <= 0) {
+    return Status::InvalidArgument("default_beam must be positive");
+  }
+  if (neighborhood_knn <= 0) {
+    return Status::InvalidArgument("neighborhood_knn must be positive");
+  }
+  if (neighborhood_coverage <= 0.0 || neighborhood_coverage > 1.0) {
+    return Status::InvalidArgument("neighborhood_coverage must be in (0, 1]");
+  }
+  if (init.samples <= 0) {
+    return Status::InvalidArgument("init.samples must be positive");
+  }
+  if (scorer.gnn_dims.empty()) {
+    return Status::InvalidArgument("scorer.gnn_dims must not be empty");
+  }
+  for (int32_t d : scorer.gnn_dims) {
+    if (d <= 0) return Status::InvalidArgument("gnn dims must be positive");
+  }
+  if (scorer.mlp_hidden <= 0) {
+    return Status::InvalidArgument("scorer.mlp_hidden must be positive");
+  }
+  if (embedding.dim <= 0) {
+    return Status::InvalidArgument("embedding.dim must be positive");
+  }
+  return Status::OK();
+}
+
+Status LanIndex::Build(const GraphDatabase* db) {
+  LAN_RETURN_NOT_OK(config_.Validate());
+  if (db == nullptr || db->empty()) {
+    return Status::InvalidArgument("Build: empty database");
+  }
+  db_ = db;
+  LAN_LOG(Info) << "LanIndex::Build: " << db_->size() << " graphs ("
+                << db_->name() << ")";
+
+  Timer timer;
+  hnsw_ = HnswIndex::Build(*db_, build_ged_, config_.hnsw, pool_.get());
+  LAN_LOG(Info) << "  PG built in " << timer.ElapsedSeconds() << "s, avg deg "
+                << hnsw_.BaseLayer().AverageDegree();
+  return FinishBuild();
+}
+
+Status LanIndex::BuildFromSavedIndex(const GraphDatabase* db,
+                                     std::istream& in) {
+  LAN_RETURN_NOT_OK(config_.Validate());
+  if (db == nullptr || db->empty()) {
+    return Status::InvalidArgument("BuildFromSavedIndex: empty database");
+  }
+  db_ = db;
+  LAN_ASSIGN_OR_RETURN(hnsw_, HnswIndex::Load(in));
+  if (hnsw_.BaseLayer().NumNodes() != db_->size()) {
+    return Status::InvalidArgument(
+        "saved index size does not match the database");
+  }
+  return FinishBuild();
+}
+
+Status LanIndex::SaveIndex(std::ostream& out) const {
+  if (!built_) return Status::FailedPrecondition("SaveIndex before Build");
+  return hnsw_.Save(out);
+}
+
+Status LanIndex::SaveIndexToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  return SaveIndex(out);
+}
+
+Status LanIndex::BuildFromSavedIndexFile(const GraphDatabase* db,
+                                         const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return BuildFromSavedIndex(db, in);
+}
+
+Status LanIndex::FinishBuild() {
+  // Precompute the compressed GNN-graph of every database graph (offline,
+  // Sec. VI-C: a one-off cost amortized over all queries).
+  const int layers = static_cast<int>(config_.scorer.gnn_dims.size());
+  db_cgs_.clear();
+  db_cgs_.resize(static_cast<size_t>(db_->size()));
+  ThreadPool::ParallelFor(
+      static_cast<size_t>(db_->size()), pool_->num_threads(), [&](size_t i) {
+        db_cgs_[i] = BuildCompressedGnnGraph(
+            db_->Get(static_cast<GraphId>(i)), layers);
+      });
+
+  // Whole-graph embeddings + KMeans clusters for the optimized M_nh.
+  EmbeddingOptions embedding = config_.embedding;
+  embedding.num_labels = db_->num_labels();
+  config_.embedding = embedding;
+  db_embeddings_ = EmbedDatabase(*db_, embedding);
+  const int num_clusters =
+      config_.num_clusters > 0
+          ? config_.num_clusters
+          : std::max(1, static_cast<int>(std::sqrt(
+                            static_cast<double>(db_->size()))));
+  Rng rng(config_.seed);
+  clusters_ = KMeans(db_embeddings_, num_clusters, config_.kmeans_iterations,
+                     &rng);
+  built_ = true;
+  return Status::OK();
+}
+
+Status LanIndex::Train(const std::vector<Graph>& train_queries) {
+  if (!built_) return Status::FailedPrecondition("Train before Build");
+  if (train_queries.empty()) {
+    return Status::InvalidArgument("Train: no training queries");
+  }
+  Timer timer;
+
+  // ---- 1) Ground-truth distance tables for every training query. ----
+  std::vector<std::vector<double>> distances(train_queries.size());
+  for (size_t qi = 0; qi < train_queries.size(); ++qi) {
+    distances[qi] =
+        ComputeAllDistances(*db_, train_queries[qi], query_ged_, pool_.get());
+  }
+  LAN_LOG(Info) << "LanIndex::Train: distance tables for "
+                << train_queries.size() << " queries in "
+                << timer.ElapsedSeconds() << "s";
+
+  // ---- 2) Calibrate gamma*: N_Q must contain the knn-NNs of Q for
+  // `coverage` of the training queries. ----
+  const int knn = std::min<int>(config_.neighborhood_knn, db_->size());
+  std::vector<double> kth_distances;
+  kth_distances.reserve(train_queries.size());
+  for (const auto& dist : distances) {
+    std::vector<double> sorted = dist;
+    std::nth_element(sorted.begin(), sorted.begin() + (knn - 1), sorted.end());
+    kth_distances.push_back(sorted[static_cast<size_t>(knn - 1)]);
+  }
+  gamma_star_ =
+      Percentile(kth_distances, 100.0 * config_.neighborhood_coverage);
+  LAN_LOG(Info) << "  gamma* = " << gamma_star_ << " (knn=" << knn << ")";
+
+  // ---- 3) Query CGs (shared by M_rk / M_nh training). ----
+  const int layers = static_cast<int>(config_.scorer.gnn_dims.size());
+  std::vector<CompressedGnnGraph> query_cgs(train_queries.size());
+  ThreadPool::ParallelFor(train_queries.size(), pool_->num_threads(),
+                          [&](size_t i) {
+                            query_cgs[i] = BuildCompressedGnnGraph(
+                                train_queries[i], layers);
+                          });
+
+  Rng rng(config_.seed + 1);
+
+  // ---- 4) M_rk. ----
+  {
+    RankModelOptions opts = config_.rank;
+    opts.batch_percent = config_.batch_percent;
+    opts.scorer = config_.scorer;
+    std::vector<RankExample> examples =
+        BuildRankExamples(hnsw_.BaseLayer(), distances, gamma_star_,
+                          config_.batch_percent, config_.max_rank_examples,
+                          &rng);
+    // 80/20 train/validation split; best epoch on validation wins.
+    const size_t valid_count = examples.size() / 5;
+    std::vector<RankExample> validation(
+        examples.end() - static_cast<ptrdiff_t>(valid_count), examples.end());
+    examples.resize(examples.size() - valid_count);
+    rank_model_ =
+        std::make_unique<NeighborRankModel>(db_->num_labels(), opts);
+    Timer t;
+    rank_model_->Train(db_cgs_, query_cgs, examples, validation);
+    rank_model_->PrecomputeContexts(db_cgs_);
+    LAN_LOG(Info) << "  M_rk trained on " << examples.size() << " triples in "
+                  << t.ElapsedSeconds() << "s";
+  }
+
+  // ---- 5) M_nh. ----
+  {
+    NeighborhoodModelOptions opts = config_.nh;
+    opts.scorer = config_.scorer;
+    std::vector<NeighborhoodExample> examples =
+        BuildNeighborhoodExamples(distances, gamma_star_, opts.negative_ratio,
+                                  config_.max_nh_examples, &rng);
+    const size_t valid_count = examples.size() / 5;
+    std::vector<NeighborhoodExample> validation(
+        examples.end() - static_cast<ptrdiff_t>(valid_count), examples.end());
+    examples.resize(examples.size() - valid_count);
+    nh_model_ = std::make_unique<NeighborhoodModel>(db_->num_labels(), opts);
+    Timer t;
+    nh_model_->Train(db_cgs_, query_cgs, examples, validation);
+    LAN_LOG(Info) << "  M_nh trained on " << examples.size() << " pairs in "
+                  << t.ElapsedSeconds() << "s";
+  }
+
+  // ---- 6) M_c over cluster intersection counts. ----
+  {
+    std::vector<std::vector<float>> query_embeddings;
+    query_embeddings.reserve(train_queries.size());
+    for (const Graph& q : train_queries) {
+      query_embeddings.push_back(EmbedGraph(q, config_.embedding));
+    }
+    std::vector<std::vector<float>> counts(
+        train_queries.size(),
+        std::vector<float>(clusters_.centroids.size(), 0.0f));
+    for (size_t qi = 0; qi < train_queries.size(); ++qi) {
+      for (size_t g = 0; g < distances[qi].size(); ++g) {
+        if (distances[qi][g] <= gamma_star_) {
+          ++counts[qi][static_cast<size_t>(clusters_.assignment[g])];
+        }
+      }
+    }
+    const int32_t feature_dim =
+        static_cast<int32_t>(2 * config_.embedding.dim);
+    cluster_model_ =
+        std::make_unique<ClusterModel>(feature_dim, config_.cluster);
+    cluster_model_->Train(query_embeddings, clusters_.centroids, counts);
+  }
+
+  trained_ = true;
+  LAN_LOG(Info) << "LanIndex::Train done in " << timer.ElapsedSeconds() << "s";
+  return Status::OK();
+}
+
+namespace {
+
+constexpr char kModelMagic[8] = {'L', 'A', 'N', 'M', 'D', 'L', '0', '2'};
+
+Status WritePod(std::ostream& out, const void* data, size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out.good()) return Status::IoError("model write failed");
+  return Status::OK();
+}
+
+Status ReadPod(std::istream& in, void* data, size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    return Status::IoError("model read truncated");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LanIndex::SaveModels(std::ostream& out) const {
+  if (!trained_) return Status::FailedPrecondition("SaveModels before Train");
+  LAN_RETURN_NOT_OK(WritePod(out, kModelMagic, sizeof(kModelMagic)));
+  LAN_RETURN_NOT_OK(WritePod(out, &gamma_star_, sizeof(gamma_star_)));
+  LAN_RETURN_NOT_OK(WriteParamStore(rank_model_->scorer().params(), out));
+  LAN_RETURN_NOT_OK(WriteParamStore(nh_model_->scorer().params(), out));
+  const float nh_threshold = nh_model_->calibrated_threshold();
+  LAN_RETURN_NOT_OK(WritePod(out, &nh_threshold, sizeof(nh_threshold)));
+  LAN_RETURN_NOT_OK(WriteParamStore(
+      static_cast<const ClusterModel&>(*cluster_model_).params(), out));
+  // Clusters: centroid matrix + per-graph assignment.
+  const int32_t num_clusters =
+      static_cast<int32_t>(clusters_.centroids.size());
+  const int32_t dim = num_clusters > 0
+                          ? static_cast<int32_t>(clusters_.centroids[0].size())
+                          : 0;
+  LAN_RETURN_NOT_OK(WritePod(out, &num_clusters, sizeof(num_clusters)));
+  LAN_RETURN_NOT_OK(WritePod(out, &dim, sizeof(dim)));
+  for (const auto& c : clusters_.centroids) {
+    LAN_RETURN_NOT_OK(WritePod(out, c.data(), c.size() * sizeof(float)));
+  }
+  const int64_t assigned = static_cast<int64_t>(clusters_.assignment.size());
+  LAN_RETURN_NOT_OK(WritePod(out, &assigned, sizeof(assigned)));
+  LAN_RETURN_NOT_OK(WritePod(out, clusters_.assignment.data(),
+                             clusters_.assignment.size() * sizeof(int32_t)));
+  return Status::OK();
+}
+
+Status LanIndex::SaveModelsToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  return SaveModels(out);
+}
+
+Status LanIndex::LoadModels(std::istream& in) {
+  if (!built_) return Status::FailedPrecondition("LoadModels before Build");
+  char magic[8];
+  LAN_RETURN_NOT_OK(ReadPod(in, magic, sizeof(magic)));
+  if (std::memcmp(magic, kModelMagic, sizeof(magic)) != 0) {
+    return Status::IoError("bad model magic");
+  }
+  LAN_RETURN_NOT_OK(ReadPod(in, &gamma_star_, sizeof(gamma_star_)));
+
+  // Reconstruct architectures from the config, then load parameters.
+  RankModelOptions rank_opts = config_.rank;
+  rank_opts.batch_percent = config_.batch_percent;
+  rank_opts.scorer = config_.scorer;
+  rank_model_ = std::make_unique<NeighborRankModel>(db_->num_labels(),
+                                                    rank_opts);
+  LAN_RETURN_NOT_OK(
+      ReadParamStoreInto(rank_model_->mutable_scorer()->params(), in));
+
+  NeighborhoodModelOptions nh_opts = config_.nh;
+  nh_opts.scorer = config_.scorer;
+  nh_model_ = std::make_unique<NeighborhoodModel>(db_->num_labels(), nh_opts);
+  LAN_RETURN_NOT_OK(
+      ReadParamStoreInto(nh_model_->mutable_scorer()->params(), in));
+  float nh_threshold = 0.5f;
+  LAN_RETURN_NOT_OK(ReadPod(in, &nh_threshold, sizeof(nh_threshold)));
+  nh_model_->set_calibrated_threshold(nh_threshold);
+
+  cluster_model_ = std::make_unique<ClusterModel>(
+      static_cast<int32_t>(2 * config_.embedding.dim), config_.cluster);
+  LAN_RETURN_NOT_OK(ReadParamStoreInto(cluster_model_->params(), in));
+
+  int32_t num_clusters = 0, dim = 0;
+  LAN_RETURN_NOT_OK(ReadPod(in, &num_clusters, sizeof(num_clusters)));
+  LAN_RETURN_NOT_OK(ReadPod(in, &dim, sizeof(dim)));
+  if (num_clusters < 0 || dim < 0) return Status::IoError("bad cluster header");
+  KMeansResult clusters;
+  clusters.centroids.assign(static_cast<size_t>(num_clusters),
+                            std::vector<float>(static_cast<size_t>(dim)));
+  for (auto& c : clusters.centroids) {
+    LAN_RETURN_NOT_OK(ReadPod(in, c.data(), c.size() * sizeof(float)));
+  }
+  int64_t assigned = 0;
+  LAN_RETURN_NOT_OK(ReadPod(in, &assigned, sizeof(assigned)));
+  if (assigned != static_cast<int64_t>(db_->size())) {
+    return Status::InvalidArgument(
+        "cluster assignment size does not match the database");
+  }
+  clusters.assignment.assign(static_cast<size_t>(assigned), 0);
+  LAN_RETURN_NOT_OK(ReadPod(in, clusters.assignment.data(),
+                            clusters.assignment.size() * sizeof(int32_t)));
+  clusters.members.assign(static_cast<size_t>(num_clusters), {});
+  for (size_t i = 0; i < clusters.assignment.size(); ++i) {
+    const int32_t c = clusters.assignment[i];
+    if (c < 0 || c >= num_clusters) return Status::IoError("bad assignment");
+    clusters.members[static_cast<size_t>(c)].push_back(
+        static_cast<int32_t>(i));
+  }
+  clusters_ = std::move(clusters);
+
+  rank_model_->PrecomputeContexts(db_cgs_);
+  trained_ = true;
+  return Status::OK();
+}
+
+Status LanIndex::LoadModelsFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return LoadModels(in);
+}
+
+std::vector<SearchResult> LanIndex::SearchBatch(
+    const std::vector<Graph>& queries, int k, int num_threads) const {
+  std::vector<SearchResult> results(queries.size());
+  const size_t threads = num_threads > 0 ? static_cast<size_t>(num_threads)
+                                         : DefaultThreadCount();
+  ThreadPool::ParallelFor(queries.size(), threads, [&](size_t i) {
+    results[i] = Search(queries[i], k);
+  });
+  return results;
+}
+
+CompressedGnnGraph LanIndex::QueryCg(const Graph& query) const {
+  return BuildCompressedGnnGraph(
+      query, static_cast<int>(config_.scorer.gnn_dims.size()));
+}
+
+SearchResult LanIndex::SearchWith(const Graph& query, int k, int beam,
+                                  RoutingMethod routing,
+                                  InitMethod init) const {
+  LAN_CHECK(built_);
+  const bool needs_models = (routing == RoutingMethod::kLanRoute) ||
+                            (init == InitMethod::kLanIs);
+  LAN_CHECK(!needs_models || trained_)
+      << "learned routing/init requires Train()";
+
+  SearchResult out;
+  Timer total_timer;
+  DistanceOracle oracle(db_, &query, &query_ged_, &out.stats);
+
+  // Deterministic per-query randomness.
+  uint64_t qhash = config_.seed;
+  qhash = qhash * 1000003 + static_cast<uint64_t>(query.NumNodes());
+  qhash = qhash * 1000003 + static_cast<uint64_t>(query.NumEdges());
+  for (Label l : query.labels()) {
+    qhash = qhash * 31 + static_cast<uint64_t>(l) + 17;
+  }
+  Rng rng(qhash);
+
+  // Query CG, needed by the learned components.
+  CompressedGnnGraph query_cg;
+  if (needs_models) {
+    Timer t;
+    query_cg = QueryCg(query);
+    out.stats.learning_seconds += t.ElapsedSeconds();
+  }
+
+  // ---- Initial node. ----
+  GraphId start = kInvalidGraphId;
+  switch (init) {
+    case InitMethod::kLanIs: {
+      LanInitOptions init_options = config_.init;
+      init_options.threshold = nh_model_->calibrated_threshold();
+      LanInitialSelector selector(nh_model_.get(), cluster_model_.get(),
+                                  &clusters_, &db_embeddings_, &db_cgs_,
+                                  &query_cg, &config_.embedding,
+                                  config_.use_compressed_gnn, init_options);
+      start = selector.Select(&oracle, &rng);
+      break;
+    }
+    case InitMethod::kHnswIs:
+      start = hnsw_.SelectInitialNode(&oracle);
+      break;
+    case InitMethod::kRandomIs:
+      start = static_cast<GraphId>(
+          rng.NextBounded(static_cast<uint64_t>(db_->size())));
+      break;
+  }
+
+  // ---- Routing. ----
+  RoutingResult routed;
+  switch (routing) {
+    case RoutingMethod::kLanRoute: {
+      LearnedNeighborRanker ranker(rank_model_.get(), &db_cgs_, &query_cg,
+                                   &oracle, gamma_star_,
+                                   config_.use_compressed_gnn);
+      NpRouteOptions opts;
+      opts.beam_size = beam;
+      opts.k = k;
+      opts.step_size = config_.step_size;
+      routed = NpRoute(pg(), &oracle, &ranker, start, opts);
+      break;
+    }
+    case RoutingMethod::kOracleRoute: {
+      OracleRanker ranker(db_, &query_ged_, config_.batch_percent);
+      NpRouteOptions opts;
+      opts.beam_size = beam;
+      opts.k = k;
+      opts.step_size = config_.step_size;
+      routed = NpRoute(pg(), &oracle, &ranker, start, opts);
+      break;
+    }
+    case RoutingMethod::kBaselineRoute:
+      routed = BeamSearchRoute(pg(), &oracle, start, beam, k);
+      break;
+  }
+
+  out.results = std::move(routed.results);
+  out.stats.other_seconds = std::max(
+      0.0, total_timer.ElapsedSeconds() - out.stats.distance_seconds -
+               out.stats.learning_seconds);
+  return out;
+}
+
+}  // namespace lan

@@ -1,0 +1,198 @@
+#ifndef LAN_LAN_LAN_INDEX_H_
+#define LAN_LAN_LAN_INDEX_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ged/ged_computer.h"
+#include "gnn/embedding.h"
+#include "lan/cluster_model.h"
+#include "lan/ground_truth.h"
+#include "lan/kmeans.h"
+#include "lan/learned_init.h"
+#include "lan/neighborhood_model.h"
+#include "lan/rank_model.h"
+#include "pg/hnsw.h"
+#include "pg/np_route.h"
+
+namespace lan {
+
+/// \brief Which router executes the query.
+enum class RoutingMethod : int {
+  /// np_route with the learned M_rk ranker (LAN_Route).
+  kLanRoute = 0,
+  /// Algorithm 1, exhaustive neighbor exploration (HNSW_Route).
+  kBaselineRoute = 1,
+  /// np_route with the oracle ranker (the Theorem 1 skyline; ablation).
+  kOracleRoute = 2,
+};
+
+/// \brief How the routing start node is chosen.
+enum class InitMethod : int {
+  kLanIs = 0,    // learned (M_nh + M_c)
+  kHnswIs = 1,   // HNSW upper-layer descent
+  kRandomIs = 2, // uniform random
+};
+
+const char* RoutingMethodName(RoutingMethod m);
+const char* InitMethodName(InitMethod m);
+
+/// \brief End-to-end configuration of a LanIndex.
+struct LanConfig {
+  // ---- Index construction ----
+  HnswOptions hnsw;
+  /// Distances used while building the PG (offline; default cheap).
+  GedOptions build_ged = [] {
+    GedOptions o;
+    o.approximate_only = true;
+    o.beam_width = 0;
+    return o;
+  }();
+  /// Distances used at query time (the paper's ground-truth protocol).
+  GedOptions query_ged;
+
+  // ---- Routing ----
+  int batch_percent = 20;  // y
+  double step_size = 1.0;  // d_s
+  int default_beam = 16;   // b
+
+  // ---- Neighborhood calibration (Sec. VII: gamma* chosen so N_Q holds
+  // the `neighborhood_knn`-NNs for `neighborhood_coverage` of training
+  // queries; the paper uses 200-NNs at 90%). ----
+  int neighborhood_knn = 50;
+  double neighborhood_coverage = 0.9;
+
+  // ---- Initial node selection ----
+  LanInitOptions init;
+  /// KMeans cluster count; 0 = sqrt(|D|).
+  int num_clusters = 0;
+  int kmeans_iterations = 20;
+
+  // ---- Learned models ----
+  PairScorerOptions scorer;  // backbone dims shared by M_rk / M_nh
+  RankModelOptions rank;
+  NeighborhoodModelOptions nh;
+  ClusterModelOptions cluster;
+  EmbeddingOptions embedding;
+  size_t max_rank_examples = 4000;
+  size_t max_nh_examples = 4000;
+
+  /// Fig. 10 toggle: run model inference on compressed GNN-graphs
+  /// (Definition 3) instead of raw graphs (Definition 1).
+  bool use_compressed_gnn = true;
+
+  uint64_t seed = 123;
+  /// Worker threads for offline phases (0 = hardware concurrency).
+  int num_threads = 0;
+
+  /// Checks every knob is in range; called by LanIndex::Build.
+  Status Validate() const;
+};
+
+/// \brief One query's answer.
+struct SearchResult {
+  KnnList results;
+  SearchStats stats;
+};
+
+/// \brief The LAN index: proximity graph + M_rk + M_nh + M_c (Fig. 3).
+///
+/// Usage: Build() once over the database (offline), Train() once over a
+/// query workload (offline), then Search() per query. SearchWith() exposes
+/// every routing/init ablation the paper evaluates, over the same PG.
+class LanIndex {
+ public:
+  explicit LanIndex(LanConfig config);
+  ~LanIndex();
+
+  LanIndex(const LanIndex&) = delete;
+  LanIndex& operator=(const LanIndex&) = delete;
+
+  /// Builds the PG, the per-graph CGs, embeddings, and clusters.
+  /// `db` must outlive the index.
+  Status Build(const GraphDatabase* db);
+
+  /// Like Build(), but restores a previously saved PG (see SaveIndex)
+  /// instead of reconstructing it — skipping the GED-heavy offline phase.
+  /// The stream must come from an index built over the same database.
+  Status BuildFromSavedIndex(const GraphDatabase* db, std::istream& in);
+
+  /// Persists the PG structure (HNSW layers); pair with SaveModels for a
+  /// complete restartable checkpoint.
+  Status SaveIndex(std::ostream& out) const;
+  Status SaveIndexToFile(const std::string& path) const;
+  Status BuildFromSavedIndexFile(const GraphDatabase* db,
+                                 const std::string& path);
+
+  /// Trains gamma*, M_rk, M_nh, and M_c from the training queries.
+  Status Train(const std::vector<Graph>& train_queries);
+
+  /// Full LAN search (LAN_IS + LAN_Route).
+  SearchResult Search(const Graph& query, int k) const {
+    return SearchWith(query, k, config_.default_beam, RoutingMethod::kLanRoute,
+                      InitMethod::kLanIs);
+  }
+
+  /// Ablation/baseline entry point over the same PG.
+  SearchResult SearchWith(const Graph& query, int k, int beam,
+                          RoutingMethod routing, InitMethod init) const;
+
+  /// Throughput mode: answers independent queries in parallel across
+  /// `num_threads` workers (0 = hardware concurrency). Results are
+  /// index-aligned with `queries` and identical to sequential Search.
+  std::vector<SearchResult> SearchBatch(const std::vector<Graph>& queries,
+                                        int k, int num_threads = 0) const;
+
+  // ---- Introspection (benches, tests) ----
+  const HnswIndex& hnsw() const { return hnsw_; }
+  const ProximityGraph& pg() const { return hnsw_.BaseLayer(); }
+  const GraphDatabase& db() const { return *db_; }
+  double gamma_star() const { return gamma_star_; }
+  const NeighborhoodModel* neighborhood_model() const { return nh_model_.get(); }
+  const NeighborRankModel* rank_model() const { return rank_model_.get(); }
+  const std::vector<CompressedGnnGraph>& db_cgs() const { return db_cgs_; }
+  const KMeansResult& clusters() const { return clusters_; }
+  const LanConfig& config() const { return config_; }
+  bool trained() const { return trained_; }
+
+  /// CG of an ad-hoc query graph under this index's GNN depth.
+  CompressedGnnGraph QueryCg(const Graph& query) const;
+
+  /// Persists the trained state (gamma*, M_rk / M_nh / M_c parameters,
+  /// clusters) so a future process can skip Train(). The database and
+  /// config are NOT saved; LoadModels requires an index Built over the
+  /// same database with the same config.
+  Status SaveModels(std::ostream& out) const;
+  Status SaveModelsToFile(const std::string& path) const;
+  /// Restores trained state into a Built index (see SaveModels).
+  Status LoadModels(std::istream& in);
+  Status LoadModelsFromFile(const std::string& path);
+
+ private:
+  /// Shared tail of Build / BuildFromSavedIndex: CGs, embeddings, clusters.
+  Status FinishBuild();
+
+  LanConfig config_;
+  const GraphDatabase* db_ = nullptr;
+  GedComputer build_ged_;
+  GedComputer query_ged_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  HnswIndex hnsw_;
+  std::vector<CompressedGnnGraph> db_cgs_;
+  std::vector<std::vector<float>> db_embeddings_;
+  KMeansResult clusters_;
+
+  double gamma_star_ = 0.0;
+  std::unique_ptr<NeighborRankModel> rank_model_;
+  std::unique_ptr<NeighborhoodModel> nh_model_;
+  std::unique_ptr<ClusterModel> cluster_model_;
+  bool built_ = false;
+  bool trained_ = false;
+};
+
+}  // namespace lan
+
+#endif  // LAN_LAN_LAN_INDEX_H_

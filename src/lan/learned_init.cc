@@ -1,0 +1,72 @@
+#include "lan/learned_init.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace lan {
+
+GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
+  SearchStats* stats = oracle->stats();
+  Timer timer;
+  predicted_.clear();
+
+  // 1) Cluster-level pruning with M_c.
+  const std::vector<float> query_embedding =
+      EmbedGraph(oracle->query(), *embedding_options_);
+  const std::vector<float> counts =
+      cluster_model_->PredictCounts(query_embedding, clusters_->centroids);
+  std::vector<size_t> cluster_order(counts.size());
+  std::iota(cluster_order.begin(), cluster_order.end(), 0);
+  std::stable_sort(cluster_order.begin(), cluster_order.end(),
+                   [&](size_t a, size_t b) { return counts[a] > counts[b]; });
+  const size_t scan = std::min(cluster_order.size(),
+                               static_cast<size_t>(options_.max_clusters));
+
+  // 2) Member-level prediction with M_nh.
+  int64_t inferences = static_cast<int64_t>(counts.size());
+  for (size_t i = 0; i < scan; ++i) {
+    for (int32_t member : clusters_->members[cluster_order[i]]) {
+      const GraphId id = static_cast<GraphId>(member);
+      float p;
+      if (use_compressed_) {
+        p = nh_model_->PredictProb((*db_cgs_)[static_cast<size_t>(id)],
+                                   *query_cg_);
+      } else {
+        p = nh_model_->PredictProbRaw(oracle->db().Get(id), oracle->query());
+      }
+      ++inferences;
+      if (p >= options_.threshold) predicted_.push_back(id);
+    }
+  }
+  if (stats != nullptr) {
+    stats->model_inferences += inferences;
+    stats->learning_seconds += timer.ElapsedSeconds();
+  }
+
+  // 3) Sample s candidates and take the closest (true distances; counted).
+  if (predicted_.empty()) {
+    return static_cast<GraphId>(
+        rng->NextBounded(static_cast<uint64_t>(oracle->db().size())));
+  }
+  const size_t s =
+      std::min(predicted_.size(), static_cast<size_t>(options_.samples));
+  std::vector<size_t> picks =
+      rng->SampleWithoutReplacement(predicted_.size(), s);
+  GraphId best = kInvalidGraphId;
+  double best_d = 0.0;
+  for (size_t pick : picks) {
+    const GraphId id = predicted_[pick];
+    const double d = oracle->Distance(id);
+    if (best == kInvalidGraphId || d < best_d ||
+        (d == best_d && id < best)) {
+      best = id;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace lan

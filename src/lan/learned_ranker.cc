@@ -1,0 +1,34 @@
+#include "lan/learned_ranker.h"
+
+namespace lan {
+
+std::vector<std::vector<GraphId>> LearnedNeighborRanker::RankNeighbors(
+    const ProximityGraph& pg, GraphId node, const Graph& query) {
+  const std::vector<GraphId>& neighbors = pg.Neighbors(node);
+  if (neighbors.empty()) return {};
+
+  // Outside N_Q (or before the node's own distance is known) the router
+  // must not prune: one batch containing everything.
+  const bool in_neighborhood =
+      oracle_->IsCached(node) && oracle_->Distance(node) <= gamma_star_;
+  if (!in_neighborhood) return {neighbors};
+
+  SearchStats* stats = oracle_->stats();
+  Timer timer;
+  std::vector<std::vector<GraphId>> batches;
+  int64_t inferences = 0;
+  if (use_compressed_) {
+    batches = model_->PredictBatches(neighbors, *db_cgs_, node, *query_cg_,
+                                     &inferences);
+  } else {
+    batches = model_->PredictBatchesRaw(neighbors, oracle_->db(), node, query,
+                                        &inferences);
+  }
+  if (stats != nullptr) {
+    stats->model_inferences += inferences;
+    stats->learning_seconds += timer.ElapsedSeconds();
+  }
+  return batches;
+}
+
+}  // namespace lan

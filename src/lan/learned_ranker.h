@@ -1,0 +1,46 @@
+#ifndef LAN_LAN_LEARNED_RANKER_H_
+#define LAN_LAN_LEARNED_RANKER_H_
+
+#include <vector>
+
+#include "common/timer.h"
+#include "lan/rank_model.h"
+#include "pg/neighbor_ranker.h"
+
+namespace lan {
+
+/// \brief Per-query NeighborRanker backed by M_rk (Sec. IV-C).
+///
+/// The model is consulted only when the routing node lies inside the
+/// query's neighborhood (its cached distance <= gamma_star); everywhere
+/// else all neighbors are returned as one batch, i.e., no pruning — the
+/// design constraint that motivates learned initial node selection.
+///
+/// Model time is charged to SearchStats::learning_seconds and each scored
+/// neighbor to SearchStats::model_inferences.
+class LearnedNeighborRanker : public NeighborRanker {
+ public:
+  LearnedNeighborRanker(const NeighborRankModel* model,
+                        const std::vector<CompressedGnnGraph>* db_cgs,
+                        const CompressedGnnGraph* query_cg,
+                        DistanceOracle* oracle, double gamma_star,
+                        bool use_compressed)
+      : model_(model), db_cgs_(db_cgs), query_cg_(query_cg), oracle_(oracle),
+        gamma_star_(gamma_star), use_compressed_(use_compressed) {}
+
+  std::vector<std::vector<GraphId>> RankNeighbors(const ProximityGraph& pg,
+                                                  GraphId node,
+                                                  const Graph& query) override;
+
+ private:
+  const NeighborRankModel* model_;
+  const std::vector<CompressedGnnGraph>* db_cgs_;
+  const CompressedGnnGraph* query_cg_;
+  DistanceOracle* oracle_;
+  double gamma_star_;
+  bool use_compressed_;
+};
+
+}  // namespace lan
+
+#endif  // LAN_LAN_LEARNED_RANKER_H_

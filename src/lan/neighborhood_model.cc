@@ -1,0 +1,180 @@
+#include "lan/neighborhood_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace lan {
+
+NeighborhoodModel::NeighborhoodModel(int32_t num_labels,
+                                     NeighborhoodModelOptions options)
+    : options_([&options] {
+        options.scorer.num_heads = 1;
+        options.scorer.include_context_embedding = false;
+        return options;
+      }()),
+      scorer_(num_labels, options_.scorer) {}
+
+double NeighborhoodModel::EvaluateLoss(
+    const std::vector<CompressedGnnGraph>& db_cgs,
+    const std::vector<CompressedGnnGraph>& query_cgs,
+    const std::vector<NeighborhoodExample>& examples) const {
+  if (examples.empty()) return 0.0;
+  double total = 0.0;
+  for (const NeighborhoodExample& ex : examples) {
+    Tape tape(/*inference_mode=*/true);
+    const VarId logits = scorer_.ForwardCompressed(
+        &tape, db_cgs[static_cast<size_t>(ex.graph)],
+        query_cgs[static_cast<size_t>(ex.query_index)], nullptr);
+    const float z = tape.value(logits).at(0, 0);
+    total += std::max(z, 0.0f) - z * ex.label +
+             std::log1p(std::exp(-std::abs(z)));
+  }
+  return total / static_cast<double>(examples.size());
+}
+
+void NeighborhoodModel::Train(
+    const std::vector<CompressedGnnGraph>& db_cgs,
+    const std::vector<CompressedGnnGraph>& query_cgs,
+    const std::vector<NeighborhoodExample>& examples,
+    const std::vector<NeighborhoodExample>& validation) {
+  if (examples.empty()) return;
+  double best_validation = std::numeric_limits<double>::infinity();
+  std::vector<Matrix> best_params;
+  Adam adam(scorer_.params(), options_.adam);
+  Rng rng(options_.seed);
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    int in_batch = 0;
+    for (size_t idx : order) {
+      const NeighborhoodExample& ex = examples[idx];
+      Tape tape;
+      const VarId logits = scorer_.ForwardCompressed(
+          &tape, db_cgs[static_cast<size_t>(ex.graph)],
+          query_cgs[static_cast<size_t>(ex.query_index)], nullptr);
+      Matrix target(1, 1);
+      target.at(0, 0) = ex.label;
+      const VarId loss = tape.BceWithLogits(logits, target);
+      tape.Backward(loss);
+      if (++in_batch >= options_.minibatch_size) {
+        adam.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.Step();
+    adam.OnEpochEnd();
+    if (!validation.empty()) {
+      const double v = EvaluateLoss(db_cgs, query_cgs, validation);
+      if (v < best_validation) {
+        best_validation = v;
+        best_params = scorer_.params()->SnapshotValues();
+      }
+    }
+  }
+  if (!best_params.empty()) scorer_.params()->RestoreValues(best_params);
+
+  // Calibrate the decision threshold on validation data: maximize F1, so
+  // the initial-node selector's predicted neighborhood balances precision
+  // (Lemma 2) against not being empty.
+  if (!validation.empty()) {
+    std::vector<float> probs;
+    probs.reserve(validation.size());
+    for (const NeighborhoodExample& ex : validation) {
+      probs.push_back(PredictProb(db_cgs[static_cast<size_t>(ex.graph)],
+                                  query_cgs[static_cast<size_t>(ex.query_index)]));
+    }
+    float best_threshold = 0.5f;
+    double best_f1 = -1.0;
+    for (float threshold : {0.3f, 0.4f, 0.5f, 0.6f, 0.7f, 0.8f}) {
+      int64_t tp = 0, fp = 0, fn = 0;
+      for (size_t i = 0; i < validation.size(); ++i) {
+        const bool predicted = probs[i] >= threshold;
+        const bool actual = validation[i].label > 0.5f;
+        tp += predicted && actual;
+        fp += predicted && !actual;
+        fn += !predicted && actual;
+      }
+      if (tp == 0) continue;
+      const double precision = static_cast<double>(tp) / (tp + fp);
+      const double recall = static_cast<double>(tp) / (tp + fn);
+      const double f1 = 2 * precision * recall / (precision + recall);
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        best_threshold = threshold;
+      }
+    }
+    calibrated_threshold_ = best_threshold;
+  }
+}
+
+float NeighborhoodModel::PredictProb(const CompressedGnnGraph& g_cg,
+                                     const CompressedGnnGraph& q_cg) const {
+  return scorer_.PredictCompressed(g_cg, q_cg, nullptr)[0];
+}
+
+float NeighborhoodModel::PredictProbRaw(const Graph& g, const Graph& q) const {
+  return scorer_.PredictRaw(g, q, nullptr)[0];
+}
+
+double NeighborhoodModel::EvaluatePrecision(
+    const std::vector<CompressedGnnGraph>& db_cgs,
+    const std::vector<CompressedGnnGraph>& query_cgs,
+    const std::vector<NeighborhoodExample>& examples, float threshold) const {
+  int64_t predicted_positive = 0;
+  int64_t true_positive = 0;
+  for (const NeighborhoodExample& ex : examples) {
+    const float p =
+        PredictProb(db_cgs[static_cast<size_t>(ex.graph)],
+                    query_cgs[static_cast<size_t>(ex.query_index)]);
+    if (p >= threshold) {
+      ++predicted_positive;
+      if (ex.label > 0.5f) ++true_positive;
+    }
+  }
+  if (predicted_positive == 0) return 0.0;
+  return static_cast<double>(true_positive) /
+         static_cast<double>(predicted_positive);
+}
+
+std::vector<NeighborhoodExample> BuildNeighborhoodExamples(
+    const std::vector<std::vector<double>>& query_distances,
+    double gamma_star, double negative_ratio, size_t max_examples, Rng* rng) {
+  std::vector<NeighborhoodExample> positives;
+  std::vector<NeighborhoodExample> negatives;
+  for (size_t qi = 0; qi < query_distances.size(); ++qi) {
+    const auto& dist = query_distances[qi];
+    for (size_t g = 0; g < dist.size(); ++g) {
+      NeighborhoodExample ex;
+      ex.query_index = static_cast<int32_t>(qi);
+      ex.graph = static_cast<GraphId>(g);
+      if (dist[g] <= gamma_star) {
+        ex.label = 1.0f;
+        positives.push_back(ex);
+      } else {
+        ex.label = 0.0f;
+        negatives.push_back(ex);
+      }
+    }
+  }
+  // Downsample negatives.
+  const size_t keep_negatives = std::min(
+      negatives.size(),
+      static_cast<size_t>(negative_ratio *
+                          static_cast<double>(std::max<size_t>(
+                              positives.size(), 1))));
+  rng->Shuffle(&negatives);
+  negatives.resize(keep_negatives);
+
+  std::vector<NeighborhoodExample> all = std::move(positives);
+  all.insert(all.end(), negatives.begin(), negatives.end());
+  rng->Shuffle(&all);
+  if (all.size() > max_examples) all.resize(max_examples);
+  return all;
+}
+
+}  // namespace lan

@@ -1,0 +1,118 @@
+#include "lan/pair_scorer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lan {
+
+PairScorer::PairScorer(int32_t num_labels, const PairScorerOptions& options)
+    : num_labels_(num_labels), options_(options) {
+  LAN_CHECK_GT(options_.num_heads, 0);
+  Rng rng(options_.seed);
+  cross_ = CrossGraphEncoder(num_labels_, options_.gnn_dims, &store_, &rng);
+  if (options_.include_context_embedding) {
+    context_gin_ = GinEncoder(num_labels_, options_.gnn_dims, &store_, &rng);
+  }
+  int32_t feature_dim = cross_.cross_dim();
+  if (options_.include_context_embedding) {
+    feature_dim += context_gin_.output_dim();
+  }
+  for (int h = 0; h < options_.num_heads; ++h) {
+    heads_.emplace_back(
+        std::vector<int32_t>{feature_dim, options_.mlp_hidden, 1}, &store_,
+        &rng);
+  }
+}
+
+VarId PairScorer::Heads(Tape* tape, VarId features) const {
+  VarId out = kNoVar;
+  for (const Mlp& head : heads_) {
+    const VarId logit = head.Forward(tape, features);
+    out = (out == kNoVar) ? logit : tape->ConcatCols(out, logit);
+  }
+  return out;
+}
+
+VarId PairScorer::ForwardCompressed(Tape* tape, const CompressedGnnGraph& g,
+                                    const CompressedGnnGraph& q,
+                                    const CompressedGnnGraph* context) const {
+  VarId features = cross_.ForwardCompressed(tape, g, q);
+  if (options_.include_context_embedding) {
+    LAN_CHECK(context != nullptr);
+    features = tape->ConcatCols(features,
+                                context_gin_.ForwardGraphCompressed(tape, *context));
+  }
+  return Heads(tape, features);
+}
+
+VarId PairScorer::ForwardRaw(Tape* tape, const Graph& g, const Graph& q,
+                             const Graph* context) const {
+  VarId features = cross_.Forward(tape, g, q);
+  if (options_.include_context_embedding) {
+    LAN_CHECK(context != nullptr);
+    features =
+        tape->ConcatCols(features, context_gin_.ForwardGraph(tape, *context));
+  }
+  return Heads(tape, features);
+}
+
+namespace {
+
+std::vector<float> SigmoidRow(const Matrix& logits) {
+  std::vector<float> out(static_cast<size_t>(logits.cols()));
+  for (int32_t j = 0; j < logits.cols(); ++j) {
+    out[static_cast<size_t>(j)] = 1.0f / (1.0f + std::exp(-logits.at(0, j)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> PairScorer::PredictCompressed(
+    const CompressedGnnGraph& g, const CompressedGnnGraph& q,
+    const CompressedGnnGraph* context) const {
+  Tape tape(/*inference_mode=*/true);
+  const VarId logits = ForwardCompressed(&tape, g, q, context);
+  return SigmoidRow(tape.value(logits));
+}
+
+std::vector<float> PairScorer::PredictRaw(const Graph& g, const Graph& q,
+                                          const Graph* context) const {
+  Tape tape(/*inference_mode=*/true);
+  const VarId logits = ForwardRaw(&tape, g, q, context);
+  return SigmoidRow(tape.value(logits));
+}
+
+Matrix PairScorer::ContextEmbedding(const CompressedGnnGraph& cg) const {
+  LAN_CHECK(options_.include_context_embedding);
+  Tape tape(/*inference_mode=*/true);
+  return tape.value(context_gin_.ForwardGraphCompressed(&tape, cg));
+}
+
+Matrix PairScorer::ContextEmbedding(const Graph& g) const {
+  LAN_CHECK(options_.include_context_embedding);
+  Tape tape(/*inference_mode=*/true);
+  return tape.value(context_gin_.ForwardGraph(&tape, g));
+}
+
+std::vector<float> PairScorer::PredictCompressedWithContextRow(
+    const CompressedGnnGraph& g, const CompressedGnnGraph& q,
+    const Matrix& context_row) const {
+  LAN_CHECK(options_.include_context_embedding);
+  Tape tape(/*inference_mode=*/true);
+  VarId features = cross_.ForwardCompressed(&tape, g, q);
+  features = tape.ConcatCols(features, tape.Input(context_row));
+  return SigmoidRow(tape.value(Heads(&tape, features)));
+}
+
+std::vector<float> PairScorer::PredictRawWithContextRow(
+    const Graph& g, const Graph& q, const Matrix& context_row) const {
+  LAN_CHECK(options_.include_context_embedding);
+  Tape tape(/*inference_mode=*/true);
+  VarId features = cross_.Forward(&tape, g, q);
+  features = tape.ConcatCols(features, tape.Input(context_row));
+  return SigmoidRow(tape.value(Heads(&tape, features)));
+}
+
+}  // namespace lan

@@ -1,0 +1,93 @@
+#ifndef LAN_LAN_PAIR_SCORER_H_
+#define LAN_LAN_PAIR_SCORER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gnn/cross_graph.h"
+#include "gnn/gin.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace lan {
+
+/// \brief Configuration shared by the learned components M_rk and M_nh.
+struct PairScorerOptions {
+  /// Output dims of the cross-graph GNN layers (paper: 128-dim; we default
+  /// smaller for CPU training).
+  std::vector<int32_t> gnn_dims = {32, 32};
+  int32_t mlp_hidden = 64;
+  /// Number of binary heads (M_rk uses 100/y - 1; M_nh uses 1).
+  int num_heads = 1;
+  /// If true, the current node G's GIN embedding is concatenated to the
+  /// cross embedding (the M_rk design of Sec. IV-C1).
+  bool include_context_embedding = false;
+  uint64_t seed = 7;
+};
+
+/// \brief Cross-graph-embedding classifier shared by the neighbor ranking
+/// model (Sec. IV-C) and the neighborhood prediction model (Sec. V-B).
+///
+/// Per pair (G, Q): logits_i = MLP_i( h_{G,Q} [|| h_ctx] ), where h_{G,Q}
+/// is the cross-graph embedding (Definition 1 / Definition 3) and h_ctx an
+/// optional GIN embedding of a context graph (the routing node for M_rk).
+///
+/// Inference can run on raw graphs or on compressed GNN-graphs; both
+/// produce identical logits (Theorem 2) — the CG path is the Fig. 10/12
+/// acceleration.
+class PairScorer {
+ public:
+  PairScorer(int32_t num_labels, const PairScorerOptions& options);
+
+  PairScorer(const PairScorer&) = delete;
+  PairScorer& operator=(const PairScorer&) = delete;
+
+  /// Per-head logits, concatenated to a 1 x num_heads row.
+  VarId ForwardCompressed(Tape* tape, const CompressedGnnGraph& g,
+                          const CompressedGnnGraph& q,
+                          const CompressedGnnGraph* context) const;
+  VarId ForwardRaw(Tape* tape, const Graph& g, const Graph& q,
+                   const Graph* context) const;
+
+  /// Inference helper: sigmoid head probabilities on CGs.
+  std::vector<float> PredictCompressed(const CompressedGnnGraph& g,
+                                       const CompressedGnnGraph& q,
+                                       const CompressedGnnGraph* context) const;
+  /// Inference helper on raw graphs (the no-CG ablation).
+  std::vector<float> PredictRaw(const Graph& g, const Graph& q,
+                                const Graph* context) const;
+
+  /// The context encoder's (query-independent) embedding of one graph —
+  /// precomputable once after training, then passed to the
+  /// *WithContextRow inference helpers below.
+  Matrix ContextEmbedding(const CompressedGnnGraph& cg) const;
+  Matrix ContextEmbedding(const Graph& g) const;
+
+  /// Like PredictCompressed/PredictRaw but with the context embedding
+  /// already computed (avoids re-encoding the routing node per neighbor).
+  std::vector<float> PredictCompressedWithContextRow(
+      const CompressedGnnGraph& g, const CompressedGnnGraph& q,
+      const Matrix& context_row) const;
+  std::vector<float> PredictRawWithContextRow(const Graph& g, const Graph& q,
+                                              const Matrix& context_row) const;
+
+  ParamStore* params() { return &store_; }
+  const ParamStore& params() const { return store_; }
+  const PairScorerOptions& options() const { return options_; }
+  int32_t num_labels() const { return num_labels_; }
+
+ private:
+  VarId Heads(Tape* tape, VarId features) const;
+
+  int32_t num_labels_;
+  PairScorerOptions options_;
+  ParamStore store_;
+  CrossGraphEncoder cross_;
+  GinEncoder context_gin_;
+  std::vector<Mlp> heads_;
+};
+
+}  // namespace lan
+
+#endif  // LAN_LAN_PAIR_SCORER_H_

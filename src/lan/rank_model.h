@@ -1,0 +1,103 @@
+#ifndef LAN_LAN_RANK_MODEL_H_
+#define LAN_LAN_RANK_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "lan/pair_scorer.h"
+#include "nn/optimizer.h"
+#include "pg/proximity_graph.h"
+
+namespace lan {
+
+/// \brief One M_rk training triple (Q, G', G) of Sec. IV-C2 with its
+/// per-head class labels: labels[i] = 1 iff G' ranks in the top (i+1)*y%
+/// neighbors of G by distance to Q.
+struct RankExample {
+  int32_t query_index = 0;
+  GraphId node = kInvalidGraphId;      // G (the routing node)
+  GraphId neighbor = kInvalidGraphId;  // G'
+  std::vector<float> labels;
+};
+
+/// \brief M_rk hyperparameters.
+struct RankModelOptions {
+  /// Batch fraction y (percent); the model has 100/y - 1 binary heads.
+  int batch_percent = 20;
+  PairScorerOptions scorer;
+  int epochs = 10;
+  int minibatch_size = 16;
+  AdamOptions adam;
+  uint64_t seed = 11;
+};
+
+/// \brief The learned neighbor ranking model M_rk (Sec. IV-C): 100/y
+/// binary rankers over the cross-graph embedding of (G', Q) concatenated
+/// with the GIN embedding of G, sharing one GNN backbone across heads.
+class NeighborRankModel {
+ public:
+  NeighborRankModel(int32_t num_labels, RankModelOptions options);
+
+  int num_heads() const { return options_.scorer.num_heads; }
+
+  /// Trains on the provided triples. `db_cgs` are precomputed CGs of every
+  /// database graph; `query_cgs` of every training query (index-aligned
+  /// with RankExample::query_index). When `validation` is non-empty the
+  /// parameters of the epoch with the lowest validation loss are kept
+  /// (the paper selects the best model on validation data).
+  void Train(const std::vector<CompressedGnnGraph>& db_cgs,
+             const std::vector<CompressedGnnGraph>& query_cgs,
+             const std::vector<RankExample>& examples,
+             const std::vector<RankExample>& validation = {});
+
+  /// Mean BCE loss over a labeled set (validation metric).
+  double EvaluateLoss(const std::vector<CompressedGnnGraph>& db_cgs,
+                      const std::vector<CompressedGnnGraph>& query_cgs,
+                      const std::vector<RankExample>& examples) const;
+
+  /// Precomputes and caches the context encoder's embedding of every
+  /// database graph (query independent). Call once after Train(); the
+  /// Predict* paths then skip re-encoding the routing node per neighbor.
+  void PrecomputeContexts(const std::vector<CompressedGnnGraph>& db_cgs);
+
+  /// Predicted batches, best first (empty predicted ranks are skipped).
+  /// Increments *inference_count once per neighbor scored.
+  std::vector<std::vector<GraphId>> PredictBatches(
+      const std::vector<GraphId>& neighbors,
+      const std::vector<CompressedGnnGraph>& db_cgs, GraphId node,
+      const CompressedGnnGraph& query_cg, int64_t* inference_count) const;
+
+  /// The no-CG ablation (Fig. 10): identical predictions computed on raw
+  /// graphs.
+  std::vector<std::vector<GraphId>> PredictBatchesRaw(
+      const std::vector<GraphId>& neighbors, const GraphDatabase& db,
+      GraphId node, const Graph& query, int64_t* inference_count) const;
+
+  const PairScorer& scorer() const { return scorer_; }
+  PairScorer* mutable_scorer() { return &scorer_; }
+
+ private:
+  std::vector<std::vector<GraphId>> GroupByBatch(
+      const std::vector<GraphId>& neighbors,
+      const std::vector<std::vector<float>>& probs) const;
+
+  RankModelOptions options_;
+  PairScorer scorer_;
+  /// context_cache_[id] = 1 x d context embedding (empty until
+  /// PrecomputeContexts).
+  std::vector<Matrix> context_cache_;
+};
+
+/// \brief Builds M_rk training triples from per-query distance tables:
+/// for each training query Q and each PG node G inside N_Q (d(Q,G) <=
+/// gamma_star), every neighbor G' of G becomes one triple labeled by its
+/// distance rank among G's neighbors. Subsamples to `max_examples`.
+std::vector<RankExample> BuildRankExamples(
+    const ProximityGraph& pg,
+    const std::vector<std::vector<double>>& query_distances,
+    double gamma_star, int batch_percent, size_t max_examples, Rng* rng);
+
+}  // namespace lan
+
+#endif  // LAN_LAN_RANK_MODEL_H_

@@ -1,0 +1,129 @@
+#include "lan/regression_ranker.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace lan {
+
+RegressionRankModel::RegressionRankModel(int32_t num_labels,
+                                         RegressionRankerOptions options)
+    : options_([&options] {
+        options.scorer.num_heads = 1;
+        options.scorer.include_context_embedding = false;
+        return options;
+      }()),
+      scorer_(num_labels, options_.scorer) {}
+
+void RegressionRankModel::Train(
+    const std::vector<CompressedGnnGraph>& db_cgs,
+    const std::vector<CompressedGnnGraph>& query_cgs,
+    const std::vector<RegressionExample>& examples) {
+  if (examples.empty()) return;
+  double total = 0.0;
+  for (const RegressionExample& ex : examples) total += ex.distance;
+  scale_ = std::max(1.0f, static_cast<float>(
+                              total / static_cast<double>(examples.size())));
+
+  Adam adam(scorer_.params(), options_.adam);
+  Rng rng(options_.seed);
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    int in_batch = 0;
+    for (size_t idx : order) {
+      const RegressionExample& ex = examples[idx];
+      Tape tape;
+      const VarId pred = scorer_.ForwardCompressed(
+          &tape, db_cgs[static_cast<size_t>(ex.graph)],
+          query_cgs[static_cast<size_t>(ex.query_index)], nullptr);
+      Matrix target(1, 1);
+      target.at(0, 0) = ex.distance / scale_;
+      const VarId loss = tape.MseLoss(pred, target);
+      tape.Backward(loss);
+      if (++in_batch >= options_.minibatch_size) {
+        adam.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.Step();
+    adam.OnEpochEnd();
+  }
+}
+
+float RegressionRankModel::PredictDistance(
+    const CompressedGnnGraph& g_cg, const CompressedGnnGraph& q_cg) const {
+  Tape tape(/*inference_mode=*/true);
+  const VarId pred = scorer_.ForwardCompressed(&tape, g_cg, q_cg, nullptr);
+  return tape.value(pred).at(0, 0) * scale_;
+}
+
+std::vector<std::vector<GraphId>> RegressionRankModel::PredictBatches(
+    const std::vector<GraphId>& neighbors,
+    const std::vector<CompressedGnnGraph>& db_cgs,
+    const CompressedGnnGraph& query_cg, int64_t* inference_count) const {
+  std::vector<std::pair<float, GraphId>> scored;
+  scored.reserve(neighbors.size());
+  for (GraphId n : neighbors) {
+    scored.emplace_back(
+        PredictDistance(db_cgs[static_cast<size_t>(n)], query_cg), n);
+    if (inference_count != nullptr) ++*inference_count;
+  }
+  std::stable_sort(scored.begin(), scored.end());
+  std::vector<GraphId> ranked;
+  ranked.reserve(scored.size());
+  for (const auto& [d, id] : scored) ranked.push_back(id);
+  return SplitIntoBatches(ranked, options_.batch_percent);
+}
+
+std::vector<std::vector<GraphId>> RegressionNeighborRanker::RankNeighbors(
+    const ProximityGraph& pg, GraphId node, const Graph& query) {
+  const std::vector<GraphId>& neighbors = pg.Neighbors(node);
+  if (neighbors.empty()) return {};
+  const bool in_neighborhood =
+      oracle_->IsCached(node) && oracle_->Distance(node) <= gamma_star_;
+  if (!in_neighborhood) return {neighbors};
+
+  SearchStats* stats = oracle_->stats();
+  Timer timer;
+  int64_t inferences = 0;
+  auto batches =
+      model_->PredictBatches(neighbors, *db_cgs_, *query_cg_, &inferences);
+  if (stats != nullptr) {
+    stats->model_inferences += inferences;
+    stats->learning_seconds += timer.ElapsedSeconds();
+  }
+  return batches;
+}
+
+std::vector<RegressionExample> BuildRegressionExamples(
+    const ProximityGraph& pg,
+    const std::vector<std::vector<double>>& query_distances,
+    double gamma_star, size_t max_examples, Rng* rng) {
+  std::vector<RegressionExample> examples;
+  for (size_t qi = 0; qi < query_distances.size(); ++qi) {
+    const std::vector<double>& dist = query_distances[qi];
+    std::unordered_set<GraphId> seen;
+    for (GraphId g = 0; g < pg.NumNodes(); ++g) {
+      if (dist[static_cast<size_t>(g)] > gamma_star) continue;
+      for (GraphId neighbor : pg.Neighbors(g)) {
+        if (!seen.insert(neighbor).second) continue;
+        RegressionExample ex;
+        ex.query_index = static_cast<int32_t>(qi);
+        ex.graph = neighbor;
+        ex.distance = static_cast<float>(dist[static_cast<size_t>(neighbor)]);
+        examples.push_back(ex);
+      }
+    }
+  }
+  if (examples.size() > max_examples) {
+    rng->Shuffle(&examples);
+    examples.resize(max_examples);
+  }
+  return examples;
+}
+
+}  // namespace lan

@@ -1,0 +1,92 @@
+#include "lan/sharded_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lan {
+
+ShardedLanIndex::ShardedLanIndex(ShardedIndexOptions options)
+    : options_(std::move(options)) {
+  LAN_CHECK_GT(options_.num_shards, 0);
+}
+
+ShardedLanIndex::~ShardedLanIndex() = default;
+
+Status ShardedLanIndex::Build(const GraphDatabase& db) {
+  if (db.empty()) return Status::InvalidArgument("Build: empty database");
+  const int shards = std::min<int>(options_.num_shards, db.size());
+  total_size_ = db.size();
+
+  shard_dbs_.clear();
+  global_ids_.assign(static_cast<size_t>(shards), {});
+  for (int s = 0; s < shards; ++s) {
+    GraphDatabase shard_db(db.num_labels());
+    shard_db.set_name(db.name() + StrFormat("/shard%d", s));
+    shard_dbs_.push_back(std::move(shard_db));
+  }
+  // Round-robin partition ("randomly split into equal-size sub-datasets";
+  // our generators emit i.i.d. graphs, so round-robin is a random split).
+  for (GraphId id = 0; id < db.size(); ++id) {
+    const int s = static_cast<int>(id % shards);
+    auto added = shard_dbs_[static_cast<size_t>(s)].Add(db.Get(id));
+    if (!added.ok()) return added.status();
+    global_ids_[static_cast<size_t>(s)].push_back(id);
+  }
+
+  shards_.clear();
+  for (int s = 0; s < shards; ++s) {
+    LanConfig config = options_.shard_config;
+    config.seed += static_cast<uint64_t>(s) * 7919;
+    shards_.push_back(std::make_unique<LanIndex>(config));
+    LAN_RETURN_NOT_OK(
+        shards_.back()->Build(&shard_dbs_[static_cast<size_t>(s)]));
+  }
+  return Status::OK();
+}
+
+Status ShardedLanIndex::Train(const std::vector<Graph>& train_queries) {
+  if (shards_.empty()) return Status::FailedPrecondition("Train before Build");
+  for (auto& shard : shards_) {
+    LAN_RETURN_NOT_OK(shard->Train(train_queries));
+  }
+  return Status::OK();
+}
+
+SearchResult ShardedLanIndex::Search(const Graph& query, int k,
+                                     int max_shards) const {
+  return SearchWith(query, k, options_.shard_config.default_beam,
+                    RoutingMethod::kLanRoute, InitMethod::kLanIs, max_shards);
+}
+
+SearchResult ShardedLanIndex::SearchWith(const Graph& query, int k, int beam,
+                                         RoutingMethod routing,
+                                         InitMethod init,
+                                         int max_shards) const {
+  LAN_CHECK(!shards_.empty());
+  const int use = max_shards <= 0
+                      ? num_shards()
+                      : std::min(max_shards, num_shards());
+  SearchResult merged;
+  for (int s = 0; s < use; ++s) {
+    SearchResult local =
+        shards_[static_cast<size_t>(s)]->SearchWith(query, k, beam, routing,
+                                                    init);
+    merged.stats.Merge(local.stats);
+    for (const auto& [local_id, distance] : local.results) {
+      merged.results.emplace_back(GlobalId(s, local_id), distance);
+    }
+  }
+  std::sort(merged.results.begin(), merged.results.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  if (merged.results.size() > static_cast<size_t>(k)) {
+    merged.results.resize(static_cast<size_t>(k));
+  }
+  return merged;
+}
+
+}  // namespace lan

@@ -1,0 +1,75 @@
+#ifndef LAN_LAN_SHARDED_INDEX_H_
+#define LAN_LAN_SHARDED_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "lan/lan_index.h"
+
+namespace lan {
+
+/// \brief Sharded LAN configuration.
+struct ShardedIndexOptions {
+  /// Number of equal-size sub-databases.
+  int num_shards = 4;
+  /// Configuration applied to every shard's LanIndex (seeds are offset
+  /// per shard).
+  LanConfig shard_config;
+};
+
+/// \brief Sharded k-ANN over large databases: the dataset is split into
+/// equal-size sub-databases, each carrying its own LanIndex; a query runs
+/// on every shard and the per-shard answers merge into a global top-k.
+///
+/// This is the protocol behind the paper's Fig. 9 scalability experiment
+/// ("we randomly split the dataset into equal-size sub-datasets and
+/// sequentially perform k-ANN search on each sub-dataset") and a building
+/// block for the distributed search the paper names as future work —
+/// shards are independent, so they can live on different machines.
+class ShardedLanIndex {
+ public:
+  explicit ShardedLanIndex(ShardedIndexOptions options);
+  ~ShardedLanIndex();
+
+  ShardedLanIndex(const ShardedLanIndex&) = delete;
+  ShardedLanIndex& operator=(const ShardedLanIndex&) = delete;
+
+  /// Round-robin partitions `db` into shards and builds each shard index.
+  /// The source database may be discarded afterwards (shards own copies).
+  Status Build(const GraphDatabase& db);
+
+  /// Trains every shard's models from the (shared) training queries.
+  Status Train(const std::vector<Graph>& train_queries);
+
+  /// Full search over the first `max_shards` shards (<= 0: all shards).
+  /// Result ids are global ids of the original database; stats are summed
+  /// across shards.
+  SearchResult Search(const Graph& query, int k, int max_shards = 0) const;
+
+  /// Ablation variant (matches LanIndex::SearchWith).
+  SearchResult SearchWith(const Graph& query, int k, int beam,
+                          RoutingMethod routing, InitMethod init,
+                          int max_shards = 0) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const LanIndex& shard(int i) const { return *shards_[static_cast<size_t>(i)]; }
+  GraphId total_size() const { return total_size_; }
+
+  /// Global id of shard-local graph `local` in shard `shard_index`.
+  GraphId GlobalId(int shard_index, GraphId local) const {
+    return global_ids_[static_cast<size_t>(shard_index)]
+                      [static_cast<size_t>(local)];
+  }
+
+ private:
+  ShardedIndexOptions options_;
+  std::vector<GraphDatabase> shard_dbs_;
+  std::vector<std::unique_ptr<LanIndex>> shards_;
+  /// global_ids_[s][local] = id in the original database.
+  std::vector<std::vector<GraphId>> global_ids_;
+  GraphId total_size_ = 0;
+};
+
+}  // namespace lan
+
+#endif  // LAN_LAN_SHARDED_INDEX_H_

@@ -1,0 +1,44 @@
+#include "lan/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/graph_generator.h"
+
+namespace lan {
+
+QueryWorkload SampleWorkload(const GraphDatabase& db,
+                             const WorkloadOptions& options, uint64_t seed) {
+  LAN_CHECK_GT(db.size(), 0);
+  LAN_CHECK_GE(options.num_queries, 0);
+  Rng rng(seed);
+  std::vector<Graph> queries;
+  queries.reserve(static_cast<size_t>(options.num_queries));
+  for (int64_t i = 0; i < options.num_queries; ++i) {
+    const GraphId id = static_cast<GraphId>(
+        rng.NextBounded(static_cast<uint64_t>(db.size())));
+    if (options.perturb_edits > 0) {
+      queries.push_back(PerturbGraph(db.Get(id), options.perturb_edits,
+                                     db.num_labels(), &rng));
+    } else {
+      queries.push_back(db.Get(id));
+    }
+  }
+
+  QueryWorkload workload;
+  const size_t n = queries.size();
+  const size_t train_end = n * 6 / 10;
+  const size_t valid_end = n * 8 / 10;
+  for (size_t i = 0; i < n; ++i) {
+    if (i < train_end) {
+      workload.train.push_back(std::move(queries[i]));
+    } else if (i < valid_end) {
+      workload.validation.push_back(std::move(queries[i]));
+    } else {
+      workload.test.push_back(std::move(queries[i]));
+    }
+  }
+  return workload;
+}
+
+}  // namespace lan

@@ -1,0 +1,42 @@
+#ifndef LAN_LAN_WORKLOAD_H_
+#define LAN_LAN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph_database.h"
+
+namespace lan {
+
+/// \brief A query workload split 6:2:2 into train/validation/test, as in
+/// Sec. VII ("we sample 4,000 graphs as the query workload, split 6:2:2").
+struct QueryWorkload {
+  std::vector<Graph> train;
+  std::vector<Graph> validation;
+  std::vector<Graph> test;
+
+  size_t TotalSize() const {
+    return train.size() + validation.size() + test.size();
+  }
+};
+
+/// \brief Workload sampling knobs.
+struct WorkloadOptions {
+  /// Total queries sampled (paper: 4000; scale down for laptop runs).
+  int64_t num_queries = 100;
+  /// Random edit operations applied to each sampled graph. 0 reproduces
+  /// the paper's protocol exactly (queries are database graphs); a small
+  /// positive value makes query distances non-trivial. Default 2.
+  int perturb_edits = 2;
+};
+
+/// Samples graphs from the database (with replacement across queries but
+/// deterministic under `seed`), optionally perturbing each, and splits
+/// 6:2:2.
+QueryWorkload SampleWorkload(const GraphDatabase& db,
+                             const WorkloadOptions& options, uint64_t seed);
+
+}  // namespace lan
+
+#endif  // LAN_LAN_WORKLOAD_H_

@@ -1,0 +1,442 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace lan {
+
+VarId Tape::NewNode(Matrix value, bool requires_grad,
+                    std::function<void(Tape*)> backward) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = requires_grad;
+  n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+void Tape::AccumulateGrad(VarId id, const Matrix& delta) {
+  Node& n = node(id);
+  if (!n.requires_grad) return;
+  if (n.grad.empty()) {
+    n.grad = Matrix::Zeros(n.value.rows(), n.value.cols());
+  }
+  n.grad.AddInPlace(delta);
+}
+
+VarId Tape::Input(Matrix value) {
+  return NewNode(std::move(value), /*requires_grad=*/false, nullptr);
+}
+
+VarId Tape::Param(ParamState* param) {
+  LAN_CHECK(param != nullptr);
+  if (inference_mode_) {
+    return NewNode(param->value, /*requires_grad=*/false, nullptr);
+  }
+  VarId id = NewNode(param->value, /*requires_grad=*/true, nullptr);
+  node(id).param = param;
+  return id;
+}
+
+VarId Tape::MatMul(VarId a, VarId b) {
+  const Matrix& av = value(a);
+  const Matrix& bv = value(b);
+  Matrix cv = MatMulValues(av, bv);
+  const bool rg = RequiresGrad(a) || RequiresGrad(b);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [a, b, c](Tape* t) {
+      const Matrix& gc = t->node(c).grad;
+      if (t->RequiresGrad(a)) {
+        t->AccumulateGrad(a, MatMulTransposedRhs(gc, t->value(b)));
+      }
+      if (t->RequiresGrad(b)) {
+        t->AccumulateGrad(b, MatMulTransposedLhs(t->value(a), gc));
+      }
+    };
+  }
+  return c;
+}
+
+VarId Tape::SparseApply(const SparseMatrix& s, VarId a) {
+  Matrix cv = s.Apply(value(a));
+  const bool rg = RequiresGrad(a);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    // The sparse matrix is copied so the caller need not keep it alive.
+    node(c).backward = [s, a, c](Tape* t) {
+      t->AccumulateGrad(a, s.ApplyTransposed(t->node(c).grad));
+    };
+  }
+  return c;
+}
+
+VarId Tape::Add(VarId a, VarId b) {
+  const Matrix& av = value(a);
+  const Matrix& bv = value(b);
+  LAN_CHECK(av.SameShape(bv));
+  Matrix cv = av;
+  cv.AddInPlace(bv);
+  const bool rg = RequiresGrad(a) || RequiresGrad(b);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [a, b, c](Tape* t) {
+      const Matrix& gc = t->node(c).grad;
+      t->AccumulateGrad(a, gc);
+      t->AccumulateGrad(b, gc);
+    };
+  }
+  return c;
+}
+
+VarId Tape::AddRowBroadcast(VarId a, VarId row) {
+  const Matrix& av = value(a);
+  const Matrix& rv = value(row);
+  LAN_CHECK_EQ(rv.rows(), 1);
+  LAN_CHECK_EQ(rv.cols(), av.cols());
+  Matrix cv = av;
+  for (int32_t i = 0; i < cv.rows(); ++i) {
+    for (int32_t j = 0; j < cv.cols(); ++j) cv.at(i, j) += rv.at(0, j);
+  }
+  const bool rg = RequiresGrad(a) || RequiresGrad(row);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [a, row, c](Tape* t) {
+      const Matrix& gc = t->node(c).grad;
+      t->AccumulateGrad(a, gc);
+      if (t->RequiresGrad(row)) {
+        Matrix gr(1, gc.cols());
+        for (int32_t i = 0; i < gc.rows(); ++i) {
+          for (int32_t j = 0; j < gc.cols(); ++j) gr.at(0, j) += gc.at(i, j);
+        }
+        t->AccumulateGrad(row, gr);
+      }
+    };
+  }
+  return c;
+}
+
+VarId Tape::AddConstRowBroadcast(VarId a, const Matrix& row) {
+  const Matrix& av = value(a);
+  LAN_CHECK_EQ(row.rows(), 1);
+  LAN_CHECK_EQ(row.cols(), av.cols());
+  Matrix cv = av;
+  for (int32_t i = 0; i < cv.rows(); ++i) {
+    for (int32_t j = 0; j < cv.cols(); ++j) cv.at(i, j) += row.at(0, j);
+  }
+  const bool rg = RequiresGrad(a);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [a, c](Tape* t) {
+      t->AccumulateGrad(a, t->node(c).grad);
+    };
+  }
+  return c;
+}
+
+VarId Tape::Scale(VarId a, float s) {
+  Matrix cv = value(a);
+  cv.ScaleInPlace(s);
+  const bool rg = RequiresGrad(a);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [a, c, s](Tape* t) {
+      Matrix g = t->node(c).grad;
+      g.ScaleInPlace(s);
+      t->AccumulateGrad(a, g);
+    };
+  }
+  return c;
+}
+
+VarId Tape::Relu(VarId a) {
+  Matrix cv = value(a);
+  for (int64_t i = 0; i < cv.size(); ++i) {
+    cv.data()[i] = std::max(cv.data()[i], 0.0f);
+  }
+  const bool rg = RequiresGrad(a);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [a, c](Tape* t) {
+      const Matrix& gc = t->node(c).grad;
+      const Matrix& av = t->value(a);
+      Matrix g = gc;
+      for (int64_t i = 0; i < g.size(); ++i) {
+        if (av.data()[i] <= 0.0f) g.data()[i] = 0.0f;
+      }
+      t->AccumulateGrad(a, g);
+    };
+  }
+  return c;
+}
+
+VarId Tape::Sigmoid(VarId a) {
+  Matrix cv = value(a);
+  for (int64_t i = 0; i < cv.size(); ++i) {
+    cv.data()[i] = 1.0f / (1.0f + std::exp(-cv.data()[i]));
+  }
+  const bool rg = RequiresGrad(a);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [a, c](Tape* t) {
+      const Matrix& y = t->value(c);
+      Matrix g = t->node(c).grad;
+      for (int64_t i = 0; i < g.size(); ++i) {
+        const float yi = y.data()[i];
+        g.data()[i] *= yi * (1.0f - yi);
+      }
+      t->AccumulateGrad(a, g);
+    };
+  }
+  return c;
+}
+
+VarId Tape::SoftmaxRows(VarId a) {
+  Matrix cv = value(a);
+  for (int32_t i = 0; i < cv.rows(); ++i) {
+    float row_max = -std::numeric_limits<float>::infinity();
+    for (int32_t j = 0; j < cv.cols(); ++j) {
+      row_max = std::max(row_max, cv.at(i, j));
+    }
+    float total = 0.0f;
+    for (int32_t j = 0; j < cv.cols(); ++j) {
+      const float e = std::exp(cv.at(i, j) - row_max);
+      cv.at(i, j) = e;
+      total += e;
+    }
+    for (int32_t j = 0; j < cv.cols(); ++j) cv.at(i, j) /= total;
+  }
+  const bool rg = RequiresGrad(a);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [a, c](Tape* t) {
+      const Matrix& y = t->value(c);
+      const Matrix& gy = t->node(c).grad;
+      Matrix g(y.rows(), y.cols());
+      for (int32_t i = 0; i < y.rows(); ++i) {
+        float dot = 0.0f;
+        for (int32_t j = 0; j < y.cols(); ++j) dot += gy.at(i, j) * y.at(i, j);
+        for (int32_t j = 0; j < y.cols(); ++j) {
+          g.at(i, j) = (gy.at(i, j) - dot) * y.at(i, j);
+        }
+      }
+      t->AccumulateGrad(a, g);
+    };
+  }
+  return c;
+}
+
+VarId Tape::OuterSum(VarId a, VarId b) {
+  const Matrix& av = value(a);
+  const Matrix& bv = value(b);
+  LAN_CHECK_EQ(av.cols(), 1);
+  LAN_CHECK_EQ(bv.cols(), 1);
+  Matrix cv(av.rows(), bv.rows());
+  for (int32_t i = 0; i < av.rows(); ++i) {
+    for (int32_t j = 0; j < bv.rows(); ++j) {
+      cv.at(i, j) = av.at(i, 0) + bv.at(j, 0);
+    }
+  }
+  const bool rg = RequiresGrad(a) || RequiresGrad(b);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [a, b, c](Tape* t) {
+      const Matrix& gc = t->node(c).grad;
+      if (t->RequiresGrad(a)) {
+        Matrix ga(gc.rows(), 1);
+        for (int32_t i = 0; i < gc.rows(); ++i) {
+          for (int32_t j = 0; j < gc.cols(); ++j) ga.at(i, 0) += gc.at(i, j);
+        }
+        t->AccumulateGrad(a, ga);
+      }
+      if (t->RequiresGrad(b)) {
+        Matrix gb(gc.cols(), 1);
+        for (int32_t i = 0; i < gc.rows(); ++i) {
+          for (int32_t j = 0; j < gc.cols(); ++j) gb.at(j, 0) += gc.at(i, j);
+        }
+        t->AccumulateGrad(b, gb);
+      }
+    };
+  }
+  return c;
+}
+
+VarId Tape::ConcatCols(VarId a, VarId b) {
+  const Matrix& av = value(a);
+  const Matrix& bv = value(b);
+  LAN_CHECK_EQ(av.rows(), bv.rows());
+  Matrix cv(av.rows(), av.cols() + bv.cols());
+  for (int32_t i = 0; i < av.rows(); ++i) {
+    for (int32_t j = 0; j < av.cols(); ++j) cv.at(i, j) = av.at(i, j);
+    for (int32_t j = 0; j < bv.cols(); ++j) {
+      cv.at(i, av.cols() + j) = bv.at(i, j);
+    }
+  }
+  const bool rg = RequiresGrad(a) || RequiresGrad(b);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    const int32_t a_cols = av.cols();
+    node(c).backward = [a, b, c, a_cols](Tape* t) {
+      const Matrix& gc = t->node(c).grad;
+      if (t->RequiresGrad(a)) {
+        Matrix ga(gc.rows(), a_cols);
+        for (int32_t i = 0; i < gc.rows(); ++i) {
+          for (int32_t j = 0; j < a_cols; ++j) ga.at(i, j) = gc.at(i, j);
+        }
+        t->AccumulateGrad(a, ga);
+      }
+      if (t->RequiresGrad(b)) {
+        const int32_t b_cols = gc.cols() - a_cols;
+        Matrix gb(gc.rows(), b_cols);
+        for (int32_t i = 0; i < gc.rows(); ++i) {
+          for (int32_t j = 0; j < b_cols; ++j) {
+            gb.at(i, j) = gc.at(i, a_cols + j);
+          }
+        }
+        t->AccumulateGrad(b, gb);
+      }
+    };
+  }
+  return c;
+}
+
+VarId Tape::MeanRows(VarId a) {
+  const Matrix& av = value(a);
+  LAN_CHECK_GT(av.rows(), 0);
+  std::vector<float> weights(static_cast<size_t>(av.rows()), 1.0f);
+  return WeightedMeanRows(a, weights);
+}
+
+VarId Tape::WeightedMeanRows(VarId a, const std::vector<float>& weights) {
+  const Matrix& av = value(a);
+  LAN_CHECK_EQ(static_cast<int32_t>(weights.size()), av.rows());
+  float total = 0.0f;
+  for (float w : weights) {
+    LAN_CHECK_GE(w, 0.0f);
+    total += w;
+  }
+  LAN_CHECK_GT(total, 0.0f);
+  std::vector<float> norm(weights);
+  for (float& w : norm) w /= total;
+
+  Matrix cv(1, av.cols());
+  for (int32_t i = 0; i < av.rows(); ++i) {
+    for (int32_t j = 0; j < av.cols(); ++j) {
+      cv.at(0, j) += norm[static_cast<size_t>(i)] * av.at(i, j);
+    }
+  }
+  const bool rg = RequiresGrad(a);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [a, c, norm](Tape* t) {
+      const Matrix& gc = t->node(c).grad;
+      const Matrix& av2 = t->value(a);
+      Matrix g(av2.rows(), av2.cols());
+      for (int32_t i = 0; i < av2.rows(); ++i) {
+        for (int32_t j = 0; j < av2.cols(); ++j) {
+          g.at(i, j) = norm[static_cast<size_t>(i)] * gc.at(0, j);
+        }
+      }
+      t->AccumulateGrad(a, g);
+    };
+  }
+  return c;
+}
+
+VarId Tape::BceWithLogits(VarId logits, const Matrix& targets) {
+  const Matrix& z = value(logits);
+  LAN_CHECK(z.SameShape(targets));
+  LAN_CHECK_GT(z.size(), 0);
+  // Numerically stable: loss = max(z,0) - z*t + log(1 + exp(-|z|)).
+  double total = 0.0;
+  for (int64_t i = 0; i < z.size(); ++i) {
+    const float zi = z.data()[i];
+    const float ti = targets.data()[i];
+    total += std::max(zi, 0.0f) - zi * ti +
+             std::log1p(std::exp(-std::abs(zi)));
+  }
+  Matrix cv(1, 1);
+  cv.at(0, 0) = static_cast<float>(total / static_cast<double>(z.size()));
+  const bool rg = RequiresGrad(logits);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [logits, c, targets](Tape* t) {
+      const float scale = t->node(c).grad.at(0, 0) /
+                          static_cast<float>(targets.size());
+      const Matrix& z2 = t->value(logits);
+      Matrix g(z2.rows(), z2.cols());
+      for (int64_t i = 0; i < z2.size(); ++i) {
+        const float sig = 1.0f / (1.0f + std::exp(-z2.data()[i]));
+        g.data()[i] = scale * (sig - targets.data()[i]);
+      }
+      t->AccumulateGrad(logits, g);
+    };
+  }
+  return c;
+}
+
+VarId Tape::MseLoss(VarId predictions, const Matrix& targets) {
+  const Matrix& p = value(predictions);
+  LAN_CHECK(p.SameShape(targets));
+  LAN_CHECK_GT(p.size(), 0);
+  double total = 0.0;
+  for (int64_t i = 0; i < p.size(); ++i) {
+    const double d = static_cast<double>(p.data()[i]) - targets.data()[i];
+    total += d * d;
+  }
+  Matrix cv(1, 1);
+  cv.at(0, 0) = static_cast<float>(total / static_cast<double>(p.size()));
+  const bool rg = RequiresGrad(predictions);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [predictions, c, targets](Tape* t) {
+      const float scale = 2.0f * t->node(c).grad.at(0, 0) /
+                          static_cast<float>(targets.size());
+      const Matrix& p2 = t->value(predictions);
+      Matrix g(p2.rows(), p2.cols());
+      for (int64_t i = 0; i < p2.size(); ++i) {
+        g.data()[i] = scale * (p2.data()[i] - targets.data()[i]);
+      }
+      t->AccumulateGrad(predictions, g);
+    };
+  }
+  return c;
+}
+
+VarId Tape::SumAll(VarId a) {
+  const Matrix& av = value(a);
+  Matrix cv(1, 1);
+  double total = 0.0;
+  for (int64_t i = 0; i < av.size(); ++i) total += av.data()[i];
+  cv.at(0, 0) = static_cast<float>(total);
+  const bool rg = RequiresGrad(a);
+  VarId c = NewNode(std::move(cv), rg, nullptr);
+  if (rg) {
+    node(c).backward = [a, c](Tape* t) {
+      const float g0 = t->node(c).grad.at(0, 0);
+      const Matrix& av2 = t->value(a);
+      Matrix g(av2.rows(), av2.cols(), g0);
+      t->AccumulateGrad(a, g);
+    };
+  }
+  return c;
+}
+
+void Tape::Backward(VarId root) {
+  Node& r = node(root);
+  LAN_CHECK_EQ(r.value.rows(), 1);
+  LAN_CHECK_EQ(r.value.cols(), 1);
+  LAN_CHECK(r.requires_grad);
+  r.grad = Matrix(1, 1, 1.0f);
+  for (VarId id = root; id >= 0; --id) {
+    Node& n = node(id);
+    if (!n.requires_grad || n.grad.empty()) continue;
+    if (n.backward) n.backward(this);
+    if (n.param != nullptr) n.param->grad.AddInPlace(n.grad);
+  }
+}
+
+}  // namespace lan

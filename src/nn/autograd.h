@@ -1,0 +1,166 @@
+#ifndef LAN_NN_AUTOGRAD_H_
+#define LAN_NN_AUTOGRAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace lan {
+
+/// \brief A trainable parameter: value plus accumulated gradient and Adam
+/// moment state. Owned by a ParamStore; referenced by modules and tapes.
+struct ParamState {
+  Matrix value;
+  Matrix grad;
+  Matrix adam_m;
+  Matrix adam_v;
+
+  explicit ParamState(Matrix v)
+      : value(std::move(v)),
+        grad(Matrix::Zeros(value.rows(), value.cols())),
+        adam_m(Matrix::Zeros(value.rows(), value.cols())),
+        adam_v(Matrix::Zeros(value.rows(), value.cols())) {}
+};
+
+/// \brief Owns all parameters of one or more modules.
+class ParamStore {
+ public:
+  ParamState* Create(Matrix initial_value) {
+    params_.push_back(std::make_unique<ParamState>(std::move(initial_value)));
+    return params_.back().get();
+  }
+
+  void ZeroGrads() {
+    for (auto& p : params_) p->grad.SetZero();
+  }
+
+  const std::vector<std::unique_ptr<ParamState>>& params() const {
+    return params_;
+  }
+
+  /// Copies every parameter value (checkpoint for best-epoch selection).
+  std::vector<Matrix> SnapshotValues() const {
+    std::vector<Matrix> out;
+    out.reserve(params_.size());
+    for (const auto& p : params_) out.push_back(p->value);
+    return out;
+  }
+
+  /// Restores values captured by SnapshotValues (same store, same order).
+  void RestoreValues(const std::vector<Matrix>& snapshot) {
+    if (snapshot.size() != params_.size()) return;
+    for (size_t i = 0; i < params_.size(); ++i) {
+      params_[i]->value = snapshot[i];
+    }
+  }
+
+  /// Total number of scalar parameters.
+  int64_t NumScalars() const {
+    int64_t total = 0;
+    for (const auto& p : params_) total += p->value.size();
+    return total;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ParamState>> params_;
+};
+
+/// Handle to a node on a Tape.
+using VarId = int32_t;
+constexpr VarId kNoVar = -1;
+
+/// \brief Reverse-mode autodiff tape.
+///
+/// A tape records one forward computation (define-by-run); Backward()
+/// walks it in reverse, accumulating gradients into ParamState::grad for
+/// every parameter leaf. Tapes are single-use and cheap to construct.
+///
+/// Shapes are all 2-D; every op checks its operand shapes with LAN_CHECK.
+class Tape {
+ public:
+  /// In inference mode parameter leaves are treated as constants, so no
+  /// backward closures are recorded (query-time fast path).
+  explicit Tape(bool inference_mode = false)
+      : inference_mode_(inference_mode) {}
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Constant leaf (no gradient flows into it).
+  VarId Input(Matrix value);
+  /// Trainable leaf; gradients accumulate into `param->grad` on Backward
+  /// (unless the tape is in inference mode).
+  VarId Param(ParamState* param);
+
+  const Matrix& value(VarId id) const { return nodes_[static_cast<size_t>(id)].value; }
+  const Matrix& grad(VarId id) const { return nodes_[static_cast<size_t>(id)].grad; }
+
+  // ---- Ops ----
+  /// C = A * B.
+  VarId MatMul(VarId a, VarId b);
+  /// C = S * A for a constant sparse S (copied into the tape).
+  VarId SparseApply(const SparseMatrix& s, VarId a);
+  /// C = A + B (same shape).
+  VarId Add(VarId a, VarId b);
+  /// C = A + 1 * b_row, broadcasting the 1 x d row over all rows of A.
+  VarId AddRowBroadcast(VarId a, VarId row);
+  /// C = A + 1 * row for a constant row (no gradient for the row).
+  VarId AddConstRowBroadcast(VarId a, const Matrix& row);
+  /// C = s * A.
+  VarId Scale(VarId a, float s);
+  /// C = max(A, 0).
+  VarId Relu(VarId a);
+  /// C = 1 / (1 + exp(-A)), elementwise.
+  VarId Sigmoid(VarId a);
+  /// Row-wise softmax.
+  VarId SoftmaxRows(VarId a);
+  /// C_ij = a_i + b_j for column vectors a (n x 1) and b (m x 1).
+  VarId OuterSum(VarId a, VarId b);
+  /// Horizontal concatenation [A | B] (same row count).
+  VarId ConcatCols(VarId a, VarId b);
+  /// 1 x d mean of the rows of A.
+  VarId MeanRows(VarId a);
+  /// 1 x d weighted mean of rows; `weights` (size = rows) are constants and
+  /// are normalized internally to sum to 1.
+  VarId WeightedMeanRows(VarId a, const std::vector<float>& weights);
+  /// Mean binary cross-entropy with logits; targets in {0,1}, constant.
+  /// Result is 1 x 1.
+  VarId BceWithLogits(VarId logits, const Matrix& targets);
+  /// Mean squared error against constant targets; 1 x 1.
+  VarId MseLoss(VarId predictions, const Matrix& targets);
+  /// Sum of all entries, 1 x 1.
+  VarId SumAll(VarId a);
+
+  /// Runs reverse-mode accumulation from a scalar (1 x 1) root.
+  void Backward(VarId root);
+
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    bool requires_grad = false;
+    ParamState* param = nullptr;  // set for parameter leaves
+    /// Propagates this node's grad into its parents' grads.
+    std::function<void(Tape*)> backward;
+  };
+
+  VarId NewNode(Matrix value, bool requires_grad,
+                std::function<void(Tape*)> backward);
+  Node& node(VarId id) { return nodes_[static_cast<size_t>(id)]; }
+  bool RequiresGrad(VarId id) const {
+    return nodes_[static_cast<size_t>(id)].requires_grad;
+  }
+  /// Accumulates `delta` into the grad of `id` if it requires grad.
+  void AccumulateGrad(VarId id, const Matrix& delta);
+
+  bool inference_mode_ = false;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lan
+
+#endif  // LAN_NN_AUTOGRAD_H_

@@ -1,0 +1,39 @@
+#include "nn/layers.h"
+
+#include "common/logging.h"
+
+namespace lan {
+
+Linear::Linear(int32_t in_dim, int32_t out_dim, ParamStore* store, Rng* rng)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  LAN_CHECK_GT(in_dim, 0);
+  LAN_CHECK_GT(out_dim, 0);
+  weight_ = store->Create(Matrix::XavierUniform(in_dim, out_dim, rng));
+  bias_ = store->Create(Matrix::Zeros(1, out_dim));
+}
+
+VarId Linear::Forward(Tape* tape, VarId x) const {
+  LAN_CHECK(weight_ != nullptr);
+  VarId w = tape->Param(weight_);
+  VarId b = tape->Param(bias_);
+  return tape->AddRowBroadcast(tape->MatMul(x, w), b);
+}
+
+Mlp::Mlp(const std::vector<int32_t>& dims, ParamStore* store, Rng* rng) {
+  LAN_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], store, rng);
+  }
+}
+
+VarId Mlp::Forward(Tape* tape, VarId x) const {
+  LAN_CHECK(!layers_.empty());
+  VarId h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(tape, h);
+    if (i + 1 < layers_.size()) h = tape->Relu(h);
+  }
+  return h;
+}
+
+}  // namespace lan

@@ -1,0 +1,133 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace lan {
+
+Matrix Matrix::XavierUniform(int32_t rows, int32_t cols, Rng* rng) {
+  Matrix out(rows, cols);
+  const float bound = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = rng->NextFloat(-bound, bound);
+  }
+  return out;
+}
+
+Matrix Matrix::OneHotRows(const std::vector<int32_t>& ids, int32_t depth) {
+  Matrix out(static_cast<int32_t>(ids.size()), depth);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    LAN_CHECK_GE(ids[i], 0);
+    LAN_CHECK_LT(ids[i], depth);
+    out.at(static_cast<int32_t>(i), ids[i]) = 1.0f;
+  }
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  LAN_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaledInPlace(const Matrix& other, float scale) {
+  LAN_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Matrix::ScaleInPlace(float scale) {
+  for (float& x : data_) x *= scale;
+}
+
+float Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  LAN_CHECK(a.SameShape(b));
+  float worst = 0.0f;
+  for (size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return worst;
+}
+
+float Matrix::Norm() const {
+  double total = 0.0;
+  for (float x : data_) total += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(total));
+}
+
+std::string Matrix::ShapeString() const {
+  return StrFormat("[%dx%d]", rows_, cols_);
+}
+
+Matrix MatMulValues(const Matrix& a, const Matrix& b) {
+  LAN_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (int32_t i = 0; i < a.rows(); ++i) {
+    for (int32_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.data() + static_cast<size_t>(k) * b.cols();
+      float* crow = c.data() + static_cast<size_t>(i) * c.cols();
+      for (int32_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposedLhs(const Matrix& a, const Matrix& b) {
+  LAN_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (int32_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.data() + static_cast<size_t>(k) * a.cols();
+    const float* brow = b.data() + static_cast<size_t>(k) * b.cols();
+    for (int32_t i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.data() + static_cast<size_t>(i) * c.cols();
+      for (int32_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposedRhs(const Matrix& a, const Matrix& b) {
+  LAN_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (int32_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.data() + static_cast<size_t>(i) * a.cols();
+    for (int32_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.data() + static_cast<size_t>(j) * b.cols();
+      float sum = 0.0f;
+      for (int32_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
+      c.at(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Matrix SparseMatrix::Apply(const Matrix& x) const {
+  LAN_CHECK_EQ(cols, x.rows());
+  Matrix out(rows, x.cols());
+  for (const Entry& e : entries) {
+    const float* xrow = x.data() + static_cast<size_t>(e.col) * x.cols();
+    float* orow = out.data() + static_cast<size_t>(e.row) * out.cols();
+    for (int32_t j = 0; j < x.cols(); ++j) orow[j] += e.weight * xrow[j];
+  }
+  return out;
+}
+
+Matrix SparseMatrix::ApplyTransposed(const Matrix& x) const {
+  LAN_CHECK_EQ(rows, x.rows());
+  Matrix out(cols, x.cols());
+  for (const Entry& e : entries) {
+    const float* xrow = x.data() + static_cast<size_t>(e.row) * x.cols();
+    float* orow = out.data() + static_cast<size_t>(e.col) * out.cols();
+    for (int32_t j = 0; j < x.cols(); ++j) orow[j] += e.weight * xrow[j];
+  }
+  return out;
+}
+
+}  // namespace lan

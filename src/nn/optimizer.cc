@@ -1,0 +1,40 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace lan {
+
+void Adam::Step() {
+  ++steps_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 =
+      1.0f - std::pow(b1, static_cast<float>(steps_));
+  const float bias2 =
+      1.0f - std::pow(b2, static_cast<float>(steps_));
+  for (const auto& p : store_->params()) {
+    Matrix& value = p->value;
+    Matrix& grad = p->grad;
+    Matrix& m = p->adam_m;
+    Matrix& v = p->adam_v;
+    for (int64_t i = 0; i < value.size(); ++i) {
+      float g = grad.data()[i] + options_.weight_decay * value.data()[i];
+      m.data()[i] = b1 * m.data()[i] + (1.0f - b1) * g;
+      v.data()[i] = b2 * v.data()[i] + (1.0f - b2) * g * g;
+      const float m_hat = m.data()[i] / bias1;
+      const float v_hat = v.data()[i] / bias2;
+      value.data()[i] -= lr_ * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+    grad.SetZero();
+  }
+}
+
+void Adam::OnEpochEnd() {
+  ++epochs_seen_;
+  if (options_.decay_every_epochs > 0 &&
+      epochs_seen_ % options_.decay_every_epochs == 0) {
+    lr_ *= options_.lr_decay;
+  }
+}
+
+}  // namespace lan

@@ -1,0 +1,49 @@
+#ifndef LAN_NN_OPTIMIZER_H_
+#define LAN_NN_OPTIMIZER_H_
+
+#include <cstdint>
+
+#include "nn/autograd.h"
+
+namespace lan {
+
+/// \brief Adam configuration matching the paper's training setup
+/// (Sec. VII): initial lr 0.005, multiplied by `lr_decay` every
+/// `decay_every_epochs` epochs.
+struct AdamOptions {
+  float learning_rate = 0.005f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  /// L2 regularization strength (coupled weight decay).
+  float weight_decay = 1e-5f;
+  float lr_decay = 0.96f;
+  int decay_every_epochs = 5;
+};
+
+/// \brief Adam optimizer over a ParamStore.
+class Adam {
+ public:
+  explicit Adam(ParamStore* store, AdamOptions options = {})
+      : store_(store), options_(options), lr_(options.learning_rate) {}
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  /// Call once per epoch to apply the step-decay schedule.
+  void OnEpochEnd();
+
+  float current_learning_rate() const { return lr_; }
+  int64_t steps_taken() const { return steps_; }
+
+ private:
+  ParamStore* store_;
+  AdamOptions options_;
+  float lr_;
+  int64_t steps_ = 0;
+  int epochs_seen_ = 0;
+};
+
+}  // namespace lan
+
+#endif  // LAN_NN_OPTIMIZER_H_

@@ -1,0 +1,95 @@
+#include "nn/serialization.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace lan {
+namespace {
+
+constexpr char kMatrixMagic[4] = {'L', 'M', 'A', 'T'};
+constexpr char kStoreMagic[4] = {'L', 'P', 'R', 'M'};
+
+Status WriteRaw(std::ostream& out, const void* data, size_t bytes) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  if (!out.good()) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status ReadRaw(std::istream& in, void* data, size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    return Status::IoError("truncated read");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteMatrix(const Matrix& m, std::ostream& out) {
+  LAN_RETURN_NOT_OK(WriteRaw(out, kMatrixMagic, sizeof(kMatrixMagic)));
+  const int32_t dims[2] = {m.rows(), m.cols()};
+  LAN_RETURN_NOT_OK(WriteRaw(out, dims, sizeof(dims)));
+  return WriteRaw(out, m.data(),
+                  static_cast<size_t>(m.size()) * sizeof(float));
+}
+
+Result<Matrix> ReadMatrix(std::istream& in) {
+  char magic[4];
+  LAN_RETURN_NOT_OK(ReadRaw(in, magic, sizeof(magic)));
+  if (std::memcmp(magic, kMatrixMagic, sizeof(magic)) != 0) {
+    return Status::IoError("bad matrix magic");
+  }
+  int32_t dims[2];
+  LAN_RETURN_NOT_OK(ReadRaw(in, dims, sizeof(dims)));
+  if (dims[0] < 0 || dims[1] < 0 ||
+      static_cast<int64_t>(dims[0]) * dims[1] > (int64_t{1} << 31)) {
+    return Status::IoError(StrFormat("bad matrix shape %dx%d", dims[0], dims[1]));
+  }
+  Matrix m(dims[0], dims[1]);
+  LAN_RETURN_NOT_OK(
+      ReadRaw(in, m.data(), static_cast<size_t>(m.size()) * sizeof(float)));
+  return m;
+}
+
+Status WriteParamStore(const ParamStore& store, std::ostream& out) {
+  LAN_RETURN_NOT_OK(WriteRaw(out, kStoreMagic, sizeof(kStoreMagic)));
+  const int64_t count = static_cast<int64_t>(store.params().size());
+  LAN_RETURN_NOT_OK(WriteRaw(out, &count, sizeof(count)));
+  for (const auto& p : store.params()) {
+    LAN_RETURN_NOT_OK(WriteMatrix(p->value, out));
+  }
+  return Status::OK();
+}
+
+Status ReadParamStoreInto(ParamStore* store, std::istream& in) {
+  char magic[4];
+  LAN_RETURN_NOT_OK(ReadRaw(in, magic, sizeof(magic)));
+  if (std::memcmp(magic, kStoreMagic, sizeof(magic)) != 0) {
+    return Status::IoError("bad param-store magic");
+  }
+  int64_t count = 0;
+  LAN_RETURN_NOT_OK(ReadRaw(in, &count, sizeof(count)));
+  if (count != static_cast<int64_t>(store->params().size())) {
+    return Status::InvalidArgument(
+        StrFormat("param count mismatch: stream has %lld, model has %zu",
+                  static_cast<long long>(count), store->params().size()));
+  }
+  for (const auto& p : store->params()) {
+    LAN_ASSIGN_OR_RETURN(Matrix m, ReadMatrix(in));
+    if (!m.SameShape(p->value)) {
+      return Status::InvalidArgument(
+          StrFormat("param shape mismatch: stream %s vs model %s",
+                    m.ShapeString().c_str(), p->value.ShapeString().c_str()));
+    }
+    p->value = std::move(m);
+    p->grad.SetZero();
+    p->adam_m.SetZero();
+    p->adam_v.SetZero();
+  }
+  return Status::OK();
+}
+
+}  // namespace lan

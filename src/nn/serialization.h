@@ -1,0 +1,28 @@
+#ifndef LAN_NN_SERIALIZATION_H_
+#define LAN_NN_SERIALIZATION_H_
+
+#include <iosfwd>
+
+#include "common/status.h"
+#include "nn/autograd.h"
+#include "nn/matrix.h"
+
+namespace lan {
+
+/// Binary matrix serialization: "LMAT" magic, int32 rows/cols, float32
+/// payload (host byte order; the format is a local checkpoint, not an
+/// interchange format).
+Status WriteMatrix(const Matrix& m, std::ostream& out);
+Result<Matrix> ReadMatrix(std::istream& in);
+
+/// Writes every parameter's value (Adam moments are not persisted: a
+/// loaded model is for inference or fresh fine-tuning).
+Status WriteParamStore(const ParamStore& store, std::ostream& out);
+
+/// Loads values into an existing store; shapes must match exactly, so the
+/// receiving model must have been constructed with the same architecture.
+Status ReadParamStoreInto(ParamStore* store, std::istream& in);
+
+}  // namespace lan
+
+#endif  // LAN_NN_SERIALIZATION_H_

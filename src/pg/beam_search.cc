@@ -1,0 +1,58 @@
+#include "pg/beam_search.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "pg/candidate_pool.h"
+
+namespace lan {
+
+RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
+                                const std::function<double(GraphId)>& distance,
+                                GraphId init, int beam_size, int k,
+                                bool record_trace) {
+  LAN_CHECK_GE(init, 0);
+  LAN_CHECK_LT(init, pg.NumNodes());
+  RouteStateMap states;
+  CandidatePool pool(&states);
+  int64_t clock = 0;
+  // Local memoization so the callback is hit once per node.
+  std::unordered_map<GraphId, double> memo;
+  auto dist = [&](GraphId id) {
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    const double d = distance(id);
+    memo.emplace(id, d);
+    return d;
+  };
+
+  pool.Add(init, dist(init));
+  RoutingResult out;
+  for (;;) {
+    const GraphId current = pool.BestUnexplored();
+    if (current == kInvalidGraphId) break;
+    // neigh_explore: distances for every neighbor of the current node.
+    for (GraphId neighbor : pg.Neighbors(current)) {
+      pool.Add(neighbor, dist(neighbor));
+    }
+    states[current] = RouteNodeState{true, clock++};
+    if (record_trace) out.trace.push_back(current);
+    ++out.routing_steps;
+    pool.Resize(beam_size);
+  }
+  out.results = pool.TopK(k);
+  return out;
+}
+
+RoutingResult BeamSearchRoute(const ProximityGraph& pg, DistanceOracle* oracle,
+                              GraphId init, int beam_size, int k) {
+  RoutingResult out = BeamSearchRouteFn(
+      pg, [oracle](GraphId id) { return oracle->Distance(id); }, init,
+      beam_size, k);
+  if (oracle->stats() != nullptr) {
+    oracle->stats()->routing_steps += out.routing_steps;
+  }
+  return out;
+}
+
+}  // namespace lan

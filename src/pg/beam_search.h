@@ -1,0 +1,43 @@
+#ifndef LAN_PG_BEAM_SEARCH_H_
+#define LAN_PG_BEAM_SEARCH_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "pg/distance.h"
+#include "pg/proximity_graph.h"
+
+namespace lan {
+
+/// \brief Answer list of a routing run: ids with distances, ascending.
+struct RoutingResult {
+  std::vector<std::pair<GraphId, double>> results;
+  int64_t routing_steps = 0;
+  /// Explored nodes in order (populated only when tracing is requested;
+  /// see the *WithTrace entry points / NpRouteOptions::record_trace).
+  std::vector<GraphId> trace;
+};
+
+/// \brief Algorithm 1: greedy beam-search routing on a proximity graph
+/// (the baseline router, also HNSW's base-layer search).
+///
+/// Explores the best unexplored candidate, computes distances for *all*
+/// its PG neighbors, resizes the pool to `beam_size`, and stops when every
+/// pooled candidate is explored. Every distance goes through `oracle`, so
+/// stats/NDC accounting is automatic.
+RoutingResult BeamSearchRoute(const ProximityGraph& pg, DistanceOracle* oracle,
+                              GraphId init, int beam_size, int k);
+
+/// Algorithm 1 over an arbitrary distance callback (must be cheap or do
+/// its own caching; called once per (step, neighbor) encounter). Used by
+/// the L2route baseline, whose routing distances are vector L2 rather than
+/// GED.
+RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
+                                const std::function<double(GraphId)>& distance,
+                                GraphId init, int beam_size, int k,
+                                bool record_trace = false);
+
+}  // namespace lan
+
+#endif  // LAN_PG_BEAM_SEARCH_H_

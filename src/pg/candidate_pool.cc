@@ -1,0 +1,115 @@
+#include "pg/candidate_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lan {
+
+bool CandidatePool::Explored(GraphId id) const {
+  auto it = states_->find(id);
+  return it != states_->end() && it->second.explored;
+}
+
+int64_t CandidatePool::ExploredAt(GraphId id) const {
+  auto it = states_->find(id);
+  return it != states_->end() ? it->second.explored_at : -1;
+}
+
+bool CandidatePool::Before(const Entry& a, const Entry& b) const {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  const bool ea = Explored(a.id);
+  const bool eb = Explored(b.id);
+  if (ea != eb) return !ea;  // unexplored first (the paper's rule)
+  if (!ea) return a.id < b.id;  // both unexplored: smaller id first
+  return ExploredAt(a.id) > ExploredAt(b.id);  // recently explored first
+}
+
+void CandidatePool::Add(GraphId id, double distance) {
+  if (Contains(id)) return;
+  entries_.push_back(Entry{id, distance});
+}
+
+void CandidatePool::Resize(int beam_size) {
+  LAN_CHECK_GT(beam_size, 0);
+  if (entries_.size() <= static_cast<size_t>(beam_size)) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [this](const Entry& a, const Entry& b) { return Before(a, b); });
+  entries_.resize(static_cast<size_t>(beam_size));
+}
+
+bool CandidatePool::Contains(GraphId id) const {
+  for (const Entry& e : entries_) {
+    if (e.id == id) return true;
+  }
+  return false;
+}
+
+GraphId CandidatePool::BestUnexplored() const {
+  GraphId best = kInvalidGraphId;
+  double best_d = 0.0;
+  for (const Entry& e : entries_) {
+    if (Explored(e.id)) continue;
+    if (best == kInvalidGraphId || e.distance < best_d ||
+        (e.distance == best_d && e.id < best)) {
+      best = e.id;
+      best_d = e.distance;
+    }
+  }
+  return best;
+}
+
+GraphId CandidatePool::BestUnexploredWithin(double gamma) const {
+  GraphId best = kInvalidGraphId;
+  double best_d = 0.0;
+  for (const Entry& e : entries_) {
+    if (e.distance > gamma || Explored(e.id)) continue;
+    if (best == kInvalidGraphId || e.distance < best_d ||
+        (e.distance == best_d && e.id < best)) {
+      best = e.id;
+      best_d = e.distance;
+    }
+  }
+  return best;
+}
+
+GraphId CandidatePool::Best() const {
+  if (entries_.empty()) return kInvalidGraphId;
+  const Entry* best = &entries_[0];
+  for (const Entry& e : entries_) {
+    if (Before(e, *best)) best = &e;
+  }
+  return best->id;
+}
+
+bool CandidatePool::AllExplored() const {
+  for (const Entry& e : entries_) {
+    if (!Explored(e.id)) return false;
+  }
+  return true;
+}
+
+double CandidatePool::DistanceOf(GraphId id) const {
+  for (const Entry& e : entries_) {
+    if (e.id == id) return e.distance;
+  }
+  LAN_LOG(Fatal) << "DistanceOf: id " << id << " not in pool";
+  return 0.0;
+}
+
+std::vector<std::pair<GraphId, double>> CandidatePool::TopK(int k) const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  std::vector<std::pair<GraphId, double>> out;
+  const size_t limit = std::min(sorted.size(), static_cast<size_t>(k));
+  out.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    out.emplace_back(sorted[i].id, sorted[i].distance);
+  }
+  return out;
+}
+
+}  // namespace lan

@@ -1,0 +1,82 @@
+#ifndef LAN_PG_CANDIDATE_POOL_H_
+#define LAN_PG_CANDIDATE_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lan {
+
+/// \brief Global (per-query) routing state of a PG node: the `G.explored`
+/// flag of Algorithms 1-4, with a timestamp for the tie-break rules.
+struct RouteNodeState {
+  bool explored = false;
+  int64_t explored_at = -1;
+};
+
+/// Map GraphId -> state, shared between the pool and the routers.
+using RouteStateMap = std::unordered_map<GraphId, RouteNodeState>;
+
+/// \brief The candidate pool W of Algorithms 1 and 2: a set of (distance,
+/// node) pairs ordered ascending by distance with the paper's tie-break
+/// rules (unexplored before explored; among unexplored, smaller id first;
+/// among explored, the more recently explored first). Resize(b) keeps the
+/// best b candidates.
+class CandidatePool {
+ public:
+  /// `states` must outlive the pool.
+  explicit CandidatePool(const RouteStateMap* states) : states_(states) {}
+
+  /// Inserts (id, distance); no-op if the id is already present.
+  void Add(GraphId id, double distance);
+
+  /// Trims to the best `beam_size` entries under the priority order.
+  void Resize(int beam_size);
+
+  bool Contains(GraphId id) const;
+
+  /// Smallest-distance unexplored entry (ties: smaller id); kInvalidGraphId
+  /// if none.
+  GraphId BestUnexplored() const;
+
+  /// Smallest-distance unexplored entry with distance <= gamma;
+  /// kInvalidGraphId if none.
+  GraphId BestUnexploredWithin(double gamma) const;
+
+  /// Best entry overall under the full priority order; kInvalidGraphId if
+  /// the pool is empty.
+  GraphId Best() const;
+
+  bool AllExplored() const;
+  bool HasUnexploredWithin(double gamma) const {
+    return BestUnexploredWithin(gamma) != kInvalidGraphId;
+  }
+
+  double DistanceOf(GraphId id) const;
+
+  /// Top-k entries by (distance, id); may return fewer than k.
+  std::vector<std::pair<GraphId, double>> TopK(int k) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    GraphId id;
+    double distance;
+  };
+
+  bool Explored(GraphId id) const;
+  int64_t ExploredAt(GraphId id) const;
+  /// True if a ranks strictly before b in the priority order.
+  bool Before(const Entry& a, const Entry& b) const;
+
+  const RouteStateMap* states_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lan
+
+#endif  // LAN_PG_CANDIDATE_POOL_H_

@@ -1,0 +1,67 @@
+#ifndef LAN_PG_DISTANCE_H_
+#define LAN_PG_DISTANCE_H_
+
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "common/timer.h"
+#include "ged/ged_computer.h"
+#include "graph/graph_database.h"
+
+namespace lan {
+
+/// \brief Per-query distance evaluator: caches d(Q, G_id), counts every
+/// cache miss as one distance computation (the paper's NDC metric), and
+/// attributes the wall time to SearchStats::distance_seconds.
+///
+/// One DistanceOracle is created per query; all routing code computes
+/// distances exclusively through it, so NDC is counted in exactly one
+/// place.
+class DistanceOracle {
+ public:
+  DistanceOracle(const GraphDatabase* db, const Graph* query,
+                 const GedComputer* ged, SearchStats* stats)
+      : db_(db), query_(query), ged_(ged), stats_(stats) {}
+
+  DistanceOracle(const DistanceOracle&) = delete;
+  DistanceOracle& operator=(const DistanceOracle&) = delete;
+
+  /// d(Q, db[id]); cached.
+  double Distance(GraphId id) {
+    auto it = cache_.find(id);
+    if (it != cache_.end()) return it->second;
+    double d;
+    {
+      ScopedTimer timer(stats_ != nullptr ? &distance_timer_ : nullptr);
+      d = ged_->Distance(*query_, db_->Get(id));
+    }
+    if (stats_ != nullptr) {
+      ++stats_->ndc;
+      stats_->distance_seconds = distance_timer_.TotalSeconds();
+    }
+    cache_.emplace(id, d);
+    return d;
+  }
+
+  /// True if d(Q, db[id]) has already been computed for this query.
+  bool IsCached(GraphId id) const { return cache_.contains(id); }
+
+  const Graph& query() const { return *query_; }
+  const GraphDatabase& db() const { return *db_; }
+  SearchStats* stats() { return stats_; }
+
+  /// Every distance computed so far (range queries harvest encounters).
+  const std::unordered_map<GraphId, double>& cached() const { return cache_; }
+
+ private:
+  const GraphDatabase* db_;
+  const Graph* query_;
+  const GedComputer* ged_;
+  SearchStats* stats_;
+  AccumulatingTimer distance_timer_;
+  std::unordered_map<GraphId, double> cache_;
+};
+
+}  // namespace lan
+
+#endif  // LAN_PG_DISTANCE_H_

@@ -1,0 +1,580 @@
+#include "pg/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace lan {
+namespace {
+
+/// Build-time helper: mutable layered adjacency + symmetric distance cache.
+class HnswBuilder {
+ public:
+  HnswBuilder(GraphId num_nodes, HnswIndex::PairDistanceFn distance,
+              const HnswOptions& options, ThreadPool* pool)
+      : num_nodes_(num_nodes), distance_fn_(std::move(distance)),
+        options_(options), pool_(pool), rng_(options.seed),
+        level_mult_(1.0 / std::log(std::max(2, options.M))) {}
+
+  void InsertAll() {
+    node_level_.assign(static_cast<size_t>(num_nodes_), 0);
+    adjacency_.emplace_back(static_cast<size_t>(num_nodes_));  // layer 0
+    for (GraphId id = 0; id < num_nodes_; ++id) Insert(id);
+  }
+
+  int RandomLevel() {
+    const double u = std::max(rng_.NextDouble(), 1e-12);
+    return static_cast<int>(-std::log(u) * level_mult_);
+  }
+
+  double Distance(GraphId a, GraphId b) {
+    if (a == b) return 0.0;
+    const int64_t key = PairKey(a, b);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const double d = distance_fn_(a, b);
+    cache_.emplace(key, d);
+    return d;
+  }
+
+  /// Distances from `target` to many nodes, parallelized when a pool is
+  /// available. Results land in the cache.
+  void BulkDistance(GraphId target, const std::vector<GraphId>& others) {
+    std::vector<GraphId> missing;
+    for (GraphId o : others) {
+      if (o != target && !cache_.contains(PairKey(target, o))) {
+        missing.push_back(o);
+      }
+    }
+    if (missing.size() < 2 || pool_ == nullptr) {
+      for (GraphId o : missing) Distance(target, o);
+      return;
+    }
+    std::vector<double> results(missing.size());
+    for (size_t i = 0; i < missing.size(); ++i) {
+      pool_->Submit([this, target, &missing, &results, i] {
+        results[i] = distance_fn_(target, missing[i]);
+      });
+    }
+    pool_->Wait();
+    for (size_t i = 0; i < missing.size(); ++i) {
+      cache_.emplace(PairKey(target, missing[i]), results[i]);
+    }
+  }
+
+  void Insert(GraphId id) {
+    const int level = RandomLevel();
+    node_level_[static_cast<size_t>(id)] = level;
+    while (static_cast<int>(adjacency_.size()) <= level) {
+      adjacency_.emplace_back(static_cast<size_t>(num_nodes_));
+    }
+    if (entry_ == kInvalidGraphId) {
+      entry_ = id;
+      max_level_ = level;
+      return;
+    }
+
+    GraphId curr = entry_;
+    // Greedy descent through layers above the new node's level.
+    for (int l = max_level_; l > level; --l) {
+      curr = GreedyStep(id, curr, l);
+    }
+    // Connect at each layer from min(level, max_level_) down to 0.
+    for (int l = std::min(level, max_level_); l >= 0; --l) {
+      std::vector<std::pair<double, GraphId>> candidates =
+          SearchLayer(id, curr, options_.ef_construction, l);
+      const int cap = (l == 0) ? 2 * options_.M : options_.M;
+      const size_t keep =
+          std::min(candidates.size(), static_cast<size_t>(cap));
+      for (size_t i = 0; i < keep; ++i) {
+        Connect(id, candidates[i].second, l, cap);
+      }
+      if (!candidates.empty()) curr = candidates[0].second;
+    }
+    if (level > max_level_) {
+      max_level_ = level;
+      entry_ = id;
+    }
+  }
+
+  GraphId GreedyStep(GraphId target, GraphId start, int layer) {
+    GraphId curr = start;
+    double curr_d = Distance(target, curr);
+    for (;;) {
+      const auto& neighbors =
+          adjacency_[static_cast<size_t>(layer)][static_cast<size_t>(curr)];
+      BulkDistance(target, neighbors);
+      GraphId best = curr;
+      double best_d = curr_d;
+      for (GraphId n : neighbors) {
+        const double d = Distance(target, n);
+        if (d < best_d) {
+          best = n;
+          best_d = d;
+        }
+      }
+      if (best == curr) return curr;
+      curr = best;
+      curr_d = best_d;
+    }
+  }
+
+  /// ef-search in one layer; returns (distance, id) ascending.
+  std::vector<std::pair<double, GraphId>> SearchLayer(GraphId target,
+                                                      GraphId start, int ef,
+                                                      int layer) {
+    using Item = std::pair<double, GraphId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+    std::priority_queue<Item> best;  // max-heap, size <= ef
+    std::unordered_set<GraphId> visited;
+
+    const double d0 = Distance(target, start);
+    frontier.emplace(d0, start);
+    best.emplace(d0, start);
+    visited.insert(start);
+
+    while (!frontier.empty()) {
+      const auto [d, node] = frontier.top();
+      frontier.pop();
+      if (d > best.top().first && best.size() >= static_cast<size_t>(ef)) {
+        break;
+      }
+      std::vector<GraphId> todo;
+      for (GraphId n :
+           adjacency_[static_cast<size_t>(layer)][static_cast<size_t>(node)]) {
+        if (visited.insert(n).second) todo.push_back(n);
+      }
+      BulkDistance(target, todo);
+      for (GraphId n : todo) {
+        const double dn = Distance(target, n);
+        if (best.size() < static_cast<size_t>(ef) || dn < best.top().first) {
+          frontier.emplace(dn, n);
+          best.emplace(dn, n);
+          if (best.size() > static_cast<size_t>(ef)) best.pop();
+        }
+      }
+    }
+    std::vector<Item> out;
+    out.reserve(best.size());
+    while (!best.empty()) {
+      out.push_back(best.top());
+      best.pop();
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void Connect(GraphId a, GraphId b, int layer, int cap) {
+    auto& la = adjacency_[static_cast<size_t>(layer)][static_cast<size_t>(a)];
+    auto& lb = adjacency_[static_cast<size_t>(layer)][static_cast<size_t>(b)];
+    if (std::find(la.begin(), la.end(), b) == la.end()) la.push_back(b);
+    if (std::find(lb.begin(), lb.end(), a) == lb.end()) lb.push_back(a);
+    Shrink(&la, a, cap);
+    Shrink(&lb, b, cap);
+  }
+
+  /// Keeps only `cap` neighbors of `node`: the closest ones, or (with the
+  /// heuristic) a diversity-filtered subset per Malkov & Yashunin — a
+  /// candidate is kept only if it is closer to `node` than to every
+  /// already-kept neighbor, so kept edges spread across clusters instead
+  /// of all pointing into one.
+  void Shrink(std::vector<GraphId>* list, GraphId node, int cap) {
+    if (list->size() <= static_cast<size_t>(cap)) return;
+    std::sort(list->begin(), list->end(), [&](GraphId x, GraphId y) {
+      const double dx = Distance(node, x);
+      const double dy = Distance(node, y);
+      if (dx != dy) return dx < dy;
+      return x < y;
+    });
+    if (!options_.select_neighbors_heuristic) {
+      list->resize(static_cast<size_t>(cap));
+      return;
+    }
+    std::vector<GraphId> kept;
+    std::vector<GraphId> spilled;
+    for (GraphId candidate : *list) {
+      if (kept.size() >= static_cast<size_t>(cap)) break;
+      const double d_node = Distance(node, candidate);
+      bool diverse = true;
+      for (GraphId existing : kept) {
+        if (Distance(candidate, existing) < d_node) {
+          diverse = false;
+          break;
+        }
+      }
+      if (diverse) {
+        kept.push_back(candidate);
+      } else {
+        spilled.push_back(candidate);
+      }
+    }
+    // Backfill with the nearest rejected candidates (keepPrunedConnections).
+    for (GraphId candidate : spilled) {
+      if (kept.size() >= static_cast<size_t>(cap)) break;
+      kept.push_back(candidate);
+    }
+    *list = std::move(kept);
+  }
+
+  static int64_t PairKey(GraphId a, GraphId b) {
+    const int64_t lo = std::min(a, b);
+    const int64_t hi = std::max(a, b);
+    return (hi << 32) | lo;
+  }
+
+  GraphId num_nodes_;
+  HnswIndex::PairDistanceFn distance_fn_;
+  const HnswOptions& options_;
+  ThreadPool* pool_;
+  Rng rng_;
+  double level_mult_;
+
+  /// adjacency_[l][node] = neighbor list at layer l.
+  std::vector<std::vector<std::vector<GraphId>>> adjacency_;
+  std::vector<int> node_level_;
+  std::unordered_map<int64_t, double> cache_;
+  GraphId entry_ = kInvalidGraphId;
+  int max_level_ = 0;
+
+  friend class ::lan::HnswIndex;
+};
+
+}  // namespace
+
+HnswIndex HnswIndex::Build(const GraphDatabase& db, const GedComputer& ged,
+                           const HnswOptions& options, ThreadPool* pool) {
+  return BuildWithDistance(
+      db.size(),
+      [&db, &ged](GraphId a, GraphId b) {
+        return ged.Distance(db.Get(a), db.Get(b));
+      },
+      options, pool);
+}
+
+HnswIndex HnswIndex::BuildWithDistance(GraphId num_nodes,
+                                       const PairDistanceFn& distance,
+                                       const HnswOptions& options,
+                                       ThreadPool* pool) {
+  LAN_CHECK_GT(num_nodes, 0);
+  HnswBuilder builder(num_nodes, distance, options, pool);
+  builder.InsertAll();
+
+  HnswIndex index;
+  index.entry_point_ = builder.entry_;
+  index.base_layer_ = ProximityGraph(num_nodes);
+  for (GraphId id = 0; id < num_nodes; ++id) {
+    for (GraphId n : builder.adjacency_[0][static_cast<size_t>(id)]) {
+      LAN_CHECK_OK(index.base_layer_.AddEdge(id, n));
+    }
+  }
+  for (size_t l = 1; l < builder.adjacency_.size(); ++l) {
+    UpperLayer layer;
+    layer.adjacency.assign(static_cast<size_t>(num_nodes), {});
+    for (GraphId id = 0; id < num_nodes; ++id) {
+      const auto& neighbors = builder.adjacency_[l][static_cast<size_t>(id)];
+      if (!neighbors.empty()) {
+        layer.adjacency[static_cast<size_t>(id)] = neighbors;
+        layer.members.push_back(id);
+      }
+    }
+    index.layers_.push_back(std::move(layer));
+  }
+  return index;
+}
+
+namespace {
+
+constexpr char kHnswMagic[8] = {'L', 'A', 'N', 'H', 'N', 'S', 'W', '1'};
+
+Status WritePod(std::ostream& out, const void* data, size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out.good()) return Status::IoError("hnsw write failed");
+  return Status::OK();
+}
+
+Status ReadPod(std::istream& in, void* data, size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    return Status::IoError("hnsw read truncated");
+  }
+  return Status::OK();
+}
+
+Status WriteIdList(std::ostream& out, const std::vector<GraphId>& ids) {
+  const int64_t count = static_cast<int64_t>(ids.size());
+  LAN_RETURN_NOT_OK(WritePod(out, &count, sizeof(count)));
+  if (count > 0) {
+    LAN_RETURN_NOT_OK(WritePod(out, ids.data(), ids.size() * sizeof(GraphId)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<GraphId>> ReadIdList(std::istream& in, GraphId num_nodes) {
+  int64_t count = 0;
+  LAN_RETURN_NOT_OK(ReadPod(in, &count, sizeof(count)));
+  if (count < 0 || count > num_nodes) {
+    return Status::IoError("hnsw id list size out of range");
+  }
+  std::vector<GraphId> ids(static_cast<size_t>(count));
+  if (count > 0) {
+    LAN_RETURN_NOT_OK(ReadPod(in, ids.data(), ids.size() * sizeof(GraphId)));
+  }
+  for (GraphId id : ids) {
+    if (id < 0 || id >= num_nodes) return Status::IoError("hnsw bad id");
+  }
+  return ids;
+}
+
+}  // namespace
+
+Status HnswIndex::Save(std::ostream& out) const {
+  LAN_RETURN_NOT_OK(WritePod(out, kHnswMagic, sizeof(kHnswMagic)));
+  const GraphId num_nodes = base_layer_.NumNodes();
+  LAN_RETURN_NOT_OK(WritePod(out, &num_nodes, sizeof(num_nodes)));
+  LAN_RETURN_NOT_OK(WritePod(out, &entry_point_, sizeof(entry_point_)));
+  // Base layer adjacency.
+  for (GraphId id = 0; id < num_nodes; ++id) {
+    LAN_RETURN_NOT_OK(WriteIdList(out, base_layer_.Neighbors(id)));
+  }
+  // Upper layers: member lists + adjacency of members.
+  const int32_t num_upper = static_cast<int32_t>(layers_.size());
+  LAN_RETURN_NOT_OK(WritePod(out, &num_upper, sizeof(num_upper)));
+  for (const UpperLayer& layer : layers_) {
+    LAN_RETURN_NOT_OK(WriteIdList(out, layer.members));
+    for (GraphId member : layer.members) {
+      LAN_RETURN_NOT_OK(
+          WriteIdList(out, layer.adjacency[static_cast<size_t>(member)]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<HnswIndex> HnswIndex::Load(std::istream& in) {
+  char magic[8];
+  LAN_RETURN_NOT_OK(ReadPod(in, magic, sizeof(magic)));
+  if (std::memcmp(magic, kHnswMagic, sizeof(magic)) != 0) {
+    return Status::IoError("bad hnsw magic");
+  }
+  GraphId num_nodes = 0;
+  HnswIndex index;
+  LAN_RETURN_NOT_OK(ReadPod(in, &num_nodes, sizeof(num_nodes)));
+  if (num_nodes <= 0) return Status::IoError("hnsw bad node count");
+  LAN_RETURN_NOT_OK(
+      ReadPod(in, &index.entry_point_, sizeof(index.entry_point_)));
+  if (index.entry_point_ < 0 || index.entry_point_ >= num_nodes) {
+    return Status::IoError("hnsw bad entry point");
+  }
+  index.base_layer_ = ProximityGraph(num_nodes);
+  for (GraphId id = 0; id < num_nodes; ++id) {
+    LAN_ASSIGN_OR_RETURN(std::vector<GraphId> neighbors,
+                         ReadIdList(in, num_nodes));
+    for (GraphId n : neighbors) {
+      if (n == id) return Status::IoError("hnsw self loop");
+      LAN_RETURN_NOT_OK(index.base_layer_.AddEdge(id, n));
+    }
+  }
+  int32_t num_upper = 0;
+  LAN_RETURN_NOT_OK(ReadPod(in, &num_upper, sizeof(num_upper)));
+  if (num_upper < 0 || num_upper > 64) {
+    return Status::IoError("hnsw bad layer count");
+  }
+  for (int32_t l = 0; l < num_upper; ++l) {
+    UpperLayer layer;
+    layer.adjacency.assign(static_cast<size_t>(num_nodes), {});
+    LAN_ASSIGN_OR_RETURN(layer.members, ReadIdList(in, num_nodes));
+    for (GraphId member : layer.members) {
+      LAN_ASSIGN_OR_RETURN(std::vector<GraphId> neighbors,
+                           ReadIdList(in, num_nodes));
+      layer.adjacency[static_cast<size_t>(member)] = std::move(neighbors);
+    }
+    index.layers_.push_back(std::move(layer));
+  }
+  return index;
+}
+
+namespace {
+
+/// ef-search over an adjacency callback (shared by Insert).
+std::vector<std::pair<double, GraphId>> EfSearch(
+    const std::function<const std::vector<GraphId>&(GraphId)>& neighbors_of,
+    const std::function<double(GraphId)>& distance, GraphId start, int ef) {
+  using Item = std::pair<double, GraphId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  std::priority_queue<Item> best;
+  std::unordered_set<GraphId> visited;
+  const double d0 = distance(start);
+  frontier.emplace(d0, start);
+  best.emplace(d0, start);
+  visited.insert(start);
+  while (!frontier.empty()) {
+    const auto [d, node] = frontier.top();
+    frontier.pop();
+    if (best.size() >= static_cast<size_t>(ef) && d > best.top().first) break;
+    for (GraphId n : neighbors_of(node)) {
+      if (!visited.insert(n).second) continue;
+      const double dn = distance(n);
+      if (best.size() < static_cast<size_t>(ef) || dn < best.top().first) {
+        frontier.emplace(dn, n);
+        best.emplace(dn, n);
+        if (best.size() > static_cast<size_t>(ef)) best.pop();
+      }
+    }
+  }
+  std::vector<Item> out;
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Status HnswIndex::Insert(GraphId id, const PairDistanceFn& distance,
+                         const HnswOptions& options, Rng* rng) {
+  if (id != base_layer_.NumNodes()) {
+    return Status::InvalidArgument(
+        "Insert: id must equal the current node count");
+  }
+  if (id == 0) {
+    // First element: trivial one-node index.
+    base_layer_ = ProximityGraph(1);
+    entry_point_ = 0;
+    return Status::OK();
+  }
+  // Memoized query-to-item distance for this insertion.
+  std::unordered_map<GraphId, double> memo;
+  auto dist = [&](GraphId other) {
+    auto it = memo.find(other);
+    if (it != memo.end()) return it->second;
+    const double d = distance(id, other);
+    memo.emplace(other, d);
+    return d;
+  };
+
+  // Level assignment (same distribution as construction).
+  const double level_mult = 1.0 / std::log(std::max(2, options.M));
+  const double u = std::max(rng->NextDouble(), 1e-12);
+  const int level = static_cast<int>(-std::log(u) * level_mult);
+
+  const int old_top = static_cast<int>(layers_.size());
+
+  // Grow structures to hold the new node.
+  ProximityGraph new_base(id + 1);
+  for (GraphId a = 0; a < base_layer_.NumNodes(); ++a) {
+    for (GraphId b : base_layer_.Neighbors(a)) {
+      if (a < b) LAN_RETURN_NOT_OK(new_base.AddEdge(a, b));
+    }
+  }
+  base_layer_ = std::move(new_base);
+  for (UpperLayer& layer : layers_) {
+    layer.adjacency.resize(static_cast<size_t>(id) + 1);
+  }
+  while (static_cast<int>(layers_.size()) < level) {
+    UpperLayer layer;
+    layer.adjacency.assign(static_cast<size_t>(id) + 1, {});
+    layers_.push_back(std::move(layer));
+  }
+
+  // Greedy descent through layers above `level`.
+  GraphId curr = entry_point_;
+  for (int l = static_cast<int>(layers_.size()); l > level; --l) {
+    const UpperLayer& layer = layers_[static_cast<size_t>(l) - 1];
+    for (;;) {
+      GraphId best = curr;
+      double best_d = dist(curr);
+      for (GraphId n : layer.adjacency[static_cast<size_t>(curr)]) {
+        if (dist(n) < best_d) {
+          best = n;
+          best_d = dist(n);
+        }
+      }
+      if (best == curr) break;
+      curr = best;
+    }
+  }
+
+  // Connect at each layer from min(level, top) down to 1 (upper layers).
+  for (int l = std::min(level, static_cast<int>(layers_.size())); l >= 1;
+       --l) {
+    UpperLayer& layer = layers_[static_cast<size_t>(l) - 1];
+    auto neighbors_of = [&layer](GraphId n) -> const std::vector<GraphId>& {
+      return layer.adjacency[static_cast<size_t>(n)];
+    };
+    auto nearest = EfSearch(neighbors_of, dist, curr, options.ef_construction);
+    const size_t keep = std::min(nearest.size(),
+                                 static_cast<size_t>(options.M));
+    for (size_t i = 0; i < keep; ++i) {
+      const GraphId peer = nearest[i].second;
+      layer.adjacency[static_cast<size_t>(id)].push_back(peer);
+      layer.adjacency[static_cast<size_t>(peer)].push_back(id);
+    }
+    if (!layer.adjacency[static_cast<size_t>(id)].empty()) {
+      layer.members.push_back(id);
+    }
+    if (!nearest.empty()) curr = nearest[0].second;
+  }
+
+  // Base layer.
+  {
+    auto neighbors_of =
+        [this](GraphId n) -> const std::vector<GraphId>& {
+      return base_layer_.Neighbors(n);
+    };
+    auto nearest = EfSearch(neighbors_of, dist, curr, options.ef_construction);
+    const size_t keep =
+        std::min(nearest.size(), static_cast<size_t>(2 * options.M));
+    for (size_t i = 0; i < keep; ++i) {
+      LAN_RETURN_NOT_OK(base_layer_.AddEdge(id, nearest[i].second));
+    }
+  }
+  if (level > old_top || entry_point_ == kInvalidGraphId) entry_point_ = id;
+  return Status::OK();
+}
+
+GraphId HnswIndex::SelectInitialNode(DistanceOracle* oracle) const {
+  return SelectInitialNodeFn(
+      [oracle](GraphId id) { return oracle->Distance(id); });
+}
+
+GraphId HnswIndex::SelectInitialNodeFn(
+    const std::function<double(GraphId)>& distance) const {
+  GraphId curr = entry_point_;
+  double curr_d = distance(curr);
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    for (;;) {
+      GraphId best = curr;
+      double best_d = curr_d;
+      for (GraphId n : it->adjacency[static_cast<size_t>(curr)]) {
+        const double d = distance(n);
+        if (d < best_d) {
+          best = n;
+          best_d = d;
+        }
+      }
+      if (best == curr) break;
+      curr = best;
+      curr_d = best_d;
+    }
+  }
+  return curr;
+}
+
+RoutingResult HnswIndex::Search(DistanceOracle* oracle, int ef, int k) const {
+  const GraphId init = SelectInitialNode(oracle);
+  return BeamSearchRoute(base_layer_, oracle, init, ef, k);
+}
+
+}  // namespace lan

@@ -1,0 +1,107 @@
+#ifndef LAN_PG_HNSW_H_
+#define LAN_PG_HNSW_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "ged/ged_computer.h"
+#include "pg/beam_search.h"
+#include "pg/distance.h"
+#include "pg/proximity_graph.h"
+
+namespace lan {
+
+/// \brief HNSW construction/search parameters.
+struct HnswOptions {
+  /// Max neighbors per node in upper layers; base layer allows 2*M.
+  int M = 8;
+  /// Candidate-list width during construction.
+  int ef_construction = 32;
+  /// RNG seed for the level assignment.
+  uint64_t seed = 42;
+  /// Use Malkov's diversity heuristic when selecting/shrinking neighbor
+  /// lists (keep a candidate only if it is closer to the node than to any
+  /// already-kept neighbor). Produces sparser, better-navigable graphs
+  /// than plain nearest-M on clustered data.
+  bool select_neighbors_heuristic = true;
+};
+
+/// \brief Hierarchical navigable small world index over a graph database
+/// under GED (Malkov & Yashunin; the paper's main baseline).
+///
+/// The base layer doubles as the flat proximity graph that LAN routes on,
+/// so every compared method shares the same PG topology. Construction
+/// distances are computed with the provided GedComputer (typically in
+/// approximate-only mode) and are an offline cost, not query NDC.
+class HnswIndex {
+ public:
+  /// Symmetric distance between two indexed items. Must be thread-safe
+  /// when a ThreadPool is passed to the builder.
+  using PairDistanceFn = std::function<double(GraphId, GraphId)>;
+
+  /// Builds the index. `pool` (optional) parallelizes the per-step
+  /// neighbor distance evaluations.
+  static HnswIndex Build(const GraphDatabase& db, const GedComputer& ged,
+                         const HnswOptions& options,
+                         ThreadPool* pool = nullptr);
+
+  /// Metric-agnostic builder (used by the L2route baseline over graph
+  /// embedding vectors).
+  static HnswIndex BuildWithDistance(GraphId num_nodes,
+                                     const PairDistanceFn& distance,
+                                     const HnswOptions& options,
+                                     ThreadPool* pool = nullptr);
+
+  /// The layer-0 proximity graph (all database nodes).
+  const ProximityGraph& BaseLayer() const { return base_layer_; }
+
+  int NumLayers() const { return static_cast<int>(layers_.size()) + 1; }
+  GraphId EntryPoint() const { return entry_point_; }
+
+  /// HNSW_IS: greedy descent through the upper layers; returns the
+  /// base-layer start node. Distance computations go through `oracle` and
+  /// therefore count toward the query's NDC.
+  GraphId SelectInitialNode(DistanceOracle* oracle) const;
+
+  /// Upper-layer descent with an arbitrary query-to-item distance.
+  GraphId SelectInitialNodeFn(
+      const std::function<double(GraphId)>& distance) const;
+
+  /// Binary (de)serialization of the index structure (base layer, upper
+  /// layers, entry point). Construction is the GED-heavy offline phase, so
+  /// persisting it makes restarts cheap.
+  Status Save(std::ostream& out) const;
+  static Result<HnswIndex> Load(std::istream& in);
+
+  /// Incrementally inserts item `id` (which must equal the current node
+  /// count) into the built index — dynamic maintenance without a rebuild.
+  /// `distance` must cover all ids up to and including the new one.
+  /// Uses the same level assignment, ef-search and neighbor-selection
+  /// rules as construction.
+  Status Insert(GraphId id, const PairDistanceFn& distance,
+                const HnswOptions& options, Rng* rng);
+
+  /// Full HNSW k-ANN query: upper-layer descent, then Algorithm 1 on the
+  /// base layer with beam size `ef`.
+  RoutingResult Search(DistanceOracle* oracle, int ef, int k) const;
+
+ private:
+  /// adjacency of upper layer l (1-based in HNSW terms): node -> neighbors.
+  /// Sparse: only nodes assigned to that layer appear.
+  struct UpperLayer {
+    std::vector<std::vector<GraphId>> adjacency;  // indexed by GraphId
+    std::vector<GraphId> members;
+  };
+
+  ProximityGraph base_layer_;
+  std::vector<UpperLayer> layers_;
+  GraphId entry_point_ = kInvalidGraphId;
+};
+
+}  // namespace lan
+
+#endif  // LAN_PG_HNSW_H_

@@ -1,0 +1,56 @@
+#ifndef LAN_PG_NEIGHBOR_RANKER_H_
+#define LAN_PG_NEIGHBOR_RANKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "pg/distance.h"
+#include "pg/proximity_graph.h"
+
+namespace lan {
+
+/// \brief Ranks the PG neighbors of a node into distance-ordered batches
+/// of roughly y% each (Sec. IV): batch 0 should hold the neighbors closest
+/// to the query. np_route opens batches in order and prunes the rest.
+///
+/// Implementations must NOT charge distance computations to the query's
+/// NDC (the oracle assumption of Sec. IV-A; the learned ranker's cost is
+/// model inference, counted separately).
+class NeighborRanker {
+ public:
+  virtual ~NeighborRanker() = default;
+
+  /// Partitions Neighbors(node) into batches, best first. Batches must be
+  /// non-empty and jointly contain every neighbor exactly once.
+  virtual std::vector<std::vector<GraphId>> RankNeighbors(
+      const ProximityGraph& pg, GraphId node, const Graph& query) = 0;
+};
+
+/// \brief The oracle ranker of Sec. IV-A: batches by true distance to the
+/// query. Used for the Theorem 1 equivalence analysis and as the skyline
+/// in ablation benches. Distances are computed with a private GedComputer
+/// and never counted toward the query's NDC.
+class OracleRanker : public NeighborRanker {
+ public:
+  /// `batch_percent` = the paper's y (0 < y <= 100).
+  OracleRanker(const GraphDatabase* db, const GedComputer* ged,
+               int batch_percent);
+
+  std::vector<std::vector<GraphId>> RankNeighbors(const ProximityGraph& pg,
+                                                  GraphId node,
+                                                  const Graph& query) override;
+
+ private:
+  const GraphDatabase* db_;
+  const GedComputer* ged_;
+  int batch_percent_;
+};
+
+/// Splits an already-ranked list into batches of y%.
+/// Batch size = ceil(count * y / 100), at least 1.
+std::vector<std::vector<GraphId>> SplitIntoBatches(
+    const std::vector<GraphId>& ranked, int batch_percent);
+
+}  // namespace lan
+
+#endif  // LAN_PG_NEIGHBOR_RANKER_H_

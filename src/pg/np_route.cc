@@ -1,0 +1,175 @@
+#include "pg/np_route.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "pg/candidate_pool.h"
+
+namespace lan {
+namespace {
+
+/// Batch bookkeeping of one PG node: the ranked batches B_0..B_n and how
+/// many of them have been opened (distances computed).
+struct BatchState {
+  std::vector<std::vector<GraphId>> batches;
+  size_t opened = 0;
+};
+
+class NpRouter {
+ public:
+  NpRouter(const ProximityGraph& pg, DistanceOracle* oracle,
+           NeighborRanker* ranker, const NpRouteOptions& options)
+      : pg_(pg), oracle_(oracle), ranker_(ranker), options_(options),
+        pool_(&states_) {}
+
+  RoutingResult Run(GraphId init) {
+    pool_.Add(init, oracle_->Distance(init));
+
+    // ---- Stage 1 (Algorithm 2, lines 5-11): greedy descent. ----
+    GraphId current = pool_.Best();
+    while (current != kInvalidGraphId && !Explored(current)) {
+      RankExplore(current, pool_.DistanceOf(current));
+      MarkExplored(current);
+      pool_.Resize(options_.beam_size);
+      current = pool_.Best();
+    }
+
+    // ---- Stage 2 (lines 13-29): backtracking under growing gamma. ----
+    const GraphId first_local_opt = pool_.Best();
+    double gamma = pool_.DistanceOf(first_local_opt) + options_.step_size;
+    for (;;) {
+      for (GraphId g : ExploredNodesSorted()) {
+        AllQualifiedNeighbors(g, gamma);
+      }
+      pool_.Resize(options_.beam_size);
+      if (pool_.AllExplored()) break;
+      for (;;) {
+        const GraphId next = pool_.BestUnexploredWithin(gamma);
+        if (next == kInvalidGraphId) break;
+        RankExplore(next, gamma);
+        MarkExplored(next);
+        pool_.Resize(options_.beam_size);
+      }
+      gamma += options_.step_size;
+    }
+
+    RoutingResult out;
+    out.results = pool_.TopK(options_.k);
+    out.routing_steps = routing_steps_;
+    out.trace = std::move(trace_);
+    if (oracle_->stats() != nullptr) {
+      oracle_->stats()->routing_steps += routing_steps_;
+    }
+    return out;
+  }
+
+ private:
+  bool Explored(GraphId id) const {
+    auto it = states_.find(id);
+    return it != states_.end() && it->second.explored;
+  }
+
+  void MarkExplored(GraphId id) {
+    states_[id] = RouteNodeState{true, clock_++};
+    if (options_.record_trace) trace_.push_back(id);
+    ++routing_steps_;
+  }
+
+  std::vector<GraphId> ExploredNodesSorted() const {
+    std::vector<GraphId> out;
+    out.reserve(states_.size());
+    for (const auto& [id, st] : states_) {
+      if (st.explored) out.push_back(id);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  BatchState& GetBatchState(GraphId node) {
+    auto it = batch_states_.find(node);
+    if (it != batch_states_.end()) return it->second;
+    BatchState st;
+    st.batches = ranker_->RankNeighbors(pg_, node, oracle_->query());
+    return batch_states_.emplace(node, std::move(st)).first->second;
+  }
+
+  /// Opens batch j of `node`: computes distances and adds every member to
+  /// W. Returns the largest member distance.
+  double OpenBatch(BatchState* st, size_t j) {
+    double farthest = -1.0;
+    for (GraphId member : st->batches[j]) {
+      const double d = oracle_->Distance(member);
+      pool_.Add(member, d);
+      farthest = std::max(farthest, d);
+    }
+    st->opened = j + 1;
+    return farthest;
+  }
+
+  /// Algorithm 4.
+  void RankExplore(GraphId node, double gamma) {
+    BatchState& st = GetBatchState(node);
+    if (st.opened > 0) {
+      // Farthest already-computed neighbor in the opened batches.
+      double farthest = -1.0;
+      for (size_t j = 0; j < st.opened; ++j) {
+        for (GraphId member : st.batches[j]) {
+          farthest = std::max(farthest, oracle_->Distance(member));
+        }
+      }
+      if (farthest >= gamma) return;
+    }
+    for (size_t j = st.opened; j < st.batches.size(); ++j) {
+      const double farthest = OpenBatch(&st, j);
+      if (farthest >= gamma) return;
+    }
+  }
+
+  /// Algorithm 3.
+  void AllQualifiedNeighbors(GraphId node, double gamma) {
+    BatchState& st = GetBatchState(node);
+    // Lines 3-10: re-add unexplored members of already-opened batches.
+    for (size_t j = 0; j < st.opened; ++j) {
+      bool added_far = false;
+      for (GraphId member : st.batches[j]) {
+        if (Explored(member)) continue;
+        const double d = oracle_->Distance(member);  // cached
+        pool_.Add(member, d);
+        if (d >= gamma) added_far = true;
+      }
+      if (added_far) return;
+    }
+    // Lines 11-18: open further batches.
+    for (size_t j = st.opened; j < st.batches.size(); ++j) {
+      const double farthest = OpenBatch(&st, j);
+      if (farthest >= gamma) return;
+    }
+  }
+
+  const ProximityGraph& pg_;
+  DistanceOracle* oracle_;
+  NeighborRanker* ranker_;
+  const NpRouteOptions& options_;
+  RouteStateMap states_;
+  CandidatePool pool_;
+  std::unordered_map<GraphId, BatchState> batch_states_;
+  int64_t clock_ = 0;
+  int64_t routing_steps_ = 0;
+  std::vector<GraphId> trace_;
+};
+
+}  // namespace
+
+RoutingResult NpRoute(const ProximityGraph& pg, DistanceOracle* oracle,
+                      NeighborRanker* ranker, GraphId init,
+                      const NpRouteOptions& options) {
+  LAN_CHECK_GE(init, 0);
+  LAN_CHECK_LT(init, pg.NumNodes());
+  LAN_CHECK_GT(options.step_size, 0.0);
+  NpRouter router(pg, oracle, ranker, options);
+  return router.Run(init);
+}
+
+}  // namespace lan

@@ -1,0 +1,36 @@
+#ifndef LAN_PG_NP_ROUTE_H_
+#define LAN_PG_NP_ROUTE_H_
+
+#include "pg/beam_search.h"
+#include "pg/neighbor_ranker.h"
+
+namespace lan {
+
+/// \brief Parameters of np_route (Algorithm 2).
+struct NpRouteOptions {
+  /// Beam size b of the candidate pool W.
+  int beam_size = 16;
+  /// Number of answers k.
+  int k = 10;
+  /// Threshold increment d_s of the second routing stage.
+  double step_size = 1.0;
+  /// Record the exploration order in RoutingResult::trace (debugging aid:
+  /// see where the router went and where recall was lost).
+  bool record_trace = false;
+};
+
+/// \brief Routing with neighbor pruning (Algorithms 2-4, Sec. IV).
+///
+/// Stage 1 routes greedily from `init` to the first local optimum, using
+/// the current node's own distance as the batch-opening threshold. Stage 2
+/// backtracks under a growing threshold gamma (incremented by
+/// `step_size`), re-qualifying neighbors of explored nodes against each
+/// new gamma. With an oracle ranker this returns exactly the Algorithm 1
+/// result with no more distance computations (Theorem 1).
+RoutingResult NpRoute(const ProximityGraph& pg, DistanceOracle* oracle,
+                      NeighborRanker* ranker, GraphId init,
+                      const NpRouteOptions& options);
+
+}  // namespace lan
+
+#endif  // LAN_PG_NP_ROUTE_H_

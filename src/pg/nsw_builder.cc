@@ -1,0 +1,130 @@
+#include "pg/nsw_builder.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace lan {
+namespace {
+
+using Item = std::pair<double, GraphId>;
+
+/// Greedy beam search over the partial graph: nearest `ef` inserted nodes
+/// to `target`, starting from `entry`.
+std::vector<Item> SearchPartial(
+    const ProximityGraph& pg,
+    const std::function<double(GraphId, GraphId)>& distance, GraphId target,
+    GraphId entry, int ef, std::unordered_map<GraphId, double>* memo) {
+  auto dist = [&](GraphId id) {
+    auto it = memo->find(id);
+    if (it != memo->end()) return it->second;
+    const double d = distance(target, id);
+    memo->emplace(id, d);
+    return d;
+  };
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  std::priority_queue<Item> best;  // max-heap capped at ef
+  std::unordered_set<GraphId> visited;
+  const double d0 = dist(entry);
+  frontier.emplace(d0, entry);
+  best.emplace(d0, entry);
+  visited.insert(entry);
+  while (!frontier.empty()) {
+    const auto [d, node] = frontier.top();
+    frontier.pop();
+    if (best.size() >= static_cast<size_t>(ef) && d > best.top().first) break;
+    for (GraphId n : pg.Neighbors(node)) {
+      if (!visited.insert(n).second) continue;
+      const double dn = dist(n);
+      if (best.size() < static_cast<size_t>(ef) || dn < best.top().first) {
+        frontier.emplace(dn, n);
+        best.emplace(dn, n);
+        if (best.size() > static_cast<size_t>(ef)) best.pop();
+      }
+    }
+  }
+  std::vector<Item> out;
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+ProximityGraph BuildNswGraph(
+    GraphId num_nodes,
+    const std::function<double(GraphId, GraphId)>& distance,
+    const NswOptions& options) {
+  LAN_CHECK_GT(num_nodes, 0);
+  ProximityGraph pg(num_nodes);
+  Rng rng(options.seed);
+
+  // Random insertion order: the early sparse graph contributes the
+  // long-range links that make the final graph navigable.
+  std::vector<GraphId> order(static_cast<size_t>(num_nodes));
+  for (GraphId i = 0; i < num_nodes; ++i) order[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&order);
+
+  std::vector<GraphId> inserted;
+  inserted.reserve(order.size());
+  for (GraphId id : order) {
+    if (!inserted.empty()) {
+      const GraphId entry = inserted[static_cast<size_t>(
+          rng.NextBounded(inserted.size()))];
+      std::unordered_map<GraphId, double> memo;
+      std::vector<Item> nearest = SearchPartial(
+          pg, distance, id, entry, options.ef_construction, &memo);
+      const size_t links =
+          std::min(nearest.size(), static_cast<size_t>(options.M));
+      for (size_t i = 0; i < links; ++i) {
+        LAN_CHECK_OK(pg.AddEdge(id, nearest[i].second));
+      }
+    }
+    inserted.push_back(id);
+  }
+  return pg;
+}
+
+ProximityGraph BuildExactKnnGraph(
+    GraphId num_nodes,
+    const std::function<double(GraphId, GraphId)>& distance, int M) {
+  LAN_CHECK_GT(num_nodes, 0);
+  LAN_CHECK_GT(M, 0);
+  ProximityGraph pg(num_nodes);
+  for (GraphId a = 0; a < num_nodes; ++a) {
+    std::vector<std::pair<double, GraphId>> others;
+    others.reserve(static_cast<size_t>(num_nodes) - 1);
+    for (GraphId b = 0; b < num_nodes; ++b) {
+      if (a != b) others.emplace_back(distance(a, b), b);
+    }
+    const size_t keep = std::min(others.size(), static_cast<size_t>(M));
+    std::partial_sort(others.begin(),
+                      others.begin() + static_cast<ptrdiff_t>(keep),
+                      others.end());
+    for (size_t i = 0; i < keep; ++i) {
+      LAN_CHECK_OK(pg.AddEdge(a, others[i].second));
+    }
+  }
+  return pg;
+}
+
+ProximityGraph BuildNswGraph(const GraphDatabase& db, const GedComputer& ged,
+                             const NswOptions& options) {
+  return BuildNswGraph(
+      db.size(),
+      [&db, &ged](GraphId a, GraphId b) {
+        return ged.Distance(db.Get(a), db.Get(b));
+      },
+      options);
+}
+
+}  // namespace lan

@@ -1,0 +1,48 @@
+#ifndef LAN_PG_NSW_BUILDER_H_
+#define LAN_PG_NSW_BUILDER_H_
+
+#include <functional>
+
+#include "common/thread_pool.h"
+#include "ged/ged_computer.h"
+#include "graph/graph_database.h"
+#include "pg/proximity_graph.h"
+
+namespace lan {
+
+/// \brief Flat NSW construction parameters.
+struct NswOptions {
+  /// Links created per inserted node.
+  int M = 8;
+  /// Beam width of the insertion-time search.
+  int ef_construction = 32;
+  uint64_t seed = 42;
+};
+
+/// \brief Builds a flat navigable-small-world proximity graph (Malkov et
+/// al. 2014, the paper's reference [31]): nodes are inserted in random
+/// order and linked to their M nearest already-inserted nodes, found by a
+/// greedy search over the graph built so far. Early random links double
+/// as long-range shortcuts, which is what makes the result navigable.
+///
+/// This is the single-layer alternative to HnswIndex: LAN itself only
+/// needs a base-layer PG, so either builder can feed it.
+ProximityGraph BuildNswGraph(GraphId num_nodes,
+                             const std::function<double(GraphId, GraphId)>& distance,
+                             const NswOptions& options);
+
+/// Convenience overload over a graph database + GED.
+ProximityGraph BuildNswGraph(const GraphDatabase& db, const GedComputer& ged,
+                             const NswOptions& options);
+
+/// \brief Exact k-nearest-neighbor proximity graph: every node linked to
+/// its M true nearest neighbors (O(n^2) distance computations — the
+/// brute-force topology used as a quality reference for NSW/HNSW in tests
+/// and viable for small databases).
+ProximityGraph BuildExactKnnGraph(
+    GraphId num_nodes,
+    const std::function<double(GraphId, GraphId)>& distance, int M);
+
+}  // namespace lan
+
+#endif  // LAN_PG_NSW_BUILDER_H_

@@ -1,0 +1,66 @@
+#include "pg/proximity_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/string_util.h"
+
+namespace lan {
+
+Status ProximityGraph::AddEdge(GraphId a, GraphId b) {
+  if (a < 0 || b < 0 || a >= NumNodes() || b >= NumNodes()) {
+    return Status::OutOfRange(StrFormat("pg edge (%d,%d) out of range", a, b));
+  }
+  if (a == b) {
+    return Status::InvalidArgument(StrFormat("pg self-loop at %d", a));
+  }
+  if (HasEdge(a, b)) return Status::OK();  // idempotent
+  auto& la = adjacency_[static_cast<size_t>(a)];
+  auto& lb = adjacency_[static_cast<size_t>(b)];
+  la.insert(std::lower_bound(la.begin(), la.end(), b), b);
+  lb.insert(std::lower_bound(lb.begin(), lb.end(), a), a);
+  ++num_edges_;
+  return Status::OK();
+}
+
+bool ProximityGraph::HasEdge(GraphId a, GraphId b) const {
+  if (a < 0 || b < 0 || a >= NumNodes() || b >= NumNodes()) return false;
+  const auto& la = adjacency_[static_cast<size_t>(a)];
+  return std::binary_search(la.begin(), la.end(), b);
+}
+
+bool ProximityGraph::IsConnected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::deque<GraphId> queue{0};
+  seen[0] = true;
+  size_t visited = 1;
+  while (!queue.empty()) {
+    GraphId u = queue.front();
+    queue.pop_front();
+    for (GraphId v : Neighbors(u)) {
+      if (!seen[static_cast<size_t>(v)]) {
+        seen[static_cast<size_t>(v)] = true;
+        ++visited;
+        queue.push_back(v);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+std::string ProximityGraph::ToDot(const std::string& name) const {
+  std::string out = "graph " + name + " {\n";
+  for (GraphId id = 0; id < NumNodes(); ++id) {
+    out += StrFormat("  n%d;\n", id);
+  }
+  for (GraphId id = 0; id < NumNodes(); ++id) {
+    for (GraphId n : Neighbors(id)) {
+      if (id < n) out += StrFormat("  n%d -- n%d;\n", id, n);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace lan

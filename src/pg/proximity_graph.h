@@ -1,0 +1,59 @@
+#ifndef LAN_PG_PROXIMITY_GRAPH_H_
+#define LAN_PG_PROXIMITY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace lan {
+
+/// \brief The proximity-graph index structure: an undirected graph over
+/// GraphIds of a database (Sec. III-B). Construction lives in
+/// NswBuilder / HnswIndex; routing in beam_search / np_route.
+class ProximityGraph {
+ public:
+  ProximityGraph() = default;
+  explicit ProximityGraph(GraphId num_nodes)
+      : adjacency_(static_cast<size_t>(num_nodes)) {}
+
+  GraphId NumNodes() const { return static_cast<GraphId>(adjacency_.size()); }
+
+  /// Adds the undirected edge {a, b} if absent; self-loops rejected.
+  Status AddEdge(GraphId a, GraphId b);
+
+  bool HasEdge(GraphId a, GraphId b) const;
+
+  /// Sorted neighbor list.
+  const std::vector<GraphId>& Neighbors(GraphId id) const {
+    return adjacency_[static_cast<size_t>(id)];
+  }
+
+  int32_t Degree(GraphId id) const {
+    return static_cast<int32_t>(adjacency_[static_cast<size_t>(id)].size());
+  }
+
+  int64_t NumEdges() const { return num_edges_; }
+  double AverageDegree() const {
+    return adjacency_.empty()
+               ? 0.0
+               : 2.0 * static_cast<double>(num_edges_) /
+                     static_cast<double>(adjacency_.size());
+  }
+
+  /// True if every node can reach node 0 (empty graphs are connected).
+  bool IsConnected() const;
+
+  /// Graphviz DOT rendering of the index topology (debug/visualization).
+  std::string ToDot(const std::string& name = "PG") const;
+
+ private:
+  std::vector<std::vector<GraphId>> adjacency_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace lan
+
+#endif  // LAN_PG_PROXIMITY_GRAPH_H_

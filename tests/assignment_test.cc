@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "ged/assignment.h"
+
+namespace lan {
+namespace {
+
+/// Exhaustive optimal assignment by permutation enumeration (n <= 8).
+double BruteForceCost(const CostMatrix& cost) {
+  const int32_t n = cost.n();
+  std::vector<int32_t> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (int32_t i = 0; i < n; ++i) total += cost.at(i, perm[static_cast<size_t>(i)]);
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+double AssignmentCostFromMatrix(const CostMatrix& cost, const Assignment& a) {
+  double total = 0.0;
+  std::vector<bool> used(static_cast<size_t>(cost.n()), false);
+  for (int32_t r = 0; r < cost.n(); ++r) {
+    const int32_t c = a.row_to_col[static_cast<size_t>(r)];
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, cost.n());
+    EXPECT_FALSE(used[static_cast<size_t>(c)]) << "column reused";
+    used[static_cast<size_t>(c)] = true;
+    total += cost.at(r, c);
+  }
+  return total;
+}
+
+TEST(AssignmentTest, TrivialSizes) {
+  CostMatrix c0(0);
+  EXPECT_EQ(SolveAssignment(c0).row_to_col.size(), 0u);
+
+  CostMatrix c1(1, 3.5);
+  Assignment a = SolveAssignment(c1);
+  EXPECT_EQ(a.row_to_col[0], 0);
+  EXPECT_DOUBLE_EQ(a.cost, 3.5);
+}
+
+TEST(AssignmentTest, KnownThreeByThree) {
+  // Classic example with optimum 5 along the anti-diagonal-ish path.
+  CostMatrix c(3);
+  const double values[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) c.at(i, j) = values[i][j];
+  }
+  Assignment a = SolveAssignment(c);
+  EXPECT_DOUBLE_EQ(a.cost, 5.0);  // 1 + 2 + 2
+}
+
+TEST(AssignmentTest, PrefersZeroDiagonal) {
+  CostMatrix c(4, 7.0);
+  for (int i = 0; i < 4; ++i) c.at(i, i) = 0.0;
+  Assignment a = SolveAssignment(c);
+  EXPECT_DOUBLE_EQ(a.cost, 0.0);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.row_to_col[static_cast<size_t>(i)], i);
+}
+
+class AssignmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignmentPropertyTest, MatchesBruteForceOnRandomMatrices) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 30; ++trial) {
+    const int32_t n = static_cast<int32_t>(rng.NextInt(1, 7));
+    CostMatrix c(n);
+    for (int32_t i = 0; i < n; ++i) {
+      for (int32_t j = 0; j < n; ++j) {
+        c.at(i, j) = rng.NextFloat(0.0f, 10.0f);
+      }
+    }
+    Assignment a = SolveAssignment(c);
+    const double check = AssignmentCostFromMatrix(c, a);
+    EXPECT_NEAR(a.cost, check, 1e-6);
+    EXPECT_NEAR(a.cost, BruteForceCost(c), 1e-6);
+  }
+}
+
+TEST_P(AssignmentPropertyTest, GreedyNeverBeatsOptimal) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int32_t n = static_cast<int32_t>(rng.NextInt(1, 10));
+    CostMatrix c(n);
+    for (int32_t i = 0; i < n; ++i) {
+      for (int32_t j = 0; j < n; ++j) {
+        c.at(i, j) = rng.NextFloat(0.0f, 10.0f);
+      }
+    }
+    const Assignment optimal = SolveAssignment(c);
+    const Assignment greedy = SolveAssignmentGreedy(c);
+    const double greedy_cost = AssignmentCostFromMatrix(c, greedy);
+    EXPECT_GE(greedy_cost + 1e-6, optimal.cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentPropertyTest,
+                         ::testing::Range(1, 6));
+
+TEST(AssignmentTest, IntegerCostsStayIntegral) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int32_t n = static_cast<int32_t>(rng.NextInt(2, 6));
+    CostMatrix c(n);
+    for (int32_t i = 0; i < n; ++i) {
+      for (int32_t j = 0; j < n; ++j) {
+        c.at(i, j) = static_cast<double>(rng.NextInt(0, 9));
+      }
+    }
+    Assignment a = SolveAssignment(c);
+    EXPECT_DOUBLE_EQ(a.cost, std::round(a.cost));
+  }
+}
+
+}  // namespace
+}  // namespace lan

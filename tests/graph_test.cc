@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "graph/graph_generator.h"
+#include "graph/graph_io.h"
+#include "graph/wl_labeling.h"
+
+namespace lan {
+namespace {
+
+Graph MakePath(const std::vector<Label>& labels) {
+  Graph g;
+  for (Label l : labels) g.AddNode(l);
+  for (NodeId v = 1; v < g.NumNodes(); ++v) {
+    EXPECT_TRUE(g.AddEdge(v - 1, v).ok());
+  }
+  return g;
+}
+
+// ---------- Graph ----------
+
+TEST(GraphTest, AddNodesAndEdges) {
+  Graph g;
+  EXPECT_EQ(g.AddNode(0), 0);
+  EXPECT_EQ(g.AddNode(1), 1);
+  EXPECT_EQ(g.AddNode(2), 2);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_EQ(g.NumNodes(), 3);
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.Degree(1), 2);
+}
+
+TEST(GraphTest, RejectsSelfLoopAndDuplicates) {
+  Graph g;
+  g.AddNode(0);
+  g.AddNode(0);
+  EXPECT_EQ(g.AddEdge(0, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.AddEdge(1, 0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode(0);
+  ASSERT_TRUE(g.AddEdge(2, 4).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  EXPECT_EQ(g.Neighbors(2), (std::vector<NodeId>{0, 3, 4}));
+}
+
+TEST(GraphTest, EdgesCanonical) {
+  Graph g = MakePath({0, 1, 2});
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(0, 1));
+  EXPECT_EQ(edges[1], std::make_pair(1, 2));
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g = MakePath({0, 0, 0});
+  EXPECT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.RemoveEdge(0, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(GraphTest, RemoveNodeMiddle) {
+  // Path 0-1-2-3; removing 1 renumbers 3 -> 1.
+  Graph g = MakePath({10, 11, 12, 13});
+  ASSERT_TRUE(g.RemoveNode(1).ok());
+  EXPECT_EQ(g.NumNodes(), 3);
+  EXPECT_EQ(g.label(0), 10);
+  EXPECT_EQ(g.label(1), 13);  // old node 3
+  EXPECT_EQ(g.label(2), 12);
+  EXPECT_EQ(g.NumEdges(), 1);  // only old (2,3) survives as (2,1)
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(GraphTest, RemoveLastNode) {
+  Graph g = MakePath({0, 1});
+  ASSERT_TRUE(g.RemoveNode(1).ok());
+  EXPECT_EQ(g.NumNodes(), 1);
+  EXPECT_EQ(g.NumEdges(), 0);
+}
+
+TEST(GraphTest, Connectivity) {
+  Graph g = MakePath({0, 0, 0});
+  EXPECT_TRUE(g.IsConnected());
+  g.AddNode(0);
+  EXPECT_FALSE(g.IsConnected());
+}
+
+TEST(GraphTest, LabelHistogram) {
+  Graph g = MakePath({1, 1, 2});
+  auto hist = g.LabelHistogram();
+  EXPECT_EQ(hist[1], 2);
+  EXPECT_EQ(hist[2], 1);
+  EXPECT_EQ(g.MaxLabelPlusOne(), 3);
+}
+
+// ---------- GraphDatabase ----------
+
+TEST(GraphDatabaseTest, AddValidatesLabels) {
+  GraphDatabase db(3);
+  Graph ok = MakePath({0, 2});
+  EXPECT_TRUE(db.Add(std::move(ok)).ok());
+  Graph bad = MakePath({0, 3});
+  EXPECT_FALSE(db.Add(std::move(bad)).ok());
+  EXPECT_EQ(db.size(), 1);
+}
+
+TEST(GraphDatabaseTest, Statistics) {
+  GraphDatabase db(5);
+  ASSERT_TRUE(db.Add(MakePath({0, 1})).ok());
+  ASSERT_TRUE(db.Add(MakePath({2, 3, 4, 0})).ok());
+  EXPECT_DOUBLE_EQ(db.AverageNodes(), 3.0);
+  EXPECT_DOUBLE_EQ(db.AverageEdges(), 2.0);
+  EXPECT_EQ(db.DistinctLabelsUsed(), 5);
+}
+
+TEST(GraphDatabaseTest, Truncate) {
+  GraphDatabase db(2);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(db.Add(MakePath({0, 1})).ok());
+  EXPECT_TRUE(db.Truncate(2).ok());
+  EXPECT_EQ(db.size(), 2);
+  EXPECT_FALSE(db.Truncate(10).ok());
+}
+
+// ---------- IO ----------
+
+TEST(GraphIoTest, RoundTrip) {
+  DatasetSpec spec = DatasetSpec::SynLike(12);
+  GraphDatabase db = GenerateDatabase(spec, 99);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteDatabase(db, buffer).ok());
+  auto restored = ReadDatabase(buffer);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), db.size());
+  EXPECT_EQ(restored->num_labels(), db.num_labels());
+  EXPECT_EQ(restored->name(), db.name());
+  for (GraphId i = 0; i < db.size(); ++i) {
+    EXPECT_TRUE(restored->Get(i) == db.Get(i)) << "graph " << i;
+  }
+}
+
+TEST(GraphIoTest, RejectsGarbage) {
+  std::stringstream buffer("not a database");
+  EXPECT_FALSE(ReadDatabase(buffer).ok());
+}
+
+// ---------- Generators ----------
+
+class GeneratorStatsTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(GeneratorStatsTest, MatchesTableOneShape) {
+  DatasetSpec spec;
+  switch (GetParam()) {
+    case DatasetKind::kAidsLike:
+      spec = DatasetSpec::AidsLike(300);
+      break;
+    case DatasetKind::kLinuxLike:
+      spec = DatasetSpec::LinuxLike(300);
+      break;
+    case DatasetKind::kPubchemLike:
+      spec = DatasetSpec::PubchemLike(300);
+      break;
+    case DatasetKind::kSynLike:
+      spec = DatasetSpec::SynLike(300);
+      break;
+  }
+  GraphDatabase db = GenerateDatabase(spec, 7);
+  ASSERT_EQ(db.size(), 300);
+  // Average |V| and |E| within 15% of the published statistics.
+  EXPECT_NEAR(db.AverageNodes(), spec.avg_nodes, 0.15 * spec.avg_nodes);
+  EXPECT_NEAR(db.AverageEdges(), spec.avg_edges, 0.15 * spec.avg_edges);
+  // Labels stay inside the alphabet and use a decent share of it.
+  EXPECT_LE(db.DistinctLabelsUsed(), spec.num_labels);
+  EXPECT_GE(db.DistinctLabelsUsed(), spec.num_labels / 3);
+  // Every generated graph is connected (search targets, not fragments).
+  for (GraphId i = 0; i < db.size(); ++i) {
+    EXPECT_TRUE(db.Get(i).IsConnected()) << "graph " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GeneratorStatsTest,
+                         ::testing::Values(DatasetKind::kAidsLike,
+                                           DatasetKind::kLinuxLike,
+                                           DatasetKind::kPubchemLike,
+                                           DatasetKind::kSynLike));
+
+TEST(GeneratorTest, DeterministicUnderSeed) {
+  DatasetSpec spec = DatasetSpec::SynLike(20);
+  GraphDatabase a = GenerateDatabase(spec, 5);
+  GraphDatabase b = GenerateDatabase(spec, 5);
+  for (GraphId i = 0; i < a.size(); ++i) EXPECT_TRUE(a.Get(i) == b.Get(i));
+}
+
+TEST(GeneratorTest, PerturbKeepsLabelsInAlphabet) {
+  Rng rng(3);
+  DatasetSpec spec = DatasetSpec::AidsLike(1);
+  Graph g = GenerateGraph(spec, &rng);
+  Graph p = PerturbGraph(g, 10, spec.num_labels, &rng);
+  EXPECT_GE(p.NumNodes(), 2);
+  for (Label l : p.labels()) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, spec.num_labels);
+  }
+}
+
+TEST(GeneratorTest, PerturbZeroEditsIsIdentity) {
+  Rng rng(3);
+  Graph g = MakePath({0, 1, 2});
+  Graph p = PerturbGraph(g, 0, 3, &rng);
+  EXPECT_TRUE(g == p);
+}
+
+// ---------- WL labeling ----------
+
+TEST(WlLabelingTest, Level0GroupsByRawLabel) {
+  Graph g = MakePath({5, 7, 5});
+  auto wl = ComputeWlLabels(g, 0);
+  ASSERT_EQ(wl.size(), 1u);
+  EXPECT_EQ(wl[0][0], wl[0][2]);
+  EXPECT_NE(wl[0][0], wl[0][1]);
+}
+
+TEST(WlLabelingTest, RefinementSeparatesByStructure) {
+  // Path a-a-a: ends have one neighbor, middle has two.
+  Graph g = MakePath({0, 0, 0});
+  auto wl = ComputeWlLabels(g, 1);
+  EXPECT_EQ(wl[1][0], wl[1][2]);
+  EXPECT_NE(wl[1][0], wl[1][1]);
+}
+
+TEST(WlLabelingTest, StarFromFigure2) {
+  // Fig. 2(a): v0 labeled A, v1..v3 labeled B, star edges.
+  Graph g;
+  g.AddNode(0);  // A
+  for (int i = 0; i < 3; ++i) g.AddNode(1);  // B
+  for (NodeId v = 1; v <= 3; ++v) ASSERT_TRUE(g.AddEdge(0, v).ok());
+  auto wl = ComputeWlLabels(g, 2);
+  auto counts = WlGroupCounts(wl);
+  // Two groups at every level: {v0} and {v1,v2,v3} (Example 4).
+  EXPECT_EQ(counts, (std::vector<int32_t>{2, 2, 2}));
+  for (int l = 0; l <= 2; ++l) {
+    EXPECT_EQ(wl[l][1], wl[l][2]);
+    EXPECT_EQ(wl[l][2], wl[l][3]);
+    EXPECT_NE(wl[l][0], wl[l][1]);
+  }
+}
+
+TEST(WlLabelingTest, DistinguishesNonIsomorphicRegularNeighborhoods) {
+  // Triangle vs path with same labels: WL at iteration 1 differs.
+  Graph triangle;
+  for (int i = 0; i < 3; ++i) triangle.AddNode(0);
+  ASSERT_TRUE(triangle.AddEdge(0, 1).ok());
+  ASSERT_TRUE(triangle.AddEdge(1, 2).ok());
+  ASSERT_TRUE(triangle.AddEdge(0, 2).ok());
+  auto wl = ComputeWlLabels(triangle, 2);
+  // All nodes equivalent in a triangle.
+  EXPECT_EQ(WlGroupCounts(wl), (std::vector<int32_t>{1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace lan

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <set>
+
+#include "graph/graph_dot.h"
+#include "graph/graph_io.h"
+#include "graph/graph_generator.h"
+#include "lan/evaluation.h"
+#include "lan/lan_index.h"
+#include "pg/beam_search.h"
+#include "pg/np_route.h"
+#include "pg/proximity_graph.h"
+
+namespace lan {
+namespace {
+
+// ---------- DOT export ----------
+
+TEST(GraphDotTest, RendersNodesAndEdges) {
+  Graph g;
+  g.AddNode(3);
+  g.AddNode(7);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  const std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"0:3\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n1 [label=\"1:7\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+}
+
+TEST(GraphDotTest, LabelsOptional) {
+  Graph g;
+  g.AddNode(1);
+  DotOptions options;
+  options.show_labels = false;
+  options.name = "Mol";
+  const std::string dot = ToDot(g, options);
+  EXPECT_NE(dot.find("graph Mol {"), std::string::npos);
+  EXPECT_EQ(dot.find("label"), std::string::npos);
+}
+
+TEST(GraphDotTest, StreamVariant) {
+  Graph g;
+  g.AddNode(0);
+  std::ostringstream out;
+  EXPECT_TRUE(WriteDot(g, out).ok());
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(ProximityGraphDotTest, RendersTopology) {
+  ProximityGraph pg(3);
+  ASSERT_TRUE(pg.AddEdge(0, 2).ok());
+  const std::string dot = pg.ToDot("Index");
+  EXPECT_NE(dot.find("graph Index {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n2;"), std::string::npos);
+  EXPECT_EQ(dot.find("n2 -- n0"), std::string::npos);  // each edge once
+}
+
+// ---------- LanConfig validation ----------
+
+TEST(LanConfigValidateTest, DefaultIsValid) {
+  LanConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(LanConfigValidateTest, RejectsBadKnobs) {
+  {
+    LanConfig c;
+    c.hnsw.M = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    LanConfig c;
+    c.batch_percent = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    LanConfig c;
+    c.batch_percent = 150;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    LanConfig c;
+    c.step_size = 0.0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    LanConfig c;
+    c.neighborhood_coverage = 1.5;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    LanConfig c;
+    c.scorer.gnn_dims = {};
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    LanConfig c;
+    c.scorer.gnn_dims = {16, -1};
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    LanConfig c;
+    c.init.samples = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+}
+
+TEST(LanConfigValidateTest, BuildRejectsInvalidConfig) {
+  LanConfig config;
+  config.default_beam = -3;
+  LanIndex index(config);
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(5), 1);
+  EXPECT_EQ(index.Build(&db).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------- Latency percentiles in sweeps ----------
+
+TEST(EvaluationPercentilesTest, PopulatedAndOrdered) {
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(20), 2);
+  GedOptions ged_options;
+  ged_options.approximate_only = true;
+  ged_options.beam_width = 0;
+  GedComputer ged(ged_options);
+  std::vector<Graph> queries = {db.Get(0), db.Get(1), db.Get(2)};
+  std::vector<KnnList> truths = BuildTruths(db, queries, 2, ged);
+  SweepPoint point = EvaluatePoint(
+      [&](const Graph& q, int k) {
+        SearchResult r;
+        DistanceOracle oracle(&db, &q, &ged, &r.stats);
+        for (GraphId id = 0; id < db.size(); ++id) oracle.Distance(id);
+        r.results = ComputeGroundTruth(db, q, k, ged);
+        return r;
+      },
+      queries, truths, 2);
+  EXPECT_GT(point.p50_seconds, 0.0);
+  EXPECT_GE(point.p95_seconds, point.p50_seconds);
+  EXPECT_DOUBLE_EQ(point.recall, 1.0);
+}
+
+// ---------- Routing traces ----------
+
+TEST(RoutingTraceTest, NpRouteRecordsExplorationOrder) {
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(40), 3);
+  GedOptions gopts;
+  gopts.approximate_only = true;
+  gopts.beam_width = 0;
+  GedComputer ged(gopts);
+  ProximityGraph pg(db.size());
+  for (GraphId i = 0; i + 1 < db.size(); ++i) {
+    ASSERT_TRUE(pg.AddEdge(i, i + 1).ok());
+    if (i + 5 < db.size()) ASSERT_TRUE(pg.AddEdge(i, i + 5).ok());
+  }
+  Graph query = db.Get(20);
+  SearchStats stats;
+  DistanceOracle oracle(&db, &query, &ged, &stats);
+  OracleRanker ranker(&db, &ged, 20);
+  NpRouteOptions options;
+  options.beam_size = 6;
+  options.k = 3;
+  options.record_trace = true;
+  RoutingResult result = NpRoute(pg, &oracle, &ranker, 0, options);
+  EXPECT_EQ(static_cast<int64_t>(result.trace.size()), result.routing_steps);
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_EQ(result.trace.front(), 0);  // started at init
+  // No node explored twice.
+  std::set<GraphId> unique(result.trace.begin(), result.trace.end());
+  EXPECT_EQ(unique.size(), result.trace.size());
+
+  // Tracing off -> empty.
+  SearchStats stats2;
+  DistanceOracle oracle2(&db, &query, &ged, &stats2);
+  options.record_trace = false;
+  EXPECT_TRUE(NpRoute(pg, &oracle2, &ranker, 0, options).trace.empty());
+}
+
+TEST(RoutingTraceTest, BeamSearchTrace) {
+  ProximityGraph pg(5);
+  for (GraphId i = 0; i + 1 < 5; ++i) ASSERT_TRUE(pg.AddEdge(i, i + 1).ok());
+  auto result = BeamSearchRouteFn(
+      pg, [](GraphId id) { return static_cast<double>(10 - id); },
+      /*init=*/0, /*beam=*/5, /*k=*/2, /*record_trace=*/true);
+  EXPECT_EQ(static_cast<int64_t>(result.trace.size()), result.routing_steps);
+  EXPECT_EQ(result.trace.front(), 0);
+}
+
+// ---------- Database I/O fuzz ----------
+
+TEST(GraphIoFuzzTest, CorruptedStreamsFailCleanly) {
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(10), 4);
+  std::stringstream good;
+  ASSERT_TRUE(WriteDatabase(db, good).ok());
+  const std::string bytes = good.str();
+
+  Rng rng(5);
+  int failures = 0, successes = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string corrupted = bytes;
+    // Random truncation or byte flips; loader must error or succeed, never
+    // crash or hang.
+    if (rng.NextBool(0.5)) {
+      corrupted.resize(rng.NextBounded(corrupted.size()));
+    } else {
+      for (int flips = 0; flips < 5; ++flips) {
+        const size_t pos = rng.NextBounded(corrupted.size());
+        corrupted[pos] = static_cast<char>('0' + rng.NextBounded(10));
+      }
+    }
+    std::stringstream in(corrupted);
+    auto result = ReadDatabase(in);
+    (result.ok() ? successes : failures) += 1;
+  }
+  EXPECT_GT(failures, 0);  // corruption is usually detected
+}
+
+}  // namespace
+}  // namespace lan

@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/random.h"
+#include "nn/autograd.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+
+namespace lan {
+namespace {
+
+// ---------- Matrix ----------
+
+TEST(MatrixTest, ShapeAndFill) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 1.5f);
+  m.SetZero();
+  EXPECT_FLOAT_EQ(m.Norm(), 0.0f);
+}
+
+TEST(MatrixTest, OneHot) {
+  Matrix m = Matrix::OneHotRows({2, 0}, 3);
+  EXPECT_FLOAT_EQ(m.at(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+}
+
+TEST(MatrixTest, MatMulKnown) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2, 1);
+  b.at(0, 0) = 5;
+  b.at(1, 0) = 6;
+  Matrix c = MatMulValues(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 17.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 39.0f);
+}
+
+TEST(MatrixTest, TransposedVariantsAgree) {
+  Rng rng(1);
+  Matrix a = Matrix::XavierUniform(4, 3, &rng);
+  Matrix b = Matrix::XavierUniform(4, 5, &rng);
+  // A^T * B twice: once via explicit transpose-free helper, once manually.
+  Matrix c = MatMulTransposedLhs(a, b);
+  ASSERT_EQ(c.rows(), 3);
+  ASSERT_EQ(c.cols(), 5);
+  for (int32_t i = 0; i < 3; ++i) {
+    for (int32_t j = 0; j < 5; ++j) {
+      float expected = 0.0f;
+      for (int32_t k = 0; k < 4; ++k) expected += a.at(k, i) * b.at(k, j);
+      EXPECT_NEAR(c.at(i, j), expected, 1e-5f);
+    }
+  }
+  Matrix e = MatMulTransposedRhs(b, b);  // B * B^T, 4x4 Gram matrix
+  for (int32_t i = 0; i < 4; ++i) {
+    for (int32_t j = 0; j < 4; ++j) {
+      float expected = 0.0f;
+      for (int32_t k = 0; k < 5; ++k) expected += b.at(i, k) * b.at(j, k);
+      EXPECT_NEAR(e.at(i, j), expected, 1e-5f);
+    }
+  }
+
+}
+
+TEST(SparseMatrixTest, ApplyAndTranspose) {
+  SparseMatrix s;
+  s.rows = 2;
+  s.cols = 3;
+  s.entries = {{0, 1, 2.0f}, {1, 0, 1.0f}, {1, 2, -1.0f}};
+  Matrix x(3, 1);
+  x.at(0, 0) = 1;
+  x.at(1, 0) = 2;
+  x.at(2, 0) = 3;
+  Matrix y = s.Apply(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), -2.0f);
+  Matrix z(2, 1);
+  z.at(0, 0) = 1;
+  z.at(1, 0) = 1;
+  Matrix t = s.ApplyTransposed(z);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(2, 0), -1.0f);
+}
+
+// ---------- Gradient checking ----------
+
+/// Numerically checks d(loss)/d(param) for a scalar loss built by `build`.
+/// `build` must construct the full forward graph on the given tape and
+/// return the loss VarId.
+void GradCheck(ParamStore* store, ParamState* param,
+               const std::function<VarId(Tape*)>& build, float tolerance) {
+  // Analytic gradient.
+  store->ZeroGrads();
+  {
+    Tape tape;
+    const VarId loss = build(&tape);
+    tape.Backward(loss);
+  }
+  Matrix analytic = param->grad;
+
+  // Numeric gradient (central differences) for a subset of coordinates.
+  const float eps = 1e-3f;
+  const int64_t stride = std::max<int64_t>(1, param->value.size() / 8);
+  for (int64_t i = 0; i < param->value.size(); i += stride) {
+    const float saved = param->value.data()[i];
+    param->value.data()[i] = saved + eps;
+    float plus;
+    {
+      Tape tape;
+      plus = tape.value(build(&tape)).at(0, 0);
+    }
+    param->value.data()[i] = saved - eps;
+    float minus;
+    {
+      Tape tape;
+      minus = tape.value(build(&tape)).at(0, 0);
+    }
+    param->value.data()[i] = saved;
+    const float numeric = (plus - minus) / (2 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric, tolerance)
+        << "coordinate " << i;
+  }
+}
+
+TEST(AutogradTest, MatMulGradient) {
+  Rng rng(2);
+  ParamStore store;
+  ParamState* w = store.Create(Matrix::XavierUniform(3, 4, &rng));
+  Matrix x = Matrix::XavierUniform(2, 3, &rng);
+  Matrix t(1, 1, 0.7f);
+  GradCheck(&store, w,
+            [&](Tape* tape) {
+              VarId h = tape->MatMul(tape->Input(x), tape->Param(w));
+              VarId pooled = tape->MeanRows(h);
+              VarId s = tape->SumAll(pooled);
+              return tape->MseLoss(s, t);
+            },
+            2e-2f);
+}
+
+TEST(AutogradTest, ReluGradient) {
+  Rng rng(3);
+  ParamStore store;
+  ParamState* w = store.Create(Matrix::XavierUniform(4, 4, &rng));
+  Matrix x = Matrix::XavierUniform(3, 4, &rng);
+  Matrix t(1, 1, -0.2f);
+  GradCheck(&store, w,
+            [&](Tape* tape) {
+              VarId h = tape->Relu(tape->MatMul(tape->Input(x), tape->Param(w)));
+              return tape->MseLoss(tape->SumAll(h), t);
+            },
+            2e-2f);
+}
+
+TEST(AutogradTest, SoftmaxAttentionGradient) {
+  Rng rng(4);
+  ParamStore store;
+  ParamState* a1 = store.Create(Matrix::XavierUniform(4, 1, &rng));
+  Matrix hg = Matrix::XavierUniform(3, 4, &rng);
+  Matrix hq = Matrix::XavierUniform(5, 4, &rng);
+  Matrix t(1, 1, 0.1f);
+  GradCheck(&store, a1,
+            [&](Tape* tape) {
+              VarId g = tape->Input(hg);
+              VarId q = tape->Input(hq);
+              VarId sg = tape->MatMul(g, tape->Param(a1));
+              VarId sq = tape->MatMul(q, tape->Param(a1));
+              VarId logits = tape->OuterSum(sg, sq);
+              VarId alpha = tape->SoftmaxRows(logits);
+              VarId mu = tape->MatMul(alpha, q);
+              return tape->MseLoss(tape->SumAll(tape->MeanRows(mu)), t);
+            },
+            2e-2f);
+}
+
+TEST(AutogradTest, BceGradient) {
+  Rng rng(5);
+  ParamStore store;
+  ParamState* w = store.Create(Matrix::XavierUniform(3, 1, &rng));
+  Matrix x = Matrix::XavierUniform(4, 3, &rng);
+  Matrix targets(4, 1);
+  targets.at(0, 0) = 1;
+  targets.at(2, 0) = 1;
+  GradCheck(&store, w,
+            [&](Tape* tape) {
+              VarId logits = tape->MatMul(tape->Input(x), tape->Param(w));
+              return tape->BceWithLogits(logits, targets);
+            },
+            2e-2f);
+}
+
+TEST(AutogradTest, ConcatAndBroadcastGradient) {
+  Rng rng(6);
+  ParamStore store;
+  ParamState* b = store.Create(Matrix::XavierUniform(1, 3, &rng));
+  Matrix x = Matrix::XavierUniform(2, 3, &rng);
+  Matrix t(1, 1, 0.5f);
+  GradCheck(&store, b,
+            [&](Tape* tape) {
+              VarId h = tape->AddRowBroadcast(tape->Input(x), tape->Param(b));
+              VarId c = tape->ConcatCols(h, h);
+              VarId pooled = tape->WeightedMeanRows(c, {1.0f, 3.0f});
+              return tape->MseLoss(tape->SumAll(pooled), t);
+            },
+            2e-2f);
+}
+
+TEST(AutogradTest, SparseApplyGradient) {
+  Rng rng(7);
+  ParamStore store;
+  ParamState* w = store.Create(Matrix::XavierUniform(3, 2, &rng));
+  SparseMatrix s;
+  s.rows = 2;
+  s.cols = 3;
+  s.entries = {{0, 0, 1.0f}, {0, 1, 2.0f}, {1, 2, 3.0f}};
+  Matrix t(1, 1, 0.0f);
+  GradCheck(&store, w,
+            [&](Tape* tape) {
+              VarId h = tape->SparseApply(s, tape->Param(w));
+              return tape->MseLoss(tape->SumAll(h), t);
+            },
+            2e-2f);
+}
+
+TEST(AutogradTest, InferenceModeSkipsGradients) {
+  Rng rng(8);
+  ParamStore store;
+  ParamState* w = store.Create(Matrix::XavierUniform(2, 2, &rng));
+  Tape tape(/*inference_mode=*/true);
+  Matrix x = Matrix::XavierUniform(1, 2, &rng);
+  VarId h = tape.MatMul(tape.Input(x), tape.Param(w));
+  // No backward closures; forward value still correct.
+  Matrix expected = MatMulValues(x, w->value);
+  EXPECT_FLOAT_EQ(tape.value(h).at(0, 0), expected.at(0, 0));
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossTapes) {
+  ParamStore store;
+  ParamState* w = store.Create(Matrix(1, 1, 2.0f));
+  Matrix x(1, 1, 3.0f);
+  Matrix t(1, 1, 0.0f);
+  for (int i = 0; i < 2; ++i) {
+    Tape tape;
+    VarId h = tape.MatMul(tape.Input(x), tape.Param(w));
+    VarId loss = tape.MseLoss(h, t);
+    tape.Backward(loss);
+  }
+  // d/dw of (3w)^2 = 18w = 36; accumulated twice = 72.
+  EXPECT_NEAR(w->grad.at(0, 0), 72.0f, 1e-3f);
+}
+
+// ---------- Layers / optimizer ----------
+
+TEST(LayersTest, MlpShapes) {
+  Rng rng(9);
+  ParamStore store;
+  Mlp mlp({5, 8, 2}, &store, &rng);
+  Tape tape;
+  VarId x = tape.Input(Matrix::XavierUniform(3, 5, &rng));
+  VarId y = mlp.Forward(&tape, x);
+  EXPECT_EQ(tape.value(y).rows(), 3);
+  EXPECT_EQ(tape.value(y).cols(), 2);
+}
+
+TEST(OptimizerTest, AdamMinimizesQuadratic) {
+  // minimize (w - 5)^2 via MSE against target 5 of identity prediction.
+  ParamStore store;
+  ParamState* w = store.Create(Matrix(1, 1, 0.0f));
+  AdamOptions options;
+  options.learning_rate = 0.1f;
+  options.weight_decay = 0.0f;
+  Adam adam(&store, options);
+  Matrix x(1, 1, 1.0f);
+  Matrix t(1, 1, 5.0f);
+  for (int step = 0; step < 300; ++step) {
+    Tape tape;
+    VarId pred = tape.MatMul(tape.Input(x), tape.Param(w));
+    VarId loss = tape.MseLoss(pred, t);
+    tape.Backward(loss);
+    adam.Step();
+  }
+  EXPECT_NEAR(w->value.at(0, 0), 5.0f, 0.1f);
+}
+
+TEST(OptimizerTest, LearningRateDecays) {
+  ParamStore store;
+  AdamOptions options;
+  options.learning_rate = 0.005f;
+  options.lr_decay = 0.96f;
+  options.decay_every_epochs = 5;
+  Adam adam(&store, options);
+  for (int e = 0; e < 5; ++e) adam.OnEpochEnd();
+  EXPECT_NEAR(adam.current_learning_rate(), 0.005f * 0.96f, 1e-7f);
+  for (int e = 0; e < 5; ++e) adam.OnEpochEnd();
+  EXPECT_NEAR(adam.current_learning_rate(), 0.005f * 0.96f * 0.96f, 1e-7f);
+}
+
+TEST(OptimizerTest, MlpLearnsLinearlySeparableData) {
+  Rng rng(10);
+  ParamStore store;
+  Mlp mlp({2, 8, 1}, &store, &rng);
+  Adam adam(&store, {});
+  // Labels: 1 if x0 + x1 > 0.
+  std::vector<Matrix> xs;
+  std::vector<Matrix> ts;
+  for (int i = 0; i < 64; ++i) {
+    Matrix x(1, 2);
+    x.at(0, 0) = rng.NextFloat(-1, 1);
+    x.at(0, 1) = rng.NextFloat(-1, 1);
+    Matrix t(1, 1, x.at(0, 0) + x.at(0, 1) > 0 ? 1.0f : 0.0f);
+    xs.push_back(x);
+    ts.push_back(t);
+  }
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    for (size_t i = 0; i < xs.size(); ++i) {
+      Tape tape;
+      VarId logit = mlp.Forward(&tape, tape.Input(xs[i]));
+      VarId loss = tape.BceWithLogits(logit, ts[i]);
+      tape.Backward(loss);
+      if (i % 8 == 7) adam.Step();
+    }
+    adam.Step();
+    adam.OnEpochEnd();
+  }
+  int correct = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    Tape tape(/*inference_mode=*/true);
+    VarId logit = mlp.Forward(&tape, tape.Input(xs[i]));
+    const bool predicted = tape.value(logit).at(0, 0) > 0.0f;
+    correct += (predicted == (ts[i].at(0, 0) > 0.5f));
+  }
+  EXPECT_GE(correct, 58) << "MLP failed to fit separable data";
+}
+
+}  // namespace
+}  // namespace lan

@@ -1,0 +1,311 @@
+// lan_tool — command-line front end for the LAN library.
+//
+//   lan_tool generate --kind aids --count 300 --seed 7 --out db.gdb
+//   lan_tool stats    --db db.gdb
+//   lan_tool build    --db db.gdb --models lan.mdl [--queries 30] [--seed 9]
+//   lan_tool search   --db db.gdb --models lan.mdl --k 10 [--queries 3]
+//   lan_tool eval     --db db.gdb --models lan.mdl --k 10 [--queries 6]
+//
+// `build` trains the learned components and checkpoints them; `search`
+// and `eval` reload the checkpoint, so the expensive phases run once.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/logging.h"
+#include "graph/graph_generator.h"
+#include "graph/graph_io.h"
+#include "lan/evaluation.h"
+#include "lan/lan_index.h"
+#include "lan/workload.h"
+
+namespace lan {
+namespace tool {
+namespace {
+
+/// Minimal --flag value parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.contains(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lan_tool <generate|stats|build|search|eval|diagnose> "
+               "[--flag value ...]\n"
+               "  generate --kind aids|linux|pubchem|syn --count N "
+               "[--seed S] --out FILE\n"
+               "  stats    --db FILE\n"
+               "  build    --db FILE --models FILE [--index FILE] [--queries N]\n"
+               "  search   --db FILE --models FILE [--index FILE] [--k K]\n"
+               "  eval     --db FILE --models FILE [--index FILE] [--k K]\n"
+               "  diagnose --db FILE --models FILE [--index FILE]\n");
+  return 2;
+}
+
+DatasetSpec SpecFor(const std::string& kind, int64_t count) {
+  if (kind == "aids") return DatasetSpec::AidsLike(count);
+  if (kind == "linux") return DatasetSpec::LinuxLike(count);
+  if (kind == "pubchem") return DatasetSpec::PubchemLike(count);
+  if (kind == "syn") return DatasetSpec::SynLike(count);
+  std::fprintf(stderr, "unknown dataset kind '%s'\n", kind.c_str());
+  std::exit(2);
+}
+
+/// Shared tool-scale index configuration (must match between `build` and
+/// the commands that reload the checkpoint).
+LanConfig ToolConfig() {
+  LanConfig config;
+  config.query_ged.skip_exact_gap = 3.0;
+  config.scorer.gnn_dims = {16, 16};
+  config.rank.epochs = 5;
+  config.nh.epochs = 5;
+  config.max_rank_examples = 1500;
+  config.max_nh_examples = 1500;
+  return config;
+}
+
+Result<GraphDatabase> LoadDb(const Flags& flags) {
+  const std::string path = flags.Get("db", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--db is required");
+  }
+  return ReadDatabaseFromFile(path);
+}
+
+int Generate(const Flags& flags) {
+  const std::string out = flags.Get("out", "");
+  if (out.empty() || !flags.Has("count")) {
+    std::fprintf(stderr, "generate: --count and --out are required\n");
+    return 2;
+  }
+  DatasetSpec spec =
+      SpecFor(flags.Get("kind", "aids"), flags.GetInt("count", 0));
+  GraphDatabase db = GenerateDatabase(
+      spec, static_cast<uint64_t>(flags.GetInt("seed", 1)));
+  LAN_CHECK_OK(WriteDatabaseToFile(db, out));
+  std::printf("wrote %d graphs (%s) to %s\n", db.size(), db.name().c_str(),
+              out.c_str());
+  return 0;
+}
+
+int Stats(const Flags& flags) {
+  auto db = LoadDb(flags);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %d graphs, avg |V| %.1f, avg |E| %.1f, %d labels used "
+              "(alphabet %d)\n",
+              db->name().c_str(), db->size(), db->AverageNodes(),
+              db->AverageEdges(), db->DistinctLabelsUsed(), db->num_labels());
+  return 0;
+}
+
+int Build(const Flags& flags) {
+  auto db = LoadDb(flags);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const std::string models = flags.Get("models", "");
+  if (models.empty()) {
+    std::fprintf(stderr, "build: --models is required\n");
+    return 2;
+  }
+  LanIndex index(ToolConfig());
+  LAN_CHECK_OK(index.Build(&*db));
+  WorkloadOptions wopts;
+  wopts.num_queries = flags.GetInt("queries", 30);
+  QueryWorkload workload = SampleWorkload(
+      *db, wopts, static_cast<uint64_t>(flags.GetInt("seed", 9)));
+  LAN_CHECK_OK(index.Train(workload.train));
+  LAN_CHECK_OK(index.SaveModelsToFile(models));
+  if (flags.Has("index")) {
+    LAN_CHECK_OK(index.SaveIndexToFile(flags.Get("index", "")));
+  }
+  std::printf("trained on %zu queries (gamma* = %.1f); models saved to %s%s\n",
+              workload.train.size(), index.gamma_star(), models.c_str(),
+              flags.Has("index") ? " (+ index checkpoint)" : "");
+  return 0;
+}
+
+/// Loads db + models into a ready index; exits on failure.
+struct LoadedIndex {
+  GraphDatabase db;
+  LanIndex index{ToolConfig()};
+};
+
+std::unique_ptr<LoadedIndex> LoadIndex(const Flags& flags) {
+  auto db = LoadDb(flags);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return nullptr;
+  }
+  const std::string models = flags.Get("models", "");
+  if (models.empty()) {
+    std::fprintf(stderr, "--models is required\n");
+    return nullptr;
+  }
+  auto loaded = std::make_unique<LoadedIndex>();
+  loaded->db = std::move(db).value();
+  Status build_status =
+      flags.Has("index")
+          ? loaded->index.BuildFromSavedIndexFile(&loaded->db,
+                                                  flags.Get("index", ""))
+          : loaded->index.Build(&loaded->db);
+  if (!build_status.ok()) {
+    std::fprintf(stderr, "%s\n", build_status.ToString().c_str());
+    return nullptr;
+  }
+  if (Status s = loaded->index.LoadModelsFromFile(models); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return nullptr;
+  }
+  return loaded;
+}
+
+int SearchCmd(const Flags& flags) {
+  auto loaded = LoadIndex(flags);
+  if (loaded == nullptr) return 1;
+  const int k = static_cast<int>(flags.GetInt("k", 10));
+  const int64_t num_queries = flags.GetInt("queries", 3);
+  WorkloadOptions wopts;
+  wopts.num_queries = num_queries;
+  QueryWorkload workload = SampleWorkload(
+      loaded->db, wopts, static_cast<uint64_t>(flags.GetInt("seed", 123)));
+  // All sampled queries land in `train` for tiny counts; search whatever
+  // was sampled.
+  std::vector<Graph> queries = workload.train;
+  queries.insert(queries.end(), workload.validation.begin(),
+                 workload.validation.end());
+  queries.insert(queries.end(), workload.test.begin(), workload.test.end());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SearchResult result = loaded->index.Search(queries[i], k);
+    std::printf("query %zu (%s): NDC %lld, steps %lld\n", i,
+                queries[i].ToString().c_str(),
+                static_cast<long long>(result.stats.ndc),
+                static_cast<long long>(result.stats.routing_steps));
+    for (const auto& [id, d] : result.results) {
+      std::printf("  #%-6d GED %.0f\n", id, d);
+    }
+  }
+  return 0;
+}
+
+int Diagnose(const Flags& flags) {
+  auto loaded = LoadIndex(flags);
+  if (loaded == nullptr) return 1;
+  const LanIndex& index = loaded->index;
+  std::printf("database: %d graphs, avg |V| %.1f, avg |E| %.1f\n",
+              loaded->db.size(), loaded->db.AverageNodes(),
+              loaded->db.AverageEdges());
+  std::printf("PG: %lld edges, avg degree %.1f, connected: %s\n",
+              static_cast<long long>(index.pg().NumEdges()),
+              index.pg().AverageDegree(),
+              index.pg().IsConnected() ? "yes" : "NO");
+  std::printf("HNSW: %d layers, entry point #%d\n", index.hnsw().NumLayers(),
+              index.hnsw().EntryPoint());
+  std::printf("gamma* = %.2f; M_nh threshold = %.2f\n", index.gamma_star(),
+              index.neighborhood_model()->calibrated_threshold());
+  std::printf("clusters: %zu (largest %zu, smallest %zu members)\n",
+              index.clusters().centroids.size(),
+              [&] {
+                size_t largest = 0;
+                for (const auto& m : index.clusters().members) {
+                  largest = std::max(largest, m.size());
+                }
+                return largest;
+              }(),
+              [&] {
+                size_t smallest = static_cast<size_t>(-1);
+                for (const auto& m : index.clusters().members) {
+                  smallest = std::min(smallest, m.size());
+                }
+                return smallest;
+              }());
+  // Neighborhood-size distribution over a few probe queries.
+  WorkloadOptions wopts;
+  wopts.num_queries = 6;
+  QueryWorkload probes = SampleWorkload(loaded->db, wopts, 777);
+  GedComputer ged(ToolConfig().query_ged);
+  std::printf("|N_Q| over %zu probe queries:", probes.train.size());
+  for (const Graph& q : probes.train) {
+    int64_t in_neighborhood = 0;
+    for (GraphId id = 0; id < loaded->db.size(); ++id) {
+      if (ged.Distance(q, loaded->db.Get(id)) <= index.gamma_star()) {
+        ++in_neighborhood;
+      }
+    }
+    std::printf(" %lld", static_cast<long long>(in_neighborhood));
+  }
+  std::printf(" (of %d)\n", loaded->db.size());
+  return 0;
+}
+
+int Eval(const Flags& flags) {
+  auto loaded = LoadIndex(flags);
+  if (loaded == nullptr) return 1;
+  const int k = static_cast<int>(flags.GetInt("k", 10));
+  WorkloadOptions wopts;
+  wopts.num_queries = flags.GetInt("queries", 6) * 5;  // 1/5 become test
+  QueryWorkload workload = SampleWorkload(
+      loaded->db, wopts, static_cast<uint64_t>(flags.GetInt("seed", 321)));
+  GedComputer ged(ToolConfig().query_ged);
+  std::vector<KnnList> truths =
+      BuildTruths(loaded->db, workload.test, k, ged);
+  PrintCurveHeader(k);
+  PrintCurve(SweepIndex(loaded->index, RoutingMethod::kLanRoute,
+                        InitMethod::kLanIs, workload.test, truths, k,
+                        {8, 16, 32}, "LAN"),
+             k);
+  PrintCurve(SweepIndex(loaded->index, RoutingMethod::kBaselineRoute,
+                        InitMethod::kHnswIs, workload.test, truths, k,
+                        {8, 16, 32}, "HNSW"),
+             k);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "generate") return Generate(flags);
+  if (command == "stats") return Stats(flags);
+  if (command == "build") return Build(flags);
+  if (command == "search") return SearchCmd(flags);
+  if (command == "eval") return Eval(flags);
+  if (command == "diagnose") return Diagnose(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tool
+}  // namespace lan
+
+int main(int argc, char** argv) { return lan::tool::Main(argc, argv); }

@@ -1,0 +1,17 @@
+# Drives lan_tool through the full lifecycle; any non-zero exit fails.
+set(DB ${WORK_DIR}/pipeline.gdb)
+set(MODELS ${WORK_DIR}/pipeline.mdl)
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGV}")
+  endif()
+endfunction()
+
+run_step(${LAN_TOOL} generate --kind syn --count 60 --seed 3 --out ${DB})
+run_step(${LAN_TOOL} stats --db ${DB})
+set(INDEX ${WORK_DIR}/pipeline.idx)
+run_step(${LAN_TOOL} build --db ${DB} --models ${MODELS} --index ${INDEX} --queries 12)
+run_step(${LAN_TOOL} search --db ${DB} --models ${MODELS} --index ${INDEX} --k 3 --queries 1)
+run_step(${LAN_TOOL} diagnose --db ${DB} --models ${MODELS} --index ${INDEX})
