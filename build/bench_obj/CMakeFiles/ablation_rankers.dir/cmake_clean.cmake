@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rankers"
+  "../bench/ablation_rankers.pdb"
+  "CMakeFiles/ablation_rankers.dir/ablation_rankers.cc.o"
+  "CMakeFiles/ablation_rankers.dir/ablation_rankers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rankers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

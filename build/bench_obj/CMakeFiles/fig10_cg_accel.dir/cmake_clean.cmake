@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cg_accel"
+  "../bench/fig10_cg_accel.pdb"
+  "CMakeFiles/fig10_cg_accel.dir/fig10_cg_accel.cc.o"
+  "CMakeFiles/fig10_cg_accel.dir/fig10_cg_accel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cg_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

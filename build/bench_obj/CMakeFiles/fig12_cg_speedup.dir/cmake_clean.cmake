@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_cg_speedup"
+  "../bench/fig12_cg_speedup.pdb"
+  "CMakeFiles/fig12_cg_speedup.dir/fig12_cg_speedup.cc.o"
+  "CMakeFiles/fig12_cg_speedup.dir/fig12_cg_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cg_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

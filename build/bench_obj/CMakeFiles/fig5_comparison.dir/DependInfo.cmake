@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_comparison.cc" "bench_obj/CMakeFiles/fig5_comparison.dir/fig5_comparison.cc.o" "gcc" "bench_obj/CMakeFiles/fig5_comparison.dir/fig5_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_obj/CMakeFiles/lan_bench_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/lan/CMakeFiles/lan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pg/CMakeFiles/lan_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/lan_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ged/CMakeFiles/lan_ged.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lan_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

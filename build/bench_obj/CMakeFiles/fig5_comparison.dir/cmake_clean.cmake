@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_comparison"
+  "../bench/fig5_comparison.pdb"
+  "CMakeFiles/fig5_comparison.dir/fig5_comparison.cc.o"
+  "CMakeFiles/fig5_comparison.dir/fig5_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

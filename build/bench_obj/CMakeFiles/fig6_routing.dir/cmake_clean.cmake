@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_routing"
+  "../bench/fig6_routing.pdb"
+  "CMakeFiles/fig6_routing.dir/fig6_routing.cc.o"
+  "CMakeFiles/fig6_routing.dir/fig6_routing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

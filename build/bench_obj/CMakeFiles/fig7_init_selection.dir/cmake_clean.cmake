@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_init_selection"
+  "../bench/fig7_init_selection.pdb"
+  "CMakeFiles/fig7_init_selection.dir/fig7_init_selection.cc.o"
+  "CMakeFiles/fig7_init_selection.dir/fig7_init_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_init_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

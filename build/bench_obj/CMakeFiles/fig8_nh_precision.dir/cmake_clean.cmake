@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_nh_precision"
+  "../bench/fig8_nh_precision.pdb"
+  "CMakeFiles/fig8_nh_precision.dir/fig8_nh_precision.cc.o"
+  "CMakeFiles/fig8_nh_precision.dir/fig8_nh_precision.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_nh_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ged_algorithms"
+  "../bench/ged_algorithms.pdb"
+  "CMakeFiles/ged_algorithms.dir/ged_algorithms.cc.o"
+  "CMakeFiles/ged_algorithms.dir/ged_algorithms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ged_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_bench_env.dir/bench_env.cc.o"
+  "CMakeFiles/lan_bench_env.dir/bench_env.cc.o.d"
+  "liblan_bench_env.a"
+  "liblan_bench_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_bench_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

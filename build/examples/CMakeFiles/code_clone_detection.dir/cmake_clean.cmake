@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_clone_detection.dir/code_clone_detection.cpp.o"
+  "CMakeFiles/code_clone_detection.dir/code_clone_detection.cpp.o.d"
+  "code_clone_detection"
+  "code_clone_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_clone_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_similarity.dir/molecule_similarity.cpp.o"
+  "CMakeFiles/molecule_similarity.dir/molecule_similarity.cpp.o.d"
+  "molecule_similarity"
+  "molecule_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

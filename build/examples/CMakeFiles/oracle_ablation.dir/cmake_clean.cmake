@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_ablation.dir/oracle_ablation.cpp.o"
+  "CMakeFiles/oracle_ablation.dir/oracle_ablation.cpp.o.d"
+  "oracle_ablation"
+  "oracle_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

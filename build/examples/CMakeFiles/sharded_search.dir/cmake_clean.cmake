@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_search.dir/sharded_search.cpp.o"
+  "CMakeFiles/sharded_search.dir/sharded_search.cpp.o.d"
+  "sharded_search"
+  "sharded_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

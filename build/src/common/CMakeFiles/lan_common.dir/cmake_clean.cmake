@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_common.dir/logging.cc.o"
+  "CMakeFiles/lan_common.dir/logging.cc.o.d"
+  "CMakeFiles/lan_common.dir/random.cc.o"
+  "CMakeFiles/lan_common.dir/random.cc.o.d"
+  "CMakeFiles/lan_common.dir/stats.cc.o"
+  "CMakeFiles/lan_common.dir/stats.cc.o.d"
+  "CMakeFiles/lan_common.dir/status.cc.o"
+  "CMakeFiles/lan_common.dir/status.cc.o.d"
+  "CMakeFiles/lan_common.dir/string_util.cc.o"
+  "CMakeFiles/lan_common.dir/string_util.cc.o.d"
+  "CMakeFiles/lan_common.dir/thread_pool.cc.o"
+  "CMakeFiles/lan_common.dir/thread_pool.cc.o.d"
+  "liblan_common.a"
+  "liblan_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ged/assignment.cc" "src/ged/CMakeFiles/lan_ged.dir/assignment.cc.o" "gcc" "src/ged/CMakeFiles/lan_ged.dir/assignment.cc.o.d"
+  "/root/repo/src/ged/edit_path.cc" "src/ged/CMakeFiles/lan_ged.dir/edit_path.cc.o" "gcc" "src/ged/CMakeFiles/lan_ged.dir/edit_path.cc.o.d"
+  "/root/repo/src/ged/ged_beam.cc" "src/ged/CMakeFiles/lan_ged.dir/ged_beam.cc.o" "gcc" "src/ged/CMakeFiles/lan_ged.dir/ged_beam.cc.o.d"
+  "/root/repo/src/ged/ged_bipartite.cc" "src/ged/CMakeFiles/lan_ged.dir/ged_bipartite.cc.o" "gcc" "src/ged/CMakeFiles/lan_ged.dir/ged_bipartite.cc.o.d"
+  "/root/repo/src/ged/ged_computer.cc" "src/ged/CMakeFiles/lan_ged.dir/ged_computer.cc.o" "gcc" "src/ged/CMakeFiles/lan_ged.dir/ged_computer.cc.o.d"
+  "/root/repo/src/ged/ged_costs.cc" "src/ged/CMakeFiles/lan_ged.dir/ged_costs.cc.o" "gcc" "src/ged/CMakeFiles/lan_ged.dir/ged_costs.cc.o.d"
+  "/root/repo/src/ged/ged_dfs.cc" "src/ged/CMakeFiles/lan_ged.dir/ged_dfs.cc.o" "gcc" "src/ged/CMakeFiles/lan_ged.dir/ged_dfs.cc.o.d"
+  "/root/repo/src/ged/ged_exact.cc" "src/ged/CMakeFiles/lan_ged.dir/ged_exact.cc.o" "gcc" "src/ged/CMakeFiles/lan_ged.dir/ged_exact.cc.o.d"
+  "/root/repo/src/ged/ged_lower_bounds.cc" "src/ged/CMakeFiles/lan_ged.dir/ged_lower_bounds.cc.o" "gcc" "src/ged/CMakeFiles/lan_ged.dir/ged_lower_bounds.cc.o.d"
+  "/root/repo/src/ged/mcs.cc" "src/ged/CMakeFiles/lan_ged.dir/mcs.cc.o" "gcc" "src/ged/CMakeFiles/lan_ged.dir/mcs.cc.o.d"
+  "/root/repo/src/ged/node_mapping.cc" "src/ged/CMakeFiles/lan_ged.dir/node_mapping.cc.o" "gcc" "src/ged/CMakeFiles/lan_ged.dir/node_mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lan_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_ged.dir/assignment.cc.o"
+  "CMakeFiles/lan_ged.dir/assignment.cc.o.d"
+  "CMakeFiles/lan_ged.dir/edit_path.cc.o"
+  "CMakeFiles/lan_ged.dir/edit_path.cc.o.d"
+  "CMakeFiles/lan_ged.dir/ged_beam.cc.o"
+  "CMakeFiles/lan_ged.dir/ged_beam.cc.o.d"
+  "CMakeFiles/lan_ged.dir/ged_bipartite.cc.o"
+  "CMakeFiles/lan_ged.dir/ged_bipartite.cc.o.d"
+  "CMakeFiles/lan_ged.dir/ged_computer.cc.o"
+  "CMakeFiles/lan_ged.dir/ged_computer.cc.o.d"
+  "CMakeFiles/lan_ged.dir/ged_costs.cc.o"
+  "CMakeFiles/lan_ged.dir/ged_costs.cc.o.d"
+  "CMakeFiles/lan_ged.dir/ged_dfs.cc.o"
+  "CMakeFiles/lan_ged.dir/ged_dfs.cc.o.d"
+  "CMakeFiles/lan_ged.dir/ged_exact.cc.o"
+  "CMakeFiles/lan_ged.dir/ged_exact.cc.o.d"
+  "CMakeFiles/lan_ged.dir/ged_lower_bounds.cc.o"
+  "CMakeFiles/lan_ged.dir/ged_lower_bounds.cc.o.d"
+  "CMakeFiles/lan_ged.dir/mcs.cc.o"
+  "CMakeFiles/lan_ged.dir/mcs.cc.o.d"
+  "CMakeFiles/lan_ged.dir/node_mapping.cc.o"
+  "CMakeFiles/lan_ged.dir/node_mapping.cc.o.d"
+  "liblan_ged.a"
+  "liblan_ged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_ged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

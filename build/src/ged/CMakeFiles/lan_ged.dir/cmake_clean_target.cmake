@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblan_ged.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/compressed_gnn_graph.cc" "src/gnn/CMakeFiles/lan_gnn.dir/compressed_gnn_graph.cc.o" "gcc" "src/gnn/CMakeFiles/lan_gnn.dir/compressed_gnn_graph.cc.o.d"
+  "/root/repo/src/gnn/cross_graph.cc" "src/gnn/CMakeFiles/lan_gnn.dir/cross_graph.cc.o" "gcc" "src/gnn/CMakeFiles/lan_gnn.dir/cross_graph.cc.o.d"
+  "/root/repo/src/gnn/embedding.cc" "src/gnn/CMakeFiles/lan_gnn.dir/embedding.cc.o" "gcc" "src/gnn/CMakeFiles/lan_gnn.dir/embedding.cc.o.d"
+  "/root/repo/src/gnn/gin.cc" "src/gnn/CMakeFiles/lan_gnn.dir/gin.cc.o" "gcc" "src/gnn/CMakeFiles/lan_gnn.dir/gin.cc.o.d"
+  "/root/repo/src/gnn/gnn_graph.cc" "src/gnn/CMakeFiles/lan_gnn.dir/gnn_graph.cc.o" "gcc" "src/gnn/CMakeFiles/lan_gnn.dir/gnn_graph.cc.o.d"
+  "/root/repo/src/gnn/hag.cc" "src/gnn/CMakeFiles/lan_gnn.dir/hag.cc.o" "gcc" "src/gnn/CMakeFiles/lan_gnn.dir/hag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/lan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lan_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

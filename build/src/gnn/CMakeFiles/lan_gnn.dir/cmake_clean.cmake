@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_gnn.dir/compressed_gnn_graph.cc.o"
+  "CMakeFiles/lan_gnn.dir/compressed_gnn_graph.cc.o.d"
+  "CMakeFiles/lan_gnn.dir/cross_graph.cc.o"
+  "CMakeFiles/lan_gnn.dir/cross_graph.cc.o.d"
+  "CMakeFiles/lan_gnn.dir/embedding.cc.o"
+  "CMakeFiles/lan_gnn.dir/embedding.cc.o.d"
+  "CMakeFiles/lan_gnn.dir/gin.cc.o"
+  "CMakeFiles/lan_gnn.dir/gin.cc.o.d"
+  "CMakeFiles/lan_gnn.dir/gnn_graph.cc.o"
+  "CMakeFiles/lan_gnn.dir/gnn_graph.cc.o.d"
+  "CMakeFiles/lan_gnn.dir/hag.cc.o"
+  "CMakeFiles/lan_gnn.dir/hag.cc.o.d"
+  "liblan_gnn.a"
+  "liblan_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/lan_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/lan_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/graph_database.cc" "src/graph/CMakeFiles/lan_graph.dir/graph_database.cc.o" "gcc" "src/graph/CMakeFiles/lan_graph.dir/graph_database.cc.o.d"
+  "/root/repo/src/graph/graph_dot.cc" "src/graph/CMakeFiles/lan_graph.dir/graph_dot.cc.o" "gcc" "src/graph/CMakeFiles/lan_graph.dir/graph_dot.cc.o.d"
+  "/root/repo/src/graph/graph_generator.cc" "src/graph/CMakeFiles/lan_graph.dir/graph_generator.cc.o" "gcc" "src/graph/CMakeFiles/lan_graph.dir/graph_generator.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/lan_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/lan_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/wl_labeling.cc" "src/graph/CMakeFiles/lan_graph.dir/wl_labeling.cc.o" "gcc" "src/graph/CMakeFiles/lan_graph.dir/wl_labeling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

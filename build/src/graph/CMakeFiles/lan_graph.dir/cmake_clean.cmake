@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_graph.dir/graph.cc.o"
+  "CMakeFiles/lan_graph.dir/graph.cc.o.d"
+  "CMakeFiles/lan_graph.dir/graph_database.cc.o"
+  "CMakeFiles/lan_graph.dir/graph_database.cc.o.d"
+  "CMakeFiles/lan_graph.dir/graph_dot.cc.o"
+  "CMakeFiles/lan_graph.dir/graph_dot.cc.o.d"
+  "CMakeFiles/lan_graph.dir/graph_generator.cc.o"
+  "CMakeFiles/lan_graph.dir/graph_generator.cc.o.d"
+  "CMakeFiles/lan_graph.dir/graph_io.cc.o"
+  "CMakeFiles/lan_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/lan_graph.dir/wl_labeling.cc.o"
+  "CMakeFiles/lan_graph.dir/wl_labeling.cc.o.d"
+  "liblan_graph.a"
+  "liblan_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

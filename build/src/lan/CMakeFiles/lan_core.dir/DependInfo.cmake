@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lan/brute_force.cc" "src/lan/CMakeFiles/lan_core.dir/brute_force.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/brute_force.cc.o.d"
+  "/root/repo/src/lan/cluster_model.cc" "src/lan/CMakeFiles/lan_core.dir/cluster_model.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/cluster_model.cc.o.d"
+  "/root/repo/src/lan/evaluation.cc" "src/lan/CMakeFiles/lan_core.dir/evaluation.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/lan/ground_truth.cc" "src/lan/CMakeFiles/lan_core.dir/ground_truth.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/ground_truth.cc.o.d"
+  "/root/repo/src/lan/kmeans.cc" "src/lan/CMakeFiles/lan_core.dir/kmeans.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/kmeans.cc.o.d"
+  "/root/repo/src/lan/l2route.cc" "src/lan/CMakeFiles/lan_core.dir/l2route.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/l2route.cc.o.d"
+  "/root/repo/src/lan/lan_index.cc" "src/lan/CMakeFiles/lan_core.dir/lan_index.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/lan_index.cc.o.d"
+  "/root/repo/src/lan/learned_init.cc" "src/lan/CMakeFiles/lan_core.dir/learned_init.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/learned_init.cc.o.d"
+  "/root/repo/src/lan/learned_ranker.cc" "src/lan/CMakeFiles/lan_core.dir/learned_ranker.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/learned_ranker.cc.o.d"
+  "/root/repo/src/lan/neighborhood_model.cc" "src/lan/CMakeFiles/lan_core.dir/neighborhood_model.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/neighborhood_model.cc.o.d"
+  "/root/repo/src/lan/pair_scorer.cc" "src/lan/CMakeFiles/lan_core.dir/pair_scorer.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/pair_scorer.cc.o.d"
+  "/root/repo/src/lan/range_search.cc" "src/lan/CMakeFiles/lan_core.dir/range_search.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/range_search.cc.o.d"
+  "/root/repo/src/lan/rank_model.cc" "src/lan/CMakeFiles/lan_core.dir/rank_model.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/rank_model.cc.o.d"
+  "/root/repo/src/lan/regression_ranker.cc" "src/lan/CMakeFiles/lan_core.dir/regression_ranker.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/regression_ranker.cc.o.d"
+  "/root/repo/src/lan/sharded_index.cc" "src/lan/CMakeFiles/lan_core.dir/sharded_index.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/sharded_index.cc.o.d"
+  "/root/repo/src/lan/workload.cc" "src/lan/CMakeFiles/lan_core.dir/workload.cc.o" "gcc" "src/lan/CMakeFiles/lan_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pg/CMakeFiles/lan_pg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/lan_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ged/CMakeFiles/lan_ged.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lan_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_nn.dir/autograd.cc.o"
+  "CMakeFiles/lan_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/lan_nn.dir/layers.cc.o"
+  "CMakeFiles/lan_nn.dir/layers.cc.o.d"
+  "CMakeFiles/lan_nn.dir/matrix.cc.o"
+  "CMakeFiles/lan_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/lan_nn.dir/optimizer.cc.o"
+  "CMakeFiles/lan_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/lan_nn.dir/serialization.cc.o"
+  "CMakeFiles/lan_nn.dir/serialization.cc.o.d"
+  "liblan_nn.a"
+  "liblan_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

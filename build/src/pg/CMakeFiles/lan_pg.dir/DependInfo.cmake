@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pg/beam_search.cc" "src/pg/CMakeFiles/lan_pg.dir/beam_search.cc.o" "gcc" "src/pg/CMakeFiles/lan_pg.dir/beam_search.cc.o.d"
+  "/root/repo/src/pg/candidate_pool.cc" "src/pg/CMakeFiles/lan_pg.dir/candidate_pool.cc.o" "gcc" "src/pg/CMakeFiles/lan_pg.dir/candidate_pool.cc.o.d"
+  "/root/repo/src/pg/hnsw.cc" "src/pg/CMakeFiles/lan_pg.dir/hnsw.cc.o" "gcc" "src/pg/CMakeFiles/lan_pg.dir/hnsw.cc.o.d"
+  "/root/repo/src/pg/neighbor_ranker.cc" "src/pg/CMakeFiles/lan_pg.dir/neighbor_ranker.cc.o" "gcc" "src/pg/CMakeFiles/lan_pg.dir/neighbor_ranker.cc.o.d"
+  "/root/repo/src/pg/np_route.cc" "src/pg/CMakeFiles/lan_pg.dir/np_route.cc.o" "gcc" "src/pg/CMakeFiles/lan_pg.dir/np_route.cc.o.d"
+  "/root/repo/src/pg/nsw_builder.cc" "src/pg/CMakeFiles/lan_pg.dir/nsw_builder.cc.o" "gcc" "src/pg/CMakeFiles/lan_pg.dir/nsw_builder.cc.o.d"
+  "/root/repo/src/pg/proximity_graph.cc" "src/pg/CMakeFiles/lan_pg.dir/proximity_graph.cc.o" "gcc" "src/pg/CMakeFiles/lan_pg.dir/proximity_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ged/CMakeFiles/lan_ged.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lan_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_pg.dir/beam_search.cc.o"
+  "CMakeFiles/lan_pg.dir/beam_search.cc.o.d"
+  "CMakeFiles/lan_pg.dir/candidate_pool.cc.o"
+  "CMakeFiles/lan_pg.dir/candidate_pool.cc.o.d"
+  "CMakeFiles/lan_pg.dir/hnsw.cc.o"
+  "CMakeFiles/lan_pg.dir/hnsw.cc.o.d"
+  "CMakeFiles/lan_pg.dir/neighbor_ranker.cc.o"
+  "CMakeFiles/lan_pg.dir/neighbor_ranker.cc.o.d"
+  "CMakeFiles/lan_pg.dir/np_route.cc.o"
+  "CMakeFiles/lan_pg.dir/np_route.cc.o.d"
+  "CMakeFiles/lan_pg.dir/nsw_builder.cc.o"
+  "CMakeFiles/lan_pg.dir/nsw_builder.cc.o.d"
+  "CMakeFiles/lan_pg.dir/proximity_graph.cc.o"
+  "CMakeFiles/lan_pg.dir/proximity_graph.cc.o.d"
+  "liblan_pg.a"
+  "liblan_pg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_pg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

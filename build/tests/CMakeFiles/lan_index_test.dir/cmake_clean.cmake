@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_index_test.dir/lan_index_test.cc.o"
+  "CMakeFiles/lan_index_test.dir/lan_index_test.cc.o.d"
+  "lan_index_test"
+  "lan_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_models_test.dir/lan_models_test.cc.o"
+  "CMakeFiles/lan_models_test.dir/lan_models_test.cc.o.d"
+  "lan_models_test"
+  "lan_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

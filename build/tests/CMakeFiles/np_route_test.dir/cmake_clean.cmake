@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_route_test.dir/np_route_test.cc.o"
+  "CMakeFiles/np_route_test.dir/np_route_test.cc.o.d"
+  "np_route_test"
+  "np_route_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pg_test.dir/pg_test.cc.o"
+  "CMakeFiles/pg_test.dir/pg_test.cc.o.d"
+  "pg_test"
+  "pg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_ged_test.dir/weighted_ged_test.cc.o"
+  "CMakeFiles/weighted_ged_test.dir/weighted_ged_test.cc.o.d"
+  "weighted_ged_test"
+  "weighted_ged_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_ged_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_tool.dir/lan_tool.cc.o"
+  "CMakeFiles/lan_tool.dir/lan_tool.cc.o.d"
+  "lan_tool"
+  "lan_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
