@@ -29,6 +29,30 @@ CrossGraphComplexity ComputeCrossComplexity(const Graph& g, const Graph& q,
 CrossGraphComplexity ComputeCrossComplexity(const CompressedGnnGraph& g,
                                             const CompressedGnnGraph& q);
 
+/// \brief Per-query state reused by every batched inference call that
+/// scores candidates against the same query: one-hot rows, aggregation /
+/// lift operators, attention log-multiplicities, and readout weights.
+/// Built once per query by CrossGraphEncoder::EncodeQuery (the per-pair
+/// paths recompute all of this for every scored pair).
+struct QueryEncodingCache {
+  bool compressed = false;
+  int num_layers = 0;
+  /// rows_per_level[l] = query rows (groups or nodes) at level l = 0..L.
+  std::vector<int32_t> rows_per_level;
+  /// Level-0 one-hot features (rows_per_level[0] x input_dim).
+  Matrix one_hot;
+  /// Aggregation operator used at layer l (raw graphs repeat the same
+  /// GnnGraph operator at every layer).
+  std::vector<SparseMatrix> aggregation;
+  /// CG only: lift operator from level l rows to level l+1 rows.
+  std::vector<SparseMatrix> lift;
+  /// CG only: log group multiplicities log|q_{l,j}| per level l = 0..L-1
+  /// (the Definition 3 softmax log-weights of the attended groups).
+  std::vector<std::vector<float>> log_multiplicity;
+  /// Readout weights at level L (CG: group sizes; raw: all ones).
+  std::vector<float> readout_weights;
+};
+
 /// \brief Cross-graph (GMN-style) encoder: Definition 1 on raw graphs and
 /// Definition 3 on compressed GNN-graphs.
 ///
@@ -66,6 +90,22 @@ class CrossGraphEncoder {
                                const SparseMatrix& agg_g, const Graph& q,
                                const SparseMatrix& agg_q) const;
 
+  /// Builds the per-query cache for the batched inference paths below.
+  QueryEncodingCache EncodeQuery(const CompressedGnnGraph& q) const;
+  QueryEncodingCache EncodeQuery(const Graph& q) const;
+
+  /// Inference-only batched forward (no tape): row i equals the value of
+  /// ForwardCompressed(tape, *gs[i], q), but the attention score, linear
+  /// projection, and readout of each layer run over the stacked candidate
+  /// set (one GEMM per layer instead of one per pair); only the
+  /// block-diagonal attention softmax stays per-pair. Result is
+  /// (|gs| x cross_dim()).
+  Matrix InferCrossEmbeddings(const std::vector<const CompressedGnnGraph*>& gs,
+                              const QueryEncodingCache& query) const;
+  /// Raw (Definition 1) batched inference; row i matches Forward().
+  Matrix InferCrossEmbeddings(const std::vector<const Graph*>& gs,
+                              const QueryEncodingCache& query) const;
+
   int num_layers() const { return static_cast<int>(weights_.size()); }
   int32_t input_dim() const { return input_dim_; }
   int32_t output_dim() const {
@@ -75,6 +115,11 @@ class CrossGraphEncoder {
   int32_t cross_dim() const { return 2 * output_dim(); }
 
  private:
+  /// Internal stacked layout of a candidate batch (defined in the .cc).
+  struct CandidateBatch;
+  Matrix InferStacked(const CandidateBatch& cand,
+                      const QueryEncodingCache& query) const;
+
   /// One side of one layer: aggregation + attention + linear + ReLU.
   VarId LayerOneSide(Tape* tape, VarId h_self, VarId h_other,
                      const SparseMatrix& agg, int layer,

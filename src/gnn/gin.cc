@@ -58,4 +58,36 @@ VarId GinEncoder::ForwardGraphCompressed(Tape* tape,
   return tape->WeightedMeanRows(h, cg.TopLevelWeights());
 }
 
+Matrix GinEncoder::InferGraphEmbedding(const Graph& g) const {
+  LAN_CHECK_GT(g.NumNodes(), 0);
+  const GnnGraph gnn(g, num_layers());
+  const SparseMatrix agg = gnn.AggregationOperator();
+  Matrix h = InitialFeatures(g);
+  for (ParamState* w : weights_) {
+    h = MatMulValues(agg.Apply(h), w->value);
+    ReluInPlace(&h);
+  }
+  Matrix readout(1, h.cols());
+  const std::vector<float> ones(static_cast<size_t>(h.rows()), 1.0f);
+  WeightedMeanRowsInto(h.data(), h.rows(), h.cols(), ones.data(),
+                       readout.data());
+  return readout;
+}
+
+Matrix GinEncoder::InferGraphEmbeddingCompressed(
+    const CompressedGnnGraph& cg) const {
+  LAN_CHECK_EQ(cg.num_layers, num_layers());
+  Matrix h = InitialFeatures(cg);
+  for (int l = 0; l < num_layers(); ++l) {
+    const size_t ls = static_cast<size_t>(l);
+    h = MatMulValues(cg.aggregation[ls].Apply(h), weights_[ls]->value);
+    ReluInPlace(&h);
+  }
+  const std::vector<float> weights = cg.TopLevelWeights();
+  Matrix readout(1, h.cols());
+  WeightedMeanRowsInto(h.data(), h.rows(), h.cols(), weights.data(),
+                       readout.data());
+  return readout;
+}
+
 }  // namespace lan

@@ -38,6 +38,11 @@ class GinEncoder {
   /// equals ForwardGraph on the underlying graph.
   VarId ForwardGraphCompressed(Tape* tape, const CompressedGnnGraph& cg) const;
 
+  /// Inference-only graph embeddings (no tape); match the tape-based
+  /// forwards bit for bit.
+  Matrix InferGraphEmbedding(const Graph& g) const;
+  Matrix InferGraphEmbeddingCompressed(const CompressedGnnGraph& cg) const;
+
   int num_layers() const { return static_cast<int>(weights_.size()); }
   int32_t input_dim() const { return input_dim_; }
   int32_t output_dim() const { return layer_dims_.empty() ? input_dim_ : layer_dims_.back(); }

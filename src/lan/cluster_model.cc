@@ -69,6 +69,29 @@ void ClusterModel::Train(
 std::vector<float> ClusterModel::PredictCounts(
     const std::vector<float>& query_embedding,
     const std::vector<std::vector<float>>& centroids) const {
+  if (centroids.empty()) return {};
+  Matrix features(static_cast<int32_t>(centroids.size()), feature_dim_);
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    LAN_CHECK_EQ(
+        static_cast<int32_t>(query_embedding.size() + centroids[c].size()),
+        feature_dim_);
+    int32_t j = 0;
+    const int32_t row = static_cast<int32_t>(c);
+    for (float x : query_embedding) features.at(row, j++) = x;
+    for (float x : centroids[c]) features.at(row, j++) = x;
+  }
+  const Matrix preds = mlp_.InferForward(features);
+  std::vector<float> out;
+  out.reserve(centroids.size());
+  for (int32_t c = 0; c < preds.rows(); ++c) {
+    out.push_back(std::max(0.0f, std::expm1(preds.at(c, 0))));
+  }
+  return out;
+}
+
+std::vector<float> ClusterModel::PredictCountsReference(
+    const std::vector<float>& query_embedding,
+    const std::vector<std::vector<float>>& centroids) const {
   std::vector<float> out;
   out.reserve(centroids.size());
   for (const auto& centroid : centroids) {

@@ -38,8 +38,15 @@ class ClusterModel {
              const std::vector<std::vector<float>>& centroids,
              const std::vector<std::vector<float>>& intersection_counts);
 
-  /// Predicted |C ∩ N_Q| per cluster (>= 0).
+  /// Predicted |C ∩ N_Q| per cluster (>= 0). All clusters are scored with
+  /// one stacked MLP forward (one GEMM per layer).
   std::vector<float> PredictCounts(
+      const std::vector<float>& query_embedding,
+      const std::vector<std::vector<float>>& centroids) const;
+
+  /// Per-cluster tape-based reference path; equals PredictCounts bit for
+  /// bit (kept for the batched-equivalence tests and the microbench).
+  std::vector<float> PredictCountsReference(
       const std::vector<float>& query_embedding,
       const std::vector<std::vector<float>>& centroids) const;
 

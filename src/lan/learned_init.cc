@@ -25,21 +25,39 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
   const size_t scan = std::min(cluster_order.size(),
                                static_cast<size_t>(options_.max_clusters));
 
-  // 2) Member-level prediction with M_nh.
-  int64_t inferences = static_cast<int64_t>(counts.size());
+  // 2) Member-level prediction with M_nh: gather every member of the
+  // scanned clusters (in scan order) and score them in one batched
+  // inference pass against the query encoded once.
+  std::vector<GraphId> candidates;
   for (size_t i = 0; i < scan; ++i) {
     for (int32_t member : clusters_->members[cluster_order[i]]) {
-      const GraphId id = static_cast<GraphId>(member);
-      float p;
-      if (use_compressed_) {
-        p = nh_model_->PredictProb((*db_cgs_)[static_cast<size_t>(id)],
-                                   *query_cg_);
-      } else {
-        p = nh_model_->PredictProbRaw(oracle->db().Get(id), oracle->query());
-      }
-      ++inferences;
-      if (p >= options_.threshold) predicted_.push_back(id);
+      candidates.push_back(static_cast<GraphId>(member));
     }
+  }
+  int64_t inferences =
+      static_cast<int64_t>(counts.size() + candidates.size());
+  std::vector<float> probs;
+  if (!candidates.empty()) {
+    if (use_compressed_) {
+      const QueryEncodingCache query_cache =
+          nh_model_->scorer().EncodeQuery(*query_cg_);
+      std::vector<const CompressedGnnGraph*> gs;
+      gs.reserve(candidates.size());
+      for (GraphId id : candidates) {
+        gs.push_back(&(*db_cgs_)[static_cast<size_t>(id)]);
+      }
+      probs = nh_model_->PredictProbsBatch(gs, query_cache);
+    } else {
+      const QueryEncodingCache query_cache =
+          nh_model_->scorer().EncodeQuery(oracle->query());
+      std::vector<const Graph*> gs;
+      gs.reserve(candidates.size());
+      for (GraphId id : candidates) gs.push_back(&oracle->db().Get(id));
+      probs = nh_model_->PredictProbsRawBatch(gs, query_cache);
+    }
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (probs[i] >= options_.threshold) predicted_.push_back(candidates[i]);
   }
   if (stats != nullptr) {
     stats->model_inferences += inferences;

@@ -9,20 +9,27 @@ std::vector<std::vector<GraphId>> LearnedNeighborRanker::RankNeighbors(
 
   // Outside N_Q (or before the node's own distance is known) the router
   // must not prune: one batch containing everything.
+  const double* node_distance = oracle_->FindCached(node);
   const bool in_neighborhood =
-      oracle_->IsCached(node) && oracle_->Distance(node) <= gamma_star_;
+      node_distance != nullptr && *node_distance <= gamma_star_;
   if (!in_neighborhood) return {neighbors};
 
   SearchStats* stats = oracle_->stats();
   Timer timer;
+  if (!query_cache_ready_) {
+    query_cache_ = use_compressed_
+                       ? model_->scorer().EncodeQuery(*query_cg_)
+                       : model_->scorer().EncodeQuery(query);
+    query_cache_ready_ = true;
+  }
   std::vector<std::vector<GraphId>> batches;
   int64_t inferences = 0;
   if (use_compressed_) {
-    batches = model_->PredictBatches(neighbors, *db_cgs_, node, *query_cg_,
+    batches = model_->PredictBatches(neighbors, *db_cgs_, node, query_cache_,
                                      &inferences);
   } else {
-    batches = model_->PredictBatchesRaw(neighbors, oracle_->db(), node, query,
-                                        &inferences);
+    batches = model_->PredictBatchesRaw(neighbors, oracle_->db(), node,
+                                        query_cache_, &inferences);
   }
   if (stats != nullptr) {
     stats->model_inferences += inferences;

@@ -39,6 +39,10 @@ class LearnedNeighborRanker : public NeighborRanker {
   DistanceOracle* oracle_;
   double gamma_star_;
   bool use_compressed_;
+  /// Query-side encoder state, built on the first model consultation and
+  /// reused for every routing node of this query.
+  QueryEncodingCache query_cache_;
+  bool query_cache_ready_ = false;
 };
 
 }  // namespace lan

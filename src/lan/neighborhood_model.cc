@@ -121,6 +121,27 @@ float NeighborhoodModel::PredictProbRaw(const Graph& g, const Graph& q) const {
   return scorer_.PredictRaw(g, q, nullptr)[0];
 }
 
+std::vector<float> NeighborhoodModel::PredictProbsBatch(
+    const std::vector<const CompressedGnnGraph*>& gs,
+    const QueryEncodingCache& query) const {
+  const std::vector<std::vector<float>> probs =
+      scorer_.PredictCompressedBatch(gs, query, nullptr);
+  std::vector<float> out;
+  out.reserve(probs.size());
+  for (const std::vector<float>& p : probs) out.push_back(p[0]);
+  return out;
+}
+
+std::vector<float> NeighborhoodModel::PredictProbsRawBatch(
+    const std::vector<const Graph*>& gs, const QueryEncodingCache& query) const {
+  const std::vector<std::vector<float>> probs =
+      scorer_.PredictRawBatch(gs, query, nullptr);
+  std::vector<float> out;
+  out.reserve(probs.size());
+  for (const std::vector<float>& p : probs) out.push_back(p[0]);
+  return out;
+}
+
 double NeighborhoodModel::EvaluatePrecision(
     const std::vector<CompressedGnnGraph>& db_cgs,
     const std::vector<CompressedGnnGraph>& query_cgs,

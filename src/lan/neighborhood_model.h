@@ -53,6 +53,16 @@ class NeighborhoodModel {
   /// The no-CG ablation path.
   float PredictProbRaw(const Graph& g, const Graph& q) const;
 
+  /// Batched inference: out[i] == PredictProb(*gs[i], q) for the query the
+  /// cache was built from. Used by the LAN_IS candidate scan, which scores
+  /// every member of the selected clusters against one query.
+  std::vector<float> PredictProbsBatch(
+      const std::vector<const CompressedGnnGraph*>& gs,
+      const QueryEncodingCache& query) const;
+  std::vector<float> PredictProbsRawBatch(
+      const std::vector<const Graph*>& gs,
+      const QueryEncodingCache& query) const;
+
   /// Threshold chosen on validation data during Train (maximizes F1);
   /// 0.5 when no validation set was provided.
   float calibrated_threshold() const { return calibrated_threshold_; }

@@ -86,14 +86,90 @@ std::vector<float> PairScorer::PredictRaw(const Graph& g, const Graph& q,
 
 Matrix PairScorer::ContextEmbedding(const CompressedGnnGraph& cg) const {
   LAN_CHECK(options_.include_context_embedding);
-  Tape tape(/*inference_mode=*/true);
-  return tape.value(context_gin_.ForwardGraphCompressed(&tape, cg));
+  return context_gin_.InferGraphEmbeddingCompressed(cg);
 }
 
 Matrix PairScorer::ContextEmbedding(const Graph& g) const {
   LAN_CHECK(options_.include_context_embedding);
-  Tape tape(/*inference_mode=*/true);
-  return tape.value(context_gin_.ForwardGraph(&tape, g));
+  return context_gin_.InferGraphEmbedding(g);
+}
+
+QueryEncodingCache PairScorer::EncodeQuery(const CompressedGnnGraph& q) const {
+  return cross_.EncodeQuery(q);
+}
+
+QueryEncodingCache PairScorer::EncodeQuery(const Graph& q) const {
+  return cross_.EncodeQuery(q);
+}
+
+std::vector<std::vector<float>> PairScorer::FinishBatch(
+    const Matrix& cross, const Matrix* context_row) const {
+  const int32_t num_cands = cross.rows();
+  Matrix features;
+  if (context_row != nullptr) {
+    LAN_CHECK(options_.include_context_embedding);
+    LAN_CHECK_EQ(context_row->rows(), 1);
+    features = Matrix(num_cands, cross.cols() + context_row->cols());
+    for (int32_t i = 0; i < num_cands; ++i) {
+      for (int32_t j = 0; j < cross.cols(); ++j) {
+        features.at(i, j) = cross.at(i, j);
+      }
+      for (int32_t j = 0; j < context_row->cols(); ++j) {
+        features.at(i, cross.cols() + j) = context_row->at(0, j);
+      }
+    }
+  } else {
+    features = cross;
+  }
+  std::vector<std::vector<float>> probs(
+      static_cast<size_t>(num_cands),
+      std::vector<float>(heads_.size()));
+  for (size_t h = 0; h < heads_.size(); ++h) {
+    const Matrix logits = heads_[h].InferForward(features);
+    for (int32_t i = 0; i < num_cands; ++i) {
+      probs[static_cast<size_t>(i)][h] =
+          1.0f / (1.0f + std::exp(-logits.at(i, 0)));
+    }
+  }
+  return probs;
+}
+
+std::vector<std::vector<float>> PairScorer::PredictCompressedBatch(
+    const std::vector<const CompressedGnnGraph*>& gs,
+    const QueryEncodingCache& query, const CompressedGnnGraph* context) const {
+  const Matrix cross = cross_.InferCrossEmbeddings(gs, query);
+  if (!options_.include_context_embedding) {
+    return FinishBatch(cross, nullptr);
+  }
+  LAN_CHECK(context != nullptr);
+  const Matrix ctx = context_gin_.InferGraphEmbeddingCompressed(*context);
+  return FinishBatch(cross, &ctx);
+}
+
+std::vector<std::vector<float>> PairScorer::PredictRawBatch(
+    const std::vector<const Graph*>& gs, const QueryEncodingCache& query,
+    const Graph* context) const {
+  const Matrix cross = cross_.InferCrossEmbeddings(gs, query);
+  if (!options_.include_context_embedding) {
+    return FinishBatch(cross, nullptr);
+  }
+  LAN_CHECK(context != nullptr);
+  const Matrix ctx = context_gin_.InferGraphEmbedding(*context);
+  return FinishBatch(cross, &ctx);
+}
+
+std::vector<std::vector<float>> PairScorer::PredictCompressedBatchWithContextRow(
+    const std::vector<const CompressedGnnGraph*>& gs,
+    const QueryEncodingCache& query, const Matrix& context_row) const {
+  LAN_CHECK(options_.include_context_embedding);
+  return FinishBatch(cross_.InferCrossEmbeddings(gs, query), &context_row);
+}
+
+std::vector<std::vector<float>> PairScorer::PredictRawBatchWithContextRow(
+    const std::vector<const Graph*>& gs, const QueryEncodingCache& query,
+    const Matrix& context_row) const {
+  LAN_CHECK(options_.include_context_embedding);
+  return FinishBatch(cross_.InferCrossEmbeddings(gs, query), &context_row);
 }
 
 std::vector<float> PairScorer::PredictCompressedWithContextRow(

@@ -72,6 +72,30 @@ class PairScorer {
   std::vector<float> PredictRawWithContextRow(const Graph& g, const Graph& q,
                                               const Matrix& context_row) const;
 
+  /// Per-query encoder cache for the batched inference paths below: built
+  /// once per query, shared by every candidate batch scored against it.
+  QueryEncodingCache EncodeQuery(const CompressedGnnGraph& q) const;
+  QueryEncodingCache EncodeQuery(const Graph& q) const;
+
+  /// Batched inference: out[i] == PredictCompressed(*gs[i], q, context),
+  /// computed with one GEMM per GNN layer / head layer over the whole
+  /// candidate set and no autograd bookkeeping.
+  std::vector<std::vector<float>> PredictCompressedBatch(
+      const std::vector<const CompressedGnnGraph*>& gs,
+      const QueryEncodingCache& query,
+      const CompressedGnnGraph* context) const;
+  std::vector<std::vector<float>> PredictRawBatch(
+      const std::vector<const Graph*>& gs, const QueryEncodingCache& query,
+      const Graph* context) const;
+
+  /// Batched inference with a precomputed context embedding row.
+  std::vector<std::vector<float>> PredictCompressedBatchWithContextRow(
+      const std::vector<const CompressedGnnGraph*>& gs,
+      const QueryEncodingCache& query, const Matrix& context_row) const;
+  std::vector<std::vector<float>> PredictRawBatchWithContextRow(
+      const std::vector<const Graph*>& gs, const QueryEncodingCache& query,
+      const Matrix& context_row) const;
+
   ParamStore* params() { return &store_; }
   const ParamStore& params() const { return store_; }
   const PairScorerOptions& options() const { return options_; }
@@ -79,6 +103,11 @@ class PairScorer {
 
  private:
   VarId Heads(Tape* tape, VarId features) const;
+
+  /// Appends the optional context row to every cross-embedding row, runs
+  /// all heads batched, and returns per-candidate sigmoid probabilities.
+  std::vector<std::vector<float>> FinishBatch(const Matrix& cross,
+                                              const Matrix* context_row) const;
 
   int32_t num_labels_;
   PairScorerOptions options_;

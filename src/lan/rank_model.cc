@@ -145,22 +145,29 @@ std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatches(
     const std::vector<GraphId>& neighbors,
     const std::vector<CompressedGnnGraph>& db_cgs, GraphId node,
     const CompressedGnnGraph& query_cg, int64_t* inference_count) const {
+  return PredictBatches(neighbors, db_cgs, node, scorer_.EncodeQuery(query_cg),
+                        inference_count);
+}
+
+std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatches(
+    const std::vector<GraphId>& neighbors,
+    const std::vector<CompressedGnnGraph>& db_cgs, GraphId node,
+    const QueryEncodingCache& query, int64_t* inference_count) const {
   const Matrix* cached_context =
       static_cast<size_t>(node) < context_cache_.size()
           ? &context_cache_[static_cast<size_t>(node)]
           : nullptr;
-  std::vector<std::vector<float>> probs;
-  probs.reserve(neighbors.size());
-  for (GraphId n : neighbors) {
-    if (cached_context != nullptr) {
-      probs.push_back(scorer_.PredictCompressedWithContextRow(
-          db_cgs[static_cast<size_t>(n)], query_cg, *cached_context));
-    } else {
-      probs.push_back(scorer_.PredictCompressed(
-          db_cgs[static_cast<size_t>(n)], query_cg,
-          &db_cgs[static_cast<size_t>(node)]));
-    }
-    if (inference_count != nullptr) ++*inference_count;
+  std::vector<const CompressedGnnGraph*> gs;
+  gs.reserve(neighbors.size());
+  for (GraphId n : neighbors) gs.push_back(&db_cgs[static_cast<size_t>(n)]);
+  const std::vector<std::vector<float>> probs =
+      cached_context != nullptr
+          ? scorer_.PredictCompressedBatchWithContextRow(gs, query,
+                                                         *cached_context)
+          : scorer_.PredictCompressedBatch(
+                gs, query, &db_cgs[static_cast<size_t>(node)]);
+  if (inference_count != nullptr) {
+    *inference_count += static_cast<int64_t>(neighbors.size());
   }
   return GroupByBatch(neighbors, probs);
 }
@@ -168,21 +175,27 @@ std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatches(
 std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatchesRaw(
     const std::vector<GraphId>& neighbors, const GraphDatabase& db,
     GraphId node, const Graph& query, int64_t* inference_count) const {
+  return PredictBatchesRaw(neighbors, db, node, scorer_.EncodeQuery(query),
+                           inference_count);
+}
+
+std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatchesRaw(
+    const std::vector<GraphId>& neighbors, const GraphDatabase& db,
+    GraphId node, const QueryEncodingCache& query,
+    int64_t* inference_count) const {
   const Matrix* cached_context =
       static_cast<size_t>(node) < context_cache_.size()
           ? &context_cache_[static_cast<size_t>(node)]
           : nullptr;
-  std::vector<std::vector<float>> probs;
-  probs.reserve(neighbors.size());
-  const Graph& ctx = db.Get(node);
-  for (GraphId n : neighbors) {
-    if (cached_context != nullptr) {
-      probs.push_back(scorer_.PredictRawWithContextRow(db.Get(n), query,
-                                                       *cached_context));
-    } else {
-      probs.push_back(scorer_.PredictRaw(db.Get(n), query, &ctx));
-    }
-    if (inference_count != nullptr) ++*inference_count;
+  std::vector<const Graph*> gs;
+  gs.reserve(neighbors.size());
+  for (GraphId n : neighbors) gs.push_back(&db.Get(n));
+  const std::vector<std::vector<float>> probs =
+      cached_context != nullptr
+          ? scorer_.PredictRawBatchWithContextRow(gs, query, *cached_context)
+          : scorer_.PredictRawBatch(gs, query, &db.Get(node));
+  if (inference_count != nullptr) {
+    *inference_count += static_cast<int64_t>(neighbors.size());
   }
   return GroupByBatch(neighbors, probs);
 }

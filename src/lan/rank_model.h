@@ -62,17 +62,32 @@ class NeighborRankModel {
   void PrecomputeContexts(const std::vector<CompressedGnnGraph>& db_cgs);
 
   /// Predicted batches, best first (empty predicted ranks are skipped).
-  /// Increments *inference_count once per neighbor scored.
+  /// Increments *inference_count once per neighbor scored. All neighbors
+  /// are scored in one batched inference pass (no per-pair tapes).
   std::vector<std::vector<GraphId>> PredictBatches(
       const std::vector<GraphId>& neighbors,
       const std::vector<CompressedGnnGraph>& db_cgs, GraphId node,
       const CompressedGnnGraph& query_cg, int64_t* inference_count) const;
+
+  /// Like above with the per-query encoder cache pre-built — the hot path
+  /// used by LearnedNeighborRanker, which scores many nodes' neighbor
+  /// lists against the same query.
+  std::vector<std::vector<GraphId>> PredictBatches(
+      const std::vector<GraphId>& neighbors,
+      const std::vector<CompressedGnnGraph>& db_cgs, GraphId node,
+      const QueryEncodingCache& query, int64_t* inference_count) const;
 
   /// The no-CG ablation (Fig. 10): identical predictions computed on raw
   /// graphs.
   std::vector<std::vector<GraphId>> PredictBatchesRaw(
       const std::vector<GraphId>& neighbors, const GraphDatabase& db,
       GraphId node, const Graph& query, int64_t* inference_count) const;
+
+  /// Raw ablation with the per-query encoder cache pre-built.
+  std::vector<std::vector<GraphId>> PredictBatchesRaw(
+      const std::vector<GraphId>& neighbors, const GraphDatabase& db,
+      GraphId node, const QueryEncodingCache& query,
+      int64_t* inference_count) const;
 
   const PairScorer& scorer() const { return scorer_; }
   PairScorer* mutable_scorer() { return &scorer_; }

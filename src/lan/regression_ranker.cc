@@ -83,8 +83,9 @@ std::vector<std::vector<GraphId>> RegressionNeighborRanker::RankNeighbors(
     const ProximityGraph& pg, GraphId node, const Graph& query) {
   const std::vector<GraphId>& neighbors = pg.Neighbors(node);
   if (neighbors.empty()) return {};
+  const double* node_distance = oracle_->FindCached(node);
   const bool in_neighborhood =
-      oracle_->IsCached(node) && oracle_->Distance(node) <= gamma_star_;
+      node_distance != nullptr && *node_distance <= gamma_star_;
   if (!in_neighborhood) return {neighbors};
 
   SearchStats* stats = oracle_->stats();

@@ -19,6 +19,16 @@ VarId Linear::Forward(Tape* tape, VarId x) const {
   return tape->AddRowBroadcast(tape->MatMul(x, w), b);
 }
 
+Matrix Linear::InferForward(const Matrix& x) const {
+  LAN_CHECK(weight_ != nullptr);
+  Matrix y = MatMulValues(x, weight_->value);
+  const Matrix& b = bias_->value;
+  for (int32_t i = 0; i < y.rows(); ++i) {
+    for (int32_t j = 0; j < y.cols(); ++j) y.at(i, j) += b.at(0, j);
+  }
+  return y;
+}
+
 Mlp::Mlp(const std::vector<int32_t>& dims, ParamStore* store, Rng* rng) {
   LAN_CHECK_GE(dims.size(), 2u);
   for (size_t i = 0; i + 1 < dims.size(); ++i) {
@@ -32,6 +42,16 @@ VarId Mlp::Forward(Tape* tape, VarId x) const {
   for (size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i].Forward(tape, h);
     if (i + 1 < layers_.size()) h = tape->Relu(h);
+  }
+  return h;
+}
+
+Matrix Mlp::InferForward(const Matrix& x) const {
+  LAN_CHECK(!layers_.empty());
+  Matrix h = layers_[0].InferForward(x);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    ReluInPlace(&h);
+    h = layers_[i].InferForward(h);
   }
   return h;
 }

@@ -18,6 +18,10 @@ class Linear {
   /// Forward on a tape; `x` is (n x in_dim), result (n x out_dim).
   VarId Forward(Tape* tape, VarId x) const;
 
+  /// Inference-only forward (no tape, no autograd bookkeeping); the result
+  /// matches Forward bit for bit.
+  Matrix InferForward(const Matrix& x) const;
+
   int32_t in_dim() const { return in_dim_; }
   int32_t out_dim() const { return out_dim_; }
   ParamState* weight() const { return weight_; }
@@ -39,6 +43,9 @@ class Mlp {
   Mlp(const std::vector<int32_t>& dims, ParamStore* store, Rng* rng);
 
   VarId Forward(Tape* tape, VarId x) const;
+
+  /// Inference-only forward (no tape); matches Forward bit for bit.
+  Matrix InferForward(const Matrix& x) const;
 
   const std::vector<Linear>& layers() const { return layers_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -62,19 +63,126 @@ std::string Matrix::ShapeString() const {
   return StrFormat("[%dx%d]", rows_, cols_);
 }
 
+namespace {
+
+// Register-tile sizes of the GEMM micro-kernel: a kRowBlock x kColTile
+// block of C is held in registers while the full depth streams through it,
+// so C costs one load and one store per tile instead of one per k-step.
+// Every output element still sums its terms in ascending k through a
+// single accumulator, so results are bitwise identical to the naive loop.
+// Skipping a zero A entry only drops exact +-0.0f products, which never
+// change an accumulator's bits (an accumulator seeded from +0.0 can never
+// become -0.0 under round-to-nearest).
+constexpr int32_t kRowBlock = 4;
+constexpr int32_t kColTile = 8;
+
+}  // namespace
+
+void MatMulAccumulate(const float* a, int32_t m, int32_t k, const float* b,
+                      int32_t n, float* c) {
+  const int32_t tiled_cols = n - n % kColTile;
+  for (int32_t j0 = 0; j0 < tiled_cols; j0 += kColTile) {
+    int32_t i = 0;
+    for (; i + kRowBlock <= m; i += kRowBlock) {
+      float acc[kRowBlock][kColTile];
+      for (int32_t r = 0; r < kRowBlock; ++r) {
+        const float* crow = c + static_cast<size_t>(i + r) * n + j0;
+        for (int32_t t = 0; t < kColTile; ++t) acc[r][t] = crow[t];
+      }
+      for (int32_t p = 0; p < k; ++p) {
+        const float* bp = b + static_cast<size_t>(p) * n + j0;
+        for (int32_t r = 0; r < kRowBlock; ++r) {
+          // One-hot inputs and sparse attention rows make zeros common.
+          const float av = a[static_cast<size_t>(i + r) * k + p];
+          if (av == 0.0f) continue;
+          for (int32_t t = 0; t < kColTile; ++t) acc[r][t] += av * bp[t];
+        }
+      }
+      for (int32_t r = 0; r < kRowBlock; ++r) {
+        float* crow = c + static_cast<size_t>(i + r) * n + j0;
+        for (int32_t t = 0; t < kColTile; ++t) crow[t] = acc[r][t];
+      }
+    }
+    for (; i < m; ++i) {
+      const float* arow = a + static_cast<size_t>(i) * k;
+      float* crow = c + static_cast<size_t>(i) * n + j0;
+      float acc[kColTile];
+      for (int32_t t = 0; t < kColTile; ++t) acc[t] = crow[t];
+      for (int32_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* bp = b + static_cast<size_t>(p) * n + j0;
+        for (int32_t t = 0; t < kColTile; ++t) acc[t] += av * bp[t];
+      }
+      for (int32_t t = 0; t < kColTile; ++t) crow[t] = acc[t];
+    }
+  }
+  // Rightmost n % kColTile columns (also the whole GEMV case n == 1 of the
+  // attention score projections): four-lane dot products that break the
+  // add-latency chain. The lane split is a fixed function of k alone, so
+  // any two computations of the same logical element — per-pair or batched,
+  // which stack rows and never columns — still agree bit for bit.
+  for (int32_t i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int32_t j = tiled_cols; j < n; ++j) {
+      const float* bcol = b + j;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      int32_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        acc0 += arow[p] * bcol[static_cast<size_t>(p) * n];
+        acc1 += arow[p + 1] * bcol[(static_cast<size_t>(p) + 1) * n];
+        acc2 += arow[p + 2] * bcol[(static_cast<size_t>(p) + 2) * n];
+        acc3 += arow[p + 3] * bcol[(static_cast<size_t>(p) + 3) * n];
+      }
+      float rest = 0.0f;
+      for (; p < k; ++p) rest += arow[p] * bcol[static_cast<size_t>(p) * n];
+      crow[j] += ((acc0 + acc1) + (acc2 + acc3)) + rest;
+    }
+  }
+}
+
 Matrix MatMulValues(const Matrix& a, const Matrix& b) {
   LAN_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
-  for (int32_t i = 0; i < a.rows(); ++i) {
-    for (int32_t k = 0; k < a.cols(); ++k) {
-      const float aik = a.at(i, k);
-      if (aik == 0.0f) continue;
-      const float* brow = b.data() + static_cast<size_t>(k) * b.cols();
-      float* crow = c.data() + static_cast<size_t>(i) * c.cols();
-      for (int32_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  MatMulAccumulate(a.data(), a.rows(), a.cols(), b.data(), b.cols(), c.data());
   return c;
+}
+
+void ReluInPlace(Matrix* m) {
+  float* p = m->data();
+  const int64_t size = m->size();
+  for (int64_t i = 0; i < size; ++i) p[i] = std::max(0.0f, p[i]);
+}
+
+void SoftmaxRowsInPlace(float* data, int32_t rows, int32_t cols) {
+  for (int32_t i = 0; i < rows; ++i) {
+    float* row = data + static_cast<size_t>(i) * cols;
+    float row_max = -std::numeric_limits<float>::infinity();
+    for (int32_t j = 0; j < cols; ++j) row_max = std::max(row_max, row[j]);
+    float total = 0.0f;
+    for (int32_t j = 0; j < cols; ++j) {
+      const float e = std::exp(row[j] - row_max);
+      row[j] = e;
+      total += e;
+    }
+    for (int32_t j = 0; j < cols; ++j) row[j] /= total;
+  }
+}
+
+void WeightedMeanRowsInto(const float* data, int32_t rows, int32_t cols,
+                          const float* weights, float* out) {
+  float total = 0.0f;
+  for (int32_t i = 0; i < rows; ++i) {
+    LAN_CHECK_GE(weights[i], 0.0f);
+    total += weights[i];
+  }
+  LAN_CHECK_GT(total, 0.0f);
+  for (int32_t i = 0; i < rows; ++i) {
+    const float norm = weights[i] / total;
+    const float* row = data + static_cast<size_t>(i) * cols;
+    for (int32_t j = 0; j < cols; ++j) out[j] += norm * row[j];
+  }
 }
 
 Matrix MatMulTransposedLhs(const Matrix& a, const Matrix& b) {

@@ -71,12 +71,30 @@ class Matrix {
   std::vector<float> data_;
 };
 
+/// C += A * B over raw row-major buffers (a: m x k, b: k x n, c: m x n).
+/// Tiled multi-accumulator kernel shared by training and inference. Per
+/// output element the k-terms accumulate in ascending order, so the result
+/// is bit-for-bit identical to the naive triple loop.
+void MatMulAccumulate(const float* a, int32_t m, int32_t k, const float* b,
+                      int32_t n, float* c);
+
 /// C = A * B.
 Matrix MatMulValues(const Matrix& a, const Matrix& b);
 /// C = A^T * B.
 Matrix MatMulTransposedLhs(const Matrix& a, const Matrix& b);
 /// C = A * B^T.
 Matrix MatMulTransposedRhs(const Matrix& a, const Matrix& b);
+
+/// max(x, 0) elementwise, in place (inference mirror of Tape::Relu).
+void ReluInPlace(Matrix* m);
+/// Row-wise stable softmax over a raw row-major block, in place
+/// (inference mirror of Tape::SoftmaxRows).
+void SoftmaxRowsInPlace(float* data, int32_t rows, int32_t cols);
+/// out[j] += sum_i (w[i] / sum(w)) * data(i, j); caller zero-initializes
+/// `out` (size cols). Inference mirror of Tape::WeightedMeanRows; weights
+/// must be non-negative with a positive total.
+void WeightedMeanRowsInto(const float* data, int32_t rows, int32_t cols,
+                          const float* weights, float* out);
 
 /// \brief Constant sparse matrix in triplet form, used for the (weighted)
 /// neighborhood-aggregation operators of GIN / CG learning.

@@ -21,15 +21,20 @@ class DistanceOracle {
  public:
   DistanceOracle(const GraphDatabase* db, const Graph* query,
                  const GedComputer* ged, SearchStats* stats)
-      : db_(db), query_(query), ged_(ged), stats_(stats) {}
+      : db_(db), query_(query), ged_(ged), stats_(stats) {
+    // A routing search touches a few hundred graphs; pre-sizing keeps the
+    // per-distance bookkeeping rehash-free.
+    cache_.reserve(kInitialCacheBuckets);
+  }
 
   DistanceOracle(const DistanceOracle&) = delete;
   DistanceOracle& operator=(const DistanceOracle&) = delete;
 
-  /// d(Q, db[id]); cached.
+  /// d(Q, db[id]); cached. Single probe: try_emplace either finds the
+  /// cached value or claims the slot the computed value lands in.
   double Distance(GraphId id) {
-    auto it = cache_.find(id);
-    if (it != cache_.end()) return it->second;
+    auto [it, inserted] = cache_.try_emplace(id, 0.0);
+    if (!inserted) return it->second;
     double d;
     {
       ScopedTimer timer(stats_ != nullptr ? &distance_timer_ : nullptr);
@@ -39,12 +44,19 @@ class DistanceOracle {
       ++stats_->ndc;
       stats_->distance_seconds = distance_timer_.TotalSeconds();
     }
-    cache_.emplace(id, d);
+    it->second = d;
     return d;
   }
 
   /// True if d(Q, db[id]) has already been computed for this query.
   bool IsCached(GraphId id) const { return cache_.contains(id); }
+
+  /// The cached distance, or nullptr if not computed yet — one hash probe
+  /// where IsCached + Distance would take two.
+  const double* FindCached(GraphId id) const {
+    const auto it = cache_.find(id);
+    return it != cache_.end() ? &it->second : nullptr;
+  }
 
   const Graph& query() const { return *query_; }
   const GraphDatabase& db() const { return *db_; }
@@ -54,6 +66,8 @@ class DistanceOracle {
   const std::unordered_map<GraphId, double>& cached() const { return cache_; }
 
  private:
+  static constexpr size_t kInitialCacheBuckets = 256;
+
   const GraphDatabase* db_;
   const Graph* query_;
   const GedComputer* ged_;

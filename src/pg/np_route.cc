@@ -10,11 +10,14 @@
 namespace lan {
 namespace {
 
-/// Batch bookkeeping of one PG node: the ranked batches B_0..B_n and how
-/// many of them have been opened (distances computed).
+/// Batch bookkeeping of one PG node: the ranked batches B_0..B_n, how many
+/// of them have been opened (distances computed), and the farthest member
+/// distance across the opened batches (a running max, so revisits need not
+/// re-scan every opened member through the oracle).
 struct BatchState {
   std::vector<std::vector<GraphId>> batches;
   size_t opened = 0;
+  double farthest_opened = -1.0;
 };
 
 class NpRouter {
@@ -105,22 +108,14 @@ class NpRouter {
       farthest = std::max(farthest, d);
     }
     st->opened = j + 1;
+    st->farthest_opened = std::max(st->farthest_opened, farthest);
     return farthest;
   }
 
   /// Algorithm 4.
   void RankExplore(GraphId node, double gamma) {
     BatchState& st = GetBatchState(node);
-    if (st.opened > 0) {
-      // Farthest already-computed neighbor in the opened batches.
-      double farthest = -1.0;
-      for (size_t j = 0; j < st.opened; ++j) {
-        for (GraphId member : st.batches[j]) {
-          farthest = std::max(farthest, oracle_->Distance(member));
-        }
-      }
-      if (farthest >= gamma) return;
-    }
+    if (st.opened > 0 && st.farthest_opened >= gamma) return;
     for (size_t j = st.opened; j < st.batches.size(); ++j) {
       const double farthest = OpenBatch(&st, j);
       if (farthest >= gamma) return;

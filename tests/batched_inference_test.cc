@@ -1,0 +1,280 @@
+// Golden-equivalence tests for the batched query-time inference path: the
+// stacked one-GEMM-per-layer forwards must reproduce the per-pair tape
+// reference on all three learned models (M_rk, M_nh, M_c), on both raw
+// and compressed graphs, and be bit-for-bit deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "gnn/compressed_gnn_graph.h"
+#include "graph/graph_generator.h"
+#include "lan/cluster_model.h"
+#include "lan/lan_index.h"
+#include "lan/neighborhood_model.h"
+#include "lan/pair_scorer.h"
+#include "lan/rank_model.h"
+#include "lan/workload.h"
+
+namespace lan {
+namespace {
+
+constexpr float kTol = 1e-4f;
+constexpr int kLayers = 2;
+
+PairScorerOptions TinyScorer(int heads = 1, bool context = false) {
+  PairScorerOptions o;
+  o.gnn_dims = {8, 8};
+  o.mlp_hidden = 8;
+  o.num_heads = heads;
+  o.include_context_embedding = context;
+  return o;
+}
+
+/// Shared fixture data: a small database, its CGs, and one query.
+class BatchedInferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = GenerateDatabase(DatasetSpec::SynLike(12), 31);
+    for (GraphId id = 0; id < db_.size(); ++id) {
+      cgs_.push_back(BuildCompressedGnnGraph(db_.Get(id), kLayers));
+    }
+    query_ = db_.Get(11);
+    query_cg_ = BuildCompressedGnnGraph(query_, kLayers);
+    for (GraphId id = 0; id < 8; ++id) candidates_.push_back(id);
+  }
+
+  std::vector<const CompressedGnnGraph*> CandidateCgs() const {
+    std::vector<const CompressedGnnGraph*> out;
+    for (GraphId id : candidates_) {
+      out.push_back(&cgs_[static_cast<size_t>(id)]);
+    }
+    return out;
+  }
+
+  std::vector<const Graph*> CandidateGraphs() const {
+    std::vector<const Graph*> out;
+    for (GraphId id : candidates_) out.push_back(&db_.Get(id));
+    return out;
+  }
+
+  GraphDatabase db_;
+  std::vector<CompressedGnnGraph> cgs_;
+  Graph query_;
+  CompressedGnnGraph query_cg_;
+  std::vector<GraphId> candidates_;
+};
+
+TEST_F(BatchedInferenceTest, CompressedBatchMatchesPerPairNoContext) {
+  PairScorer scorer(db_.num_labels(), TinyScorer(/*heads=*/3));
+  const QueryEncodingCache cache = scorer.EncodeQuery(query_cg_);
+  const std::vector<std::vector<float>> batched =
+      scorer.PredictCompressedBatch(CandidateCgs(), cache, nullptr);
+  ASSERT_EQ(batched.size(), candidates_.size());
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const std::vector<float> reference = scorer.PredictCompressed(
+        cgs_[static_cast<size_t>(candidates_[i])], query_cg_, nullptr);
+    ASSERT_EQ(batched[i].size(), reference.size());
+    for (size_t h = 0; h < reference.size(); ++h) {
+      EXPECT_NEAR(batched[i][h], reference[h], kTol);
+    }
+  }
+}
+
+TEST_F(BatchedInferenceTest, CompressedBatchMatchesPerPairWithContext) {
+  PairScorer scorer(db_.num_labels(), TinyScorer(/*heads=*/4, /*context=*/true));
+  const CompressedGnnGraph& context = cgs_[9];
+  const QueryEncodingCache cache = scorer.EncodeQuery(query_cg_);
+  const std::vector<std::vector<float>> batched =
+      scorer.PredictCompressedBatch(CandidateCgs(), cache, &context);
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const std::vector<float> reference = scorer.PredictCompressed(
+        cgs_[static_cast<size_t>(candidates_[i])], query_cg_, &context);
+    for (size_t h = 0; h < reference.size(); ++h) {
+      EXPECT_NEAR(batched[i][h], reference[h], kTol);
+    }
+  }
+}
+
+TEST_F(BatchedInferenceTest, CompressedBatchMatchesPerPairCachedContextRow) {
+  PairScorer scorer(db_.num_labels(), TinyScorer(/*heads=*/4, /*context=*/true));
+  const Matrix context_row = scorer.ContextEmbedding(cgs_[9]);
+  const QueryEncodingCache cache = scorer.EncodeQuery(query_cg_);
+  const std::vector<std::vector<float>> batched =
+      scorer.PredictCompressedBatchWithContextRow(CandidateCgs(), cache,
+                                                  context_row);
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const std::vector<float> reference = scorer.PredictCompressedWithContextRow(
+        cgs_[static_cast<size_t>(candidates_[i])], query_cg_, context_row);
+    for (size_t h = 0; h < reference.size(); ++h) {
+      EXPECT_NEAR(batched[i][h], reference[h], kTol);
+    }
+  }
+}
+
+TEST_F(BatchedInferenceTest, RawBatchMatchesPerPair) {
+  PairScorer scorer(db_.num_labels(), TinyScorer(/*heads=*/3));
+  const QueryEncodingCache cache = scorer.EncodeQuery(query_);
+  const std::vector<std::vector<float>> batched =
+      scorer.PredictRawBatch(CandidateGraphs(), cache, nullptr);
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const std::vector<float> reference =
+        scorer.PredictRaw(db_.Get(candidates_[i]), query_, nullptr);
+    for (size_t h = 0; h < reference.size(); ++h) {
+      EXPECT_NEAR(batched[i][h], reference[h], kTol);
+    }
+  }
+}
+
+TEST_F(BatchedInferenceTest, RawBatchMatchesPerPairWithContextRow) {
+  PairScorer scorer(db_.num_labels(), TinyScorer(/*heads=*/4, /*context=*/true));
+  const Matrix context_row = scorer.ContextEmbedding(db_.Get(9));
+  const QueryEncodingCache cache = scorer.EncodeQuery(query_);
+  const std::vector<std::vector<float>> batched =
+      scorer.PredictRawBatchWithContextRow(CandidateGraphs(), cache,
+                                           context_row);
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const std::vector<float> reference = scorer.PredictRawWithContextRow(
+        db_.Get(candidates_[i]), query_, context_row);
+    for (size_t h = 0; h < reference.size(); ++h) {
+      EXPECT_NEAR(batched[i][h], reference[h], kTol);
+    }
+  }
+}
+
+TEST_F(BatchedInferenceTest, RawAndCompressedBatchesAgree) {
+  // Theorem 2 carried over to the batched path: CG and raw scoring of the
+  // same pairs produce the same probabilities.
+  PairScorer scorer(db_.num_labels(), TinyScorer(/*heads=*/2));
+  const std::vector<std::vector<float>> cg_probs = scorer.PredictCompressedBatch(
+      CandidateCgs(), scorer.EncodeQuery(query_cg_), nullptr);
+  const std::vector<std::vector<float>> raw_probs = scorer.PredictRawBatch(
+      CandidateGraphs(), scorer.EncodeQuery(query_), nullptr);
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    for (size_t h = 0; h < cg_probs[i].size(); ++h) {
+      EXPECT_NEAR(cg_probs[i][h], raw_probs[i][h], kTol);
+    }
+  }
+}
+
+TEST_F(BatchedInferenceTest, BatchedInferenceIsBitwiseDeterministic) {
+  PairScorer scorer(db_.num_labels(), TinyScorer(/*heads=*/4, /*context=*/true));
+  const QueryEncodingCache cache = scorer.EncodeQuery(query_cg_);
+  const std::vector<std::vector<float>> a =
+      scorer.PredictCompressedBatch(CandidateCgs(), cache, &cgs_[9]);
+  const std::vector<std::vector<float>> b =
+      scorer.PredictCompressedBatch(CandidateCgs(), cache, &cgs_[9]);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t h = 0; h < a[i].size(); ++h) {
+      EXPECT_EQ(a[i][h], b[i][h]);  // exact, not approximate
+    }
+  }
+}
+
+TEST_F(BatchedInferenceTest, NeighborhoodModelBatchMatchesPerPair) {
+  NeighborhoodModelOptions options;
+  options.scorer = TinyScorer();
+  NeighborhoodModel model(db_.num_labels(), options);
+  const std::vector<float> batched = model.PredictProbsBatch(
+      CandidateCgs(), model.scorer().EncodeQuery(query_cg_));
+  const std::vector<float> batched_raw = model.PredictProbsRawBatch(
+      CandidateGraphs(), model.scorer().EncodeQuery(query_));
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const float reference = model.PredictProb(
+        cgs_[static_cast<size_t>(candidates_[i])], query_cg_);
+    EXPECT_NEAR(batched[i], reference, kTol);
+    EXPECT_NEAR(batched_raw[i],
+                model.PredictProbRaw(db_.Get(candidates_[i]), query_), kTol);
+  }
+}
+
+TEST_F(BatchedInferenceTest, RankModelBatchesMatchCachedQueryOverload) {
+  RankModelOptions options;
+  options.batch_percent = 25;
+  options.scorer = TinyScorer();
+  NeighborRankModel model(db_.num_labels(), options);
+  model.PrecomputeContexts(cgs_);
+  int64_t inferences_a = 0;
+  int64_t inferences_b = 0;
+  const auto direct = model.PredictBatches(candidates_, cgs_, /*node=*/10,
+                                           query_cg_, &inferences_a);
+  const auto cached = model.PredictBatches(candidates_, cgs_, /*node=*/10,
+                                           model.scorer().EncodeQuery(query_cg_),
+                                           &inferences_b);
+  EXPECT_EQ(inferences_a, static_cast<int64_t>(candidates_.size()));
+  EXPECT_EQ(inferences_a, inferences_b);
+  EXPECT_EQ(direct, cached);
+}
+
+TEST(ClusterModelBatchTest, BatchedCountsMatchReference) {
+  const int32_t kEmbeddingDim = 6;
+  const int32_t kCentroidDim = 6;
+  ClusterModel model(kEmbeddingDim + kCentroidDim, ClusterModelOptions{});
+  Rng rng(99);
+  std::vector<float> query_embedding(kEmbeddingDim);
+  for (float& x : query_embedding) x = rng.NextFloat(-1.0f, 1.0f);
+  std::vector<std::vector<float>> centroids(7,
+                                            std::vector<float>(kCentroidDim));
+  for (auto& c : centroids) {
+    for (float& x : c) x = rng.NextFloat(-1.0f, 1.0f);
+  }
+  const std::vector<float> batched =
+      model.PredictCounts(query_embedding, centroids);
+  const std::vector<float> reference =
+      model.PredictCountsReference(query_embedding, centroids);
+  ASSERT_EQ(batched.size(), reference.size());
+  for (size_t c = 0; c < reference.size(); ++c) {
+    EXPECT_NEAR(batched[c], reference[c], kTol);
+  }
+  EXPECT_TRUE(model.PredictCounts(query_embedding, {}).empty());
+}
+
+TEST(BatchedSearchTest, SearchBatchMatchesSequentialSearch) {
+  LanConfig config;
+  config.hnsw.M = 4;
+  config.hnsw.ef_construction = 12;
+  config.query_ged.approximate_only = true;
+  config.query_ged.beam_width = 0;
+  config.scorer.gnn_dims = {8, 8};
+  config.scorer.mlp_hidden = 8;
+  config.rank.epochs = 2;
+  config.nh.epochs = 2;
+  config.cluster.epochs = 5;
+  config.max_rank_examples = 150;
+  config.max_nh_examples = 150;
+  config.neighborhood_knn = 5;
+  config.embedding.dim = 16;
+  config.default_beam = 8;
+  config.num_threads = 2;
+
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(40), 41);
+  WorkloadOptions wopts;
+  wopts.num_queries = 10;
+  QueryWorkload workload = SampleWorkload(db, wopts, 42);
+  LanIndex index(config);
+  ASSERT_TRUE(index.Build(&db).ok());
+  ASSERT_TRUE(index.Train(workload.train).ok());
+
+  const int k = 3;
+  const std::vector<SearchResult> batch =
+      index.SearchBatch(workload.test, k, /*num_threads=*/2);
+  ASSERT_EQ(batch.size(), workload.test.size());
+  for (size_t i = 0; i < workload.test.size(); ++i) {
+    const SearchResult sequential = index.Search(workload.test[i], k);
+    ASSERT_EQ(batch[i].results.size(), sequential.results.size());
+    for (size_t j = 0; j < sequential.results.size(); ++j) {
+      EXPECT_EQ(batch[i].results[j].first, sequential.results[j].first);
+      EXPECT_DOUBLE_EQ(batch[i].results[j].second,
+                       sequential.results[j].second);
+    }
+    EXPECT_EQ(batch[i].stats.ndc, sequential.stats.ndc);
+    EXPECT_EQ(batch[i].stats.model_inferences,
+              sequential.stats.model_inferences);
+  }
+}
+
+}  // namespace
+}  // namespace lan
