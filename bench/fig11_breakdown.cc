@@ -18,20 +18,21 @@ int Main() {
   for (DatasetKind kind : BenchDatasets()) {
     std::unique_ptr<BenchEnv> env = MakeBenchEnv(
         kind, /*with_l2route=*/false, /*use_compressed_gnn=*/false);
-    SearchStats total;
-    for (size_t i = 0; i < env->test_queries.size(); ++i) {
-      SearchResult r = env->index->SearchWith(env->test_queries[i], env->k,
-                                              /*beam=*/16,
-                                              RoutingMethod::kLanRoute,
-                                              InitMethod::kLanIs);
-      total.Merge(r.stats);
-    }
+    SearchOptions options;
+    options.k = env->k;
+    options.beam = 16;
+    // Single worker: the breakdown wants undisturbed per-query wall time.
+    BatchSearchResult batch =
+        env->index->SearchBatch(env->test_queries, options, /*num_threads=*/1);
+    const SearchStats& total = batch.stats.totals;
     const double all = total.TotalSeconds();
     std::printf("%-8s %11.1f%% %11.1f%% %11.1f%% %12.4f\n", env->name(),
                 100.0 * total.distance_seconds / all,
                 100.0 * total.learning_seconds / all,
                 100.0 * total.other_seconds / all,
                 all / static_cast<double>(env->test_queries.size()));
+    std::fprintf(stderr, "[bench] %s batch metrics: %s\n", env->name(),
+                 batch.stats.metrics.ToJson().c_str());
   }
   std::printf("(paper: cross-graph learning accounts for ~20-29%% of "
               "query time before acceleration)\n");

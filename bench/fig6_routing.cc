@@ -19,20 +19,24 @@ int Main() {
                       *env);
     PrintCurveHeader(env->k);
 
+    MetricsRegistry registry;
     PrintCurve(SweepIndex(*env->index, RoutingMethod::kLanRoute,
                           InitMethod::kHnswIs, env->test_queries, env->truths,
-                          env->k, BenchBeams(), "LAN_Route"),
+                          env->k, BenchBeams(), "LAN_Route", &registry),
                env->k);
     PrintCurve(SweepIndex(*env->index, RoutingMethod::kBaselineRoute,
                           InitMethod::kHnswIs, env->test_queries, env->truths,
-                          env->k, BenchBeams(), "HNSW_Route"),
+                          env->k, BenchBeams(), "HNSW_Route", &registry),
                env->k);
     PrintCurve(SweepIndex(*env->index, RoutingMethod::kOracleRoute,
                           InitMethod::kHnswIs, env->test_queries, env->truths,
-                          env->k, BenchBeams(), "Oracle_Route (skyline)"),
+                          env->k, BenchBeams(), "Oracle_Route (skyline)",
+                          &registry),
                env->k);
     std::printf("(oracle rows: only the NDC column is meaningful — the "
                 "oracle's \"free\" ranking still costs wall time here)\n");
+    std::printf("metrics over all %s sweeps: %s\n", env->name(),
+                registry.Snapshot().ToJson().c_str());
   }
   return 0;
 }

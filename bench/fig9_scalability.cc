@@ -83,13 +83,17 @@ int Main() {
               "avg NDC");
   for (int used = 1; used <= kNumShards; ++used) {
     for (int beam : {8, 16, 32}) {  // roughly: recall 0.9 / 0.95 / 0.98
+      SearchOptions options;
+      options.k = k;
+      options.beam = beam;
       double total_seconds = 0.0;
       int64_t total_ndc = 0;
       for (const Graph& query : queries) {
         Timer timer;
         for (int s = 0; s < used; ++s) {
-          SearchResult r = indexes[static_cast<size_t>(s)]->SearchWith(
-              query, k, beam, RoutingMethod::kLanRoute, InitMethod::kLanIs);
+          SearchResult r =
+              indexes[static_cast<size_t>(s)]->Search(query, options);
+          LAN_CHECK(r.status.ok()) << r.status.ToString();
           total_ndc += r.stats.ndc;
         }
         total_seconds += timer.ElapsedSeconds();

@@ -53,9 +53,10 @@ int main(int argc, char** argv) {
     lan::Graph suspicious =
         lan::PerturbGraph(db.Get(source), edits, db.num_labels(), &rng);
 
-    lan::SearchResult result = index.SearchWith(
-        suspicious, kK, /*beam=*/32, lan::RoutingMethod::kLanRoute,
-        lan::InitMethod::kLanIs);
+    lan::SearchOptions options;
+    options.k = kK;
+    options.beam = 32;  // generous beam: recall matters more than NDC here
+    lan::SearchResult result = index.Search(suspicious, options);
     bool hit = false;
     for (const auto& [id, distance] : result.results) {
       if (id == source) hit = true;

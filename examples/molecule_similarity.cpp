@@ -83,8 +83,10 @@ int main(int argc, char** argv) {
   std::printf("\n\n");
 
   constexpr int kK = 8;
+  lan::SearchOptions search_options;
+  search_options.k = kK;
   lan::Timer ann_timer;
-  lan::SearchResult result = index.Search(query, kK);
+  lan::SearchResult result = index.Search(query, search_options);
   const double ann_seconds = ann_timer.ElapsedSeconds();
 
   lan::GedComputer ged(config.query_ged);

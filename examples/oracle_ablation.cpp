@@ -55,8 +55,12 @@ int main(int argc, char** argv) {
     long long ndc[3];
     double recall[3];
     for (int m = 0; m < 3; ++m) {
-      lan::SearchResult r = index.SearchWith(query, kK, kBeam, methods[m],
-                                             lan::InitMethod::kHnswIs);
+      lan::SearchOptions options;
+      options.k = kK;
+      options.beam = kBeam;
+      options.routing = methods[m];
+      options.init = lan::InitMethod::kHnswIs;
+      lan::SearchResult r = index.Search(query, options);
       ndc[m] = r.stats.ndc;
       recall[m] = lan::RecallAtK(r.results, truth, kK);
       totals[m].Merge(r.stats);

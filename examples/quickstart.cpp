@@ -42,10 +42,19 @@ int main() {
     return 1;
   }
 
-  // 4) Answer a k-ANN query.
+  // 4) Answer a k-ANN query. SearchOptions holds every per-query knob;
+  //    attaching a QueryTrace records what the search actually did.
   const lan::Graph& query = workload.test.front();
-  constexpr int kK = 5;
-  lan::SearchResult result = index.Search(query, kK);
+  lan::QueryTrace trace;
+  lan::SearchOptions search_options;
+  search_options.k = 5;
+  search_options.trace = &trace;
+  const int kK = search_options.k;
+  lan::SearchResult result = index.Search(query, search_options);
+  if (!result.status.ok()) {
+    std::printf("Search failed: %s\n", result.status.ToString().c_str());
+    return 1;
+  }
   std::printf("\nquery: %s\n", query.ToString().c_str());
   std::printf("top-%d approximate nearest neighbors (GED):\n", kK);
   for (const auto& [id, distance] : result.results) {
@@ -56,6 +65,13 @@ int main() {
               static_cast<long long>(result.stats.ndc), db.size(),
               static_cast<long long>(result.stats.routing_steps),
               static_cast<long long>(result.stats.model_inferences));
+  std::printf(
+      "trace: %zu events (%lld cluster prunes, %lld route steps, "
+      "%lld distance computations)\n",
+      trace.events().size(),
+      static_cast<long long>(trace.CountOf(lan::TraceEventType::kClusterPrune)),
+      static_cast<long long>(trace.CountOf(lan::TraceEventType::kRouteStep)),
+      static_cast<long long>(trace.CountOf(lan::TraceEventType::kDistance)));
 
   // 5) Compare against the exact answer.
   lan::GedComputer ged(config.query_ged);

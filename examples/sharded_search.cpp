@@ -47,12 +47,15 @@ int main(int argc, char** argv) {
 
   lan::GedComputer ged(options.shard_config.query_ged);
   constexpr int kK = 5;
+  lan::SearchOptions search_options;
+  search_options.k = kK;
   double recall_sum = 0.0;
   lan::SearchStats totals;
   const size_t num_queries = std::min<size_t>(4, workload.test.size());
   for (size_t i = 0; i < num_queries; ++i) {
     const lan::Graph& query = workload.test[i];
-    lan::SearchResult result = sharded.Search(query, kK);
+    lan::SearchResult result = sharded.Search(query, search_options);
+    LAN_CHECK(result.status.ok()) << result.status.ToString();
     lan::KnnList truth = lan::ComputeGroundTruth(db, query, kK, ged);
     const double recall = lan::RecallAtK(result.results, truth, kK);
     recall_sum += recall;

@@ -1,0 +1,302 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace lan {
+namespace {
+
+/// Next free registry serial (never reused, so a stale thread-local shard
+/// reference can never alias a new registry at a recycled address).
+std::atomic<uint64_t> g_next_registry_serial{1};
+
+struct ShardRef {
+  uint64_t serial = 0;
+  MetricsRegistry::Shard* shard = nullptr;
+};
+
+/// Per-thread map from registry to that thread's shard. Entries for dead
+/// registries stay until the same address hosts a new registry (serial
+/// mismatch) — a bounded, value-only leak.
+thread_local std::unordered_map<const void*, ShardRef> t_shard_refs;
+
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+void AppendJsonDouble(std::ostringstream* out, double v) {
+  // JSON has no inf/nan; empty histograms report min/max as null.
+  if (std::isfinite(v)) {
+    *out << v;
+  } else {
+    *out << "null";
+  }
+}
+
+}  // namespace
+
+/// One thread's private slice of every metric. The owner thread writes
+/// under `mu` (uncontended except while a Snapshot scrape walks shards).
+struct MetricsRegistry::Shard {
+  struct HistogramCells {
+    std::vector<int64_t> bucket_counts;
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  std::mutex mu;
+  std::vector<int64_t> counters;
+  std::vector<HistogramCells> histograms;
+};
+
+MetricsRegistry::MetricsRegistry()
+    : serial_(g_next_registry_serial.fetch_add(1)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+CounterId MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_by_name_.find(name);
+  if (it != counters_by_name_.end()) return it->second;
+  CounterId id;
+  id.slot = static_cast<int32_t>(counter_names_.size());
+  counter_names_.push_back(name);
+  counters_by_name_.emplace(name, id);
+  return id;
+}
+
+HistogramId MetricsRegistry::Histogram(const std::string& name,
+                                       std::vector<double> bounds) {
+  LAN_CHECK(!bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    LAN_CHECK_LT(bounds[i - 1], bounds[i]);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_by_name_.find(name);
+  if (it != histograms_by_name_.end()) return it->second;
+  HistogramInfo info;
+  info.name = name;
+  info.bounds =
+      std::make_shared<const std::vector<double>>(std::move(bounds));
+  HistogramId id;
+  id.slot = static_cast<int32_t>(histogram_infos_.size());
+  id.bounds = info.bounds.get();
+  histogram_infos_.push_back(std::move(info));
+  histograms_by_name_.emplace(name, id);
+  return id;
+}
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() const {
+  auto it = t_shard_refs.find(this);
+  if (it != t_shard_refs.end() && it->second.serial == serial_) {
+    return it->second.shard;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  t_shard_refs[this] = ShardRef{serial_, shard};
+  return shard;
+}
+
+void MetricsRegistry::Increment(CounterId id, int64_t delta) {
+  if (!id.valid()) return;
+  Shard* shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  if (shard->counters.size() <= static_cast<size_t>(id.slot)) {
+    shard->counters.resize(static_cast<size_t>(id.slot) + 1, 0);
+  }
+  shard->counters[static_cast<size_t>(id.slot)] += delta;
+}
+
+void MetricsRegistry::Observe(HistogramId id, double value) {
+  if (!id.valid()) return;
+  Shard* shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  if (shard->histograms.size() <= static_cast<size_t>(id.slot)) {
+    shard->histograms.resize(static_cast<size_t>(id.slot) + 1);
+  }
+  Shard::HistogramCells& cells =
+      shard->histograms[static_cast<size_t>(id.slot)];
+  if (cells.bucket_counts.empty()) {
+    cells.bucket_counts.assign(id.bounds->size() + 1, 0);
+  }
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(id.bounds->begin(),
+                                           id.bounds->end(), value) -
+                          id.bounds->begin());
+  ++cells.bucket_counts[bucket];
+  ++cells.count;
+  cells.sum += value;
+  cells.min = std::min(cells.min, value);
+  cells.max = std::max(cells.max, value);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counter_names_.size());
+  for (const std::string& name : counter_names_) {
+    snapshot.counters.emplace_back(name, 0);
+  }
+  snapshot.histograms.reserve(histogram_infos_.size());
+  for (const HistogramInfo& info : histogram_infos_) {
+    HistogramSnapshot h;
+    h.bounds = *info.bounds;
+    h.bucket_counts.assign(info.bounds->size() + 1, 0);
+    snapshot.histograms.emplace_back(info.name, std::move(h));
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (size_t i = 0; i < shard->counters.size(); ++i) {
+      snapshot.counters[i].second += shard->counters[i];
+    }
+    for (size_t i = 0; i < shard->histograms.size(); ++i) {
+      const Shard::HistogramCells& cells = shard->histograms[i];
+      if (cells.count == 0) continue;
+      HistogramSnapshot& h = snapshot.histograms[i].second;
+      for (size_t b = 0; b < cells.bucket_counts.size(); ++b) {
+        h.bucket_counts[b] += cells.bucket_counts[b];
+      }
+      h.count += cells.count;
+      h.sum += cells.sum;
+      h.min = std::min(h.min, cells.min);
+      h.max = std::max(h.max, cells.max);
+    }
+  }
+  return snapshot;
+}
+
+std::vector<double> MetricsRegistry::LatencyBounds() {
+  return {1e-5,   2.5e-5, 5e-5,  1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3,
+          5e-3,   1e-2,   2.5e-2, 5e-2, 1e-1,  2.5e-1, 5e-1, 1.0,
+          2.5,    5.0,    10.0};
+}
+
+std::vector<double> MetricsRegistry::CountBounds() {
+  return {1,    2,    5,     10,    20,    50,     100,   200, 500,
+          1000, 2000, 5000, 10000, 20000, 50000, 100000};
+}
+
+double HistogramSnapshot::Percentile(double pct) const {
+  if (count == 0) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  const double target = pct / 100.0 * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    if (bucket_counts[b] == 0) continue;
+    const int64_t next = cumulative + bucket_counts[b];
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation inside bucket b, clamped to observed range.
+      const double lo = b == 0 ? min : bounds[b - 1];
+      const double hi = b < bounds.size() ? bounds[b] : max;
+      const double within =
+          bucket_counts[b] > 0
+              ? (target - static_cast<double>(cumulative)) /
+                    static_cast<double>(bucket_counts[b])
+              : 0.0;
+      return std::clamp(lo + within * (hi - lo), min, max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+const int64_t* MetricsSnapshot::FindCounter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    bool found = false;
+    for (auto& [n, v] : counters) {
+      if (n == name) {
+        v += value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counters.emplace_back(name, value);
+  }
+  for (const auto& [name, h] : other.histograms) {
+    HistogramSnapshot* mine = nullptr;
+    for (auto& [n, existing] : histograms) {
+      if (n == name) {
+        mine = &existing;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      histograms.emplace_back(name, h);
+      continue;
+    }
+    LAN_CHECK(mine->bounds == h.bounds)
+        << "cannot merge histograms with different bucket bounds: " << name;
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      mine->bucket_counts[b] += h.bucket_counts[b];
+    }
+    mine->count += h.count;
+    mine->sum += h.sum;
+    mine->min = std::min(mine->min, h.min);
+    mine->max = std::max(mine->max, h.max);
+  }
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out.precision(12);
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out << ',';
+    AppendJsonString(&out, counters[i].first);
+    out << ':' << counters[i].second;
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    if (i > 0) out << ',';
+    const HistogramSnapshot& h = histograms[i].second;
+    AppendJsonString(&out, histograms[i].first);
+    out << ":{\"count\":" << h.count << ",\"sum\":" << h.sum << ",\"min\":";
+    AppendJsonDouble(&out, h.count > 0 ? h.min : 0.0);
+    out << ",\"max\":";
+    AppendJsonDouble(&out, h.count > 0 ? h.max : 0.0);
+    out << ",\"mean\":" << h.mean() << ",\"p50\":" << h.Percentile(50)
+        << ",\"p95\":" << h.Percentile(95) << ",\"p99\":" << h.Percentile(99)
+        << ",\"bounds\":[";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out << ',';
+      out << h.bounds[b];
+    }
+    out << "],\"bucket_counts\":[";
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b > 0) out << ',';
+      out << h.bucket_counts[b];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace lan

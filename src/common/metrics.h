@@ -1,0 +1,123 @@
+#ifndef LAN_COMMON_METRICS_H_
+#define LAN_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lan {
+
+/// \brief Handle to a registered counter (cheap to copy; see
+/// MetricsRegistry::Counter).
+struct CounterId {
+  int32_t slot = -1;
+  bool valid() const { return slot >= 0; }
+};
+
+/// \brief Handle to a registered histogram. Carries a pointer to the bucket
+/// bounds so the hot-path Observe never takes the registry lock.
+struct HistogramId {
+  int32_t slot = -1;
+  const std::vector<double>* bounds = nullptr;
+  bool valid() const { return slot >= 0; }
+};
+
+/// \brief Point-in-time state of one histogram: per-bucket counts plus the
+/// usual summary moments. Buckets are [<=bounds[0]], (bounds[0], bounds[1]],
+/// ..., (bounds[n-1], inf) — `bucket_counts` has bounds.size() + 1 entries.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<int64_t> bucket_counts;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Bucket-interpolated quantile estimate (`pct` in [0, 100]), clamped to
+  /// the observed [min, max]. Exact when a bucket holds a single value.
+  double Percentile(double pct) const;
+};
+
+/// \brief Point-in-time state of a whole registry; rendered as one JSON
+/// object ({"counters": {...}, "histograms": {...}}) with p50/p95/p99
+/// attached to every histogram.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  const int64_t* FindCounter(const std::string& name) const;
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+  std::string ToJson() const;
+
+  /// Accumulates another snapshot of the same registry layout (used when a
+  /// caller scrapes several registries into one report).
+  void Merge(const MetricsSnapshot& other);
+};
+
+/// \brief Query-serving metrics: named counters and fixed-bucket
+/// histograms, sharded per thread.
+///
+/// Every writing thread lazily gets its own shard, so concurrent
+/// SearchBatch workers record without contending on shared cache lines;
+/// shards are only walked (under their per-shard mutex, uncontended in
+/// steady state) when Snapshot() scrapes the registry. Registration
+/// returns stable ids; Increment/Observe with an id is lock-free with
+/// respect to other threads' writes.
+///
+/// Thread-safe. One registry typically lives per server/process; benches
+/// and SearchBatch create short-lived private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) a counter by name.
+  CounterId Counter(const std::string& name);
+  /// Registers (or finds) a histogram by name. `bounds` must be strictly
+  /// increasing; ignored (the registered bounds win) if `name` exists.
+  HistogramId Histogram(const std::string& name, std::vector<double> bounds);
+
+  void Increment(CounterId id, int64_t delta = 1);
+  void Observe(HistogramId id, double value);
+
+  /// Merges every thread shard into one consistent snapshot.
+  MetricsSnapshot Snapshot() const;
+
+  /// Exponential seconds buckets (10us .. 10s) for latency histograms.
+  static std::vector<double> LatencyBounds();
+  /// 1-2-5 series (1 .. 100k) for count-valued histograms (NDC, steps).
+  static std::vector<double> CountBounds();
+
+  struct Shard;
+
+ private:
+  Shard* LocalShard() const;
+
+  struct HistogramInfo {
+    std::string name;
+    std::shared_ptr<const std::vector<double>> bounds;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<std::string> counter_names_;
+  std::vector<HistogramInfo> histogram_infos_;
+  std::unordered_map<std::string, CounterId> counters_by_name_;
+  std::unordered_map<std::string, HistogramId> histograms_by_name_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  /// Distinguishes this registry from a dead one reallocated at the same
+  /// address (thread-local shard references are keyed by pointer+serial).
+  uint64_t serial_;
+};
+
+}  // namespace lan
+
+#endif  // LAN_COMMON_METRICS_H_

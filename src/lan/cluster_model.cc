@@ -68,8 +68,16 @@ void ClusterModel::Train(
 
 std::vector<float> ClusterModel::PredictCounts(
     const std::vector<float>& query_embedding,
-    const std::vector<std::vector<float>>& centroids) const {
+    const std::vector<std::vector<float>>& centroids,
+    TraceSink* trace) const {
   if (centroids.empty()) return {};
+  if (trace != nullptr) {
+    TraceEvent event;
+    event.type = TraceEventType::kModelInference;
+    event.detail = "M_c";
+    event.aux = static_cast<double>(centroids.size());
+    trace->Record(event);
+  }
   Matrix features(static_cast<int32_t>(centroids.size()), feature_dim_);
   for (size_t c = 0; c < centroids.size(); ++c) {
     LAN_CHECK_EQ(

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/trace.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 
@@ -39,10 +40,12 @@ class ClusterModel {
              const std::vector<std::vector<float>>& intersection_counts);
 
   /// Predicted |C ∩ N_Q| per cluster (>= 0). All clusters are scored with
-  /// one stacked MLP forward (one GEMM per layer).
+  /// one stacked MLP forward (one GEMM per layer). `trace` (optional)
+  /// receives one kModelInference event covering the stacked batch.
   std::vector<float> PredictCounts(
       const std::vector<float>& query_embedding,
-      const std::vector<std::vector<float>>& centroids) const;
+      const std::vector<std::vector<float>>& centroids,
+      TraceSink* trace = nullptr) const;
 
   /// Per-cluster tape-based reference path; equals PredictCounts bit for
   /// bit (kept for the batched-equivalence tests and the microbench).

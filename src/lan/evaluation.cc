@@ -22,9 +22,17 @@ std::vector<KnnList> BuildTruths(const GraphDatabase& db,
 SweepPoint EvaluatePoint(
     const std::function<SearchResult(const Graph&, int)>& search,
     const std::vector<Graph>& queries, const std::vector<KnnList>& truths,
-    int k) {
+    int k, MetricsRegistry* registry) {
   LAN_CHECK_EQ(queries.size(), truths.size());
   LAN_CHECK(!queries.empty());
+  CounterId queries_counter;
+  HistogramId latency_hist, ndc_hist;
+  if (registry != nullptr) {
+    queries_counter = registry->Counter("queries");
+    latency_hist = registry->Histogram("query_latency_seconds",
+                                       MetricsRegistry::LatencyBounds());
+    ndc_hist = registry->Histogram("query_ndc", MetricsRegistry::CountBounds());
+  }
   SweepPoint point;
   double recall_sum = 0.0;
   std::vector<double> latencies;
@@ -33,9 +41,15 @@ SweepPoint EvaluatePoint(
   for (size_t i = 0; i < queries.size(); ++i) {
     Timer query_timer;
     SearchResult result = search(queries[i], k);
+    LAN_CHECK(result.status.ok()) << result.status.ToString();
     latencies.push_back(query_timer.ElapsedSeconds());
     recall_sum += RecallAtK(result.results, truths[i], k);
     point.total_stats.Merge(result.stats);
+    if (registry != nullptr) {
+      registry->Increment(queries_counter);
+      registry->Observe(latency_hist, latencies.back());
+      registry->Observe(ndc_hist, static_cast<double>(result.stats.ndc));
+    }
   }
   const double elapsed = timer.ElapsedSeconds();
   const double n = static_cast<double>(queries.size());
@@ -53,15 +67,23 @@ SweepPoint EvaluatePoint(
 MethodCurve SweepIndex(const LanIndex& index, RoutingMethod routing,
                        InitMethod init, const std::vector<Graph>& queries,
                        const std::vector<KnnList>& truths, int k,
-                       const std::vector<int>& beams, std::string label) {
+                       const std::vector<int>& beams, std::string label,
+                       MetricsRegistry* registry) {
   MethodCurve curve;
   curve.method = std::move(label);
   for (int beam : beams) {
+    SearchOptions options;
+    options.k = k;
+    options.beam = beam;
+    options.routing = routing;
+    options.init = init;
     SweepPoint point = EvaluatePoint(
         [&](const Graph& q, int kk) {
-          return index.SearchWith(q, kk, beam, routing, init);
+          SearchOptions per_query = options;
+          per_query.k = kk;
+          return index.Search(q, per_query);
         },
-        queries, truths, k);
+        queries, truths, k, registry);
     point.beam = beam;
     curve.points.push_back(point);
   }

@@ -36,17 +36,21 @@ std::vector<KnnList> BuildTruths(const GraphDatabase& db,
                                  const GedComputer& ged,
                                  ThreadPool* pool = nullptr);
 
-/// Runs `search` over all queries and aggregates one sweep point.
+/// Runs `search` over all queries and aggregates one sweep point. When
+/// `registry` is non-null, every query is also recorded there (counter
+/// `queries`; histograms `query_latency_seconds`, `query_ndc`) so a bench
+/// can scrape one distribution snapshot across its whole sweep.
 SweepPoint EvaluatePoint(
     const std::function<SearchResult(const Graph&, int)>& search,
     const std::vector<Graph>& queries, const std::vector<KnnList>& truths,
-    int k);
+    int k, MetricsRegistry* registry = nullptr);
 
 /// QPS-vs-recall sweep of a LanIndex configuration over beam sizes.
 MethodCurve SweepIndex(const LanIndex& index, RoutingMethod routing,
                        InitMethod init, const std::vector<Graph>& queries,
                        const std::vector<KnnList>& truths, int k,
-                       const std::vector<int>& beams, std::string label);
+                       const std::vector<int>& beams, std::string label,
+                       MetricsRegistry* registry = nullptr);
 
 /// QPS-vs-recall sweep of the L2route baseline over ef values.
 MethodCurve SweepL2Route(const L2RouteIndex& l2, const GraphDatabase& db,

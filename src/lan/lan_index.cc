@@ -402,15 +402,48 @@ Status LanIndex::LoadModelsFromFile(const std::string& path) {
   return LoadModels(in);
 }
 
-std::vector<SearchResult> LanIndex::SearchBatch(
-    const std::vector<Graph>& queries, int k, int num_threads) const {
-  std::vector<SearchResult> results(queries.size());
+BatchSearchResult LanIndex::SearchBatch(const std::vector<Graph>& queries,
+                                        const SearchOptions& options,
+                                        int num_threads) const {
+  BatchSearchResult out;
+  out.results.resize(queries.size());
   const size_t threads = num_threads > 0 ? static_cast<size_t>(num_threads)
                                          : DefaultThreadCount();
+
+  // Per-call registry: workers fill per-thread shards without contending,
+  // merged once below.
+  MetricsRegistry registry;
+  const CounterId queries_counter = registry.Counter("queries");
+  const CounterId errors_counter = registry.Counter("query_errors");
+  const HistogramId latency_hist = registry.Histogram(
+      "query_latency_seconds", MetricsRegistry::LatencyBounds());
+  const HistogramId ndc_hist =
+      registry.Histogram("query_ndc", MetricsRegistry::CountBounds());
+  const HistogramId steps_hist = registry.Histogram(
+      "query_routing_steps", MetricsRegistry::CountBounds());
+  const HistogramId inference_hist = registry.Histogram(
+      "query_model_inferences", MetricsRegistry::CountBounds());
+
+  SearchOptions per_query = options;
+  per_query.trace = nullptr;  // a shared sink would interleave workers
   ThreadPool::ParallelFor(queries.size(), threads, [&](size_t i) {
-    results[i] = Search(queries[i], k);
+    Timer timer;
+    out.results[i] = Search(queries[i], per_query);
+    const SearchResult& r = out.results[i];
+    registry.Increment(queries_counter);
+    if (!r.status.ok()) registry.Increment(errors_counter);
+    registry.Observe(latency_hist, timer.ElapsedSeconds());
+    registry.Observe(ndc_hist, static_cast<double>(r.stats.ndc));
+    registry.Observe(steps_hist, static_cast<double>(r.stats.routing_steps));
+    registry.Observe(inference_hist,
+                     static_cast<double>(r.stats.model_inferences));
   });
-  return results;
+
+  for (const SearchResult& r : out.results) {
+    out.stats.totals.Merge(r.stats);
+  }
+  out.stats.metrics = registry.Snapshot();
+  return out;
 }
 
 CompressedGnnGraph LanIndex::QueryCg(const Graph& query) const {
@@ -418,18 +451,47 @@ CompressedGnnGraph LanIndex::QueryCg(const Graph& query) const {
       query, static_cast<int>(config_.scorer.gnn_dims.size()));
 }
 
-SearchResult LanIndex::SearchWith(const Graph& query, int k, int beam,
-                                  RoutingMethod routing,
-                                  InitMethod init) const {
-  LAN_CHECK(built_);
+Status LanIndex::Ready(const SearchOptions& options) const {
+  if (!built_) return Status::FailedPrecondition("Search before Build()");
+  if (options.k <= 0) {
+    return Status::InvalidArgument("SearchOptions.k must be positive");
+  }
+  const bool needs_models = (options.routing == RoutingMethod::kLanRoute) ||
+                            (options.init == InitMethod::kLanIs);
+  if (needs_models && !trained_) {
+    return Status::FailedPrecondition(
+        std::string(RoutingMethodName(options.routing)) + "/" +
+        InitMethodName(options.init) +
+        " needs the learned models: call Train() or LoadModels() first");
+  }
+  return Status::OK();
+}
+
+SearchResult LanIndex::Search(const Graph& query,
+                              const SearchOptions& options) const {
+  SearchResult out;
+  out.status = Ready(options);
+  if (!out.status.ok()) return out;
+
+  const int k = options.k;
+  const int beam = options.beam > 0 ? options.beam : config_.default_beam;
+  const RoutingMethod routing = options.routing;
+  const InitMethod init = options.init;
   const bool needs_models = (routing == RoutingMethod::kLanRoute) ||
                             (init == InitMethod::kLanIs);
-  LAN_CHECK(!needs_models || trained_)
-      << "learned routing/init requires Train()";
+  TraceSink* sink = options.trace;
+  if (sink != nullptr) {
+    TraceEvent event;
+    event.type = TraceEventType::kQueryBegin;
+    event.value = static_cast<double>(k);
+    event.aux = static_cast<double>(beam);
+    event.detail = RoutingMethodName(routing);
+    event.detail2 = InitMethodName(init);
+    sink->Record(event);
+  }
 
-  SearchResult out;
   Timer total_timer;
-  DistanceOracle oracle(db_, &query, &query_ged_, &out.stats);
+  DistanceOracle oracle(db_, &query, &query_ged_, &out.stats, sink);
 
   // Deterministic per-query randomness.
   uint64_t qhash = config_.seed;
@@ -502,6 +564,15 @@ SearchResult LanIndex::SearchWith(const Graph& query, int k, int beam,
   out.stats.other_seconds = std::max(
       0.0, total_timer.ElapsedSeconds() - out.stats.distance_seconds -
                out.stats.learning_seconds);
+  if (sink != nullptr) {
+    TraceEvent event;
+    event.type = TraceEventType::kQueryEnd;
+    event.id =
+        out.results.empty() ? kInvalidGraphId : out.results.front().first;
+    event.value = static_cast<double>(out.stats.ndc);
+    event.aux = static_cast<double>(out.stats.routing_steps);
+    sink->Record(event);
+  }
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "ged/ged_computer.h"
 #include "gnn/embedding.h"
 #include "lan/cluster_model.h"
@@ -91,17 +93,61 @@ struct LanConfig {
   Status Validate() const;
 };
 
+/// \brief Per-query search controls. The one extensible entry point: new
+/// per-query knobs are added here instead of growing positional overloads.
+///
+/// Defaults reproduce full LAN search; `beam <= 0` resolves to the index's
+/// `LanConfig::default_beam` at search time.
+struct SearchOptions {
+  /// Number of answers.
+  int k = 10;
+  /// Beam size b of the candidate pool W (<= 0: LanConfig::default_beam).
+  int beam = 0;
+  RoutingMethod routing = RoutingMethod::kLanRoute;
+  InitMethod init = InitMethod::kLanIs;
+  /// Structured per-query trace (null: tracing disabled, zero cost). The
+  /// sink is invoked synchronously on the search thread and must outlive
+  /// the call. SearchBatch ignores it (a single sink cannot soundly
+  /// receive interleaved events from parallel workers); trace batch
+  /// queries one at a time through Search instead.
+  TraceSink* trace = nullptr;
+};
+
 /// \brief One query's answer.
 struct SearchResult {
   KnnList results;
   SearchStats stats;
+  /// Why the query failed (empty results) instead of silently degrading:
+  /// searching before Build(), or a learned routing/init mode before
+  /// Train()/LoadModels(). Always check when the index lifecycle is not
+  /// statically known (serving, tools).
+  Status status;
+};
+
+/// \brief Aggregate view of one SearchBatch call.
+struct BatchStats {
+  /// Element-wise sum of every per-query SearchStats.
+  SearchStats totals;
+  /// Latency/NDC/steps/inference distributions over the batch (scraped
+  /// from a per-call MetricsRegistry whose shards the workers filled
+  /// contention-free). Histogram names: query_latency_seconds, query_ndc,
+  /// query_routing_steps, query_model_inferences; counters: queries,
+  /// query_errors.
+  MetricsSnapshot metrics;
+};
+
+/// \brief Per-query results plus the merged batch aggregate.
+struct BatchSearchResult {
+  std::vector<SearchResult> results;
+  BatchStats stats;
 };
 
 /// \brief The LAN index: proximity graph + M_rk + M_nh + M_c (Fig. 3).
 ///
 /// Usage: Build() once over the database (offline), Train() once over a
-/// query workload (offline), then Search() per query. SearchWith() exposes
-/// every routing/init ablation the paper evaluates, over the same PG.
+/// query workload (offline), then Search() per query. SearchOptions
+/// exposes every routing/init ablation the paper evaluates — over the same
+/// PG — plus per-query observability (tracing).
 class LanIndex {
  public:
   explicit LanIndex(LanConfig config);
@@ -129,21 +175,54 @@ class LanIndex {
   /// Trains gamma*, M_rk, M_nh, and M_c from the training queries.
   Status Train(const std::vector<Graph>& train_queries);
 
+  /// Checks that this index can execute a search with `options`: Build()
+  /// has run, the knobs are in range, and — for routing/init modes that
+  /// need the learned models — Train() or LoadModels() has run.
+  Status Ready(const SearchOptions& options) const;
+
+  /// The search entry point. Every routing/init ablation, tracing, and
+  /// future per-query knobs route through SearchOptions. A not-Ready index
+  /// returns an empty result carrying the error in SearchResult::status
+  /// instead of crashing or silently degrading.
+  SearchResult Search(const Graph& query, const SearchOptions& options) const;
+
   /// Full LAN search (LAN_IS + LAN_Route).
+  /// DEPRECATED(kept as a thin forwarder): prefer Search(query, options).
   SearchResult Search(const Graph& query, int k) const {
-    return SearchWith(query, k, config_.default_beam, RoutingMethod::kLanRoute,
-                      InitMethod::kLanIs);
+    SearchOptions options;
+    options.k = k;
+    return Search(query, options);
   }
 
   /// Ablation/baseline entry point over the same PG.
+  /// DEPRECATED(kept as a thin forwarder): prefer Search(query, options).
   SearchResult SearchWith(const Graph& query, int k, int beam,
-                          RoutingMethod routing, InitMethod init) const;
+                          RoutingMethod routing, InitMethod init) const {
+    SearchOptions options;
+    options.k = k;
+    options.beam = beam;
+    options.routing = routing;
+    options.init = init;
+    return Search(query, options);
+  }
 
   /// Throughput mode: answers independent queries in parallel across
   /// `num_threads` workers (0 = hardware concurrency). Results are
-  /// index-aligned with `queries` and identical to sequential Search.
+  /// index-aligned with `queries` and identical to sequential Search;
+  /// BatchStats carries the summed SearchStats plus a metrics snapshot
+  /// (latency/NDC distributions), so callers no longer hand-sum stats.
+  /// `options.trace` is ignored (see SearchOptions::trace).
+  BatchSearchResult SearchBatch(const std::vector<Graph>& queries,
+                                const SearchOptions& options,
+                                int num_threads = 0) const;
+
+  /// DEPRECATED(kept as a thin forwarder): prefer the SearchOptions form.
   std::vector<SearchResult> SearchBatch(const std::vector<Graph>& queries,
-                                        int k, int num_threads = 0) const;
+                                        int k, int num_threads = 0) const {
+    SearchOptions options;
+    options.k = k;
+    return SearchBatch(queries, options, num_threads).results;
+  }
 
   // ---- Introspection (benches, tests) ----
   const HnswIndex& hnsw() const { return hnsw_; }

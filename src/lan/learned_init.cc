@@ -10,20 +10,34 @@ namespace lan {
 
 GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
   SearchStats* stats = oracle->stats();
+  TraceSink* sink = oracle->trace();
   Timer timer;
   predicted_.clear();
 
   // 1) Cluster-level pruning with M_c.
   const std::vector<float> query_embedding =
       EmbedGraph(oracle->query(), *embedding_options_);
-  const std::vector<float> counts =
-      cluster_model_->PredictCounts(query_embedding, clusters_->centroids);
+  const std::vector<float> counts = cluster_model_->PredictCounts(
+      query_embedding, clusters_->centroids, sink);
   std::vector<size_t> cluster_order(counts.size());
   std::iota(cluster_order.begin(), cluster_order.end(), 0);
   std::stable_sort(cluster_order.begin(), cluster_order.end(),
                    [&](size_t a, size_t b) { return counts[a] > counts[b]; });
   const size_t scan = std::min(cluster_order.size(),
                                static_cast<size_t>(options_.max_clusters));
+  if (sink != nullptr) {
+    // Which clusters M_c kept (members get scored by M_nh) vs discarded.
+    for (size_t i = 0; i < cluster_order.size(); ++i) {
+      const size_t c = cluster_order[i];
+      TraceEvent event;
+      event.type = i < scan ? TraceEventType::kClusterScore
+                            : TraceEventType::kClusterPrune;
+      event.id = static_cast<int64_t>(c);
+      event.value = static_cast<double>(counts[c]);
+      event.aux = static_cast<double>(clusters_->members[c].size());
+      sink->Record(event);
+    }
+  }
 
   // 2) Member-level prediction with M_nh: gather every member of the
   // scanned clusters (in scan order) and score them in one batched
@@ -36,6 +50,13 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
   }
   int64_t inferences =
       static_cast<int64_t>(counts.size() + candidates.size());
+  if (sink != nullptr && !candidates.empty()) {
+    TraceEvent event;
+    event.type = TraceEventType::kModelInference;
+    event.detail = "M_nh";
+    event.aux = static_cast<double>(candidates.size());
+    sink->Record(event);
+  }
   std::vector<float> probs;
   if (!candidates.empty()) {
     if (use_compressed_) {
@@ -66,8 +87,17 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
 
   // 3) Sample s candidates and take the closest (true distances; counted).
   if (predicted_.empty()) {
-    return static_cast<GraphId>(
+    const GraphId fallback = static_cast<GraphId>(
         rng->NextBounded(static_cast<uint64_t>(oracle->db().size())));
+    if (sink != nullptr) {
+      TraceEvent event;
+      event.type = TraceEventType::kInitSelect;
+      event.id = fallback;
+      event.aux = 0.0;  // empty predicted neighborhood: random fallback
+      event.detail = "random_fallback";
+      sink->Record(event);
+    }
+    return fallback;
   }
   const size_t s =
       std::min(predicted_.size(), static_cast<size_t>(options_.samples));
@@ -78,11 +108,26 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
   for (size_t pick : picks) {
     const GraphId id = predicted_[pick];
     const double d = oracle->Distance(id);
+    if (sink != nullptr) {
+      TraceEvent event;
+      event.type = TraceEventType::kInitCandidate;
+      event.id = id;
+      event.value = d;
+      sink->Record(event);
+    }
     if (best == kInvalidGraphId || d < best_d ||
         (d == best_d && id < best)) {
       best = id;
       best_d = d;
     }
+  }
+  if (sink != nullptr) {
+    TraceEvent event;
+    event.type = TraceEventType::kInitSelect;
+    event.id = best;
+    event.value = best_d;
+    event.aux = static_cast<double>(predicted_.size());
+    sink->Record(event);
   }
   return best;
 }

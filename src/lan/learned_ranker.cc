@@ -35,6 +35,14 @@ std::vector<std::vector<GraphId>> LearnedNeighborRanker::RankNeighbors(
     stats->model_inferences += inferences;
     stats->learning_seconds += timer.ElapsedSeconds();
   }
+  if (TraceSink* sink = oracle_->trace(); sink != nullptr && inferences > 0) {
+    TraceEvent event;
+    event.type = TraceEventType::kModelInference;
+    event.id = node;
+    event.detail = "M_rk";
+    event.aux = static_cast<double>(inferences);
+    sink->Record(event);
+  }
   return batches;
 }
 

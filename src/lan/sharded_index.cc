@@ -54,25 +54,33 @@ Status ShardedLanIndex::Train(const std::vector<Graph>& train_queries) {
   return Status::OK();
 }
 
-SearchResult ShardedLanIndex::Search(const Graph& query, int k,
+SearchResult ShardedLanIndex::Search(const Graph& query,
+                                     const SearchOptions& options,
                                      int max_shards) const {
-  return SearchWith(query, k, options_.shard_config.default_beam,
-                    RoutingMethod::kLanRoute, InitMethod::kLanIs, max_shards);
-}
-
-SearchResult ShardedLanIndex::SearchWith(const Graph& query, int k, int beam,
-                                         RoutingMethod routing,
-                                         InitMethod init,
-                                         int max_shards) const {
-  LAN_CHECK(!shards_.empty());
+  SearchResult merged;
+  if (shards_.empty()) {
+    merged.status = Status::FailedPrecondition("Search before Build()");
+    return merged;
+  }
   const int use = max_shards <= 0
                       ? num_shards()
                       : std::min(max_shards, num_shards());
-  SearchResult merged;
   for (int s = 0; s < use; ++s) {
-    SearchResult local =
-        shards_[static_cast<size_t>(s)]->SearchWith(query, k, beam, routing,
-                                                    init);
+    if (options.trace != nullptr) {
+      TraceEvent event;
+      event.type = TraceEventType::kShard;
+      event.id = s;
+      event.aux = static_cast<double>(use);
+      options.trace->Record(event);
+    }
+    SearchResult local = shards_[static_cast<size_t>(s)]->Search(query, options);
+    if (!local.status.ok()) {
+      // One failing shard fails the query: a partial top-k silently missing
+      // shards would be indistinguishable from a correct answer.
+      merged.status = local.status;
+      merged.results.clear();
+      return merged;
+    }
     merged.stats.Merge(local.stats);
     for (const auto& [local_id, distance] : local.results) {
       merged.results.emplace_back(GlobalId(s, local_id), distance);
@@ -83,8 +91,8 @@ SearchResult ShardedLanIndex::SearchWith(const Graph& query, int k, int beam,
               if (a.second != b.second) return a.second < b.second;
               return a.first < b.first;
             });
-  if (merged.results.size() > static_cast<size_t>(k)) {
-    merged.results.resize(static_cast<size_t>(k));
+  if (merged.results.size() > static_cast<size_t>(options.k)) {
+    merged.results.resize(static_cast<size_t>(options.k));
   }
   return merged;
 }

@@ -41,15 +41,35 @@ class ShardedLanIndex {
   /// Trains every shard's models from the (shared) training queries.
   Status Train(const std::vector<Graph>& train_queries);
 
-  /// Full search over the first `max_shards` shards (<= 0: all shards).
-  /// Result ids are global ids of the original database; stats are summed
-  /// across shards.
-  SearchResult Search(const Graph& query, int k, int max_shards = 0) const;
+  /// The search entry point (matches LanIndex::Search): runs `options` on
+  /// the first `max_shards` shards (<= 0: all shards) and merges the
+  /// per-shard answers into a global top-k. Result ids are global ids of
+  /// the original database; stats are summed across shards. A trace sink
+  /// sees one kShard event before each shard's events; a failing shard
+  /// stops the scan and its error lands in SearchResult::status.
+  SearchResult Search(const Graph& query, const SearchOptions& options,
+                      int max_shards = 0) const;
 
-  /// Ablation variant (matches LanIndex::SearchWith).
+  /// Full LAN search over shards.
+  /// DEPRECATED(kept as a thin forwarder): prefer Search(query, options).
+  SearchResult Search(const Graph& query, int k, int max_shards = 0) const {
+    SearchOptions options;
+    options.k = k;
+    return Search(query, options, max_shards);
+  }
+
+  /// Ablation variant.
+  /// DEPRECATED(kept as a thin forwarder): prefer Search(query, options).
   SearchResult SearchWith(const Graph& query, int k, int beam,
                           RoutingMethod routing, InitMethod init,
-                          int max_shards = 0) const;
+                          int max_shards = 0) const {
+    SearchOptions options;
+    options.k = k;
+    options.beam = beam;
+    options.routing = routing;
+    options.init = init;
+    return Search(query, options, max_shards);
+  }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const LanIndex& shard(int i) const { return *shards_[static_cast<size_t>(i)]; }

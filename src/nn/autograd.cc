@@ -275,10 +275,12 @@ VarId Tape::ConcatCols(VarId a, VarId b) {
       cv.at(i, av.cols() + j) = bv.at(i, j);
     }
   }
+  // Read everything out of `av` before NewNode: push_back can reallocate
+  // nodes_ and leave the reference dangling.
+  const int32_t a_cols = av.cols();
   const bool rg = RequiresGrad(a) || RequiresGrad(b);
   VarId c = NewNode(std::move(cv), rg, nullptr);
   if (rg) {
-    const int32_t a_cols = av.cols();
     node(c).backward = [a, b, c, a_cols](Tape* t) {
       const Matrix& gc = t->node(c).grad;
       if (t->RequiresGrad(a)) {

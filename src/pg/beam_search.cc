@@ -10,7 +10,8 @@ namespace lan {
 RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
                                 const std::function<double(GraphId)>& distance,
                                 GraphId init, int beam_size, int k,
-                                bool record_trace) {
+                                bool record_trace, TraceSink* sink,
+                                const std::function<int64_t()>& ndc_probe) {
   LAN_CHECK_GE(init, 0);
   LAN_CHECK_LT(init, pg.NumNodes());
   RouteStateMap states;
@@ -26,6 +27,7 @@ RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
     return d;
   };
 
+  int64_t ndc_at_last_step = ndc_probe ? ndc_probe() : 0;
   pool.Add(init, dist(init));
   RoutingResult out;
   for (;;) {
@@ -37,6 +39,19 @@ RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
     }
     states[current] = RouteNodeState{true, clock++};
     if (record_trace) out.trace.push_back(current);
+    if (sink != nullptr) {
+      TraceEvent event;
+      event.type = TraceEventType::kRouteStep;
+      event.id = current;
+      event.step = out.routing_steps;
+      event.value = dist(current);
+      if (ndc_probe) {
+        const int64_t ndc_now = ndc_probe();
+        event.aux = static_cast<double>(ndc_now - ndc_at_last_step);
+        ndc_at_last_step = ndc_now;
+      }
+      sink->Record(event);
+    }
     ++out.routing_steps;
     pool.Resize(beam_size);
   }
@@ -48,7 +63,11 @@ RoutingResult BeamSearchRoute(const ProximityGraph& pg, DistanceOracle* oracle,
                               GraphId init, int beam_size, int k) {
   RoutingResult out = BeamSearchRouteFn(
       pg, [oracle](GraphId id) { return oracle->Distance(id); }, init,
-      beam_size, k);
+      beam_size, k, /*record_trace=*/false, oracle->trace(),
+      [oracle]() {
+        SearchStats* stats = oracle->stats();
+        return stats != nullptr ? stats->ndc : 0;
+      });
   if (oracle->stats() != nullptr) {
     oracle->stats()->routing_steps += out.routing_steps;
   }

@@ -33,10 +33,16 @@ RoutingResult BeamSearchRoute(const ProximityGraph& pg, DistanceOracle* oracle,
 /// its own caching; called once per (step, neighbor) encounter). Used by
 /// the L2route baseline, whose routing distances are vector L2 rather than
 /// GED.
+///
+/// `sink` (optional) receives one kRouteStep event per explored node;
+/// `ndc_probe` (optional) reports the query's NDC so far, letting each
+/// step event carry the distances it spent (aux field).
 RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
                                 const std::function<double(GraphId)>& distance,
                                 GraphId init, int beam_size, int k,
-                                bool record_trace = false);
+                                bool record_trace = false,
+                                TraceSink* sink = nullptr,
+                                const std::function<int64_t()>& ndc_probe = {});
 
 }  // namespace lan
 

@@ -5,6 +5,7 @@
 
 #include "common/stats.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "ged/ged_computer.h"
 #include "graph/graph_database.h"
 
@@ -19,9 +20,12 @@ namespace lan {
 /// place.
 class DistanceOracle {
  public:
+  /// `trace` (optional) receives one kDistance event per cache miss, so a
+  /// trace always holds exactly stats->ndc distance events.
   DistanceOracle(const GraphDatabase* db, const Graph* query,
-                 const GedComputer* ged, SearchStats* stats)
-      : db_(db), query_(query), ged_(ged), stats_(stats) {
+                 const GedComputer* ged, SearchStats* stats,
+                 TraceSink* trace = nullptr)
+      : db_(db), query_(query), ged_(ged), stats_(stats), trace_(trace) {
     // A routing search touches a few hundred graphs; pre-sizing keeps the
     // per-distance bookkeeping rehash-free.
     cache_.reserve(kInitialCacheBuckets);
@@ -44,6 +48,13 @@ class DistanceOracle {
       ++stats_->ndc;
       stats_->distance_seconds = distance_timer_.TotalSeconds();
     }
+    if (trace_ != nullptr) {
+      TraceEvent event;
+      event.type = TraceEventType::kDistance;
+      event.id = id;
+      event.value = d;
+      trace_->Record(event);
+    }
     it->second = d;
     return d;
   }
@@ -61,6 +72,11 @@ class DistanceOracle {
   const Graph& query() const { return *query_; }
   const GraphDatabase& db() const { return *db_; }
   SearchStats* stats() { return stats_; }
+  /// The query's trace sink (null when tracing is disabled). The oracle is
+  /// the per-query context every routing/init component already receives,
+  /// so it carries the sink to all of them.
+  TraceSink* trace() const { return trace_; }
+  void set_trace(TraceSink* trace) { trace_ = trace; }
 
   /// Every distance computed so far (range queries harvest encounters).
   const std::unordered_map<GraphId, double>& cached() const { return cache_; }
@@ -72,6 +88,7 @@ class DistanceOracle {
   const Graph* query_;
   const GedComputer* ged_;
   SearchStats* stats_;
+  TraceSink* trace_;
   AccumulatingTimer distance_timer_;
   std::unordered_map<GraphId, double> cache_;
 };

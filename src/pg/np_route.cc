@@ -25,9 +25,12 @@ class NpRouter {
   NpRouter(const ProximityGraph& pg, DistanceOracle* oracle,
            NeighborRanker* ranker, const NpRouteOptions& options)
       : pg_(pg), oracle_(oracle), ranker_(ranker), options_(options),
-        pool_(&states_) {}
+        pool_(&states_), sink_(oracle->trace()) {}
 
   RoutingResult Run(GraphId init) {
+    // Distances spent before routing (init selection) are not charged to
+    // the first route step's per-step NDC.
+    ndc_at_last_step_ = CurrentNdc();
     pool_.Add(init, oracle_->Distance(init));
 
     // ---- Stage 1 (Algorithm 2, lines 5-11): greedy descent. ----
@@ -77,7 +80,24 @@ class NpRouter {
   void MarkExplored(GraphId id) {
     states_[id] = RouteNodeState{true, clock_++};
     if (options_.record_trace) trace_.push_back(id);
+    if (sink_ != nullptr) {
+      TraceEvent event;
+      event.type = TraceEventType::kRouteStep;
+      event.id = id;
+      event.step = routing_steps_;
+      const double* d = oracle_->FindCached(id);
+      event.value = d != nullptr ? *d : 0.0;
+      event.aux = static_cast<double>(CurrentNdc() - ndc_at_last_step_);
+      ndc_at_last_step_ = CurrentNdc();
+      sink_->Record(event);
+    }
     ++routing_steps_;
+  }
+
+  /// NDC so far (0 when the caller passed no stats block).
+  int64_t CurrentNdc() const {
+    SearchStats* stats = oracle_->stats();
+    return stats != nullptr ? stats->ndc : 0;
   }
 
   std::vector<GraphId> ExploredNodesSorted() const {
@@ -100,7 +120,7 @@ class NpRouter {
 
   /// Opens batch j of `node`: computes distances and adds every member to
   /// W. Returns the largest member distance.
-  double OpenBatch(BatchState* st, size_t j) {
+  double OpenBatch(GraphId node, BatchState* st, size_t j) {
     double farthest = -1.0;
     for (GraphId member : st->batches[j]) {
       const double d = oracle_->Distance(member);
@@ -109,16 +129,44 @@ class NpRouter {
     }
     st->opened = j + 1;
     st->farthest_opened = std::max(st->farthest_opened, farthest);
+    if (sink_ != nullptr) {
+      TraceEvent event;
+      event.type = TraceEventType::kBatchOpen;
+      event.id = node;
+      event.step = static_cast<int64_t>(j);
+      event.value = farthest;
+      event.aux = static_cast<double>(st->batches[j].size());
+      sink_->Record(event);
+    }
     return farthest;
+  }
+
+  /// Records that the remaining batches of `node` were pruned under
+  /// threshold `gamma` (the prune that makes np_route beat Algorithm 1).
+  void RecordGammaPrune(GraphId node, const BatchState& st, double gamma) {
+    if (sink_ == nullptr || st.opened >= st.batches.size()) return;
+    TraceEvent event;
+    event.type = TraceEventType::kGammaPrune;
+    event.id = node;
+    event.step = static_cast<int64_t>(st.opened);
+    event.value = gamma;
+    event.aux = static_cast<double>(st.batches.size() - st.opened);
+    sink_->Record(event);
   }
 
   /// Algorithm 4.
   void RankExplore(GraphId node, double gamma) {
     BatchState& st = GetBatchState(node);
-    if (st.opened > 0 && st.farthest_opened >= gamma) return;
+    if (st.opened > 0 && st.farthest_opened >= gamma) {
+      RecordGammaPrune(node, st, gamma);
+      return;
+    }
     for (size_t j = st.opened; j < st.batches.size(); ++j) {
-      const double farthest = OpenBatch(&st, j);
-      if (farthest >= gamma) return;
+      const double farthest = OpenBatch(node, &st, j);
+      if (farthest >= gamma) {
+        RecordGammaPrune(node, st, gamma);
+        return;
+      }
     }
   }
 
@@ -134,12 +182,18 @@ class NpRouter {
         pool_.Add(member, d);
         if (d >= gamma) added_far = true;
       }
-      if (added_far) return;
+      if (added_far) {
+        RecordGammaPrune(node, st, gamma);
+        return;
+      }
     }
     // Lines 11-18: open further batches.
     for (size_t j = st.opened; j < st.batches.size(); ++j) {
-      const double farthest = OpenBatch(&st, j);
-      if (farthest >= gamma) return;
+      const double farthest = OpenBatch(node, &st, j);
+      if (farthest >= gamma) {
+        RecordGammaPrune(node, st, gamma);
+        return;
+      }
     }
   }
 
@@ -153,6 +207,8 @@ class NpRouter {
   int64_t clock_ = 0;
   int64_t routing_steps_ = 0;
   std::vector<GraphId> trace_;
+  TraceSink* sink_;
+  int64_t ndc_at_last_step_ = 0;
 };
 
 }  // namespace

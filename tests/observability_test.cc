@@ -1,0 +1,541 @@
+// Tests for the observability layer behind SearchOptions: MetricsRegistry
+// (sharded counters/histograms, percentile export), QueryTrace (structured
+// per-query events and their invariants against SearchStats), the
+// SearchOptions entry points' equivalence with the legacy signatures, and
+// the Ready()/SearchResult::status error contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "graph/graph_generator.h"
+#include "lan/lan_index.h"
+#include "lan/sharded_index.h"
+#include "lan/workload.h"
+
+namespace lan {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  const CounterId hits = registry.Counter("hits");
+  const CounterId misses = registry.Counter("misses");
+  registry.Increment(hits);
+  registry.Increment(hits, 4);
+  registry.Increment(misses, 2);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const int64_t* hit_count = snapshot.FindCounter("hits");
+  const int64_t* miss_count = snapshot.FindCounter("misses");
+  ASSERT_NE(hit_count, nullptr);
+  ASSERT_NE(miss_count, nullptr);
+  EXPECT_EQ(*hit_count, 5);
+  EXPECT_EQ(*miss_count, 2);
+  EXPECT_EQ(snapshot.FindCounter("unknown"), nullptr);
+}
+
+TEST(MetricsRegistryTest, CounterRegistrationDedupesByName) {
+  MetricsRegistry registry;
+  const CounterId a = registry.Counter("queries");
+  const CounterId b = registry.Counter("queries");
+  EXPECT_EQ(a.slot, b.slot);
+  registry.Increment(a);
+  registry.Increment(b);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(*snapshot.FindCounter("queries"), 2);
+}
+
+TEST(MetricsRegistryTest, HistogramStatsAndPercentiles) {
+  MetricsRegistry registry;
+  const HistogramId hist =
+      registry.Histogram("ndc", MetricsRegistry::CountBounds());
+  // 1..100: p50 should land near 50, p99 near 99.
+  for (int i = 1; i <= 100; ++i) {
+    registry.Observe(hist, static_cast<double>(i));
+  }
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* h = snapshot.FindHistogram("ndc");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 100);
+  EXPECT_DOUBLE_EQ(h->sum, 5050.0);
+  EXPECT_DOUBLE_EQ(h->min, 1.0);
+  EXPECT_DOUBLE_EQ(h->max, 100.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 50.5);
+  // Bucket interpolation is approximate; generous windows.
+  EXPECT_GE(h->Percentile(50), 20.0);
+  EXPECT_LE(h->Percentile(50), 80.0);
+  EXPECT_GE(h->Percentile(99), h->Percentile(50));
+  EXPECT_LE(h->Percentile(99), 100.0);  // clamped to observed max
+  EXPECT_GE(h->Percentile(0), 1.0);     // clamped to observed min
+}
+
+TEST(MetricsRegistryTest, ObservationsBeyondLastBoundStayInRange) {
+  MetricsRegistry registry;
+  const HistogramId hist =
+      registry.Histogram("latency", MetricsRegistry::LatencyBounds());
+  registry.Observe(hist, 100.0);  // beyond the 10s top bound
+  registry.Observe(hist, 200.0);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* h = snapshot.FindHistogram("latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2);
+  EXPECT_DOUBLE_EQ(h->max, 200.0);
+  EXPECT_LE(h->Percentile(99), 200.0);
+  EXPECT_GE(h->Percentile(99), 100.0);
+}
+
+TEST(MetricsRegistryTest, MergesObservationsAcrossThreads) {
+  MetricsRegistry registry;
+  const CounterId counter = registry.Counter("ops");
+  const HistogramId hist =
+      registry.Histogram("value", MetricsRegistry::CountBounds());
+  constexpr size_t kItems = 400;
+  ThreadPool::ParallelFor(kItems, /*num_threads=*/8, [&](size_t i) {
+    registry.Increment(counter);
+    registry.Observe(hist, static_cast<double>(i % 97) + 1.0);
+  });
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(*snapshot.FindCounter("ops"), static_cast<int64_t>(kItems));
+  const HistogramSnapshot* h = snapshot.FindHistogram("value");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<int64_t>(kItems));
+}
+
+TEST(MetricsRegistryTest, ThreadShardsSurviveRegistryReuse) {
+  // A second registry at a (possibly) recycled address must not inherit
+  // the first one's thread-local shards.
+  auto first = std::make_unique<MetricsRegistry>();
+  const CounterId c1 = first->Counter("n");
+  first->Increment(c1);
+  first.reset();
+  MetricsRegistry second;
+  const CounterId c2 = second.Counter("n");
+  second.Increment(c2, 7);
+  EXPECT_EQ(*second.Snapshot().FindCounter("n"), 7);
+}
+
+TEST(MetricsRegistryTest, SnapshotToJsonIsWellFormed) {
+  MetricsRegistry registry;
+  registry.Increment(registry.Counter("queries"), 3);
+  const HistogramId hist =
+      registry.Histogram("query_ndc", MetricsRegistry::CountBounds());
+  registry.Observe(hist, 12.0);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"queries\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"query_ndc\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricsRegistryTest, SnapshotMergeSumsMatchingSeries) {
+  MetricsRegistry a, b;
+  a.Increment(a.Counter("queries"), 2);
+  b.Increment(b.Counter("queries"), 3);
+  const HistogramId ha = a.Histogram("v", MetricsRegistry::CountBounds());
+  const HistogramId hb = b.Histogram("v", MetricsRegistry::CountBounds());
+  a.Observe(ha, 5.0);
+  b.Observe(hb, 10.0);
+  b.Observe(hb, 1.0);
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(*merged.FindCounter("queries"), 5);
+  const HistogramSnapshot* h = merged.FindHistogram("v");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3);
+  EXPECT_DOUBLE_EQ(h->sum, 16.0);
+  EXPECT_DOUBLE_EQ(h->min, 1.0);
+  EXPECT_DOUBLE_EQ(h->max, 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// QueryTrace (standalone)
+// ---------------------------------------------------------------------------
+
+TEST(QueryTraceTest, RecordsAndCountsEvents) {
+  QueryTrace trace;
+  TraceEvent step;
+  step.type = TraceEventType::kRouteStep;
+  step.id = 4;
+  trace.Record(step);
+  trace.Record(step);
+  TraceEvent dist;
+  dist.type = TraceEventType::kDistance;
+  trace.Record(dist);
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.CountOf(TraceEventType::kRouteStep), 2);
+  EXPECT_EQ(trace.CountOf(TraceEventType::kDistance), 1);
+  EXPECT_EQ(trace.CountOf(TraceEventType::kQueryBegin), 0);
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(QueryTraceTest, JsonLineContainsTypedFields) {
+  TraceEvent event;
+  event.type = TraceEventType::kGammaPrune;
+  event.id = 17;
+  event.step = 3;
+  event.value = 2.5;
+  event.detail = "np_route";
+  const std::string line = QueryTrace::EventToJson(event, /*query_id=*/9);
+  EXPECT_NE(line.find("\"query_id\":9"), std::string::npos);
+  EXPECT_NE(line.find("\"type\":\"gamma_prune\""), std::string::npos);
+  EXPECT_NE(line.find("\"id\":17"), std::string::npos);
+  EXPECT_NE(line.find("\"step\":3"), std::string::npos);
+  EXPECT_NE(line.find("\"detail\":\"np_route\""), std::string::npos);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+}
+
+// ---------------------------------------------------------------------------
+// Search over a real index
+// ---------------------------------------------------------------------------
+
+LanConfig TinyConfig() {
+  LanConfig config;
+  config.hnsw.M = 4;
+  config.hnsw.ef_construction = 12;
+  config.query_ged.approximate_only = true;
+  config.query_ged.beam_width = 0;
+  config.scorer.gnn_dims = {8, 8};
+  config.scorer.mlp_hidden = 8;
+  config.rank.epochs = 3;
+  config.nh.epochs = 3;
+  config.cluster.epochs = 10;
+  config.max_rank_examples = 300;
+  config.max_nh_examples = 300;
+  config.neighborhood_knn = 10;
+  config.embedding.dim = 16;
+  config.default_beam = 8;
+  config.num_threads = 4;
+  return config;
+}
+
+/// Build+Train once for every search-level test in this file.
+class ObservabilitySearchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec = DatasetSpec::SynLike(60);
+    db_ = new GraphDatabase(GenerateDatabase(spec, 31));
+    // 2/10 of the sampled queries land in `test`; the tests here index up
+    // to test[5] and batch 6, so sample enough for 8 test queries.
+    WorkloadOptions wopts;
+    wopts.num_queries = 40;
+    workload_ = new QueryWorkload(SampleWorkload(*db_, wopts, 32));
+    index_ = new LanIndex(TinyConfig());
+    ASSERT_TRUE(index_->Build(db_).ok());
+    ASSERT_TRUE(index_->Train(workload_->train).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete index_;
+    delete workload_;
+    delete db_;
+    index_ = nullptr;
+    workload_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static GraphDatabase* db_;
+  static QueryWorkload* workload_;
+  static LanIndex* index_;
+};
+
+GraphDatabase* ObservabilitySearchTest::db_ = nullptr;
+QueryWorkload* ObservabilitySearchTest::workload_ = nullptr;
+LanIndex* ObservabilitySearchTest::index_ = nullptr;
+
+const RoutingMethod kAllRoutings[] = {RoutingMethod::kLanRoute,
+                                      RoutingMethod::kBaselineRoute,
+                                      RoutingMethod::kOracleRoute};
+const InitMethod kAllInits[] = {InitMethod::kLanIs, InitMethod::kHnswIs,
+                                InitMethod::kRandomIs};
+
+TEST_F(ObservabilitySearchTest, OptionsSearchMatchesLegacySignatures) {
+  const Graph& query = workload_->test[0];
+  for (RoutingMethod routing : kAllRoutings) {
+    for (InitMethod init : kAllInits) {
+      SearchOptions options;
+      options.k = 4;
+      options.beam = 8;
+      options.routing = routing;
+      options.init = init;
+      SearchResult via_options = index_->Search(query, options);
+      SearchResult via_legacy = index_->SearchWith(query, 4, 8, routing, init);
+      ASSERT_TRUE(via_options.status.ok());
+      ASSERT_TRUE(via_legacy.status.ok());
+      EXPECT_EQ(via_options.results, via_legacy.results)
+          << RoutingMethodName(routing) << "/" << InitMethodName(init);
+      EXPECT_EQ(via_options.stats.ndc, via_legacy.stats.ndc);
+      EXPECT_EQ(via_options.stats.routing_steps,
+                via_legacy.stats.routing_steps);
+      EXPECT_EQ(via_options.stats.model_inferences,
+                via_legacy.stats.model_inferences);
+    }
+  }
+}
+
+TEST_F(ObservabilitySearchTest, DefaultOptionsMatchLegacyDefaultSearch) {
+  const Graph& query = workload_->test[1];
+  SearchOptions options;
+  options.k = 5;
+  SearchResult via_options = index_->Search(query, options);
+  SearchResult via_legacy = index_->Search(query, 5);
+  EXPECT_EQ(via_options.results, via_legacy.results);
+  EXPECT_EQ(via_options.stats.ndc, via_legacy.stats.ndc);
+}
+
+TEST_F(ObservabilitySearchTest, TracingDoesNotPerturbTheSearch) {
+  const Graph& query = workload_->test[2];
+  SearchOptions plain;
+  plain.k = 5;
+  SearchResult without = index_->Search(query, plain);
+  QueryTrace trace;
+  SearchOptions traced = plain;
+  traced.trace = &trace;
+  SearchResult with = index_->Search(query, traced);
+  EXPECT_EQ(without.results, with.results);
+  EXPECT_EQ(without.stats.ndc, with.stats.ndc);
+  EXPECT_EQ(without.stats.routing_steps, with.stats.routing_steps);
+  EXPECT_EQ(without.stats.model_inferences, with.stats.model_inferences);
+  EXPECT_FALSE(trace.events().empty());
+}
+
+TEST_F(ObservabilitySearchTest, TraceInvariantsHoldForEveryAblation) {
+  const Graph& query = workload_->test[3];
+  for (RoutingMethod routing : kAllRoutings) {
+    for (InitMethod init : kAllInits) {
+      QueryTrace trace;
+      SearchOptions options;
+      options.k = 3;
+      options.beam = 8;
+      options.routing = routing;
+      options.init = init;
+      options.trace = &trace;
+      SearchResult result = index_->Search(query, options);
+      ASSERT_TRUE(result.status.ok());
+      const std::string label = std::string(RoutingMethodName(routing)) + "/" +
+                                InitMethodName(init);
+      // Every NDC is one kDistance event and vice versa: the trace and the
+      // stats count the same oracle misses.
+      EXPECT_EQ(trace.CountOf(TraceEventType::kDistance), result.stats.ndc)
+          << label;
+      // Every routing step is one kRouteStep event and vice versa.
+      EXPECT_EQ(trace.CountOf(TraceEventType::kRouteStep),
+                result.stats.routing_steps)
+          << label;
+      EXPECT_EQ(trace.CountOf(TraceEventType::kQueryBegin), 1) << label;
+      EXPECT_EQ(trace.CountOf(TraceEventType::kQueryEnd), 1) << label;
+      ASSERT_FALSE(trace.events().empty());
+      EXPECT_EQ(trace.events().front().type, TraceEventType::kQueryBegin);
+      EXPECT_EQ(trace.events().back().type, TraceEventType::kQueryEnd);
+      // The closing event repeats the totals.
+      EXPECT_DOUBLE_EQ(trace.events().back().value,
+                       static_cast<double>(result.stats.ndc));
+    }
+  }
+}
+
+TEST_F(ObservabilitySearchTest, LearnedSearchTraceShowsTheLearnedPipeline) {
+  const Graph& query = workload_->test[4];
+  QueryTrace trace;
+  SearchOptions options;
+  options.k = 4;
+  options.trace = &trace;  // defaults: kLanRoute + kLanIs
+  SearchResult result = index_->Search(query, options);
+  ASSERT_TRUE(result.status.ok());
+  // LAN_IS scores clusters with M_c, then the selected start must be
+  // reported; LAN_Route runs M_rk inferences.
+  EXPECT_GT(trace.CountOf(TraceEventType::kClusterScore) +
+                trace.CountOf(TraceEventType::kClusterPrune),
+            0);
+  EXPECT_EQ(trace.CountOf(TraceEventType::kInitSelect), 1);
+  EXPECT_GT(trace.CountOf(TraceEventType::kModelInference), 0);
+  EXPECT_GT(result.stats.model_inferences, 0);
+}
+
+TEST_F(ObservabilitySearchTest, WriteJsonLinesEmitsOneObjectPerEvent) {
+  const Graph& query = workload_->test[5];
+  QueryTrace trace;
+  SearchOptions options;
+  options.k = 3;
+  options.trace = &trace;
+  ASSERT_TRUE(index_->Search(query, options).status.ok());
+  std::ostringstream out;
+  trace.WriteJsonLines(out, /*query_id=*/42);
+  std::istringstream in(out.str());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"query_id\":42"), std::string::npos);
+    EXPECT_NE(line.find("\"type\":\""), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, trace.events().size());
+}
+
+TEST_F(ObservabilitySearchTest, SearchBatchMatchesSequentialAndAggregates) {
+  std::vector<Graph> queries(workload_->test.begin(),
+                             workload_->test.begin() + 6);
+  SearchOptions options;
+  options.k = 4;
+  BatchSearchResult batch = index_->SearchBatch(queries, options, 3);
+  ASSERT_EQ(batch.results.size(), queries.size());
+
+  SearchStats expected;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SearchResult sequential = index_->Search(queries[i], options);
+    EXPECT_EQ(batch.results[i].results, sequential.results) << i;
+    EXPECT_EQ(batch.results[i].stats.ndc, sequential.stats.ndc) << i;
+    expected.Merge(sequential.stats);
+  }
+  EXPECT_EQ(batch.stats.totals.ndc, expected.ndc);
+  EXPECT_EQ(batch.stats.totals.routing_steps, expected.routing_steps);
+  EXPECT_EQ(batch.stats.totals.model_inferences, expected.model_inferences);
+
+  EXPECT_EQ(*batch.stats.metrics.FindCounter("queries"),
+            static_cast<int64_t>(queries.size()));
+  EXPECT_EQ(*batch.stats.metrics.FindCounter("query_errors"), 0);
+  const HistogramSnapshot* ndc_hist =
+      batch.stats.metrics.FindHistogram("query_ndc");
+  ASSERT_NE(ndc_hist, nullptr);
+  EXPECT_EQ(ndc_hist->count, static_cast<int64_t>(queries.size()));
+  EXPECT_DOUBLE_EQ(ndc_hist->sum, static_cast<double>(expected.ndc));
+  const HistogramSnapshot* latency_hist =
+      batch.stats.metrics.FindHistogram("query_latency_seconds");
+  ASSERT_NE(latency_hist, nullptr);
+  EXPECT_EQ(latency_hist->count, static_cast<int64_t>(queries.size()));
+}
+
+TEST_F(ObservabilitySearchTest, ReadyRejectsBadOptions) {
+  SearchOptions ok;
+  ok.k = 3;
+  EXPECT_TRUE(index_->Ready(ok).ok());
+  SearchOptions bad_k;
+  bad_k.k = 0;
+  EXPECT_FALSE(index_->Ready(bad_k).ok());
+  SearchResult result = index_->Search(workload_->test[0], bad_k);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_TRUE(result.results.empty());
+}
+
+TEST(ObservabilityErrorTest, SearchBeforeBuildReportsInsteadOfCrashing) {
+  LanIndex index(TinyConfig());
+  DatasetSpec spec = DatasetSpec::SynLike(5);
+  GraphDatabase db = GenerateDatabase(spec, 77);
+  SearchOptions options;
+  options.k = 2;
+  EXPECT_FALSE(index.Ready(options).ok());
+  SearchResult result = index.Search(db.Get(0), options);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_TRUE(result.results.empty());
+}
+
+TEST(ObservabilityErrorTest, UntrainedIndexFailsLearnedModesOnly) {
+  DatasetSpec spec = DatasetSpec::SynLike(30);
+  GraphDatabase db = GenerateDatabase(spec, 78);
+  LanIndex index(TinyConfig());
+  ASSERT_TRUE(index.Build(&db).ok());
+
+  SearchOptions learned;
+  learned.k = 3;  // defaults: kLanRoute + kLanIs need the models
+  EXPECT_FALSE(index.Ready(learned).ok());
+  SearchResult failed = index.Search(db.Get(0), learned);
+  EXPECT_FALSE(failed.status.ok());
+  EXPECT_TRUE(failed.results.empty());
+
+  SearchOptions baseline;
+  baseline.k = 3;
+  baseline.routing = RoutingMethod::kBaselineRoute;
+  baseline.init = InitMethod::kHnswIs;
+  EXPECT_TRUE(index.Ready(baseline).ok());
+  SearchResult worked = index.Search(db.Get(0), baseline);
+  EXPECT_TRUE(worked.status.ok());
+  EXPECT_EQ(worked.results.size(), 3u);
+}
+
+TEST(ObservabilityErrorTest, BatchSurfacesPerQueryErrors) {
+  LanIndex index(TinyConfig());
+  DatasetSpec spec = DatasetSpec::SynLike(4);
+  GraphDatabase db = GenerateDatabase(spec, 79);
+  std::vector<Graph> queries = {db.Get(0), db.Get(1)};
+  SearchOptions options;
+  options.k = 2;
+  BatchSearchResult batch = index.SearchBatch(queries, options, 2);
+  ASSERT_EQ(batch.results.size(), 2u);
+  for (const SearchResult& r : batch.results) {
+    EXPECT_FALSE(r.status.ok());
+  }
+  EXPECT_EQ(*batch.stats.metrics.FindCounter("query_errors"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded index
+// ---------------------------------------------------------------------------
+
+TEST(ShardedObservabilityTest, OptionsSearchMatchesLegacyAndEmitsShardEvents) {
+  DatasetSpec spec = DatasetSpec::SynLike(40);
+  GraphDatabase db = GenerateDatabase(spec, 91);
+  ShardedIndexOptions sharded_options;
+  sharded_options.num_shards = 2;
+  sharded_options.shard_config = TinyConfig();
+  ShardedLanIndex sharded(sharded_options);
+  ASSERT_TRUE(sharded.Build(db).ok());
+  WorkloadOptions wopts;
+  wopts.num_queries = 10;
+  QueryWorkload workload = SampleWorkload(db, wopts, 92);
+  ASSERT_TRUE(sharded.Train(workload.train).ok());
+  const Graph& query = workload.test.front();
+
+  SearchOptions options;
+  options.k = 4;
+  SearchResult via_options = sharded.Search(query, options);
+  SearchResult via_legacy = sharded.Search(query, 4);
+  ASSERT_TRUE(via_options.status.ok());
+  EXPECT_EQ(via_options.results, via_legacy.results);
+  EXPECT_EQ(via_options.stats.ndc, via_legacy.stats.ndc);
+
+  QueryTrace trace;
+  SearchOptions traced = options;
+  traced.trace = &trace;
+  SearchResult with_trace = sharded.Search(query, traced);
+  ASSERT_TRUE(with_trace.status.ok());
+  EXPECT_EQ(with_trace.results, via_options.results);
+  EXPECT_EQ(trace.CountOf(TraceEventType::kShard), 2);
+  EXPECT_EQ(trace.CountOf(TraceEventType::kQueryBegin), 2);  // one per shard
+  EXPECT_EQ(trace.CountOf(TraceEventType::kDistance), with_trace.stats.ndc);
+}
+
+TEST(ShardedObservabilityTest, SearchBeforeBuildReturnsError) {
+  ShardedIndexOptions sharded_options;
+  sharded_options.num_shards = 2;
+  sharded_options.shard_config = TinyConfig();
+  ShardedLanIndex sharded(sharded_options);
+  DatasetSpec spec = DatasetSpec::SynLike(3);
+  GraphDatabase db = GenerateDatabase(spec, 93);
+  SearchOptions options;
+  options.k = 2;
+  SearchResult result = sharded.Search(db.Get(0), options);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_TRUE(result.results.empty());
+}
+
+}  // namespace
+}  // namespace lan

@@ -13,10 +13,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <algorithm>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "graph/graph_generator.h"
 #include "graph/graph_io.h"
 #include "lan/evaluation.h"
@@ -63,7 +68,10 @@ int Usage() {
                "  stats    --db FILE\n"
                "  build    --db FILE --models FILE [--index FILE] [--queries N]\n"
                "  search   --db FILE --models FILE [--index FILE] [--k K]\n"
+               "           [--trace-out FILE]    per-query trace, JSON lines\n"
+               "           [--metrics-out FILE]  metrics snapshot, JSON\n"
                "  eval     --db FILE --models FILE [--index FILE] [--k K]\n"
+               "           [--metrics-out FILE]\n"
                "  diagnose --db FILE --models FILE [--index FILE]\n");
   return 2;
 }
@@ -190,6 +198,16 @@ std::unique_ptr<LoadedIndex> LoadIndex(const Flags& flags) {
   return loaded;
 }
 
+/// Opens `path` for writing or returns null after reporting the error.
+std::unique_ptr<std::ofstream> OpenOut(const std::string& path) {
+  auto out = std::make_unique<std::ofstream>(path);
+  if (!out->is_open()) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return nullptr;
+  }
+  return out;
+}
+
 int SearchCmd(const Flags& flags) {
   auto loaded = LoadIndex(flags);
   if (loaded == nullptr) return 1;
@@ -205,8 +223,42 @@ int SearchCmd(const Flags& flags) {
   queries.insert(queries.end(), workload.validation.begin(),
                  workload.validation.end());
   queries.insert(queries.end(), workload.test.begin(), workload.test.end());
+
+  std::unique_ptr<std::ofstream> trace_out;
+  if (flags.Has("trace-out")) {
+    trace_out = OpenOut(flags.Get("trace-out", ""));
+    if (trace_out == nullptr) return 1;
+  }
+  std::unique_ptr<std::ofstream> metrics_out;
+  if (flags.Has("metrics-out")) {
+    metrics_out = OpenOut(flags.Get("metrics-out", ""));
+    if (metrics_out == nullptr) return 1;
+  }
+  MetricsRegistry registry;
+  const CounterId queries_counter = registry.Counter("queries");
+  const HistogramId latency_hist = registry.Histogram(
+      "query_latency_seconds", MetricsRegistry::LatencyBounds());
+  const HistogramId ndc_hist =
+      registry.Histogram("query_ndc", MetricsRegistry::CountBounds());
+
+  QueryTrace trace;
   for (size_t i = 0; i < queries.size(); ++i) {
-    SearchResult result = loaded->index.Search(queries[i], k);
+    SearchOptions options;
+    options.k = k;
+    if (trace_out != nullptr) {
+      trace.Clear();
+      options.trace = &trace;
+    }
+    Timer timer;
+    SearchResult result = loaded->index.Search(queries[i], options);
+    registry.Increment(queries_counter);
+    registry.Observe(latency_hist, timer.ElapsedSeconds());
+    registry.Observe(ndc_hist, static_cast<double>(result.stats.ndc));
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "query %zu failed: %s\n", i,
+                   result.status.ToString().c_str());
+      return 1;
+    }
     std::printf("query %zu (%s): NDC %lld, steps %lld\n", i,
                 queries[i].ToString().c_str(),
                 static_cast<long long>(result.stats.ndc),
@@ -214,6 +266,17 @@ int SearchCmd(const Flags& flags) {
     for (const auto& [id, d] : result.results) {
       std::printf("  #%-6d GED %.0f\n", id, d);
     }
+    if (trace_out != nullptr) {
+      trace.WriteJsonLines(*trace_out, static_cast<int64_t>(i));
+    }
+  }
+  if (trace_out != nullptr) {
+    std::printf("trace written to %s\n", flags.Get("trace-out", "").c_str());
+  }
+  if (metrics_out != nullptr) {
+    *metrics_out << registry.Snapshot().ToJson() << "\n";
+    std::printf("metrics written to %s\n",
+                flags.Get("metrics-out", "").c_str());
   }
   return 0;
 }
@@ -279,15 +342,23 @@ int Eval(const Flags& flags) {
   GedComputer ged(ToolConfig().query_ged);
   std::vector<KnnList> truths =
       BuildTruths(loaded->db, workload.test, k, ged);
+  MetricsRegistry registry;
   PrintCurveHeader(k);
   PrintCurve(SweepIndex(loaded->index, RoutingMethod::kLanRoute,
                         InitMethod::kLanIs, workload.test, truths, k,
-                        {8, 16, 32}, "LAN"),
+                        {8, 16, 32}, "LAN", &registry),
              k);
   PrintCurve(SweepIndex(loaded->index, RoutingMethod::kBaselineRoute,
                         InitMethod::kHnswIs, workload.test, truths, k,
-                        {8, 16, 32}, "HNSW"),
+                        {8, 16, 32}, "HNSW", &registry),
              k);
+  if (flags.Has("metrics-out")) {
+    auto out = OpenOut(flags.Get("metrics-out", ""));
+    if (out == nullptr) return 1;
+    *out << registry.Snapshot().ToJson() << "\n";
+    std::printf("metrics written to %s\n",
+                flags.Get("metrics-out", "").c_str());
+  }
   return 0;
 }
 

@@ -15,3 +15,45 @@ set(INDEX ${WORK_DIR}/pipeline.idx)
 run_step(${LAN_TOOL} build --db ${DB} --models ${MODELS} --index ${INDEX} --queries 12)
 run_step(${LAN_TOOL} search --db ${DB} --models ${MODELS} --index ${INDEX} --k 3 --queries 1)
 run_step(${LAN_TOOL} diagnose --db ${DB} --models ${MODELS} --index ${INDEX})
+
+# Observability outputs: the trace must be non-empty JSON lines, the
+# metrics snapshot one parseable JSON object.
+set(TRACE ${WORK_DIR}/pipeline.trace.jsonl)
+set(METRICS ${WORK_DIR}/pipeline.metrics.json)
+run_step(${LAN_TOOL} search --db ${DB} --models ${MODELS} --index ${INDEX}
+         --k 3 --queries 2 --trace-out ${TRACE} --metrics-out ${METRICS})
+foreach(artifact ${TRACE} ${METRICS})
+  if(NOT EXISTS ${artifact})
+    message(FATAL_ERROR "search did not write ${artifact}")
+  endif()
+endforeach()
+
+if(CMAKE_VERSION VERSION_LESS 3.19)
+  return()  # string(JSON) unavailable; existence checks above still ran
+endif()
+
+file(STRINGS ${TRACE} trace_lines)
+list(LENGTH trace_lines num_trace_lines)
+if(num_trace_lines LESS 2)
+  message(FATAL_ERROR "trace has ${num_trace_lines} lines; expected >= 2")
+endif()
+set(saw_begin FALSE)
+foreach(line IN LISTS trace_lines)
+  string(JSON event_type GET "${line}" type)  # fails hard on malformed JSON
+  if(event_type STREQUAL "query_begin")
+    set(saw_begin TRUE)
+  endif()
+endforeach()
+if(NOT saw_begin)
+  message(FATAL_ERROR "trace contains no query_begin event")
+endif()
+
+file(READ ${METRICS} metrics_json)
+string(JSON num_queries GET "${metrics_json}" counters queries)
+if(NOT num_queries EQUAL 2)
+  message(FATAL_ERROR "metrics counted ${num_queries} queries; expected 2")
+endif()
+string(JSON ndc_p50 GET "${metrics_json}" histograms query_ndc p50)
+if(ndc_p50 LESS_EQUAL 0)
+  message(FATAL_ERROR "metrics query_ndc p50 is ${ndc_p50}; expected > 0")
+endif()
