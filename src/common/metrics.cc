@@ -97,6 +97,24 @@ HistogramId MetricsRegistry::Histogram(const std::string& name,
   return id;
 }
 
+GaugeId MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_by_name_.find(name);
+  if (it != gauges_by_name_.end()) return it->second;
+  GaugeId id;
+  id.slot = static_cast<int32_t>(gauge_names_.size());
+  gauge_names_.push_back(name);
+  gauge_values_.push_back(0.0);
+  gauges_by_name_.emplace(name, id);
+  return id;
+}
+
+void MetricsRegistry::SetGauge(GaugeId id, double value) {
+  if (!id.valid()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  gauge_values_[static_cast<size_t>(id.slot)] = value;
+}
+
 MetricsRegistry::Shard* MetricsRegistry::LocalShard() const {
   auto it = t_shard_refs.find(this);
   if (it != t_shard_refs.end() && it->second.serial == serial_) {
@@ -155,6 +173,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     h.bounds = *info.bounds;
     h.bucket_counts.assign(info.bounds->size() + 1, 0);
     snapshot.histograms.emplace_back(info.name, std::move(h));
+  }
+  snapshot.gauges.reserve(gauge_names_.size());
+  for (size_t i = 0; i < gauge_names_.size(); ++i) {
+    snapshot.gauges.emplace_back(gauge_names_[i], gauge_values_[i]);
   }
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard<std::mutex> shard_lock(shard->mu);
@@ -227,6 +249,13 @@ const HistogramSnapshot* MetricsSnapshot::FindHistogram(
   return nullptr;
 }
 
+const double* MetricsSnapshot::FindGauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
 void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.counters) {
     bool found = false;
@@ -261,6 +290,17 @@ void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
     mine->min = std::min(mine->min, h.min);
     mine->max = std::max(mine->max, h.max);
   }
+  for (const auto& [name, value] : other.gauges) {
+    bool found = false;
+    for (auto& [n, v] : gauges) {
+      if (n == name) {
+        v = value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) gauges.emplace_back(name, value);
+  }
 }
 
 std::string MetricsSnapshot::ToJson() const {
@@ -294,6 +334,13 @@ std::string MetricsSnapshot::ToJson() const {
       out << h.bucket_counts[b];
     }
     out << "]}";
+  }
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out << ',';
+    AppendJsonString(&out, gauges[i].first);
+    out << ':';
+    AppendJsonDouble(&out, gauges[i].second);
   }
   out << "}}";
   return out.str();

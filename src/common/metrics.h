@@ -27,6 +27,13 @@ struct HistogramId {
   bool valid() const { return slot >= 0; }
 };
 
+/// \brief Handle to a registered gauge (a last-written point-in-time value:
+/// index live size, tombstone count, serving epoch).
+struct GaugeId {
+  int32_t slot = -1;
+  bool valid() const { return slot >= 0; }
+};
+
 /// \brief Point-in-time state of one histogram: per-bucket counts plus the
 /// usual summary moments. Buckets are [<=bounds[0]], (bounds[0], bounds[1]],
 /// ..., (bounds[n-1], inf) — `bucket_counts` has bounds.size() + 1 entries.
@@ -50,13 +57,17 @@ struct HistogramSnapshot {
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, int64_t>> counters;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<std::pair<std::string, double>> gauges;
 
   const int64_t* FindCounter(const std::string& name) const;
   const HistogramSnapshot* FindHistogram(const std::string& name) const;
+  const double* FindGauge(const std::string& name) const;
   std::string ToJson() const;
 
   /// Accumulates another snapshot of the same registry layout (used when a
-  /// caller scrapes several registries into one report).
+  /// caller scrapes several registries into one report). Counters and
+  /// histogram cells add; gauges are point-in-time, so the incoming value
+  /// wins.
   void Merge(const MetricsSnapshot& other);
 };
 
@@ -85,9 +96,14 @@ class MetricsRegistry {
   /// Registers (or finds) a histogram by name. `bounds` must be strictly
   /// increasing; ignored (the registered bounds win) if `name` exists.
   HistogramId Histogram(const std::string& name, std::vector<double> bounds);
+  /// Registers (or finds) a gauge by name.
+  GaugeId Gauge(const std::string& name);
 
   void Increment(CounterId id, int64_t delta = 1);
   void Observe(HistogramId id, double value);
+  /// Overwrites the gauge (not sharded: gauges are set rarely — once per
+  /// batch / mutation — so they take the registry lock).
+  void SetGauge(GaugeId id, double value);
 
   /// Merges every thread shard into one consistent snapshot.
   MetricsSnapshot Snapshot() const;
@@ -110,8 +126,11 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::vector<std::string> counter_names_;
   std::vector<HistogramInfo> histogram_infos_;
+  std::vector<std::string> gauge_names_;
+  std::vector<double> gauge_values_;
   std::unordered_map<std::string, CounterId> counters_by_name_;
   std::unordered_map<std::string, HistogramId> histograms_by_name_;
+  std::unordered_map<std::string, GaugeId> gauges_by_name_;
   mutable std::vector<std::unique_ptr<Shard>> shards_;
   /// Distinguishes this registry from a dead one reallocated at the same
   /// address (thread-local shard references are keyed by pointer+serial).

@@ -29,6 +29,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "distance";
     case TraceEventType::kModelInference:
       return "model_inference";
+    case TraceEventType::kEpochPinned:
+      return "epoch_pinned";
     case TraceEventType::kQueryEnd:
       return "query_end";
   }

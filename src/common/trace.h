@@ -30,6 +30,9 @@ namespace lan {
 ///                    Exactly one event per counted NDC.
 ///   kModelInference— one stacked forward pass: detail=model name,
 ///                    aux=batch size (learned_init / learned_ranker / M_c)
+///   kEpochPinned   — search pinned index epoch value=epoch with
+///                    aux=live graphs in that snapshot (LanIndex::Search;
+///                    emitted right after kQueryBegin)
 ///   kQueryEnd      — value=stats.ndc, aux=stats.routing_steps
 enum class TraceEventType : int8_t {
   kQueryBegin = 0,
@@ -43,6 +46,7 @@ enum class TraceEventType : int8_t {
   kGammaPrune,
   kDistance,
   kModelInference,
+  kEpochPinned,
   kQueryEnd,
 };
 

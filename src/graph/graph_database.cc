@@ -1,10 +1,78 @@
 #include "graph/graph_database.h"
 
 #include <unordered_set>
+#include <utility>
 
 #include "common/string_util.h"
 
 namespace lan {
+namespace {
+
+constexpr size_t kInitialSlotCapacity = 64;
+
+}  // namespace
+
+GraphDatabase::GraphDatabase(const GraphDatabase& other) { *this = other; }
+
+GraphDatabase& GraphDatabase::operator=(const GraphDatabase& other) {
+  if (this == &other) return *this;
+  graphs_ = other.graphs_;
+  live_ = other.live_;
+  num_removed_ = other.num_removed_;
+  num_labels_ = other.num_labels_;
+  name_ = other.name_;
+  slots_.store(nullptr, std::memory_order_relaxed);
+  size_.store(0, std::memory_order_relaxed);
+  slot_capacity_ = 0;
+  slot_arrays_.clear();
+  RepublishSlots();
+  return *this;
+}
+
+GraphDatabase::GraphDatabase(GraphDatabase&& other) noexcept {
+  *this = std::move(other);
+}
+
+GraphDatabase& GraphDatabase::operator=(GraphDatabase&& other) noexcept {
+  if (this == &other) return *this;
+  graphs_ = std::move(other.graphs_);
+  live_ = std::move(other.live_);
+  num_removed_ = other.num_removed_;
+  num_labels_ = other.num_labels_;
+  name_ = std::move(other.name_);
+  // Deque elements keep their addresses across the move, so the moved-from
+  // object's slot arrays stay valid for this one.
+  slot_arrays_ = std::move(other.slot_arrays_);
+  slot_capacity_ = other.slot_capacity_;
+  slots_.store(other.slots_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  size_.store(other.size_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  other.slots_.store(nullptr, std::memory_order_relaxed);
+  other.size_.store(0, std::memory_order_relaxed);
+  other.slot_capacity_ = 0;
+  other.num_removed_ = 0;
+  return *this;
+}
+
+void GraphDatabase::RepublishSlots() {
+  const size_t n = graphs_.size();
+  if (n > slot_capacity_) {
+    size_t cap = slot_capacity_ == 0 ? kInitialSlotCapacity : slot_capacity_;
+    while (cap < n) cap *= 2;
+    auto fresh = std::make_unique<const Graph*[]>(cap);
+    for (size_t i = 0; i < n; ++i) fresh[i] = &graphs_[i];
+    slot_capacity_ = cap;
+    slots_.store(fresh.get(), std::memory_order_release);
+    slot_arrays_.push_back(std::move(fresh));
+  } else if (n > 0) {
+    // In-capacity append: fill the new tail slot, then publish the size.
+    // slot_arrays_.back() is the live array; writing an index >= size_ is
+    // invisible to readers until the release store below.
+    slot_arrays_.back()[n - 1] = &graphs_[n - 1];
+  }
+  size_.store(static_cast<GraphId>(n), std::memory_order_release);
+}
 
 Result<GraphId> GraphDatabase::Add(Graph graph) {
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
@@ -16,7 +84,23 @@ Result<GraphId> GraphDatabase::Add(Graph graph) {
     }
   }
   graphs_.push_back(std::move(graph));
+  live_.push_back(1);
+  RepublishSlots();
   return static_cast<GraphId>(graphs_.size() - 1);
+}
+
+Status GraphDatabase::Remove(GraphId id) {
+  if (id < 0 || static_cast<size_t>(id) >= graphs_.size()) {
+    return Status::OutOfRange(
+        StrFormat("remove id %d outside [0,%d)", id, size()));
+  }
+  if (live_[static_cast<size_t>(id)] == 0) {
+    return Status::FailedPrecondition(
+        StrFormat("graph %d already removed", id));
+  }
+  live_[static_cast<size_t>(id)] = 0;
+  ++num_removed_;
+  return Status::OK();
 }
 
 double GraphDatabase::AverageNodes() const {
@@ -46,7 +130,12 @@ Status GraphDatabase::Truncate(GraphId count) {
     return Status::OutOfRange(
         StrFormat("truncate to %d outside [0,%d]", count, size()));
   }
+  for (size_t i = static_cast<size_t>(count); i < graphs_.size(); ++i) {
+    if (live_[i] == 0) --num_removed_;
+  }
   graphs_.resize(static_cast<size_t>(count));
+  live_.resize(static_cast<size_t>(count));
+  size_.store(count, std::memory_order_release);
   return Status::OK();
 }
 

@@ -100,4 +100,19 @@ KMeansResult KMeans(const std::vector<std::vector<float>>& points,
   return result;
 }
 
+int32_t NearestCentroid(const std::vector<std::vector<float>>& centroids,
+                        const std::vector<float>& point) {
+  LAN_CHECK(!centroids.empty());
+  int32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    const double d = Sq(point, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int32_t>(c);
+    }
+  }
+  return best;
+}
+
 }  // namespace lan

@@ -24,6 +24,12 @@ struct KMeansResult {
 KMeansResult KMeans(const std::vector<std::vector<float>>& points,
                     int num_clusters, int max_iterations, Rng* rng);
 
+/// \brief Index of the centroid closest (squared L2) to `point`. Used to
+/// assign online-inserted graphs to an existing clustering without
+/// re-running KMeans. `centroids` must be non-empty.
+int32_t NearestCentroid(const std::vector<std::vector<float>>& centroids,
+                        const std::vector<float>& point);
+
 }  // namespace lan
 
 #endif  // LAN_LAN_KMEANS_H_

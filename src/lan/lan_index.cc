@@ -93,15 +93,31 @@ Status LanIndex::Build(const GraphDatabase* db) {
     return Status::InvalidArgument("Build: empty database");
   }
   db_ = db;
+  mutable_db_ = nullptr;
   LAN_LOG(Info) << "LanIndex::Build: " << db_->size() << " graphs ("
                 << db_->name() << ")";
 
   Timer timer;
-  hnsw_ = HnswIndex::Build(*db_, build_ged_, config_.hnsw, pool_.get());
+  HnswIndex hnsw = HnswIndex::Build(*db_, build_ged_, config_.hnsw,
+                                    pool_.get());
   LAN_LOG(Info) << "  PG built in " << timer.ElapsedSeconds() << "s, avg deg "
-                << hnsw_.BaseLayer().AverageDegree();
-  return FinishBuild();
+                << hnsw.BaseLayer().AverageDegree();
+  return FinishBuild(std::move(hnsw), {}, /*epoch=*/0);
 }
+
+Status LanIndex::Build(GraphDatabase* db) {
+  LAN_RETURN_NOT_OK(Build(static_cast<const GraphDatabase*>(db)));
+  mutable_db_ = db;
+  return Status::OK();
+}
+
+namespace {
+
+/// Magic of the mutable-index wrapper around the HNSW stream. Legacy
+/// index files start directly with the HNSW magic instead.
+constexpr char kIndexMagic[8] = {'L', 'A', 'N', 'I', 'D', 'X', '0', '1'};
+
+}  // namespace
 
 Status LanIndex::BuildFromSavedIndex(const GraphDatabase* db,
                                      std::istream& in) {
@@ -110,17 +126,65 @@ Status LanIndex::BuildFromSavedIndex(const GraphDatabase* db,
     return Status::InvalidArgument("BuildFromSavedIndex: empty database");
   }
   db_ = db;
-  LAN_ASSIGN_OR_RETURN(hnsw_, HnswIndex::Load(in));
-  if (hnsw_.BaseLayer().NumNodes() != db_->size()) {
+  mutable_db_ = nullptr;
+
+  // Peek for the mutable-index wrapper; fall back to a bare HNSW stream.
+  uint64_t epoch = 0;
+  std::vector<uint8_t> live;
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic))) {
+    return Status::IoError("index read truncated");
+  }
+  if (std::memcmp(magic, kIndexMagic, sizeof(magic)) == 0) {
+    in.read(reinterpret_cast<char*>(&epoch), sizeof(epoch));
+    int32_t num_graphs = 0;
+    in.read(reinterpret_cast<char*>(&num_graphs), sizeof(num_graphs));
+    if (!in.good() || num_graphs < 0) {
+      return Status::IoError("bad index header");
+    }
+    live.resize(static_cast<size_t>(num_graphs));
+    in.read(reinterpret_cast<char*>(live.data()),
+            static_cast<std::streamsize>(live.size()));
+    if (in.gcount() != static_cast<std::streamsize>(live.size())) {
+      return Status::IoError("index read truncated");
+    }
+  } else {
+    in.seekg(-static_cast<std::streamoff>(sizeof(magic)), std::ios::cur);
+    if (!in.good()) return Status::IoError("cannot rewind index stream");
+  }
+
+  LAN_ASSIGN_OR_RETURN(HnswIndex hnsw, HnswIndex::Load(in));
+  if (hnsw.BaseLayer().NumNodes() != db_->size()) {
     return Status::InvalidArgument(
         "saved index size does not match the database");
   }
-  return FinishBuild();
+  if (!live.empty() &&
+      live.size() != static_cast<size_t>(db_->size())) {
+    return Status::InvalidArgument(
+        "saved tombstone bitmap does not match the database");
+  }
+  return FinishBuild(std::move(hnsw), std::move(live), epoch);
+}
+
+Status LanIndex::BuildFromSavedIndex(GraphDatabase* db, std::istream& in) {
+  LAN_RETURN_NOT_OK(
+      BuildFromSavedIndex(static_cast<const GraphDatabase*>(db), in));
+  mutable_db_ = db;
+  return Status::OK();
 }
 
 Status LanIndex::SaveIndex(std::ostream& out) const {
   if (!built_) return Status::FailedPrecondition("SaveIndex before Build");
-  return hnsw_.Save(out);
+  const auto snap = Snapshot();
+  out.write(kIndexMagic, sizeof(kIndexMagic));
+  out.write(reinterpret_cast<const char*>(&snap->epoch), sizeof(snap->epoch));
+  const int32_t num_graphs = snap->num_graphs;
+  out.write(reinterpret_cast<const char*>(&num_graphs), sizeof(num_graphs));
+  out.write(reinterpret_cast<const char*>(snap->live->data()),
+            static_cast<std::streamsize>(snap->live->size()));
+  if (!out.good()) return Status::IoError("index write failed");
+  return snap->hnsw->Save(out);
 }
 
 Status LanIndex::SaveIndexToFile(const std::string& path) const {
@@ -136,15 +200,23 @@ Status LanIndex::BuildFromSavedIndexFile(const GraphDatabase* db,
   return BuildFromSavedIndex(db, in);
 }
 
-Status LanIndex::FinishBuild() {
+Status LanIndex::BuildFromSavedIndexFile(GraphDatabase* db,
+                                         const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return BuildFromSavedIndex(db, in);
+}
+
+Status LanIndex::FinishBuild(HnswIndex hnsw, std::vector<uint8_t> live,
+                             uint64_t epoch) {
   // Precompute the compressed GNN-graph of every database graph (offline,
   // Sec. VI-C: a one-off cost amortized over all queries).
   const int layers = static_cast<int>(config_.scorer.gnn_dims.size());
-  db_cgs_.clear();
-  db_cgs_.resize(static_cast<size_t>(db_->size()));
+  auto cgs = std::make_shared<std::vector<CompressedGnnGraph>>(
+      static_cast<size_t>(db_->size()));
   ThreadPool::ParallelFor(
       static_cast<size_t>(db_->size()), pool_->num_threads(), [&](size_t i) {
-        db_cgs_[i] = BuildCompressedGnnGraph(
+        (*cgs)[i] = BuildCompressedGnnGraph(
             db_->Get(static_cast<GraphId>(i)), layers);
       });
 
@@ -152,16 +224,121 @@ Status LanIndex::FinishBuild() {
   EmbeddingOptions embedding = config_.embedding;
   embedding.num_labels = db_->num_labels();
   config_.embedding = embedding;
-  db_embeddings_ = EmbedDatabase(*db_, embedding);
+  auto embeddings = std::make_shared<std::vector<std::vector<float>>>(
+      EmbedDatabase(*db_, embedding));
   const int num_clusters =
       config_.num_clusters > 0
           ? config_.num_clusters
           : std::max(1, static_cast<int>(std::sqrt(
                             static_cast<double>(db_->size()))));
   Rng rng(config_.seed);
-  clusters_ = KMeans(db_embeddings_, num_clusters, config_.kmeans_iterations,
-                     &rng);
+  auto clusters = std::make_shared<KMeansResult>(
+      KMeans(*embeddings, num_clusters, config_.kmeans_iterations, &rng));
+
+  if (live.empty()) live.assign(static_cast<size_t>(db_->size()), 1);
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->epoch = epoch;
+  snap->num_graphs = db_->size();
+  snap->live_count = snap->num_graphs;
+  for (uint8_t l : live) {
+    if (l == 0) --snap->live_count;
+  }
+  snap->hnsw = std::make_shared<const HnswIndex>(std::move(hnsw));
+  snap->live = std::make_shared<const std::vector<uint8_t>>(std::move(live));
+  snap->cgs = std::move(cgs);
+  snap->embeddings = std::move(embeddings);
+  snap->clusters = std::move(clusters);
+  Publish(std::move(snap));
+
+  // Online PG inserts continue a level-draw stream that is deterministic
+  // given the built size, so a saved+reloaded index inserts identically.
+  insert_rng_ = Rng(config_.hnsw.seed ^
+                    (0x9e3779b97f4a7c15ULL +
+                     static_cast<uint64_t>(db_->size())));
   built_ = true;
+  return Status::OK();
+}
+
+void LanIndex::Publish(std::shared_ptr<const IndexSnapshot> snap) {
+  std::atomic_store_explicit(&snapshot_, std::move(snap),
+                             std::memory_order_release);
+}
+
+std::shared_ptr<const IndexSnapshot> LanIndex::Snapshot() const {
+  return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
+}
+
+Result<GraphId> LanIndex::Insert(Graph graph) {
+  if (!built_) return Status::FailedPrecondition("Insert before Build");
+  if (mutable_db_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Insert needs a mutable database: Build(GraphDatabase*)");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const auto snap = Snapshot();
+
+  LAN_ASSIGN_OR_RETURN(const GraphId id, mutable_db_->Add(std::move(graph)));
+  const Graph& added = db_->Get(id);
+
+  // Derived per-graph state; models stay fixed (see header).
+  const int layers = static_cast<int>(config_.scorer.gnn_dims.size());
+  auto cgs = std::make_shared<std::vector<CompressedGnnGraph>>(*snap->cgs);
+  cgs->push_back(BuildCompressedGnnGraph(added, layers));
+  auto embeddings =
+      std::make_shared<std::vector<std::vector<float>>>(*snap->embeddings);
+  embeddings->push_back(EmbedGraph(added, config_.embedding));
+  auto clusters = std::make_shared<KMeansResult>(*snap->clusters);
+  const int32_t c = NearestCentroid(clusters->centroids, embeddings->back());
+  clusters->assignment.push_back(c);
+  clusters->members[static_cast<size_t>(c)].push_back(id);
+
+  // Copy-on-write PG extension: concurrent searches keep routing on the
+  // previous epoch's topology.
+  auto hnsw = std::make_shared<HnswIndex>(*snap->hnsw);
+  LAN_RETURN_NOT_OK(hnsw->Insert(
+      id,
+      [this](GraphId a, GraphId b) {
+        return build_ged_.Distance(db_->Get(a), db_->Get(b));
+      },
+      config_.hnsw, &insert_rng_));
+
+  auto live = std::make_shared<std::vector<uint8_t>>(*snap->live);
+  live->push_back(1);
+
+  auto next = std::make_shared<IndexSnapshot>();
+  next->epoch = snap->epoch + 1;
+  next->num_graphs = snap->num_graphs + 1;
+  next->live_count = snap->live_count + 1;
+  next->hnsw = std::move(hnsw);
+  next->live = std::move(live);
+  next->cgs = std::move(cgs);
+  next->embeddings = std::move(embeddings);
+  next->clusters = std::move(clusters);
+  Publish(std::move(next));
+  return id;
+}
+
+Status LanIndex::Remove(GraphId id) {
+  if (!built_) return Status::FailedPrecondition("Remove before Build");
+  if (mutable_db_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Remove needs a mutable database: Build(GraphDatabase*)");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const auto snap = Snapshot();
+  if (id < 0 || id >= snap->num_graphs) {
+    return Status::OutOfRange("Remove: id outside the index");
+  }
+  LAN_RETURN_NOT_OK(mutable_db_->Remove(id));
+
+  auto live = std::make_shared<std::vector<uint8_t>>(*snap->live);
+  (*live)[static_cast<size_t>(id)] = 0;
+
+  auto next = std::make_shared<IndexSnapshot>(*snap);
+  next->epoch = snap->epoch + 1;
+  next->live_count = snap->live_count - 1;
+  next->live = std::move(live);
+  Publish(std::move(next));
   return Status::OK();
 }
 
@@ -170,6 +347,10 @@ Status LanIndex::Train(const std::vector<Graph>& train_queries) {
   if (train_queries.empty()) {
     return Status::InvalidArgument("Train: no training queries");
   }
+  // Offline phase: trains against the current epoch's state.
+  const auto snap = Snapshot();
+  const std::vector<CompressedGnnGraph>& db_cgs = *snap->cgs;
+  const KMeansResult& clusters = *snap->clusters;
   Timer timer;
 
   // ---- 1) Ground-truth distance tables for every training query. ----
@@ -213,7 +394,7 @@ Status LanIndex::Train(const std::vector<Graph>& train_queries) {
     opts.batch_percent = config_.batch_percent;
     opts.scorer = config_.scorer;
     std::vector<RankExample> examples =
-        BuildRankExamples(hnsw_.BaseLayer(), distances, gamma_star_,
+        BuildRankExamples(snap->hnsw->BaseLayer(), distances, gamma_star_,
                           config_.batch_percent, config_.max_rank_examples,
                           &rng);
     // 80/20 train/validation split; best epoch on validation wins.
@@ -224,8 +405,8 @@ Status LanIndex::Train(const std::vector<Graph>& train_queries) {
     rank_model_ =
         std::make_unique<NeighborRankModel>(db_->num_labels(), opts);
     Timer t;
-    rank_model_->Train(db_cgs_, query_cgs, examples, validation);
-    rank_model_->PrecomputeContexts(db_cgs_);
+    rank_model_->Train(db_cgs, query_cgs, examples, validation);
+    rank_model_->PrecomputeContexts(db_cgs);
     LAN_LOG(Info) << "  M_rk trained on " << examples.size() << " triples in "
                   << t.ElapsedSeconds() << "s";
   }
@@ -243,7 +424,7 @@ Status LanIndex::Train(const std::vector<Graph>& train_queries) {
     examples.resize(examples.size() - valid_count);
     nh_model_ = std::make_unique<NeighborhoodModel>(db_->num_labels(), opts);
     Timer t;
-    nh_model_->Train(db_cgs_, query_cgs, examples, validation);
+    nh_model_->Train(db_cgs, query_cgs, examples, validation);
     LAN_LOG(Info) << "  M_nh trained on " << examples.size() << " pairs in "
                   << t.ElapsedSeconds() << "s";
   }
@@ -257,11 +438,11 @@ Status LanIndex::Train(const std::vector<Graph>& train_queries) {
     }
     std::vector<std::vector<float>> counts(
         train_queries.size(),
-        std::vector<float>(clusters_.centroids.size(), 0.0f));
+        std::vector<float>(clusters.centroids.size(), 0.0f));
     for (size_t qi = 0; qi < train_queries.size(); ++qi) {
       for (size_t g = 0; g < distances[qi].size(); ++g) {
         if (distances[qi][g] <= gamma_star_) {
-          ++counts[qi][static_cast<size_t>(clusters_.assignment[g])];
+          ++counts[qi][static_cast<size_t>(clusters.assignment[g])];
         }
       }
     }
@@ -269,7 +450,7 @@ Status LanIndex::Train(const std::vector<Graph>& train_queries) {
         static_cast<int32_t>(2 * config_.embedding.dim);
     cluster_model_ =
         std::make_unique<ClusterModel>(feature_dim, config_.cluster);
-    cluster_model_->Train(query_embeddings, clusters_.centroids, counts);
+    cluster_model_->Train(query_embeddings, clusters.centroids, counts);
   }
 
   trained_ = true;
@@ -300,6 +481,10 @@ Status ReadPod(std::istream& in, void* data, size_t bytes) {
 
 Status LanIndex::SaveModels(std::ostream& out) const {
   if (!trained_) return Status::FailedPrecondition("SaveModels before Train");
+  // The snapshot's clusters include every online-inserted graph, so a
+  // reload over the grown database round-trips.
+  const auto snap = Snapshot();
+  const KMeansResult& clusters = *snap->clusters;
   LAN_RETURN_NOT_OK(WritePod(out, kModelMagic, sizeof(kModelMagic)));
   LAN_RETURN_NOT_OK(WritePod(out, &gamma_star_, sizeof(gamma_star_)));
   LAN_RETURN_NOT_OK(WriteParamStore(rank_model_->scorer().params(), out));
@@ -310,19 +495,19 @@ Status LanIndex::SaveModels(std::ostream& out) const {
       static_cast<const ClusterModel&>(*cluster_model_).params(), out));
   // Clusters: centroid matrix + per-graph assignment.
   const int32_t num_clusters =
-      static_cast<int32_t>(clusters_.centroids.size());
+      static_cast<int32_t>(clusters.centroids.size());
   const int32_t dim = num_clusters > 0
-                          ? static_cast<int32_t>(clusters_.centroids[0].size())
+                          ? static_cast<int32_t>(clusters.centroids[0].size())
                           : 0;
   LAN_RETURN_NOT_OK(WritePod(out, &num_clusters, sizeof(num_clusters)));
   LAN_RETURN_NOT_OK(WritePod(out, &dim, sizeof(dim)));
-  for (const auto& c : clusters_.centroids) {
+  for (const auto& c : clusters.centroids) {
     LAN_RETURN_NOT_OK(WritePod(out, c.data(), c.size() * sizeof(float)));
   }
-  const int64_t assigned = static_cast<int64_t>(clusters_.assignment.size());
+  const int64_t assigned = static_cast<int64_t>(clusters.assignment.size());
   LAN_RETURN_NOT_OK(WritePod(out, &assigned, sizeof(assigned)));
-  LAN_RETURN_NOT_OK(WritePod(out, clusters_.assignment.data(),
-                             clusters_.assignment.size() * sizeof(int32_t)));
+  LAN_RETURN_NOT_OK(WritePod(out, clusters.assignment.data(),
+                             clusters.assignment.size() * sizeof(int32_t)));
   return Status::OK();
 }
 
@@ -375,23 +560,45 @@ Status LanIndex::LoadModels(std::istream& in) {
   }
   int64_t assigned = 0;
   LAN_RETURN_NOT_OK(ReadPod(in, &assigned, sizeof(assigned)));
-  if (assigned != static_cast<int64_t>(db_->size())) {
+  const auto snap = Snapshot();
+  if (assigned > static_cast<int64_t>(snap->num_graphs)) {
     return Status::InvalidArgument(
-        "cluster assignment size does not match the database");
+        "cluster assignment covers more graphs than the database holds");
   }
   clusters.assignment.assign(static_cast<size_t>(assigned), 0);
   LAN_RETURN_NOT_OK(ReadPod(in, clusters.assignment.data(),
                             clusters.assignment.size() * sizeof(int32_t)));
+  for (const int32_t c : clusters.assignment) {
+    if (c < 0 || c >= num_clusters) return Status::IoError("bad assignment");
+  }
+  // A checkpoint taken before online inserts covers a prefix of the
+  // current database; extend it exactly the way Insert() would have —
+  // nearest frozen centroid per uncovered graph.
+  if (assigned < static_cast<int64_t>(snap->num_graphs) && num_clusters == 0) {
+    return Status::IoError("no centroids to assign inserted graphs to");
+  }
+  for (GraphId id = static_cast<GraphId>(assigned); id < snap->num_graphs;
+       ++id) {
+    clusters.assignment.push_back(NearestCentroid(
+        clusters.centroids, (*snap->embeddings)[static_cast<size_t>(id)]));
+  }
   clusters.members.assign(static_cast<size_t>(num_clusters), {});
   for (size_t i = 0; i < clusters.assignment.size(); ++i) {
-    const int32_t c = clusters.assignment[i];
-    if (c < 0 || c >= num_clusters) return Status::IoError("bad assignment");
-    clusters.members[static_cast<size_t>(c)].push_back(
+    clusters.members[static_cast<size_t>(clusters.assignment[i])].push_back(
         static_cast<int32_t>(i));
   }
-  clusters_ = std::move(clusters);
 
-  rank_model_->PrecomputeContexts(db_cgs_);
+  // The trained clustering replaces the rebuild-time KMeans: publish a
+  // snapshot carrying it (same epoch — the PG and tombstones are
+  // untouched).
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    auto next = std::make_shared<IndexSnapshot>(*snap);
+    next->clusters = std::make_shared<const KMeansResult>(std::move(clusters));
+    Publish(std::move(next));
+  }
+
+  rank_model_->PrecomputeContexts(*snap->cgs);
   trained_ = true;
   return Status::OK();
 }
@@ -423,10 +630,24 @@ BatchSearchResult LanIndex::SearchBatch(const std::vector<Graph>& queries,
       "query_routing_steps", MetricsRegistry::CountBounds());
   const HistogramId inference_hist = registry.Histogram(
       "query_model_inferences", MetricsRegistry::CountBounds());
+  const GaugeId live_gauge = registry.Gauge("index_live_size");
+  const GaugeId tombstone_gauge = registry.Gauge("index_tombstones");
+  const GaugeId epoch_gauge = registry.Gauge("index_epoch");
+  if (const auto snap = Snapshot(); snap != nullptr) {
+    registry.SetGauge(live_gauge, static_cast<double>(snap->live_count));
+    registry.SetGauge(tombstone_gauge,
+                      static_cast<double>(snap->num_graphs - snap->live_count));
+    registry.SetGauge(epoch_gauge, static_cast<double>(snap->epoch));
+  }
 
-  SearchOptions per_query = options;
-  per_query.trace = nullptr;  // a shared sink would interleave workers
+  SearchOptions base_options = options;
+  base_options.trace = nullptr;  // a shared sink would interleave workers
+  base_options.trace_factory = nullptr;
   ThreadPool::ParallelFor(queries.size(), threads, [&](size_t i) {
+    SearchOptions per_query = base_options;
+    if (options.trace_factory) {
+      per_query.trace = options.trace_factory(i);  // private per-query sink
+    }
     Timer timer;
     out.results[i] = Search(queries[i], per_query);
     const SearchResult& r = out.results[i];
@@ -473,6 +694,13 @@ SearchResult LanIndex::Search(const Graph& query,
   out.status = Ready(options);
   if (!out.status.ok()) return out;
 
+  // Pin this query's epoch: everything below reads `snap`, never the
+  // index members, so a concurrent Insert/Remove publishing a successor
+  // snapshot cannot be observed mid-query.
+  const std::shared_ptr<const IndexSnapshot> snap = Snapshot();
+  out.epoch = snap->epoch;
+  const std::vector<uint8_t>* live = snap->live.get();
+
   const int k = options.k;
   const int beam = options.beam > 0 ? options.beam : config_.default_beam;
   const RoutingMethod routing = options.routing;
@@ -488,6 +716,11 @@ SearchResult LanIndex::Search(const Graph& query,
     event.detail = RoutingMethodName(routing);
     event.detail2 = InitMethodName(init);
     sink->Record(event);
+    TraceEvent pinned;
+    pinned.type = TraceEventType::kEpochPinned;
+    pinned.value = static_cast<double>(snap->epoch);
+    pinned.aux = static_cast<double>(snap->live_count);
+    sink->Record(pinned);
   }
 
   Timer total_timer;
@@ -517,33 +750,36 @@ SearchResult LanIndex::Search(const Graph& query,
       LanInitOptions init_options = config_.init;
       init_options.threshold = nh_model_->calibrated_threshold();
       LanInitialSelector selector(nh_model_.get(), cluster_model_.get(),
-                                  &clusters_, &db_embeddings_, &db_cgs_,
+                                  snap->clusters.get(),
+                                  snap->embeddings.get(), snap->cgs.get(),
                                   &query_cg, &config_.embedding,
                                   config_.use_compressed_gnn, init_options);
       start = selector.Select(&oracle, &rng);
       break;
     }
     case InitMethod::kHnswIs:
-      start = hnsw_.SelectInitialNode(&oracle);
+      start = snap->hnsw->SelectInitialNode(&oracle);
       break;
     case InitMethod::kRandomIs:
       start = static_cast<GraphId>(
-          rng.NextBounded(static_cast<uint64_t>(db_->size())));
+          rng.NextBounded(static_cast<uint64_t>(snap->num_graphs)));
       break;
   }
 
   // ---- Routing. ----
+  const ProximityGraph& base = snap->hnsw->BaseLayer();
   RoutingResult routed;
   switch (routing) {
     case RoutingMethod::kLanRoute: {
-      LearnedNeighborRanker ranker(rank_model_.get(), &db_cgs_, &query_cg,
-                                   &oracle, gamma_star_,
+      LearnedNeighborRanker ranker(rank_model_.get(), snap->cgs.get(),
+                                   &query_cg, &oracle, gamma_star_,
                                    config_.use_compressed_gnn);
       NpRouteOptions opts;
       opts.beam_size = beam;
       opts.k = k;
       opts.step_size = config_.step_size;
-      routed = NpRoute(pg(), &oracle, &ranker, start, opts);
+      opts.live = live;
+      routed = NpRoute(base, &oracle, &ranker, start, opts);
       break;
     }
     case RoutingMethod::kOracleRoute: {
@@ -552,11 +788,12 @@ SearchResult LanIndex::Search(const Graph& query,
       opts.beam_size = beam;
       opts.k = k;
       opts.step_size = config_.step_size;
-      routed = NpRoute(pg(), &oracle, &ranker, start, opts);
+      opts.live = live;
+      routed = NpRoute(base, &oracle, &ranker, start, opts);
       break;
     }
     case RoutingMethod::kBaselineRoute:
-      routed = BeamSearchRoute(pg(), &oracle, start, beam, k);
+      routed = BeamSearchRoute(base, &oracle, start, beam, k, live);
       break;
   }
 

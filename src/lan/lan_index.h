@@ -1,8 +1,11 @@
 #ifndef LAN_LAN_LAN_INDEX_H_
 #define LAN_LAN_LAN_INDEX_H_
 
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -108,15 +111,24 @@ struct SearchOptions {
   /// Structured per-query trace (null: tracing disabled, zero cost). The
   /// sink is invoked synchronously on the search thread and must outlive
   /// the call. SearchBatch ignores it (a single sink cannot soundly
-  /// receive interleaved events from parallel workers); trace batch
-  /// queries one at a time through Search instead.
+  /// receive interleaved events from parallel workers); batch callers
+  /// that want traces set `trace_factory` instead.
   TraceSink* trace = nullptr;
+  /// SearchBatch-only: called once per query (from the worker thread, so
+  /// it must be thread-safe) to obtain that query's private sink; may
+  /// return null to skip tracing a query. Each returned sink receives one
+  /// query's events with no interleaving and must outlive the batch call.
+  /// Ignored by single-query Search.
+  std::function<TraceSink*(size_t query_index)> trace_factory;
 };
 
 /// \brief One query's answer.
 struct SearchResult {
   KnnList results;
   SearchStats stats;
+  /// Index epoch the query was served at (which snapshot of a mutable
+  /// index answered it; 0 until the first Insert/Remove).
+  uint64_t epoch = 0;
   /// Why the query failed (empty results) instead of silently degrading:
   /// searching before Build(), or a learned routing/init mode before
   /// Train()/LoadModels(). Always check when the index lifecycle is not
@@ -142,12 +154,45 @@ struct BatchSearchResult {
   BatchStats stats;
 };
 
+/// \brief Immutable state of a LanIndex at one epoch. Readers pin one
+/// snapshot for a whole query; the writer publishes a successor and never
+/// mutates a published one, so searches proceed lock-free while the index
+/// changes underneath them (RCU).
+///
+/// The components a mutation leaves untouched are shared with the previous
+/// snapshot (Remove copies only the live bitmap), so publishing is cheap
+/// relative to the GED work an Insert does anyway.
+struct IndexSnapshot {
+  /// Monotone version: 0 after Build, +1 per Insert/Remove.
+  uint64_t epoch = 0;
+  /// Nodes in the PG / rows in every derived table (includes tombstones).
+  GraphId num_graphs = 0;
+  /// Graphs that are still answers (`num_graphs` minus tombstones).
+  GraphId live_count = 0;
+  std::shared_ptr<const HnswIndex> hnsw;
+  /// live[id] == 0 marks a tombstone: routed through, never returned.
+  std::shared_ptr<const std::vector<uint8_t>> live;
+  std::shared_ptr<const std::vector<CompressedGnnGraph>> cgs;
+  std::shared_ptr<const std::vector<std::vector<float>>> embeddings;
+  std::shared_ptr<const KMeansResult> clusters;
+};
+
 /// \brief The LAN index: proximity graph + M_rk + M_nh + M_c (Fig. 3).
 ///
 /// Usage: Build() once over the database (offline), Train() once over a
 /// query workload (offline), then Search() per query. SearchOptions
 /// exposes every routing/init ablation the paper evaluates — over the same
 /// PG — plus per-query observability (tracing).
+///
+/// Online updates: when Built over a *mutable* database, Insert()/Remove()
+/// maintain the index without a rebuild or retrain — each mutation derives
+/// the new graph's CG/embedding/cluster assignment, extends the PG with
+/// the same per-node step batch construction uses, and publishes a new
+/// epoch. One writer at a time (Insert/Remove serialize on an internal
+/// mutex); Search/SearchBatch never block on the writer — every query pins
+/// the snapshot current at its start (see IndexSnapshot). The learned
+/// models are NOT retrained on mutation; see docs/index_lifecycle.md for
+/// the staleness semantics.
 class LanIndex {
  public:
   explicit LanIndex(LanConfig config);
@@ -157,20 +202,45 @@ class LanIndex {
   LanIndex& operator=(const LanIndex&) = delete;
 
   /// Builds the PG, the per-graph CGs, embeddings, and clusters.
-  /// `db` must outlive the index.
+  /// `db` must outlive the index. An index built over a const database is
+  /// immutable: Insert/Remove fail.
   Status Build(const GraphDatabase* db);
+  /// Mutable overload: also enables Insert()/Remove(), which append to /
+  /// tombstone `db`. The caller must not mutate `db` directly afterwards.
+  Status Build(GraphDatabase* db);
 
   /// Like Build(), but restores a previously saved PG (see SaveIndex)
   /// instead of reconstructing it — skipping the GED-heavy offline phase.
-  /// The stream must come from an index built over the same database.
+  /// The stream must come from an index built over the same database
+  /// (including any online-inserted graphs; persist the database alongside
+  /// the index). Restores the epoch and tombstones too.
   Status BuildFromSavedIndex(const GraphDatabase* db, std::istream& in);
+  /// Mutable overload (see Build(GraphDatabase*)).
+  Status BuildFromSavedIndex(GraphDatabase* db, std::istream& in);
 
-  /// Persists the PG structure (HNSW layers); pair with SaveModels for a
-  /// complete restartable checkpoint.
+  /// Online insert: appends `graph` to the database, derives its CG /
+  /// embedding / nearest-centroid cluster assignment, extends the PG with
+  /// the same insertion step batch construction uses, and publishes the
+  /// next epoch. Concurrent searches are never blocked; they keep serving
+  /// the previous epoch until the publish. Requires a mutable Build.
+  /// The learned models are not retrained (the new graph is still
+  /// rankable: M_rk computes its context embedding on the fly).
+  Result<GraphId> Insert(Graph graph);
+
+  /// Online remove: tombstones `id` from this epoch on. The graph keeps
+  /// its PG node (still a navigation waypoint) and remains an answer for
+  /// searches already pinned to an older epoch. Requires a mutable Build.
+  Status Remove(GraphId id);
+
+  /// Persists the PG structure (HNSW layers) plus the mutable-index state
+  /// (epoch, tombstones); pair with SaveModels for a complete restartable
+  /// checkpoint.
   Status SaveIndex(std::ostream& out) const;
   Status SaveIndexToFile(const std::string& path) const;
   Status BuildFromSavedIndexFile(const GraphDatabase* db,
                                  const std::string& path);
+  /// Mutable overload (see Build(GraphDatabase*)).
+  Status BuildFromSavedIndexFile(GraphDatabase* db, const std::string& path);
 
   /// Trains gamma*, M_rk, M_nh, and M_c from the training queries.
   Status Train(const std::vector<Graph>& train_queries);
@@ -210,8 +280,10 @@ class LanIndex {
   /// `num_threads` workers (0 = hardware concurrency). Results are
   /// index-aligned with `queries` and identical to sequential Search;
   /// BatchStats carries the summed SearchStats plus a metrics snapshot
-  /// (latency/NDC distributions), so callers no longer hand-sum stats.
-  /// `options.trace` is ignored (see SearchOptions::trace).
+  /// (latency/NDC distributions and index_live_size / index_tombstones /
+  /// index_epoch gauges), so callers no longer hand-sum stats.
+  /// `options.trace` is ignored; set `options.trace_factory` for one
+  /// private sink per query.
   BatchSearchResult SearchBatch(const std::vector<Graph>& queries,
                                 const SearchOptions& options,
                                 int num_threads = 0) const;
@@ -224,17 +296,34 @@ class LanIndex {
     return SearchBatch(queries, options, num_threads).results;
   }
 
-  // ---- Introspection (benches, tests) ----
-  const HnswIndex& hnsw() const { return hnsw_; }
-  const ProximityGraph& pg() const { return hnsw_.BaseLayer(); }
+  // ---- Introspection (benches, tests; setup-phase views — references
+  // are into the snapshot current at the call and stay valid until two
+  // further mutations retire it) ----
+  const HnswIndex& hnsw() const { return *Snapshot()->hnsw; }
+  const ProximityGraph& pg() const { return Snapshot()->hnsw->BaseLayer(); }
   const GraphDatabase& db() const { return *db_; }
   double gamma_star() const { return gamma_star_; }
   const NeighborhoodModel* neighborhood_model() const { return nh_model_.get(); }
   const NeighborRankModel* rank_model() const { return rank_model_.get(); }
-  const std::vector<CompressedGnnGraph>& db_cgs() const { return db_cgs_; }
-  const KMeansResult& clusters() const { return clusters_; }
+  const std::vector<CompressedGnnGraph>& db_cgs() const {
+    return *Snapshot()->cgs;
+  }
+  const KMeansResult& clusters() const { return *Snapshot()->clusters; }
   const LanConfig& config() const { return config_; }
   bool trained() const { return trained_; }
+
+  // ---- Mutable-index introspection ----
+  /// The snapshot a search starting now would pin. Holding the returned
+  /// shared_ptr keeps that epoch's whole state alive.
+  std::shared_ptr<const IndexSnapshot> Snapshot() const;
+  uint64_t epoch() const { return Snapshot()->epoch; }
+  /// Graphs a search at the current epoch can return.
+  GraphId live_size() const { return Snapshot()->live_count; }
+  /// Tombstoned graphs still serving as navigation waypoints.
+  GraphId tombstones() const {
+    const auto snap = Snapshot();
+    return snap->num_graphs - snap->live_count;
+  }
 
   /// CG of an ad-hoc query graph under this index's GNN depth.
   CompressedGnnGraph QueryCg(const Graph& query) const;
@@ -242,7 +331,9 @@ class LanIndex {
   /// Persists the trained state (gamma*, M_rk / M_nh / M_c parameters,
   /// clusters) so a future process can skip Train(). The database and
   /// config are NOT saved; LoadModels requires an index Built over the
-  /// same database with the same config.
+  /// same database (or a prefix of it: graphs inserted online after the
+  /// checkpoint are assigned to their nearest frozen centroid, matching
+  /// what Insert() would have done) with the same config.
   Status SaveModels(std::ostream& out) const;
   Status SaveModelsToFile(const std::string& path) const;
   /// Restores trained state into a Built index (see SaveModels).
@@ -250,19 +341,29 @@ class LanIndex {
   Status LoadModelsFromFile(const std::string& path);
 
  private:
-  /// Shared tail of Build / BuildFromSavedIndex: CGs, embeddings, clusters.
-  Status FinishBuild();
+  /// Shared tail of Build / BuildFromSavedIndex: derives CGs, embeddings,
+  /// and clusters over the database, then publishes the first snapshot at
+  /// `epoch` with tombstones `live` (empty = everything live).
+  Status FinishBuild(HnswIndex hnsw, std::vector<uint8_t> live,
+                     uint64_t epoch);
+  /// Installs `snap` as the current snapshot (release publish).
+  void Publish(std::shared_ptr<const IndexSnapshot> snap);
 
   LanConfig config_;
   const GraphDatabase* db_ = nullptr;
+  /// Non-null only after a mutable Build; gates Insert/Remove.
+  GraphDatabase* mutable_db_ = nullptr;
   GedComputer build_ged_;
   GedComputer query_ged_;
   std::unique_ptr<ThreadPool> pool_;
 
-  HnswIndex hnsw_;
-  std::vector<CompressedGnnGraph> db_cgs_;
-  std::vector<std::vector<float>> db_embeddings_;
-  KMeansResult clusters_;
+  /// Current epoch's state; accessed via atomic shared_ptr ops (readers
+  /// pin it once per query, the writer swaps it under writer_mu_).
+  std::shared_ptr<const IndexSnapshot> snapshot_;
+  /// Serializes Insert/Remove (and setup-phase snapshot replacement).
+  mutable std::mutex writer_mu_;
+  /// Continues the level-draw stream for online PG inserts.
+  Rng insert_rng_{0};
 
   double gamma_star_ = 0.0;
   std::unique_ptr<NeighborRankModel> rank_model_;

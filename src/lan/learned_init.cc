@@ -87,8 +87,11 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
 
   // 3) Sample s candidates and take the closest (true distances; counted).
   if (predicted_.empty()) {
-    const GraphId fallback = static_cast<GraphId>(
-        rng->NextBounded(static_cast<uint64_t>(oracle->db().size())));
+    // Bounded by the clustering's coverage, not the database size: under a
+    // concurrent insert the database may already hold graphs this query's
+    // pinned snapshot does not index.
+    const GraphId fallback = static_cast<GraphId>(rng->NextBounded(
+        static_cast<uint64_t>(clusters_->assignment.size())));
     if (sink != nullptr) {
       TraceEvent event;
       event.type = TraceEventType::kInitSelect;

@@ -1,6 +1,7 @@
 #include "lan/sharded_index.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -14,13 +15,27 @@ ShardedLanIndex::ShardedLanIndex(ShardedIndexOptions options)
 
 ShardedLanIndex::~ShardedLanIndex() = default;
 
+std::shared_ptr<const ShardedLanIndex::ShardMaps> ShardedLanIndex::Maps()
+    const {
+  return std::atomic_load_explicit(&maps_, std::memory_order_acquire);
+}
+
+void ShardedLanIndex::PublishMaps(std::shared_ptr<const ShardMaps> maps) {
+  std::atomic_store_explicit(&maps_, std::move(maps),
+                             std::memory_order_release);
+}
+
 Status ShardedLanIndex::Build(const GraphDatabase& db) {
   if (db.empty()) return Status::InvalidArgument("Build: empty database");
   const int shards = std::min<int>(options_.num_shards, db.size());
-  total_size_ = db.size();
+
+  auto maps = std::make_shared<ShardMaps>();
+  maps->total_size = db.size();
+  maps->global_ids.assign(static_cast<size_t>(shards), {});
+  maps->owner.assign(static_cast<size_t>(db.size()), {0, kInvalidGraphId});
 
   shard_dbs_.clear();
-  global_ids_.assign(static_cast<size_t>(shards), {});
+  shard_dbs_.reserve(static_cast<size_t>(shards));
   for (int s = 0; s < shards; ++s) {
     GraphDatabase shard_db(db.num_labels());
     shard_db.set_name(db.name() + StrFormat("/shard%d", s));
@@ -32,7 +47,8 @@ Status ShardedLanIndex::Build(const GraphDatabase& db) {
     const int s = static_cast<int>(id % shards);
     auto added = shard_dbs_[static_cast<size_t>(s)].Add(db.Get(id));
     if (!added.ok()) return added.status();
-    global_ids_[static_cast<size_t>(s)].push_back(id);
+    maps->owner[static_cast<size_t>(id)] = {s, added.value()};
+    maps->global_ids[static_cast<size_t>(s)].push_back(id);
   }
 
   shards_.clear();
@@ -43,6 +59,7 @@ Status ShardedLanIndex::Build(const GraphDatabase& db) {
     LAN_RETURN_NOT_OK(
         shards_.back()->Build(&shard_dbs_[static_cast<size_t>(s)]));
   }
+  PublishMaps(std::move(maps));
   return Status::OK();
 }
 
@@ -52,6 +69,74 @@ Status ShardedLanIndex::Train(const std::vector<Graph>& train_queries) {
     LAN_RETURN_NOT_OK(shard->Train(train_queries));
   }
   return Status::OK();
+}
+
+GraphId ShardedLanIndex::live_size() const {
+  GraphId live = 0;
+  for (const auto& shard : shards_) live += shard->live_size();
+  return live;
+}
+
+uint64_t ShardedLanIndex::epoch() const {
+  uint64_t max_epoch = 0;
+  for (const auto& shard : shards_) {
+    max_epoch = std::max(max_epoch, shard->epoch());
+  }
+  return max_epoch;
+}
+
+Result<GraphId> ShardedLanIndex::Insert(Graph graph) {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("Insert before Build");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+
+  // Smallest live shard keeps the split balanced as graphs come and go.
+  int target = 0;
+  for (int s = 1; s < num_shards(); ++s) {
+    if (shards_[static_cast<size_t>(s)]->live_size() <
+        shards_[static_cast<size_t>(target)]->live_size()) {
+      target = s;
+    }
+  }
+
+  const auto old_maps = Maps();
+  const GraphId global_id = old_maps->total_size;
+  const GraphId local_id = shards_[static_cast<size_t>(target)]->db().size();
+
+  // Publish the grown map first: a search observing the new node in the
+  // shard (possible only after the shard publishes its next epoch, which
+  // happens after this) must be able to translate its local id.
+  auto maps = std::make_shared<ShardMaps>(*old_maps);
+  maps->total_size = global_id + 1;
+  maps->owner.push_back({target, local_id});
+  maps->global_ids[static_cast<size_t>(target)].push_back(global_id);
+  PublishMaps(std::move(maps));
+
+  auto inserted = shards_[static_cast<size_t>(target)]->Insert(std::move(graph));
+  if (!inserted.ok()) {
+    // Roll the map back (no search can have seen the unpublished node).
+    PublishMaps(old_maps);
+    return inserted.status();
+  }
+  LAN_CHECK_EQ(inserted.value(), local_id);
+  return global_id;
+}
+
+Status ShardedLanIndex::Remove(GraphId global_id) {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("Remove before Build");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const auto maps = Maps();
+  if (global_id < 0 ||
+      static_cast<size_t>(global_id) >= maps->owner.size()) {
+    return Status::OutOfRange(
+        StrFormat("remove id %d outside [0,%d)", global_id,
+                  maps->total_size));
+  }
+  const auto [shard, local] = maps->owner[static_cast<size_t>(global_id)];
+  return shards_[static_cast<size_t>(shard)]->Remove(local);
 }
 
 SearchResult ShardedLanIndex::Search(const Graph& query,
@@ -82,8 +167,16 @@ SearchResult ShardedLanIndex::Search(const Graph& query,
       return merged;
     }
     merged.stats.Merge(local.stats);
+    merged.epoch = std::max(merged.epoch, local.epoch);
+    // Read the map AFTER the shard search: the acquire of the shard's
+    // snapshot ordered the matching map publish before it, so every local
+    // id in `local.results` is translatable.
+    const auto maps = Maps();
     for (const auto& [local_id, distance] : local.results) {
-      merged.results.emplace_back(GlobalId(s, local_id), distance);
+      merged.results.emplace_back(
+          maps->global_ids[static_cast<size_t>(s)]
+                          [static_cast<size_t>(local_id)],
+          distance);
     }
   }
   std::sort(merged.results.begin(), merged.results.end(),

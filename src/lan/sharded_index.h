@@ -2,6 +2,8 @@
 #define LAN_LAN_SHARDED_INDEX_H_
 
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "lan/lan_index.h"
@@ -26,6 +28,11 @@ struct ShardedIndexOptions {
 /// sequentially perform k-ANN search on each sub-dataset") and a building
 /// block for the distributed search the paper names as future work —
 /// shards are independent, so they can live on different machines.
+///
+/// Online updates mirror LanIndex: Insert() routes each new graph to the
+/// shard with the fewest live graphs, Remove() tombstones it in its owning
+/// shard, and Search never blocks on the writer (per-shard epoch pinning
+/// plus an atomically published global-id map).
 class ShardedLanIndex {
  public:
   explicit ShardedLanIndex(ShardedIndexOptions options);
@@ -40,6 +47,16 @@ class ShardedLanIndex {
 
   /// Trains every shard's models from the (shared) training queries.
   Status Train(const std::vector<Graph>& train_queries);
+
+  /// Online insert: the graph joins the shard with the fewest live graphs
+  /// (keeps shards balanced as the database grows) and gets the next
+  /// global id. Serialized against other mutations; concurrent searches
+  /// are never blocked. Returns the global id.
+  Result<GraphId> Insert(Graph graph);
+
+  /// Online remove by global id: tombstones the graph in its owning shard
+  /// (see LanIndex::Remove for the epoch semantics).
+  Status Remove(GraphId global_id);
 
   /// The search entry point (matches LanIndex::Search): runs `options` on
   /// the first `max_shards` shards (<= 0: all shards) and merges the
@@ -73,21 +90,45 @@ class ShardedLanIndex {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const LanIndex& shard(int i) const { return *shards_[static_cast<size_t>(i)]; }
-  GraphId total_size() const { return total_size_; }
+  GraphId total_size() const {
+    const auto maps = Maps();
+    return maps != nullptr ? maps->total_size : 0;
+  }
+  /// Live (non-tombstoned) graphs across all shards.
+  GraphId live_size() const;
+  /// Serving epoch of the sharded index: the max over shard epochs (each
+  /// shard versions independently; the max advances on every mutation).
+  uint64_t epoch() const;
 
   /// Global id of shard-local graph `local` in shard `shard_index`.
   GraphId GlobalId(int shard_index, GraphId local) const {
-    return global_ids_[static_cast<size_t>(shard_index)]
-                      [static_cast<size_t>(local)];
+    return Maps()->global_ids[static_cast<size_t>(shard_index)]
+                             [static_cast<size_t>(local)];
   }
 
  private:
+  /// Append-only id translation, copy-on-write published so searches read
+  /// it lock-free. A writer publishes the grown map BEFORE inserting into
+  /// the shard, so any local id a search can observe in shard results is
+  /// already mapped (the shard's snapshot publish orders the map publish
+  /// before it).
+  struct ShardMaps {
+    /// global_ids[s][local] = id in the original database.
+    std::vector<std::vector<GraphId>> global_ids;
+    /// owner[global] = {shard, local id} (for Remove routing).
+    std::vector<std::pair<int, GraphId>> owner;
+    GraphId total_size = 0;
+  };
+
+  std::shared_ptr<const ShardMaps> Maps() const;
+  void PublishMaps(std::shared_ptr<const ShardMaps> maps);
+
   ShardedIndexOptions options_;
   std::vector<GraphDatabase> shard_dbs_;
   std::vector<std::unique_ptr<LanIndex>> shards_;
-  /// global_ids_[s][local] = id in the original database.
-  std::vector<std::vector<GraphId>> global_ids_;
-  GraphId total_size_ = 0;
+  std::shared_ptr<const ShardMaps> maps_;
+  /// Serializes Insert/Remove across shards.
+  mutable std::mutex writer_mu_;
 };
 
 }  // namespace lan

@@ -11,7 +11,8 @@ RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
                                 const std::function<double(GraphId)>& distance,
                                 GraphId init, int beam_size, int k,
                                 bool record_trace, TraceSink* sink,
-                                const std::function<int64_t()>& ndc_probe) {
+                                const std::function<int64_t()>& ndc_probe,
+                                const std::vector<uint8_t>* live) {
   LAN_CHECK_GE(init, 0);
   LAN_CHECK_LT(init, pg.NumNodes());
   RouteStateMap states;
@@ -55,19 +56,21 @@ RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
     ++out.routing_steps;
     pool.Resize(beam_size);
   }
-  out.results = pool.TopK(k);
+  out.results = pool.TopK(k, live);
   return out;
 }
 
 RoutingResult BeamSearchRoute(const ProximityGraph& pg, DistanceOracle* oracle,
-                              GraphId init, int beam_size, int k) {
+                              GraphId init, int beam_size, int k,
+                              const std::vector<uint8_t>* live) {
   RoutingResult out = BeamSearchRouteFn(
       pg, [oracle](GraphId id) { return oracle->Distance(id); }, init,
       beam_size, k, /*record_trace=*/false, oracle->trace(),
       [oracle]() {
         SearchStats* stats = oracle->stats();
         return stats != nullptr ? stats->ndc : 0;
-      });
+      },
+      live);
   if (oracle->stats() != nullptr) {
     oracle->stats()->routing_steps += out.routing_steps;
   }

@@ -25,9 +25,12 @@ struct RoutingResult {
 /// Explores the best unexplored candidate, computes distances for *all*
 /// its PG neighbors, resizes the pool to `beam_size`, and stops when every
 /// pooled candidate is explored. Every distance goes through `oracle`, so
-/// stats/NDC accounting is automatic.
+/// stats/NDC accounting is automatic. `live` (optional) filters
+/// tombstoned ids out of the answers; dead nodes are still traversed so
+/// the graph stays navigable.
 RoutingResult BeamSearchRoute(const ProximityGraph& pg, DistanceOracle* oracle,
-                              GraphId init, int beam_size, int k);
+                              GraphId init, int beam_size, int k,
+                              const std::vector<uint8_t>* live = nullptr);
 
 /// Algorithm 1 over an arbitrary distance callback (must be cheap or do
 /// its own caching; called once per (step, neighbor) encounter). Used by
@@ -36,13 +39,15 @@ RoutingResult BeamSearchRoute(const ProximityGraph& pg, DistanceOracle* oracle,
 ///
 /// `sink` (optional) receives one kRouteStep event per explored node;
 /// `ndc_probe` (optional) reports the query's NDC so far, letting each
-/// step event carry the distances it spent (aux field).
+/// step event carry the distances it spent (aux field); `live` (optional)
+/// filters tombstoned ids out of the answers.
 RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
                                 const std::function<double(GraphId)>& distance,
                                 GraphId init, int beam_size, int k,
                                 bool record_trace = false,
                                 TraceSink* sink = nullptr,
-                                const std::function<int64_t()>& ndc_probe = {});
+                                const std::function<int64_t()>& ndc_probe = {},
+                                const std::vector<uint8_t>* live = nullptr);
 
 }  // namespace lan
 

@@ -97,8 +97,17 @@ double CandidatePool::DistanceOf(GraphId id) const {
   return 0.0;
 }
 
-std::vector<std::pair<GraphId, double>> CandidatePool::TopK(int k) const {
-  std::vector<Entry> sorted = entries_;
+std::vector<std::pair<GraphId, double>> CandidatePool::TopK(
+    int k, const std::vector<uint8_t>* live) const {
+  std::vector<Entry> sorted;
+  sorted.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (live != nullptr && static_cast<size_t>(e.id) < live->size() &&
+        !(*live)[static_cast<size_t>(e.id)]) {
+      continue;
+    }
+    sorted.push_back(e);
+  }
   std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
     if (a.distance != b.distance) return a.distance < b.distance;
     return a.id < b.id;

@@ -57,8 +57,12 @@ class CandidatePool {
 
   double DistanceOf(GraphId id) const;
 
-  /// Top-k entries by (distance, id); may return fewer than k.
-  std::vector<std::pair<GraphId, double>> TopK(int k) const;
+  /// Top-k entries by (distance, id); may return fewer than k. `live`
+  /// (optional, indexed by GraphId) filters tombstoned ids out of the
+  /// answers — dead nodes stay in the pool for navigation but are never
+  /// returned.
+  std::vector<std::pair<GraphId, double>> TopK(
+      int k, const std::vector<uint8_t>* live = nullptr) const;
 
   size_t size() const { return entries_.size(); }
 

@@ -17,25 +17,26 @@
 namespace lan {
 namespace {
 
-/// Build-time helper: mutable layered adjacency + symmetric distance cache.
-class HnswBuilder {
+/// Draws one construction level (the standard -ln(u)/ln(M) assignment).
+/// Both batch Build and incremental Insert draw through this, one call per
+/// node in id order, so a fixed seed yields a fixed level sequence.
+int DrawLevel(Rng* rng, const HnswOptions& options) {
+  const double level_mult = 1.0 / std::log(std::max(2, options.M));
+  const double u = std::max(rng->NextDouble(), 1e-12);
+  return static_cast<int>(-std::log(u) * level_mult);
+}
+
+/// The per-node insertion step over a construction-form HnswCore: greedy
+/// upper-layer descent, ef-search per layer, diversity-heuristic neighbor
+/// selection. One mutator instance serves a whole batch build (sharing its
+/// pair-distance cache across inserts); the public Insert creates a fresh
+/// one per call.
+class HnswMutator {
  public:
-  HnswBuilder(GraphId num_nodes, HnswIndex::PairDistanceFn distance,
+  HnswMutator(HnswCore* core, HnswIndex::PairDistanceFn distance,
               const HnswOptions& options, ThreadPool* pool)
-      : num_nodes_(num_nodes), distance_fn_(std::move(distance)),
-        options_(options), pool_(pool), rng_(options.seed),
-        level_mult_(1.0 / std::log(std::max(2, options.M))) {}
-
-  void InsertAll() {
-    node_level_.assign(static_cast<size_t>(num_nodes_), 0);
-    adjacency_.emplace_back(static_cast<size_t>(num_nodes_));  // layer 0
-    for (GraphId id = 0; id < num_nodes_; ++id) Insert(id);
-  }
-
-  int RandomLevel() {
-    const double u = std::max(rng_.NextDouble(), 1e-12);
-    return static_cast<int>(-std::log(u) * level_mult_);
-  }
+      : core_(core), distance_fn_(std::move(distance)), options_(options),
+        pool_(pool) {}
 
   double Distance(GraphId a, GraphId b) {
     if (a == b) return 0.0;
@@ -72,25 +73,33 @@ class HnswBuilder {
     }
   }
 
-  void Insert(GraphId id) {
-    const int level = RandomLevel();
-    node_level_[static_cast<size_t>(id)] = level;
-    while (static_cast<int>(adjacency_.size()) <= level) {
-      adjacency_.emplace_back(static_cast<size_t>(num_nodes_));
+  /// Inserts node `id` (== current node count) at construction level
+  /// `level`: grows the layered adjacency, descends greedily through the
+  /// layers above `level`, then connects via ef-search at each layer from
+  /// min(level, top) down to the base.
+  void Insert(GraphId id, int level) {
+    const int max_level = TopLevel();
+    core_->num_nodes = id + 1;
+    core_->node_level.resize(static_cast<size_t>(id) + 1, 0);
+    core_->node_level[static_cast<size_t>(id)] = level;
+    while (static_cast<int>(core_->adjacency.size()) <= level) {
+      core_->adjacency.emplace_back();
     }
-    if (entry_ == kInvalidGraphId) {
-      entry_ = id;
-      max_level_ = level;
+    for (auto& layer : core_->adjacency) {
+      layer.resize(static_cast<size_t>(id) + 1);
+    }
+    if (core_->entry == kInvalidGraphId) {
+      core_->entry = id;
       return;
     }
 
-    GraphId curr = entry_;
+    GraphId curr = core_->entry;
     // Greedy descent through layers above the new node's level.
-    for (int l = max_level_; l > level; --l) {
+    for (int l = max_level; l > level; --l) {
       curr = GreedyStep(id, curr, l);
     }
-    // Connect at each layer from min(level, max_level_) down to 0.
-    for (int l = std::min(level, max_level_); l >= 0; --l) {
+    // Connect at each layer from min(level, max_level) down to 0.
+    for (int l = std::min(level, max_level); l >= 0; --l) {
       std::vector<std::pair<double, GraphId>> candidates =
           SearchLayer(id, curr, options_.ef_construction, l);
       const int cap = (l == 0) ? 2 * options_.M : options_.M;
@@ -101,18 +110,25 @@ class HnswBuilder {
       }
       if (!candidates.empty()) curr = candidates[0].second;
     }
-    if (level > max_level_) {
-      max_level_ = level;
-      entry_ = id;
-    }
+    if (level > max_level) core_->entry = id;
+  }
+
+ private:
+  /// Level of the current entry layer (-1 on an empty core).
+  int TopLevel() const {
+    return static_cast<int>(core_->adjacency.size()) - 1;
+  }
+
+  std::vector<GraphId>& Neighbors(int layer, GraphId node) {
+    return core_->adjacency[static_cast<size_t>(layer)]
+                           [static_cast<size_t>(node)];
   }
 
   GraphId GreedyStep(GraphId target, GraphId start, int layer) {
     GraphId curr = start;
     double curr_d = Distance(target, curr);
     for (;;) {
-      const auto& neighbors =
-          adjacency_[static_cast<size_t>(layer)][static_cast<size_t>(curr)];
+      const auto& neighbors = Neighbors(layer, curr);
       BulkDistance(target, neighbors);
       GraphId best = curr;
       double best_d = curr_d;
@@ -150,8 +166,7 @@ class HnswBuilder {
         break;
       }
       std::vector<GraphId> todo;
-      for (GraphId n :
-           adjacency_[static_cast<size_t>(layer)][static_cast<size_t>(node)]) {
+      for (GraphId n : Neighbors(layer, node)) {
         if (visited.insert(n).second) todo.push_back(n);
       }
       BulkDistance(target, todo);
@@ -175,8 +190,8 @@ class HnswBuilder {
   }
 
   void Connect(GraphId a, GraphId b, int layer, int cap) {
-    auto& la = adjacency_[static_cast<size_t>(layer)][static_cast<size_t>(a)];
-    auto& lb = adjacency_[static_cast<size_t>(layer)][static_cast<size_t>(b)];
+    auto& la = Neighbors(layer, a);
+    auto& lb = Neighbors(layer, b);
     if (std::find(la.begin(), la.end(), b) == la.end()) la.push_back(b);
     if (std::find(lb.begin(), lb.end(), a) == lb.end()) lb.push_back(a);
     Shrink(&la, a, cap);
@@ -232,21 +247,11 @@ class HnswBuilder {
     return (hi << 32) | lo;
   }
 
-  GraphId num_nodes_;
+  HnswCore* core_;
   HnswIndex::PairDistanceFn distance_fn_;
   const HnswOptions& options_;
   ThreadPool* pool_;
-  Rng rng_;
-  double level_mult_;
-
-  /// adjacency_[l][node] = neighbor list at layer l.
-  std::vector<std::vector<std::vector<GraphId>>> adjacency_;
-  std::vector<int> node_level_;
   std::unordered_map<int64_t, double> cache_;
-  GraphId entry_ = kInvalidGraphId;
-  int max_level_ = 0;
-
-  friend class ::lan::HnswIndex;
 };
 
 }  // namespace
@@ -266,35 +271,80 @@ HnswIndex HnswIndex::BuildWithDistance(GraphId num_nodes,
                                        const HnswOptions& options,
                                        ThreadPool* pool) {
   LAN_CHECK_GT(num_nodes, 0);
-  HnswBuilder builder(num_nodes, distance, options, pool);
-  builder.InsertAll();
-
   HnswIndex index;
-  index.entry_point_ = builder.entry_;
-  index.base_layer_ = ProximityGraph(num_nodes);
+  HnswMutator mutator(&index.core_, distance, options, pool);
+  Rng rng(options.seed);
   for (GraphId id = 0; id < num_nodes; ++id) {
-    for (GraphId n : builder.adjacency_[0][static_cast<size_t>(id)]) {
-      LAN_CHECK_OK(index.base_layer_.AddEdge(id, n));
+    mutator.Insert(id, DrawLevel(&rng, options));
+  }
+  index.RebuildViewFromCore();
+  return index;
+}
+
+Status HnswIndex::Insert(GraphId id, const PairDistanceFn& distance,
+                         const HnswOptions& options, Rng* rng) {
+  if (id != core_.num_nodes) {
+    return Status::InvalidArgument(
+        "Insert: id must equal the current node count");
+  }
+  const int level = DrawLevel(rng, options);
+  HnswMutator mutator(&core_, distance, options, nullptr);
+  mutator.Insert(id, level);
+  RebuildViewFromCore();
+  return Status::OK();
+}
+
+void HnswIndex::RebuildViewFromCore() {
+  const GraphId num_nodes = core_.num_nodes;
+  entry_point_ = core_.entry;
+  base_layer_ = ProximityGraph(num_nodes);
+  layers_.clear();
+  if (num_nodes == 0) return;
+  for (GraphId id = 0; id < num_nodes; ++id) {
+    for (GraphId n : core_.adjacency[0][static_cast<size_t>(id)]) {
+      LAN_CHECK_OK(base_layer_.AddEdge(id, n));
     }
   }
-  for (size_t l = 1; l < builder.adjacency_.size(); ++l) {
+  for (size_t l = 1; l < core_.adjacency.size(); ++l) {
     UpperLayer layer;
     layer.adjacency.assign(static_cast<size_t>(num_nodes), {});
     for (GraphId id = 0; id < num_nodes; ++id) {
-      const auto& neighbors = builder.adjacency_[l][static_cast<size_t>(id)];
+      const auto& neighbors = core_.adjacency[l][static_cast<size_t>(id)];
       if (!neighbors.empty()) {
         layer.adjacency[static_cast<size_t>(id)] = neighbors;
         layer.members.push_back(id);
       }
     }
-    index.layers_.push_back(std::move(layer));
+    layers_.push_back(std::move(layer));
   }
-  return index;
+}
+
+void HnswIndex::RebuildCoreFromView() {
+  const GraphId num_nodes = base_layer_.NumNodes();
+  core_ = HnswCore();
+  core_.num_nodes = num_nodes;
+  core_.entry = entry_point_;
+  core_.node_level.assign(static_cast<size_t>(num_nodes), 0);
+  core_.adjacency.assign(layers_.size() + 1, {});
+  core_.adjacency[0].resize(static_cast<size_t>(num_nodes));
+  for (GraphId id = 0; id < num_nodes; ++id) {
+    core_.adjacency[0][static_cast<size_t>(id)] = base_layer_.Neighbors(id);
+  }
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    core_.adjacency[l + 1].resize(static_cast<size_t>(num_nodes));
+    for (GraphId member : layers_[l].members) {
+      core_.adjacency[l + 1][static_cast<size_t>(member)] =
+          layers_[l].adjacency[static_cast<size_t>(member)];
+      core_.node_level[static_cast<size_t>(member)] =
+          static_cast<int>(l) + 1;
+    }
+  }
 }
 
 namespace {
 
-constexpr char kHnswMagic[8] = {'L', 'A', 'N', 'H', 'N', 'S', 'W', '1'};
+constexpr char kHnswMagicV1[8] = {'L', 'A', 'N', 'H', 'N', 'S', 'W', '1'};
+constexpr char kHnswMagicV2[8] = {'L', 'A', 'N', 'H', 'N', 'S', 'W', '2'};
 
 Status WritePod(std::ostream& out, const void* data, size_t bytes) {
   out.write(static_cast<const char*>(data),
@@ -339,22 +389,23 @@ Result<std::vector<GraphId>> ReadIdList(std::istream& in, GraphId num_nodes) {
 }  // namespace
 
 Status HnswIndex::Save(std::ostream& out) const {
-  LAN_RETURN_NOT_OK(WritePod(out, kHnswMagic, sizeof(kHnswMagic)));
-  const GraphId num_nodes = base_layer_.NumNodes();
+  // v2: the construction-form core. The view is re-derived on load, so a
+  // restored index accepts Inserts exactly as if it had never been saved.
+  LAN_RETURN_NOT_OK(WritePod(out, kHnswMagicV2, sizeof(kHnswMagicV2)));
+  const GraphId num_nodes = core_.num_nodes;
   LAN_RETURN_NOT_OK(WritePod(out, &num_nodes, sizeof(num_nodes)));
-  LAN_RETURN_NOT_OK(WritePod(out, &entry_point_, sizeof(entry_point_)));
-  // Base layer adjacency.
-  for (GraphId id = 0; id < num_nodes; ++id) {
-    LAN_RETURN_NOT_OK(WriteIdList(out, base_layer_.Neighbors(id)));
+  LAN_RETURN_NOT_OK(WritePod(out, &core_.entry, sizeof(core_.entry)));
+  const int32_t num_layers = static_cast<int32_t>(core_.adjacency.size());
+  LAN_RETURN_NOT_OK(WritePod(out, &num_layers, sizeof(num_layers)));
+  std::vector<int32_t> levels(core_.node_level.begin(),
+                              core_.node_level.end());
+  if (!levels.empty()) {
+    LAN_RETURN_NOT_OK(
+        WritePod(out, levels.data(), levels.size() * sizeof(int32_t)));
   }
-  // Upper layers: member lists + adjacency of members.
-  const int32_t num_upper = static_cast<int32_t>(layers_.size());
-  LAN_RETURN_NOT_OK(WritePod(out, &num_upper, sizeof(num_upper)));
-  for (const UpperLayer& layer : layers_) {
-    LAN_RETURN_NOT_OK(WriteIdList(out, layer.members));
-    for (GraphId member : layer.members) {
-      LAN_RETURN_NOT_OK(
-          WriteIdList(out, layer.adjacency[static_cast<size_t>(member)]));
+  for (const auto& layer : core_.adjacency) {
+    for (GraphId id = 0; id < num_nodes; ++id) {
+      LAN_RETURN_NOT_OK(WriteIdList(out, layer[static_cast<size_t>(id)]));
     }
   }
   return Status::OK();
@@ -363,11 +414,50 @@ Status HnswIndex::Save(std::ostream& out) const {
 Result<HnswIndex> HnswIndex::Load(std::istream& in) {
   char magic[8];
   LAN_RETURN_NOT_OK(ReadPod(in, magic, sizeof(magic)));
-  if (std::memcmp(magic, kHnswMagic, sizeof(magic)) != 0) {
+  HnswIndex index;
+  if (std::memcmp(magic, kHnswMagicV2, sizeof(magic)) == 0) {
+    GraphId num_nodes = 0;
+    LAN_RETURN_NOT_OK(ReadPod(in, &num_nodes, sizeof(num_nodes)));
+    if (num_nodes <= 0) return Status::IoError("hnsw bad node count");
+    LAN_RETURN_NOT_OK(
+        ReadPod(in, &index.core_.entry, sizeof(index.core_.entry)));
+    if (index.core_.entry < 0 || index.core_.entry >= num_nodes) {
+      return Status::IoError("hnsw bad entry point");
+    }
+    int32_t num_layers = 0;
+    LAN_RETURN_NOT_OK(ReadPod(in, &num_layers, sizeof(num_layers)));
+    if (num_layers <= 0 || num_layers > 64) {
+      return Status::IoError("hnsw bad layer count");
+    }
+    index.core_.num_nodes = num_nodes;
+    std::vector<int32_t> levels(static_cast<size_t>(num_nodes));
+    LAN_RETURN_NOT_OK(
+        ReadPod(in, levels.data(), levels.size() * sizeof(int32_t)));
+    index.core_.node_level.assign(levels.begin(), levels.end());
+    for (int32_t level : levels) {
+      if (level < 0 || level >= num_layers) {
+        return Status::IoError("hnsw bad node level");
+      }
+    }
+    index.core_.adjacency.assign(static_cast<size_t>(num_layers), {});
+    for (auto& layer : index.core_.adjacency) {
+      layer.resize(static_cast<size_t>(num_nodes));
+      for (GraphId id = 0; id < num_nodes; ++id) {
+        LAN_ASSIGN_OR_RETURN(layer[static_cast<size_t>(id)],
+                             ReadIdList(in, num_nodes));
+        for (GraphId n : layer[static_cast<size_t>(id)]) {
+          if (n == id) return Status::IoError("hnsw self loop");
+        }
+      }
+    }
+    index.RebuildViewFromCore();
+    return index;
+  }
+  if (std::memcmp(magic, kHnswMagicV1, sizeof(magic)) != 0) {
     return Status::IoError("bad hnsw magic");
   }
+  // Legacy v1: view only; reconstruct an equivalent construction state.
   GraphId num_nodes = 0;
-  HnswIndex index;
   LAN_RETURN_NOT_OK(ReadPod(in, &num_nodes, sizeof(num_nodes)));
   if (num_nodes <= 0) return Status::IoError("hnsw bad node count");
   LAN_RETURN_NOT_OK(
@@ -400,148 +490,8 @@ Result<HnswIndex> HnswIndex::Load(std::istream& in) {
     }
     index.layers_.push_back(std::move(layer));
   }
+  index.RebuildCoreFromView();
   return index;
-}
-
-namespace {
-
-/// ef-search over an adjacency callback (shared by Insert).
-std::vector<std::pair<double, GraphId>> EfSearch(
-    const std::function<const std::vector<GraphId>&(GraphId)>& neighbors_of,
-    const std::function<double(GraphId)>& distance, GraphId start, int ef) {
-  using Item = std::pair<double, GraphId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
-  std::priority_queue<Item> best;
-  std::unordered_set<GraphId> visited;
-  const double d0 = distance(start);
-  frontier.emplace(d0, start);
-  best.emplace(d0, start);
-  visited.insert(start);
-  while (!frontier.empty()) {
-    const auto [d, node] = frontier.top();
-    frontier.pop();
-    if (best.size() >= static_cast<size_t>(ef) && d > best.top().first) break;
-    for (GraphId n : neighbors_of(node)) {
-      if (!visited.insert(n).second) continue;
-      const double dn = distance(n);
-      if (best.size() < static_cast<size_t>(ef) || dn < best.top().first) {
-        frontier.emplace(dn, n);
-        best.emplace(dn, n);
-        if (best.size() > static_cast<size_t>(ef)) best.pop();
-      }
-    }
-  }
-  std::vector<Item> out;
-  while (!best.empty()) {
-    out.push_back(best.top());
-    best.pop();
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-}  // namespace
-
-Status HnswIndex::Insert(GraphId id, const PairDistanceFn& distance,
-                         const HnswOptions& options, Rng* rng) {
-  if (id != base_layer_.NumNodes()) {
-    return Status::InvalidArgument(
-        "Insert: id must equal the current node count");
-  }
-  if (id == 0) {
-    // First element: trivial one-node index.
-    base_layer_ = ProximityGraph(1);
-    entry_point_ = 0;
-    return Status::OK();
-  }
-  // Memoized query-to-item distance for this insertion.
-  std::unordered_map<GraphId, double> memo;
-  auto dist = [&](GraphId other) {
-    auto it = memo.find(other);
-    if (it != memo.end()) return it->second;
-    const double d = distance(id, other);
-    memo.emplace(other, d);
-    return d;
-  };
-
-  // Level assignment (same distribution as construction).
-  const double level_mult = 1.0 / std::log(std::max(2, options.M));
-  const double u = std::max(rng->NextDouble(), 1e-12);
-  const int level = static_cast<int>(-std::log(u) * level_mult);
-
-  const int old_top = static_cast<int>(layers_.size());
-
-  // Grow structures to hold the new node.
-  ProximityGraph new_base(id + 1);
-  for (GraphId a = 0; a < base_layer_.NumNodes(); ++a) {
-    for (GraphId b : base_layer_.Neighbors(a)) {
-      if (a < b) LAN_RETURN_NOT_OK(new_base.AddEdge(a, b));
-    }
-  }
-  base_layer_ = std::move(new_base);
-  for (UpperLayer& layer : layers_) {
-    layer.adjacency.resize(static_cast<size_t>(id) + 1);
-  }
-  while (static_cast<int>(layers_.size()) < level) {
-    UpperLayer layer;
-    layer.adjacency.assign(static_cast<size_t>(id) + 1, {});
-    layers_.push_back(std::move(layer));
-  }
-
-  // Greedy descent through layers above `level`.
-  GraphId curr = entry_point_;
-  for (int l = static_cast<int>(layers_.size()); l > level; --l) {
-    const UpperLayer& layer = layers_[static_cast<size_t>(l) - 1];
-    for (;;) {
-      GraphId best = curr;
-      double best_d = dist(curr);
-      for (GraphId n : layer.adjacency[static_cast<size_t>(curr)]) {
-        if (dist(n) < best_d) {
-          best = n;
-          best_d = dist(n);
-        }
-      }
-      if (best == curr) break;
-      curr = best;
-    }
-  }
-
-  // Connect at each layer from min(level, top) down to 1 (upper layers).
-  for (int l = std::min(level, static_cast<int>(layers_.size())); l >= 1;
-       --l) {
-    UpperLayer& layer = layers_[static_cast<size_t>(l) - 1];
-    auto neighbors_of = [&layer](GraphId n) -> const std::vector<GraphId>& {
-      return layer.adjacency[static_cast<size_t>(n)];
-    };
-    auto nearest = EfSearch(neighbors_of, dist, curr, options.ef_construction);
-    const size_t keep = std::min(nearest.size(),
-                                 static_cast<size_t>(options.M));
-    for (size_t i = 0; i < keep; ++i) {
-      const GraphId peer = nearest[i].second;
-      layer.adjacency[static_cast<size_t>(id)].push_back(peer);
-      layer.adjacency[static_cast<size_t>(peer)].push_back(id);
-    }
-    if (!layer.adjacency[static_cast<size_t>(id)].empty()) {
-      layer.members.push_back(id);
-    }
-    if (!nearest.empty()) curr = nearest[0].second;
-  }
-
-  // Base layer.
-  {
-    auto neighbors_of =
-        [this](GraphId n) -> const std::vector<GraphId>& {
-      return base_layer_.Neighbors(n);
-    };
-    auto nearest = EfSearch(neighbors_of, dist, curr, options.ef_construction);
-    const size_t keep =
-        std::min(nearest.size(), static_cast<size_t>(2 * options.M));
-    for (size_t i = 0; i < keep; ++i) {
-      LAN_RETURN_NOT_OK(base_layer_.AddEdge(id, nearest[i].second));
-    }
-  }
-  if (level > old_top || entry_point_ == kInvalidGraphId) entry_point_ = id;
-  return Status::OK();
 }
 
 GraphId HnswIndex::SelectInitialNode(DistanceOracle* oracle) const {
@@ -572,9 +522,10 @@ GraphId HnswIndex::SelectInitialNodeFn(
   return curr;
 }
 
-RoutingResult HnswIndex::Search(DistanceOracle* oracle, int ef, int k) const {
+RoutingResult HnswIndex::Search(DistanceOracle* oracle, int ef, int k,
+                                const std::vector<uint8_t>* live) const {
   const GraphId init = SelectInitialNode(oracle);
-  return BeamSearchRoute(base_layer_, oracle, init, ef, k);
+  return BeamSearchRoute(base_layer_, oracle, init, ef, k, live);
 }
 
 }  // namespace lan

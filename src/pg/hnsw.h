@@ -30,6 +30,21 @@ struct HnswOptions {
   bool select_neighbors_heuristic = true;
 };
 
+/// \brief Construction-form state of an HNSW index: the directed layered
+/// adjacency the per-node insertion step mutates. The public view
+/// (symmetrized base layer, sparse upper layers) is derived from it.
+///
+/// Implementation detail of HnswIndex, exposed only so the insertion
+/// machinery in hnsw.cc can operate on it; not part of the public API.
+struct HnswCore {
+  /// adjacency[l][node] = directed neighbor list at layer l (layer 0 is
+  /// the base layer before symmetrization).
+  std::vector<std::vector<std::vector<GraphId>>> adjacency;
+  std::vector<int> node_level;
+  GraphId entry = kInvalidGraphId;
+  GraphId num_nodes = 0;
+};
+
 /// \brief Hierarchical navigable small world index over a graph database
 /// under GED (Malkov & Yashunin; the paper's main baseline).
 ///
@@ -37,6 +52,11 @@ struct HnswOptions {
 /// so every compared method shares the same PG topology. Construction
 /// distances are computed with the provided GedComputer (typically in
 /// approximate-only mode) and are an offline cost, not query NDC.
+///
+/// Batch Build is literally "insert N times" over the same per-node
+/// insertion step that the public Insert uses, so an index grown
+/// incrementally from a prefix behaves exactly like a batch build over
+/// that prefix plus inserts.
 class HnswIndex {
  public:
   /// Symmetric distance between two indexed items. Must be thread-safe
@@ -59,6 +79,7 @@ class HnswIndex {
   /// The layer-0 proximity graph (all database nodes).
   const ProximityGraph& BaseLayer() const { return base_layer_; }
 
+  GraphId NumNodes() const { return core_.num_nodes; }
   int NumLayers() const { return static_cast<int>(layers_.size()) + 1; }
   GraphId EntryPoint() const { return entry_point_; }
 
@@ -71,23 +92,29 @@ class HnswIndex {
   GraphId SelectInitialNodeFn(
       const std::function<double(GraphId)>& distance) const;
 
-  /// Binary (de)serialization of the index structure (base layer, upper
-  /// layers, entry point). Construction is the GED-heavy offline phase, so
-  /// persisting it makes restarts cheap.
+  /// Binary (de)serialization of the index structure. Construction is the
+  /// GED-heavy offline phase, so persisting it makes restarts cheap. The
+  /// construction-form state is saved too, so an index restored from disk
+  /// accepts further Inserts exactly as if it had never been saved. Load
+  /// also accepts the legacy view-only format (reconstructing an
+  /// equivalent construction state).
   Status Save(std::ostream& out) const;
   static Result<HnswIndex> Load(std::istream& in);
 
   /// Incrementally inserts item `id` (which must equal the current node
-  /// count) into the built index — dynamic maintenance without a rebuild.
+  /// count) into the index — dynamic maintenance without a rebuild.
   /// `distance` must cover all ids up to and including the new one.
-  /// Uses the same level assignment, ef-search and neighbor-selection
-  /// rules as construction.
+  /// Runs the same per-node insertion step as batch construction (level
+  /// assignment, ef-search, diversity heuristic and backfill), with the
+  /// level drawn from `rng`.
   Status Insert(GraphId id, const PairDistanceFn& distance,
                 const HnswOptions& options, Rng* rng);
 
   /// Full HNSW k-ANN query: upper-layer descent, then Algorithm 1 on the
-  /// base layer with beam size `ef`.
-  RoutingResult Search(DistanceOracle* oracle, int ef, int k) const;
+  /// base layer with beam size `ef`. `live` (optional) filters tombstoned
+  /// ids out of the answers; dead nodes are still traversed.
+  RoutingResult Search(DistanceOracle* oracle, int ef, int k,
+                       const std::vector<uint8_t>* live = nullptr) const;
 
  private:
   /// adjacency of upper layer l (1-based in HNSW terms): node -> neighbors.
@@ -97,6 +124,13 @@ class HnswIndex {
     std::vector<GraphId> members;
   };
 
+  /// Re-derives the public view (symmetrized base layer, sparse upper
+  /// layers, entry point) from `core_`; called after every mutation.
+  void RebuildViewFromCore();
+  /// Reconstructs an equivalent `core_` from a legacy view-only load.
+  void RebuildCoreFromView();
+
+  HnswCore core_;
   ProximityGraph base_layer_;
   std::vector<UpperLayer> layers_;
   GraphId entry_point_ = kInvalidGraphId;

@@ -62,7 +62,7 @@ class NpRouter {
     }
 
     RoutingResult out;
-    out.results = pool_.TopK(options_.k);
+    out.results = pool_.TopK(options_.k, options_.live);
     out.routing_steps = routing_steps_;
     out.trace = std::move(trace_);
     if (oracle_->stats() != nullptr) {

@@ -17,6 +17,10 @@ struct NpRouteOptions {
   /// Record the exploration order in RoutingResult::trace (debugging aid:
   /// see where the router went and where recall was lost).
   bool record_trace = false;
+  /// Optional tombstone bitmap (indexed by GraphId, 0 = removed). Dead
+  /// nodes are routed through — the PG stays navigable — but filtered out
+  /// of the answers. Must outlive the NpRoute call.
+  const std::vector<uint8_t>* live = nullptr;
 };
 
 /// \brief Routing with neighbor pruning (Algorithms 2-4, Sec. IV).

@@ -204,7 +204,7 @@ TEST_F(LanIndexTest, BatchSearchMatchesSequential) {
 TEST_F(LanIndexTest, TrainBeforeBuildFails) {
   LanIndex fresh(TinyConfig());
   EXPECT_FALSE(fresh.Train(workload_->train).ok());
-  EXPECT_FALSE(fresh.Build(nullptr).ok());
+  EXPECT_FALSE(fresh.Build(static_cast<const GraphDatabase*>(nullptr)).ok());
 }
 
 // ---------- Range search ----------

@@ -487,6 +487,62 @@ TEST(ObservabilityErrorTest, BatchSurfacesPerQueryErrors) {
 }
 
 // ---------------------------------------------------------------------------
+// Persistence of the mutated index
+// ---------------------------------------------------------------------------
+
+TEST(MutableIndexPersistenceTest, ReloadedIndexSearchesBitwiseEqual) {
+  // Mutate online (insert + remove), checkpoint index + models, reload
+  // into a fresh process-equivalent, and require bitwise-equal answers
+  // for every routing x init ablation: the checkpoint must capture the
+  // whole mutable state (PG growth, tombstones, epoch, grown clusters).
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(50), 41);
+  LanIndex original(TinyConfig());
+  ASSERT_TRUE(original.Build(&db).ok());
+  Rng rng(42);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        original.Insert(PerturbGraph(db.Get(i), 2, db.num_labels(), &rng))
+            .ok());
+  }
+  ASSERT_TRUE(original.Remove(7).ok());
+  ASSERT_TRUE(original.Remove(52).ok());  // one online insert tombstoned too
+  WorkloadOptions wopts;
+  wopts.num_queries = 15;
+  QueryWorkload workload = SampleWorkload(db, wopts, 43);
+  ASSERT_TRUE(original.Train(workload.train).ok());
+
+  std::stringstream index_stream, models_stream;
+  ASSERT_TRUE(original.SaveIndex(index_stream).ok());
+  ASSERT_TRUE(original.SaveModels(models_stream).ok());
+
+  LanIndex reloaded(TinyConfig());
+  ASSERT_TRUE(reloaded.BuildFromSavedIndex(&db, index_stream).ok());
+  ASSERT_TRUE(reloaded.LoadModels(models_stream).ok());
+  EXPECT_EQ(reloaded.epoch(), original.epoch());
+  EXPECT_EQ(reloaded.live_size(), original.live_size());
+  EXPECT_EQ(reloaded.tombstones(), original.tombstones());
+
+  for (RoutingMethod routing : kAllRoutings) {
+    for (InitMethod init : kAllInits) {
+      SearchOptions options;
+      options.k = 5;
+      options.beam = 8;
+      options.routing = routing;
+      options.init = init;
+      for (const Graph& query : workload.test) {
+        SearchResult before = original.Search(query, options);
+        SearchResult after = reloaded.Search(query, options);
+        ASSERT_TRUE(before.status.ok());
+        ASSERT_TRUE(after.status.ok());
+        EXPECT_EQ(before.results, after.results)
+            << RoutingMethodName(routing) << "/" << InitMethodName(init);
+        EXPECT_EQ(before.stats.ndc, after.stats.ndc);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Sharded index
 // ---------------------------------------------------------------------------
 

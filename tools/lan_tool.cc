@@ -5,9 +5,14 @@
 //   lan_tool build    --db db.gdb --models lan.mdl [--queries 30] [--seed 9]
 //   lan_tool search   --db db.gdb --models lan.mdl --k 10 [--queries 3]
 //   lan_tool eval     --db db.gdb --models lan.mdl --k 10 [--queries 6]
+//   lan_tool insert   --db db.gdb --count 20 --out-db db2.gdb --out-index i2
+//   lan_tool remove   --db db.gdb --count 10 --out-db db2.gdb --out-index i2
 //
 // `build` trains the learned components and checkpoints them; `search`
 // and `eval` reload the checkpoint, so the expensive phases run once.
+// `insert`/`remove` exercise the online index maintenance path: they
+// mutate the database through the index (new epoch per mutation) and
+// persist the updated database + index checkpoint for the next command.
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -61,7 +67,8 @@ class Flags {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: lan_tool <generate|stats|build|search|eval|diagnose> "
+               "usage: lan_tool "
+               "<generate|stats|build|search|eval|diagnose|insert|remove> "
                "[--flag value ...]\n"
                "  generate --kind aids|linux|pubchem|syn --count N "
                "[--seed S] --out FILE\n"
@@ -71,8 +78,14 @@ int Usage() {
                "           [--trace-out FILE]    per-query trace, JSON lines\n"
                "           [--metrics-out FILE]  metrics snapshot, JSON\n"
                "  eval     --db FILE --models FILE [--index FILE] [--k K]\n"
-               "           [--metrics-out FILE]\n"
-               "  diagnose --db FILE --models FILE [--index FILE]\n");
+               "           [--trace-out FILE] [--metrics-out FILE]\n"
+               "  diagnose --db FILE --models FILE [--index FILE]\n"
+               "  insert   --db FILE --count N [--seed S] [--edits E]\n"
+               "           [--index FILE] [--models FILE]\n"
+               "           [--out-db FILE] [--out-index FILE]\n"
+               "  remove   --db FILE (--id G | --count N [--seed S])\n"
+               "           [--index FILE] [--models FILE]\n"
+               "           [--out-db FILE] [--out-index FILE]\n");
   return 2;
 }
 
@@ -169,14 +182,15 @@ struct LoadedIndex {
   LanIndex index{ToolConfig()};
 };
 
-std::unique_ptr<LoadedIndex> LoadIndex(const Flags& flags) {
+std::unique_ptr<LoadedIndex> LoadIndex(const Flags& flags,
+                                       bool require_models = true) {
   auto db = LoadDb(flags);
   if (!db.ok()) {
     std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
     return nullptr;
   }
   const std::string models = flags.Get("models", "");
-  if (models.empty()) {
+  if (models.empty() && require_models) {
     std::fprintf(stderr, "--models is required\n");
     return nullptr;
   }
@@ -191,11 +205,112 @@ std::unique_ptr<LoadedIndex> LoadIndex(const Flags& flags) {
     std::fprintf(stderr, "%s\n", build_status.ToString().c_str());
     return nullptr;
   }
-  if (Status s = loaded->index.LoadModelsFromFile(models); !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return nullptr;
+  if (!models.empty()) {
+    if (Status s = loaded->index.LoadModelsFromFile(models); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return nullptr;
+    }
   }
   return loaded;
+}
+
+/// Persists the mutated database/index when `--out-db`/`--out-index` are
+/// given; shared by `insert` and `remove`.
+int SaveMutation(const Flags& flags, const LoadedIndex& loaded) {
+  if (flags.Has("out-db")) {
+    const std::string out_db = flags.Get("out-db", "");
+    if (Status s = WriteDatabaseToFile(loaded.db, out_db); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("database saved to %s\n", out_db.c_str());
+  }
+  if (flags.Has("out-index")) {
+    const std::string out_index = flags.Get("out-index", "");
+    if (Status s = loaded.index.SaveIndexToFile(out_index); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("index checkpoint saved to %s\n", out_index.c_str());
+  }
+  return 0;
+}
+
+int InsertCmd(const Flags& flags) {
+  if (!flags.Has("count")) {
+    std::fprintf(stderr, "insert: --count is required\n");
+    return 2;
+  }
+  auto loaded = LoadIndex(flags, /*require_models=*/false);
+  if (loaded == nullptr) return 1;
+  const int64_t count = flags.GetInt("count", 0);
+  const int edits = static_cast<int>(flags.GetInt("edits", 3));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 99)));
+  Timer timer;
+  for (int64_t i = 0; i < count; ++i) {
+    // New graphs are perturbations of existing ones, like the paper's
+    // query workloads — they stay on the database's distribution.
+    const GraphId base =
+        static_cast<GraphId>(rng.NextBounded(
+            static_cast<uint64_t>(loaded->db.size())));
+    Graph graph =
+        PerturbGraph(loaded->db.Get(base), edits, loaded->db.num_labels(),
+                     &rng);
+    auto inserted = loaded->index.Insert(std::move(graph));
+    if (!inserted.ok()) {
+      std::fprintf(stderr, "insert %lld failed: %s\n",
+                   static_cast<long long>(i),
+                   inserted.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("inserted %lld graphs in %.2fs; db now %d graphs "
+              "(%d live, %d tombstones), epoch %llu\n",
+              static_cast<long long>(count), timer.ElapsedSeconds(),
+              loaded->db.size(), loaded->index.live_size(),
+              loaded->index.tombstones(),
+              static_cast<unsigned long long>(loaded->index.epoch()));
+  return SaveMutation(flags, *loaded);
+}
+
+int RemoveCmd(const Flags& flags) {
+  if (!flags.Has("id") && !flags.Has("count")) {
+    std::fprintf(stderr, "remove: --id or --count is required\n");
+    return 2;
+  }
+  auto loaded = LoadIndex(flags, /*require_models=*/false);
+  if (loaded == nullptr) return 1;
+  std::vector<GraphId> targets;
+  if (flags.Has("id")) {
+    targets.push_back(static_cast<GraphId>(flags.GetInt("id", -1)));
+  } else {
+    // Random live ids, sampled without replacement via retry.
+    Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 99)));
+    const int64_t count =
+        std::min<int64_t>(flags.GetInt("count", 0),
+                          loaded->index.live_size());
+    std::vector<uint8_t> picked(static_cast<size_t>(loaded->db.size()), 0);
+    while (static_cast<int64_t>(targets.size()) < count) {
+      const GraphId id = static_cast<GraphId>(
+          rng.NextBounded(static_cast<uint64_t>(loaded->db.size())));
+      if (picked[static_cast<size_t>(id)] || !loaded->db.IsLive(id)) continue;
+      picked[static_cast<size_t>(id)] = 1;
+      targets.push_back(id);
+    }
+  }
+  for (const GraphId id : targets) {
+    if (Status s = loaded->index.Remove(id); !s.ok()) {
+      std::fprintf(stderr, "remove #%d failed: %s\n", id,
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("removed %zu graphs; db now %d graphs "
+              "(%d live, %d tombstones), epoch %llu\n",
+              targets.size(), loaded->db.size(), loaded->index.live_size(),
+              loaded->index.tombstones(),
+              static_cast<unsigned long long>(loaded->index.epoch()));
+  return SaveMutation(flags, *loaded);
 }
 
 /// Opens `path` for writing or returns null after reporting the error.
@@ -359,6 +474,28 @@ int Eval(const Flags& flags) {
     std::printf("metrics written to %s\n",
                 flags.Get("metrics-out", "").c_str());
   }
+  if (flags.Has("trace-out")) {
+    auto out = OpenOut(flags.Get("trace-out", ""));
+    if (out == nullptr) return 1;
+    // One parallel batch over the test queries, one private sink per query
+    // (a shared sink would interleave events across workers).
+    std::vector<QueryTrace> traces(workload.test.size());
+    SearchOptions options;
+    options.k = k;
+    options.trace_factory = [&traces](size_t i) { return &traces[i]; };
+    BatchSearchResult batch =
+        loaded->index.SearchBatch(workload.test, options);
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+      if (!batch.results[i].status.ok()) {
+        std::fprintf(stderr, "query %zu failed: %s\n", i,
+                     batch.results[i].status.ToString().c_str());
+        return 1;
+      }
+      traces[i].WriteJsonLines(*out, static_cast<int64_t>(i));
+    }
+    std::printf("trace (%zu queries) written to %s\n", traces.size(),
+                flags.Get("trace-out", "").c_str());
+  }
   return 0;
 }
 
@@ -372,6 +509,8 @@ int Main(int argc, char** argv) {
   if (command == "search") return SearchCmd(flags);
   if (command == "eval") return Eval(flags);
   if (command == "diagnose") return Diagnose(flags);
+  if (command == "insert") return InsertCmd(flags);
+  if (command == "remove") return RemoveCmd(flags);
   return Usage();
 }
 

@@ -57,3 +57,41 @@ string(JSON ndc_p50 GET "${metrics_json}" histograms query_ndc p50)
 if(ndc_p50 LESS_EQUAL 0)
   message(FATAL_ERROR "metrics query_ndc p50 is ${ndc_p50}; expected > 0")
 endif()
+
+# Online updates: insert + remove mutate the db/index pair through the
+# epoch-versioned path; the stale model checkpoint must still load over
+# the grown index (inserted graphs join their nearest frozen centroid).
+set(DB2 ${WORK_DIR}/pipeline2.gdb)
+set(INDEX2 ${WORK_DIR}/pipeline2.idx)
+run_step(${LAN_TOOL} insert --db ${DB} --index ${INDEX} --count 5 --seed 11
+         --out-db ${DB2} --out-index ${INDEX2})
+run_step(${LAN_TOOL} remove --db ${DB2} --index ${INDEX2} --count 2 --seed 12
+         --out-db ${DB2} --out-index ${INDEX2})
+run_step(${LAN_TOOL} stats --db ${DB2})
+run_step(${LAN_TOOL} search --db ${DB2} --models ${MODELS} --index ${INDEX2}
+         --k 3 --queries 1)
+
+# eval --trace-out: one private trace per parallel query, concatenated as
+# JSON lines (each carries its query_id).
+set(EVAL_TRACE ${WORK_DIR}/pipeline.eval.trace.jsonl)
+run_step(${LAN_TOOL} eval --db ${DB2} --models ${MODELS} --index ${INDEX2}
+         --k 3 --queries 2 --trace-out ${EVAL_TRACE})
+if(NOT EXISTS ${EVAL_TRACE})
+  message(FATAL_ERROR "eval did not write ${EVAL_TRACE}")
+endif()
+file(STRINGS ${EVAL_TRACE} eval_lines)
+list(LENGTH eval_lines num_eval_lines)
+if(num_eval_lines LESS 2)
+  message(FATAL_ERROR "eval trace has ${num_eval_lines} lines; expected >= 2")
+endif()
+set(eval_query_ids "")
+foreach(line IN LISTS eval_lines)
+  string(JSON qid GET "${line}" query_id)
+  list(APPEND eval_query_ids ${qid})
+endforeach()
+list(REMOVE_DUPLICATES eval_query_ids)
+list(LENGTH eval_query_ids num_eval_queries)
+if(num_eval_queries LESS 2)
+  message(FATAL_ERROR
+          "eval trace covers ${num_eval_queries} queries; expected >= 2")
+endif()
