@@ -6,6 +6,13 @@
 
 namespace lan {
 
+namespace {
+/// Which pool (if any) owns the current thread. Lets ParallelFor detect
+/// a call made from inside one of its own tasks and degrade to inline
+/// execution instead of deadlocking on its own queue.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   LAN_CHECK_GT(num_threads, 0u);
   workers_.reserve(num_threads);
@@ -39,6 +46,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -56,6 +64,43 @@ void ThreadPool::WorkerLoop() {
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Inline when parallelism cannot help (1-thread pool, single iteration)
+  // or must not be attempted (we are already on one of this pool's
+  // workers, where blocking on our own queue would deadlock).
+  if (current_worker_pool == this || workers_.size() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const size_t shards = std::min(workers_.size() + 1, n);
+  std::atomic<size_t> next{0};
+  const auto drain = [&next, n, &fn] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::atomic<size_t> pending{shards - 1};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (size_t t = 1; t < shards; ++t) {
+    Submit([&drain, &pending, &done_mu, &done_cv] {
+      drain();
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_one();
+      }
+    });
+  }
+  drain();  // the calling thread is one of the shards
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&pending] {
+    return pending.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void ThreadPool::ParallelFor(size_t n, size_t num_threads,

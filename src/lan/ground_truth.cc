@@ -17,7 +17,7 @@ std::vector<double> ComputeAllDistances(const GraphDatabase& db,
   if (pool == nullptr) {
     for (size_t i = 0; i < distances.size(); ++i) work(i);
   } else {
-    ThreadPool::ParallelFor(distances.size(), pool->num_threads(), work);
+    pool->ParallelFor(distances.size(), work);
   }
   return distances;
 }

@@ -214,11 +214,10 @@ Status LanIndex::FinishBuild(HnswIndex hnsw, std::vector<uint8_t> live,
   const int layers = static_cast<int>(config_.scorer.gnn_dims.size());
   auto cgs = std::make_shared<std::vector<CompressedGnnGraph>>(
       static_cast<size_t>(db_->size()));
-  ThreadPool::ParallelFor(
-      static_cast<size_t>(db_->size()), pool_->num_threads(), [&](size_t i) {
-        (*cgs)[i] = BuildCompressedGnnGraph(
-            db_->Get(static_cast<GraphId>(i)), layers);
-      });
+  pool_->ParallelFor(static_cast<size_t>(db_->size()), [&](size_t i) {
+    (*cgs)[i] = BuildCompressedGnnGraph(
+        db_->Get(static_cast<GraphId>(i)), layers);
+  });
 
   // Whole-graph embeddings + KMeans clusters for the optimized M_nh.
   EmbeddingOptions embedding = config_.embedding;
@@ -380,11 +379,9 @@ Status LanIndex::Train(const std::vector<Graph>& train_queries) {
   // ---- 3) Query CGs (shared by M_rk / M_nh training). ----
   const int layers = static_cast<int>(config_.scorer.gnn_dims.size());
   std::vector<CompressedGnnGraph> query_cgs(train_queries.size());
-  ThreadPool::ParallelFor(train_queries.size(), pool_->num_threads(),
-                          [&](size_t i) {
-                            query_cgs[i] = BuildCompressedGnnGraph(
-                                train_queries[i], layers);
-                          });
+  pool_->ParallelFor(train_queries.size(), [&](size_t i) {
+    query_cgs[i] = BuildCompressedGnnGraph(train_queries[i], layers);
+  });
 
   Rng rng(config_.seed + 1);
 
@@ -643,7 +640,7 @@ BatchSearchResult LanIndex::SearchBatch(const std::vector<Graph>& queries,
   SearchOptions base_options = options;
   base_options.trace = nullptr;  // a shared sink would interleave workers
   base_options.trace_factory = nullptr;
-  ThreadPool::ParallelFor(queries.size(), threads, [&](size_t i) {
+  const auto run_query = [&](size_t i) {
     SearchOptions per_query = base_options;
     if (options.trace_factory) {
       per_query.trace = options.trace_factory(i);  // private per-query sink
@@ -658,7 +655,16 @@ BatchSearchResult LanIndex::SearchBatch(const std::vector<Graph>& queries,
     registry.Observe(steps_hist, static_cast<double>(r.stats.routing_steps));
     registry.Observe(inference_hist,
                      static_cast<double>(r.stats.model_inferences));
-  });
+  };
+  if (num_threads <= 0 || threads == pool_->num_threads()) {
+    // Reuse the index's resident workers: no thread-creation latency per
+    // batch call.
+    pool_->ParallelFor(queries.size(), run_query);
+  } else {
+    // An explicit width different from the pool's keeps the documented
+    // "run with exactly N threads" semantics via transient threads.
+    ThreadPool::ParallelFor(queries.size(), threads, run_query);
+  }
 
   for (const SearchResult& r : out.results) {
     out.stats.totals.Merge(r.stats);

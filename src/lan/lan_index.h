@@ -89,7 +89,11 @@ struct LanConfig {
   bool use_compressed_gnn = true;
 
   uint64_t seed = 123;
-  /// Worker threads for offline phases (0 = hardware concurrency).
+  /// Worker threads for offline phases (0 = hardware concurrency). Sizes
+  /// the index's resident pool; to also parallelize PG *insertion* (not
+  /// just per-step distance evaluations), set hnsw.num_build_threads to 0
+  /// ("follow this pool") or an explicit count — insertion stays serial by
+  /// default to preserve the bit-for-bit build determinism contract.
   int num_threads = 0;
 
   /// Checks every knob is in range; called by LanIndex::Build.
@@ -277,7 +281,9 @@ class LanIndex {
   }
 
   /// Throughput mode: answers independent queries in parallel across
-  /// `num_threads` workers (0 = hardware concurrency). Results are
+  /// `num_threads` workers (0 = the index's resident pool, so batch calls
+  /// pay no thread-creation latency; an explicit count spawns exactly
+  /// that many transient workers). Results are
   /// index-aligned with `queries` and identical to sequential Search;
   /// BatchStats carries the summed SearchStats plus a metrics snapshot
   /// (latency/NDC distributions and index_live_size / index_tombstones /

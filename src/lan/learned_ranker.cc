@@ -4,7 +4,7 @@ namespace lan {
 
 std::vector<std::vector<GraphId>> LearnedNeighborRanker::RankNeighbors(
     const ProximityGraph& pg, GraphId node, const Graph& query) {
-  const std::vector<GraphId>& neighbors = pg.Neighbors(node);
+  const std::span<const GraphId> neighbors = pg.NeighborSpan(node);
   if (neighbors.empty()) return {};
 
   // Outside N_Q (or before the node's own distance is known) the router
@@ -12,7 +12,7 @@ std::vector<std::vector<GraphId>> LearnedNeighborRanker::RankNeighbors(
   const double* node_distance = oracle_->FindCached(node);
   const bool in_neighborhood =
       node_distance != nullptr && *node_distance <= gamma_star_;
-  if (!in_neighborhood) return {neighbors};
+  if (!in_neighborhood) return {{neighbors.begin(), neighbors.end()}};
 
   SearchStats* stats = oracle_->stats();
   Timer timer;

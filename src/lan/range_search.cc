@@ -43,7 +43,7 @@ RangeSearchResult RangeSearchExact(const GraphDatabase& db, const Graph& query,
   if (pool == nullptr) {
     for (size_t i = 0; i < survivors.size(); ++i) verify(i);
   } else {
-    ThreadPool::ParallelFor(survivors.size(), pool->num_threads(), verify);
+    pool->ParallelFor(survivors.size(), verify);
   }
   out.stats.verified = static_cast<int64_t>(survivors.size());
   for (size_t i = 0; i < survivors.size(); ++i) {

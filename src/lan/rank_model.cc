@@ -97,7 +97,7 @@ double NeighborRankModel::EvaluateLoss(
 }
 
 std::vector<std::vector<GraphId>> NeighborRankModel::GroupByBatch(
-    const std::vector<GraphId>& neighbors,
+    std::span<const GraphId> neighbors,
     const std::vector<std::vector<float>>& probs) const {
   const int num_batches = num_heads() + 1;
   struct Scored {
@@ -142,7 +142,7 @@ void NeighborRankModel::PrecomputeContexts(
 }
 
 std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatches(
-    const std::vector<GraphId>& neighbors,
+    std::span<const GraphId> neighbors,
     const std::vector<CompressedGnnGraph>& db_cgs, GraphId node,
     const CompressedGnnGraph& query_cg, int64_t* inference_count) const {
   return PredictBatches(neighbors, db_cgs, node, scorer_.EncodeQuery(query_cg),
@@ -150,7 +150,7 @@ std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatches(
 }
 
 std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatches(
-    const std::vector<GraphId>& neighbors,
+    std::span<const GraphId> neighbors,
     const std::vector<CompressedGnnGraph>& db_cgs, GraphId node,
     const QueryEncodingCache& query, int64_t* inference_count) const {
   const Matrix* cached_context =
@@ -173,14 +173,14 @@ std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatches(
 }
 
 std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatchesRaw(
-    const std::vector<GraphId>& neighbors, const GraphDatabase& db,
+    std::span<const GraphId> neighbors, const GraphDatabase& db,
     GraphId node, const Graph& query, int64_t* inference_count) const {
   return PredictBatchesRaw(neighbors, db, node, scorer_.EncodeQuery(query),
                            inference_count);
 }
 
 std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatchesRaw(
-    const std::vector<GraphId>& neighbors, const GraphDatabase& db,
+    std::span<const GraphId> neighbors, const GraphDatabase& db,
     GraphId node, const QueryEncodingCache& query,
     int64_t* inference_count) const {
   const Matrix* cached_context =
@@ -213,7 +213,7 @@ std::vector<RankExample> BuildRankExamples(
     LAN_CHECK_EQ(static_cast<GraphId>(dist.size()), pg.NumNodes());
     for (GraphId g = 0; g < pg.NumNodes(); ++g) {
       if (dist[static_cast<size_t>(g)] > gamma_star) continue;  // G not in N_Q
-      const std::vector<GraphId>& neighbors = pg.Neighbors(g);
+      const std::span<const GraphId> neighbors = pg.NeighborSpan(g);
       if (neighbors.empty()) continue;
       // Rank neighbors by true distance.
       std::vector<size_t> order(neighbors.size());

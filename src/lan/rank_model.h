@@ -2,6 +2,7 @@
 #define LAN_LAN_RANK_MODEL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph_database.h"
@@ -65,7 +66,7 @@ class NeighborRankModel {
   /// Increments *inference_count once per neighbor scored. All neighbors
   /// are scored in one batched inference pass (no per-pair tapes).
   std::vector<std::vector<GraphId>> PredictBatches(
-      const std::vector<GraphId>& neighbors,
+      std::span<const GraphId> neighbors,
       const std::vector<CompressedGnnGraph>& db_cgs, GraphId node,
       const CompressedGnnGraph& query_cg, int64_t* inference_count) const;
 
@@ -73,19 +74,19 @@ class NeighborRankModel {
   /// used by LearnedNeighborRanker, which scores many nodes' neighbor
   /// lists against the same query.
   std::vector<std::vector<GraphId>> PredictBatches(
-      const std::vector<GraphId>& neighbors,
+      std::span<const GraphId> neighbors,
       const std::vector<CompressedGnnGraph>& db_cgs, GraphId node,
       const QueryEncodingCache& query, int64_t* inference_count) const;
 
   /// The no-CG ablation (Fig. 10): identical predictions computed on raw
   /// graphs.
   std::vector<std::vector<GraphId>> PredictBatchesRaw(
-      const std::vector<GraphId>& neighbors, const GraphDatabase& db,
+      std::span<const GraphId> neighbors, const GraphDatabase& db,
       GraphId node, const Graph& query, int64_t* inference_count) const;
 
   /// Raw ablation with the per-query encoder cache pre-built.
   std::vector<std::vector<GraphId>> PredictBatchesRaw(
-      const std::vector<GraphId>& neighbors, const GraphDatabase& db,
+      std::span<const GraphId> neighbors, const GraphDatabase& db,
       GraphId node, const QueryEncodingCache& query,
       int64_t* inference_count) const;
 
@@ -94,7 +95,7 @@ class NeighborRankModel {
 
  private:
   std::vector<std::vector<GraphId>> GroupByBatch(
-      const std::vector<GraphId>& neighbors,
+      std::span<const GraphId> neighbors,
       const std::vector<std::vector<float>>& probs) const;
 
   RankModelOptions options_;

@@ -62,7 +62,7 @@ float RegressionRankModel::PredictDistance(
 }
 
 std::vector<std::vector<GraphId>> RegressionRankModel::PredictBatches(
-    const std::vector<GraphId>& neighbors,
+    std::span<const GraphId> neighbors,
     const std::vector<CompressedGnnGraph>& db_cgs,
     const CompressedGnnGraph& query_cg, int64_t* inference_count) const {
   std::vector<std::pair<float, GraphId>> scored;
@@ -81,12 +81,12 @@ std::vector<std::vector<GraphId>> RegressionRankModel::PredictBatches(
 
 std::vector<std::vector<GraphId>> RegressionNeighborRanker::RankNeighbors(
     const ProximityGraph& pg, GraphId node, const Graph& query) {
-  const std::vector<GraphId>& neighbors = pg.Neighbors(node);
+  const std::span<const GraphId> neighbors = pg.NeighborSpan(node);
   if (neighbors.empty()) return {};
   const double* node_distance = oracle_->FindCached(node);
   const bool in_neighborhood =
       node_distance != nullptr && *node_distance <= gamma_star_;
-  if (!in_neighborhood) return {neighbors};
+  if (!in_neighborhood) return {{neighbors.begin(), neighbors.end()}};
 
   SearchStats* stats = oracle_->stats();
   Timer timer;
@@ -110,7 +110,7 @@ std::vector<RegressionExample> BuildRegressionExamples(
     std::unordered_set<GraphId> seen;
     for (GraphId g = 0; g < pg.NumNodes(); ++g) {
       if (dist[static_cast<size_t>(g)] > gamma_star) continue;
-      for (GraphId neighbor : pg.Neighbors(g)) {
+      for (GraphId neighbor : pg.NeighborSpan(g)) {
         if (!seen.insert(neighbor).second) continue;
         RegressionExample ex;
         ex.query_index = static_cast<int32_t>(qi);

@@ -2,6 +2,7 @@
 #define LAN_LAN_REGRESSION_RANKER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "lan/pair_scorer.h"
@@ -52,7 +53,7 @@ class RegressionRankModel {
 
   /// Neighbors sorted by predicted distance, split into y% batches.
   std::vector<std::vector<GraphId>> PredictBatches(
-      const std::vector<GraphId>& neighbors,
+      std::span<const GraphId> neighbors,
       const std::vector<CompressedGnnGraph>& db_cgs,
       const CompressedGnnGraph& query_cg, int64_t* inference_count) const;
 

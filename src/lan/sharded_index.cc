@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <thread>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -51,14 +53,27 @@ Status ShardedLanIndex::Build(const GraphDatabase& db) {
     maps->global_ids[static_cast<size_t>(s)].push_back(id);
   }
 
+  // Construct every shard index first (cheap), then build them
+  // concurrently: shards are independent, so shard-level parallelism
+  // stacks on top of whatever per-shard threading each LanIndex uses.
   shards_.clear();
   for (int s = 0; s < shards; ++s) {
     LanConfig config = options_.shard_config;
     config.seed += static_cast<uint64_t>(s) * 7919;
     shards_.push_back(std::make_unique<LanIndex>(config));
-    LAN_RETURN_NOT_OK(
-        shards_.back()->Build(&shard_dbs_[static_cast<size_t>(s)]));
   }
+  std::vector<Status> statuses(static_cast<size_t>(shards), Status::OK());
+  std::vector<std::thread> builders;
+  builders.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    builders.emplace_back([this, &statuses, s] {
+      statuses[static_cast<size_t>(s)] =
+          shards_[static_cast<size_t>(s)]->Build(
+              &shard_dbs_[static_cast<size_t>(s)]);
+    });
+  }
+  for (std::thread& t : builders) t.join();
+  for (const Status& status : statuses) LAN_RETURN_NOT_OK(status);
   PublishMaps(std::move(maps));
   return Status::OK();
 }

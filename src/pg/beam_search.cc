@@ -1,5 +1,6 @@
 #include "pg/beam_search.h"
 
+#include <span>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -35,8 +36,13 @@ RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
     const GraphId current = pool.BestUnexplored();
     if (current == kInvalidGraphId) break;
     // neigh_explore: distances for every neighbor of the current node.
-    for (GraphId neighbor : pg.Neighbors(current)) {
-      pool.Add(neighbor, dist(neighbor));
+    // The CSR row is contiguous (NeighborSpan), and each neighbor's own
+    // row is hinted one iteration ahead — by the time the beam advances
+    // to it, its adjacency is usually already in cache.
+    const std::span<const GraphId> neighbors = pg.NeighborSpan(current);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      if (i + 1 < neighbors.size()) pg.PrefetchNeighbors(neighbors[i + 1]);
+      pool.Add(neighbors[i], dist(neighbors[i]));
     }
     states[current] = RouteNodeState{true, clock++};
     if (record_trace) out.trace.push_back(current);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <unordered_map>
@@ -13,6 +14,7 @@
 #include <ostream>
 
 #include "common/logging.h"
+#include "common/prefetch.h"
 
 namespace lan {
 namespace {
@@ -254,6 +256,267 @@ class HnswMutator {
   std::unordered_map<int64_t, double> cache_;
 };
 
+/// Concurrent batch construction over a pre-sized HnswCore, hnswlib/SVS
+/// style: levels are pre-drawn (so the seed's level stream matches the
+/// serial builder's), every node owns a mutex guarding its neighbor lists
+/// at all layers, and insertions run in parallel, each locking at most one
+/// node at a time (read-copy a list under its node's lock; connect/shrink
+/// a and b under their own locks in turn) — so no lock ordering is needed
+/// and no deadlock is possible. The entry point and its level live under
+/// one extra mutex.
+///
+/// Run with one worker it performs the exact same distance comparisons in
+/// the exact same order as HnswMutator, so the topology matches the serial
+/// build bit-for-bit; with more workers insertions interleave and the
+/// topology is only statistically equivalent (validated by recall parity).
+class ParallelHnswBuilder {
+ public:
+  ParallelHnswBuilder(HnswCore* core,
+                      const HnswIndex::PairDistanceFn& distance,
+                      const HnswOptions& options)
+      : core_(core), distance_fn_(distance), options_(options) {}
+
+  /// Builds the whole core from pre-drawn per-id levels. `num_threads`
+  /// governs the transient-thread fallback when `pool` is null; with a
+  /// pool, its width is the parallelism.
+  void Build(const std::vector<int>& levels, size_t num_threads,
+             ThreadPool* pool) {
+    const GraphId n = static_cast<GraphId>(levels.size());
+    // Pre-size all shared arrays: workers index, never grow, so the only
+    // mutable shared state is the neighbor lists the per-node locks guard.
+    core_->num_nodes = n;
+    core_->node_level = levels;
+    const int top = *std::max_element(levels.begin(), levels.end());
+    core_->adjacency.assign(static_cast<size_t>(top) + 1, {});
+    for (auto& layer : core_->adjacency) {
+      layer.resize(static_cast<size_t>(n));
+    }
+    locks_ = std::make_unique<std::mutex[]>(static_cast<size_t>(n));
+    // Node 0 seeds the graph exactly as in the serial loop: it becomes the
+    // entry with no connections (nothing to connect to yet).
+    core_->entry = 0;
+    entry_level_ = levels[0];
+    const auto insert_one = [this](size_t i) {
+      InsertOne(static_cast<GraphId>(i) + 1);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(static_cast<size_t>(n) - 1, insert_one);
+    } else {
+      ThreadPool::ParallelFor(static_cast<size_t>(n) - 1, num_threads,
+                              insert_one);
+    }
+  }
+
+ private:
+  using Item = std::pair<double, GraphId>;
+  /// Thread-private per-insertion memo, layered over a build-wide sharded
+  /// cache. The serial builder's batch-wide cache is what keeps GED-heavy
+  /// builds affordable (neighbor sets overlap heavily across inserts), so
+  /// the parallel builder needs one too: striping it over lock-protected
+  /// shards keeps lookups nearly contention-free, and the local memo
+  /// absorbs the repeated probes within a single insertion.
+  using Cache = std::unordered_map<int64_t, double>;
+
+  struct CacheShard {
+    std::mutex mu;
+    std::unordered_map<int64_t, double> map;
+  };
+  static constexpr size_t kCacheShards = 64;
+
+  double Distance(GraphId a, GraphId b, Cache* cache) {
+    if (a == b) return 0.0;
+    const int64_t lo = std::min(a, b);
+    const int64_t hi = std::max(a, b);
+    const int64_t key = (hi << 32) | lo;
+    auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+    CacheShard& shard = shards_[static_cast<size_t>(key) % kCacheShards];
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      auto hit = shard.map.find(key);
+      if (hit != shard.map.end()) {
+        cache->emplace(key, hit->second);
+        return hit->second;
+      }
+    }
+    // Computed outside the shard lock: a racing duplicate evaluation is
+    // benign (the distance is deterministic) and far cheaper than holding
+    // the lock across a GED call. Shard mutexes are leaf locks — taken
+    // with a node lock possibly held (Shrink), never the other way round.
+    const double d = distance_fn_(a, b);
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      shard.map.emplace(key, d);
+    }
+    cache->emplace(key, d);
+    return d;
+  }
+
+  /// Snapshot of a node's neighbor list at `layer`. Copy-under-lock: the
+  /// caller then searches over the copy without holding anything, so GED
+  /// evaluations never serialize behind a neighbor's lock.
+  std::vector<GraphId> CopyNeighbors(int layer, GraphId node) {
+    std::lock_guard<std::mutex> guard(locks_[static_cast<size_t>(node)]);
+    return core_->adjacency[static_cast<size_t>(layer)]
+                           [static_cast<size_t>(node)];
+  }
+
+  void InsertOne(GraphId id) {
+    const int level = core_->node_level[static_cast<size_t>(id)];
+    Cache cache;
+    GraphId curr;
+    int top;
+    {
+      std::lock_guard<std::mutex> guard(entry_mu_);
+      curr = core_->entry;
+      top = entry_level_;
+    }
+    for (int l = top; l > level; --l) {
+      curr = GreedyStep(id, curr, l, &cache);
+    }
+    for (int l = std::min(level, top); l >= 0; --l) {
+      std::vector<Item> candidates =
+          SearchLayer(id, curr, options_.ef_construction, l, &cache);
+      const int cap = (l == 0) ? 2 * options_.M : options_.M;
+      const size_t keep =
+          std::min(candidates.size(), static_cast<size_t>(cap));
+      for (size_t i = 0; i < keep; ++i) {
+        Connect(id, candidates[i].second, l, cap, &cache);
+      }
+      if (!candidates.empty()) curr = candidates[0].second;
+    }
+    if (level > top) {
+      std::lock_guard<std::mutex> guard(entry_mu_);
+      // Re-check: another high node may have published meanwhile.
+      if (level > entry_level_) {
+        entry_level_ = level;
+        core_->entry = id;
+      }
+    }
+  }
+
+  GraphId GreedyStep(GraphId target, GraphId start, int layer, Cache* cache) {
+    GraphId curr = start;
+    double curr_d = Distance(target, curr, cache);
+    for (;;) {
+      GraphId best = curr;
+      double best_d = curr_d;
+      for (GraphId n : CopyNeighbors(layer, curr)) {
+        const double d = Distance(target, n, cache);
+        if (d < best_d) {
+          best = n;
+          best_d = d;
+        }
+      }
+      if (best == curr) return curr;
+      curr = best;
+      curr_d = best_d;
+    }
+  }
+
+  std::vector<Item> SearchLayer(GraphId target, GraphId start, int ef,
+                                int layer, Cache* cache) {
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+    std::priority_queue<Item> best;  // max-heap, size <= ef
+    std::unordered_set<GraphId> visited;
+
+    const double d0 = Distance(target, start, cache);
+    frontier.emplace(d0, start);
+    best.emplace(d0, start);
+    visited.insert(start);
+
+    while (!frontier.empty()) {
+      const auto [d, node] = frontier.top();
+      frontier.pop();
+      if (d > best.top().first && best.size() >= static_cast<size_t>(ef)) {
+        break;
+      }
+      for (GraphId n : CopyNeighbors(layer, node)) {
+        if (!visited.insert(n).second) continue;
+        const double dn = Distance(target, n, cache);
+        if (best.size() < static_cast<size_t>(ef) || dn < best.top().first) {
+          frontier.emplace(dn, n);
+          best.emplace(dn, n);
+          if (best.size() > static_cast<size_t>(ef)) best.pop();
+        }
+      }
+    }
+    std::vector<Item> out;
+    out.reserve(best.size());
+    while (!best.empty()) {
+      out.push_back(best.top());
+      best.pop();
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Adds the edge {a, b} at `layer`, shrinking each endpoint's list under
+  /// its own lock only. Distances inside Shrink are computed while holding
+  /// that single lock; contention is per-node, never global.
+  void Connect(GraphId a, GraphId b, int layer, int cap, Cache* cache) {
+    for (const auto [node, other] : {std::pair{a, b}, std::pair{b, a}}) {
+      std::lock_guard<std::mutex> guard(locks_[static_cast<size_t>(node)]);
+      auto& list = core_->adjacency[static_cast<size_t>(layer)]
+                                   [static_cast<size_t>(node)];
+      if (std::find(list.begin(), list.end(), other) == list.end()) {
+        list.push_back(other);
+      }
+      Shrink(&list, node, cap, cache);
+    }
+  }
+
+  /// Same selection rule as HnswMutator::Shrink (closest-first sort,
+  /// optional diversity heuristic, spilled backfill); must be called with
+  /// `node`'s lock held.
+  void Shrink(std::vector<GraphId>* list, GraphId node, int cap,
+              Cache* cache) {
+    if (list->size() <= static_cast<size_t>(cap)) return;
+    std::sort(list->begin(), list->end(), [&](GraphId x, GraphId y) {
+      const double dx = Distance(node, x, cache);
+      const double dy = Distance(node, y, cache);
+      if (dx != dy) return dx < dy;
+      return x < y;
+    });
+    if (!options_.select_neighbors_heuristic) {
+      list->resize(static_cast<size_t>(cap));
+      return;
+    }
+    std::vector<GraphId> kept;
+    std::vector<GraphId> spilled;
+    for (GraphId candidate : *list) {
+      if (kept.size() >= static_cast<size_t>(cap)) break;
+      const double d_node = Distance(node, candidate, cache);
+      bool diverse = true;
+      for (GraphId existing : kept) {
+        if (Distance(candidate, existing, cache) < d_node) {
+          diverse = false;
+          break;
+        }
+      }
+      if (diverse) {
+        kept.push_back(candidate);
+      } else {
+        spilled.push_back(candidate);
+      }
+    }
+    for (GraphId candidate : spilled) {
+      if (kept.size() >= static_cast<size_t>(cap)) break;
+      kept.push_back(candidate);
+    }
+    *list = std::move(kept);
+  }
+
+  HnswCore* core_;
+  const HnswIndex::PairDistanceFn& distance_fn_;
+  const HnswOptions& options_;
+  std::unique_ptr<std::mutex[]> locks_;
+  std::unique_ptr<CacheShard[]> shards_ =
+      std::make_unique<CacheShard[]>(kCacheShards);
+  std::mutex entry_mu_;
+  int entry_level_ = -1;
+};
+
 }  // namespace
 
 HnswIndex HnswIndex::Build(const GraphDatabase& db, const GedComputer& ged,
@@ -272,10 +535,28 @@ HnswIndex HnswIndex::BuildWithDistance(GraphId num_nodes,
                                        ThreadPool* pool) {
   LAN_CHECK_GT(num_nodes, 0);
   HnswIndex index;
-  HnswMutator mutator(&index.core_, distance, options, pool);
-  Rng rng(options.seed);
-  for (GraphId id = 0; id < num_nodes; ++id) {
-    mutator.Insert(id, DrawLevel(&rng, options));
+  index.flat_search_view_ = options.flat_search_view;
+  size_t threads = options.num_build_threads > 0
+                       ? static_cast<size_t>(options.num_build_threads)
+                       : (pool != nullptr ? pool->num_threads()
+                                          : DefaultThreadCount());
+  if (threads <= 1 || num_nodes < 2) {
+    // Serial insert loop: the determinism contract. For a fixed seed this
+    // path is bit-for-bit reproducible (golden-topology tests pin it).
+    HnswMutator mutator(&index.core_, distance, options, pool);
+    Rng rng(options.seed);
+    for (GraphId id = 0; id < num_nodes; ++id) {
+      mutator.Insert(id, DrawLevel(&rng, options));
+    }
+  } else {
+    // Pre-draw every level serially: level draws don't depend on graph
+    // state, so this is the same seeded stream the serial loop consumes,
+    // one draw per id in id order.
+    Rng rng(options.seed);
+    std::vector<int> levels(static_cast<size_t>(num_nodes));
+    for (auto& level : levels) level = DrawLevel(&rng, options);
+    ParallelHnswBuilder builder(&index.core_, distance, options);
+    builder.Build(levels, threads, pool);
   }
   index.RebuildViewFromCore();
   return index;
@@ -290,8 +571,24 @@ Status HnswIndex::Insert(GraphId id, const PairDistanceFn& distance,
   const int level = DrawLevel(rng, options);
   HnswMutator mutator(&core_, distance, options, nullptr);
   mutator.Insert(id, level);
+  flat_search_view_ = options.flat_search_view;
   RebuildViewFromCore();
   return Status::OK();
+}
+
+void HnswIndex::UpperLayer::Compact() {
+  flat_offsets.assign(adjacency.size() + 1, 0);
+  int64_t total = 0;
+  for (size_t i = 0; i < adjacency.size(); ++i) {
+    flat_offsets[i] = total;
+    total += static_cast<int64_t>(adjacency[i].size());
+  }
+  flat_offsets[adjacency.size()] = total;
+  flat_neighbors.clear();
+  flat_neighbors.reserve(static_cast<size_t>(total));
+  for (const auto& row : adjacency) {
+    flat_neighbors.insert(flat_neighbors.end(), row.begin(), row.end());
+  }
 }
 
 void HnswIndex::RebuildViewFromCore() {
@@ -316,6 +613,13 @@ void HnswIndex::RebuildViewFromCore() {
       }
     }
     layers_.push_back(std::move(layer));
+  }
+  if (flat_search_view_) {
+    // Epoch-publish compaction: search iterates contiguous CSR rows from
+    // here on; the nested form above stays authoritative for the next
+    // mutation and for serialization.
+    base_layer_.Compact();
+    for (UpperLayer& layer : layers_) layer.Compact();
   }
 }
 
@@ -507,7 +811,7 @@ GraphId HnswIndex::SelectInitialNodeFn(
     for (;;) {
       GraphId best = curr;
       double best_d = curr_d;
-      for (GraphId n : it->adjacency[static_cast<size_t>(curr)]) {
+      for (GraphId n : it->NeighborSpan(curr)) {
         const double d = distance(n);
         if (d < best_d) {
           best = n;
@@ -517,6 +821,12 @@ GraphId HnswIndex::SelectInitialNodeFn(
       if (best == curr) break;
       curr = best;
       curr_d = best_d;
+      // Hint the next hop's row while the distance evaluations above are
+      // still warm in flight.
+      if (!it->flat_offsets.empty()) {
+        PrefetchRead(it->flat_neighbors.data() +
+                     it->flat_offsets[static_cast<size_t>(curr)]);
+      }
     }
   }
   return curr;

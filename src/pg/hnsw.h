@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -28,6 +29,21 @@ struct HnswOptions {
   /// already-kept neighbor). Produces sparser, better-navigable graphs
   /// than plain nearest-M on clustered data.
   bool select_neighbors_heuristic = true;
+  /// Batch-build insertion threads. 1 (default) runs the serial insert
+  /// loop, bit-for-bit identical across releases for a fixed seed. >1
+  /// partitions insertions across threads with per-node locking
+  /// (hnswlib-style): same level sequence (levels are pre-drawn from the
+  /// seed's stream), statistically equivalent topology, no bit-for-bit
+  /// guarantee. 0 means "use the passed pool's width (or the hardware
+  /// count when no pool)". Ignored by incremental Insert, which is always
+  /// a single-node serial step.
+  int num_build_threads = 1;
+  /// Compact the published view's adjacency into contiguous CSR rows that
+  /// search iterates with software prefetch. Never changes results — the
+  /// CSR rows hold the same ids in the same order as the nested lists —
+  /// only locality. Off exists for A/B benchmarks and layout-equivalence
+  /// tests.
+  bool flat_search_view = true;
 };
 
 /// \brief Construction-form state of an HNSW index: the directed layered
@@ -118,10 +134,27 @@ class HnswIndex {
 
  private:
   /// adjacency of upper layer l (1-based in HNSW terms): node -> neighbors.
-  /// Sparse: only nodes assigned to that layer appear.
+  /// Sparse: only nodes assigned to that layer appear. Like
+  /// ProximityGraph, carries an optional CSR copy (flat_offsets /
+  /// flat_neighbors) for the descent hot loop; empty offsets = nested
+  /// form only.
   struct UpperLayer {
     std::vector<std::vector<GraphId>> adjacency;  // indexed by GraphId
     std::vector<GraphId> members;
+    std::vector<int64_t> flat_offsets;
+    std::vector<GraphId> flat_neighbors;
+
+    void Compact();
+    std::span<const GraphId> NeighborSpan(GraphId id) const {
+      if (!flat_offsets.empty()) {
+        const auto begin = flat_offsets[static_cast<size_t>(id)];
+        const auto end = flat_offsets[static_cast<size_t>(id) + 1];
+        return {flat_neighbors.data() + begin,
+                static_cast<size_t>(end - begin)};
+      }
+      const auto& nested = adjacency[static_cast<size_t>(id)];
+      return {nested.data(), nested.size()};
+    }
   };
 
   /// Re-derives the public view (symmetrized base layer, sparse upper
@@ -134,6 +167,9 @@ class HnswIndex {
   ProximityGraph base_layer_;
   std::vector<UpperLayer> layers_;
   GraphId entry_point_ = kInvalidGraphId;
+  /// Sticky copy of HnswOptions::flat_search_view, so every re-publish
+  /// (Insert) keeps the layout the index was built with.
+  bool flat_search_view_ = true;
 };
 
 }  // namespace lan

@@ -30,7 +30,8 @@ OracleRanker::OracleRanker(const GraphDatabase* db, const GedComputer* ged,
 
 std::vector<std::vector<GraphId>> OracleRanker::RankNeighbors(
     const ProximityGraph& pg, GraphId node, const Graph& query) {
-  std::vector<GraphId> ranked = pg.Neighbors(node);
+  const std::span<const GraphId> row = pg.NeighborSpan(node);
+  std::vector<GraphId> ranked(row.begin(), row.end());
   std::vector<double> dist(ranked.size());
   for (size_t i = 0; i < ranked.size(); ++i) {
     dist[i] = ged_->Distance(query, db_->Get(ranked[i]));

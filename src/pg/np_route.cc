@@ -113,6 +113,8 @@ class NpRouter {
   BatchState& GetBatchState(GraphId node) {
     auto it = batch_states_.find(node);
     if (it != batch_states_.end()) return it->second;
+    // The ranker is about to scan this node's adjacency row.
+    pg_.PrefetchNeighbors(node);
     BatchState st;
     st.batches = ranker_->RankNeighbors(pg_, node, oracle_->query());
     return batch_states_.emplace(node, std::move(st)).first->second;

@@ -1,6 +1,8 @@
 #include "pg/nsw_builder.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -8,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace lan {
 namespace {
@@ -39,7 +42,7 @@ std::vector<Item> SearchPartial(
     const auto [d, node] = frontier.top();
     frontier.pop();
     if (best.size() >= static_cast<size_t>(ef) && d > best.top().first) break;
-    for (GraphId n : pg.Neighbors(node)) {
+    for (GraphId n : pg.NeighborSpan(node)) {
       if (!visited.insert(n).second) continue;
       const double dn = dist(n);
       if (best.size() < static_cast<size_t>(ef) || dn < best.top().first) {
@@ -58,6 +61,98 @@ std::vector<Item> SearchPartial(
   return out;
 }
 
+/// Concurrent NSW insertion over a lock-striped nested adjacency. Each
+/// edge locks its two endpoints in id order (a fixed total order, so no
+/// deadlock); searches copy a node's list under its lock and then run
+/// lock-free over the copy. The result is poured into a ProximityGraph
+/// serially at the end.
+ProximityGraph BuildNswParallel(
+    GraphId num_nodes,
+    const std::function<double(GraphId, GraphId)>& distance,
+    const NswOptions& options, const std::vector<GraphId>& order,
+    const std::vector<GraphId>& entries, size_t threads) {
+  std::vector<std::vector<GraphId>> adj(static_cast<size_t>(num_nodes));
+  auto locks = std::make_unique<std::mutex[]>(static_cast<size_t>(num_nodes));
+
+  const auto copy_neighbors = [&](GraphId v) {
+    std::lock_guard<std::mutex> guard(locks[static_cast<size_t>(v)]);
+    return adj[static_cast<size_t>(v)];
+  };
+  const auto add_edge = [&](GraphId a, GraphId b) {
+    const GraphId lo = std::min(a, b);
+    const GraphId hi = std::max(a, b);
+    std::lock_guard<std::mutex> guard_lo(locks[static_cast<size_t>(lo)]);
+    std::lock_guard<std::mutex> guard_hi(locks[static_cast<size_t>(hi)]);
+    auto& la = adj[static_cast<size_t>(lo)];
+    if (std::find(la.begin(), la.end(), hi) != la.end()) return;
+    la.push_back(hi);
+    adj[static_cast<size_t>(hi)].push_back(lo);
+  };
+
+  ThreadPool::ParallelFor(
+      static_cast<size_t>(num_nodes) - 1, threads, [&](size_t step) {
+        const GraphId id = order[step + 1];
+        const GraphId entry = entries[step + 1];
+        std::unordered_map<GraphId, double> memo;
+        const auto dist = [&](GraphId v) {
+          auto it = memo.find(v);
+          if (it != memo.end()) return it->second;
+          const double d = distance(id, v);
+          memo.emplace(v, d);
+          return d;
+        };
+        // Greedy beam search over the concurrently growing graph (same
+        // shape as SearchPartial, but over copy-under-lock snapshots).
+        std::priority_queue<Item, std::vector<Item>, std::greater<Item>>
+            frontier;
+        std::priority_queue<Item> best;
+        std::unordered_set<GraphId> visited;
+        const int ef = options.ef_construction;
+        const double d0 = dist(entry);
+        frontier.emplace(d0, entry);
+        best.emplace(d0, entry);
+        visited.insert(entry);
+        while (!frontier.empty()) {
+          const auto [d, node] = frontier.top();
+          frontier.pop();
+          if (best.size() >= static_cast<size_t>(ef) && d > best.top().first) {
+            break;
+          }
+          for (GraphId n : copy_neighbors(node)) {
+            // A concurrent inserter may already have linked to `id`
+            // itself; the serial loop can never see the node being
+            // inserted, so skip it here too.
+            if (n == id || !visited.insert(n).second) continue;
+            const double dn = dist(n);
+            if (best.size() < static_cast<size_t>(ef) ||
+                dn < best.top().first) {
+              frontier.emplace(dn, n);
+              best.emplace(dn, n);
+              if (best.size() > static_cast<size_t>(ef)) best.pop();
+            }
+          }
+        }
+        std::vector<Item> nearest;
+        nearest.reserve(best.size());
+        while (!best.empty()) {
+          nearest.push_back(best.top());
+          best.pop();
+        }
+        std::sort(nearest.begin(), nearest.end());
+        const size_t links =
+            std::min(nearest.size(), static_cast<size_t>(options.M));
+        for (size_t i = 0; i < links; ++i) add_edge(id, nearest[i].second);
+      });
+
+  ProximityGraph pg(num_nodes);
+  for (GraphId id = 0; id < num_nodes; ++id) {
+    for (GraphId n : adj[static_cast<size_t>(id)]) {
+      if (id < n) LAN_CHECK_OK(pg.AddEdge(id, n));
+    }
+  }
+  return pg;
+}
+
 }  // namespace
 
 ProximityGraph BuildNswGraph(
@@ -65,7 +160,6 @@ ProximityGraph BuildNswGraph(
     const std::function<double(GraphId, GraphId)>& distance,
     const NswOptions& options) {
   LAN_CHECK_GT(num_nodes, 0);
-  ProximityGraph pg(num_nodes);
   Rng rng(options.seed);
 
   // Random insertion order: the early sparse graph contributes the
@@ -74,6 +168,23 @@ ProximityGraph BuildNswGraph(
   for (GraphId i = 0; i < num_nodes; ++i) order[static_cast<size_t>(i)] = i;
   rng.Shuffle(&order);
 
+  const size_t threads = options.num_build_threads > 0
+                             ? static_cast<size_t>(options.num_build_threads)
+                             : DefaultThreadCount();
+  if (threads > 1 && num_nodes > 2) {
+    // Pre-draw each step's entry point from the same stream the serial
+    // loop consumes (step i draws NextBounded(i), since exactly i nodes
+    // precede it in insertion order).
+    std::vector<GraphId> entries(static_cast<size_t>(num_nodes),
+                                 kInvalidGraphId);
+    for (size_t i = 1; i < order.size(); ++i) {
+      entries[i] = order[static_cast<size_t>(rng.NextBounded(i))];
+    }
+    return BuildNswParallel(num_nodes, distance, options, order, entries,
+                            threads);
+  }
+
+  ProximityGraph pg(num_nodes);
   std::vector<GraphId> inserted;
   inserted.reserve(order.size());
   for (GraphId id : order) {

@@ -17,6 +17,11 @@ struct NswOptions {
   /// Beam width of the insertion-time search.
   int ef_construction = 32;
   uint64_t seed = 42;
+  /// Insertion threads. 1 (default) is the deterministic serial loop; >1
+  /// inserts concurrently under per-node locks (insertion order and entry
+  /// draws come from the same seeded stream, but interleaving makes the
+  /// topology only statistically equivalent). 0 = hardware count.
+  int num_build_threads = 1;
 };
 
 /// \brief Builds a flat navigable-small-world proximity graph (Malkov et

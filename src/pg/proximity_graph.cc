@@ -15,12 +15,35 @@ Status ProximityGraph::AddEdge(GraphId a, GraphId b) {
     return Status::InvalidArgument(StrFormat("pg self-loop at %d", a));
   }
   if (HasEdge(a, b)) return Status::OK();  // idempotent
+  ClearFlatView();  // nested form is about to diverge from the CSR copy
   auto& la = adjacency_[static_cast<size_t>(a)];
   auto& lb = adjacency_[static_cast<size_t>(b)];
   la.insert(std::lower_bound(la.begin(), la.end(), b), b);
   lb.insert(std::lower_bound(lb.begin(), lb.end(), a), a);
   ++num_edges_;
   return Status::OK();
+}
+
+void ProximityGraph::Compact() {
+  flat_offsets_.assign(adjacency_.size() + 1, 0);
+  int64_t total = 0;
+  for (size_t i = 0; i < adjacency_.size(); ++i) {
+    flat_offsets_[i] = total;
+    total += static_cast<int64_t>(adjacency_[i].size());
+  }
+  flat_offsets_[adjacency_.size()] = total;
+  flat_neighbors_.clear();
+  flat_neighbors_.reserve(static_cast<size_t>(total));
+  for (const auto& row : adjacency_) {
+    flat_neighbors_.insert(flat_neighbors_.end(), row.begin(), row.end());
+  }
+}
+
+void ProximityGraph::ClearFlatView() {
+  flat_offsets_.clear();
+  flat_offsets_.shrink_to_fit();
+  flat_neighbors_.clear();
+  flat_neighbors_.shrink_to_fit();
 }
 
 bool ProximityGraph::HasEdge(GraphId a, GraphId b) const {

@@ -2,9 +2,11 @@
 #define LAN_PG_PROXIMITY_GRAPH_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/prefetch.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -13,6 +15,16 @@ namespace lan {
 /// \brief The proximity-graph index structure: an undirected graph over
 /// GraphIds of a database (Sec. III-B). Construction lives in
 /// NswBuilder / HnswIndex; routing in beam_search / np_route.
+///
+/// Two adjacency forms coexist. The nested `vector<vector<GraphId>>` is
+/// the authoritative, mutable construction form (AddEdge). Compact()
+/// additionally derives a contiguous CSR copy (`flat_offsets_` +
+/// `flat_neighbors_`) that the search hot loops iterate through
+/// NeighborSpan(): one cache-friendly row per node instead of one heap
+/// allocation per node, plus Prefetch* hints for upcoming rows.
+/// Publish-time code (HnswIndex::RebuildViewFromCore) compacts; a later
+/// AddEdge invalidates the CSR copy and NeighborSpan falls back to the
+/// nested form, so the two views can never disagree.
 class ProximityGraph {
  public:
   ProximityGraph() = default;
@@ -22,13 +34,50 @@ class ProximityGraph {
   GraphId NumNodes() const { return static_cast<GraphId>(adjacency_.size()); }
 
   /// Adds the undirected edge {a, b} if absent; self-loops rejected.
+  /// Invalidates a previously Compact()ed flat view.
   Status AddEdge(GraphId a, GraphId b);
 
   bool HasEdge(GraphId a, GraphId b) const;
 
-  /// Sorted neighbor list.
+  /// Sorted neighbor list (construction form; always valid).
   const std::vector<GraphId>& Neighbors(GraphId id) const {
     return adjacency_[static_cast<size_t>(id)];
+  }
+
+  /// Search-time neighbor view: the CSR row when compacted, the nested
+  /// list otherwise. Same ids in the same order either way, so routing
+  /// results are bitwise independent of which form backs the span.
+  std::span<const GraphId> NeighborSpan(GraphId id) const {
+    if (!flat_offsets_.empty()) {
+      const auto begin = flat_offsets_[static_cast<size_t>(id)];
+      const auto end = flat_offsets_[static_cast<size_t>(id) + 1];
+      return {flat_neighbors_.data() + begin,
+              static_cast<size_t>(end - begin)};
+    }
+    const auto& nested = adjacency_[static_cast<size_t>(id)];
+    return {nested.data(), nested.size()};
+  }
+
+  /// Derives the contiguous CSR view from the nested adjacency. Idempotent;
+  /// called once per epoch publish, after construction settles.
+  void Compact();
+
+  /// True while a valid CSR view backs NeighborSpan().
+  bool compacted() const { return !flat_offsets_.empty(); }
+
+  /// Drops the CSR view (NeighborSpan falls back to the nested form).
+  /// Used by tests/benches to compare the two layouts on one topology.
+  void ClearFlatView();
+
+  /// Hints the cache that `id`'s neighbor row is about to be scanned.
+  /// No-op unless compacted (nested rows are scattered heap allocations
+  /// whose base pointer is itself a dependent load).
+  void PrefetchNeighbors(GraphId id) const {
+    if (flat_offsets_.empty()) return;
+    const auto begin = flat_offsets_[static_cast<size_t>(id)];
+    const auto end = flat_offsets_[static_cast<size_t>(id) + 1];
+    PrefetchReadRange(flat_neighbors_.data() + begin,
+                      static_cast<size_t>(end - begin) * sizeof(GraphId));
   }
 
   int32_t Degree(GraphId id) const {
@@ -52,6 +101,10 @@ class ProximityGraph {
  private:
   std::vector<std::vector<GraphId>> adjacency_;
   int64_t num_edges_ = 0;
+  /// CSR view: row of node i is flat_neighbors_[flat_offsets_[i] ..
+  /// flat_offsets_[i+1]). Empty offsets == not compacted.
+  std::vector<int64_t> flat_offsets_;
+  std::vector<GraphId> flat_neighbors_;
 };
 
 }  // namespace lan

@@ -74,6 +74,7 @@ int Usage() {
                "[--seed S] --out FILE\n"
                "  stats    --db FILE\n"
                "  build    --db FILE --models FILE [--index FILE] [--queries N]\n"
+               "           [--build-threads N]   0 = hardware concurrency\n"
                "  search   --db FILE --models FILE [--index FILE] [--k K]\n"
                "           [--trace-out FILE]    per-query trace, JSON lines\n"
                "           [--metrics-out FILE]  metrics snapshot, JSON\n"
@@ -81,7 +82,7 @@ int Usage() {
                "           [--trace-out FILE] [--metrics-out FILE]\n"
                "  diagnose --db FILE --models FILE [--index FILE]\n"
                "  insert   --db FILE --count N [--seed S] [--edits E]\n"
-               "           [--index FILE] [--models FILE]\n"
+               "           [--index FILE] [--models FILE] [--build-threads N]\n"
                "           [--out-db FILE] [--out-index FILE]\n"
                "  remove   --db FILE (--id G | --count N [--seed S])\n"
                "           [--index FILE] [--models FILE]\n"
@@ -100,7 +101,12 @@ DatasetSpec SpecFor(const std::string& kind, int64_t count) {
 
 /// Shared tool-scale index configuration (must match between `build` and
 /// the commands that reload the checkpoint).
-LanConfig ToolConfig() {
+///
+/// `--build-threads N` sizes the worker pool AND opts PG insertion into
+/// the parallel builder (N = 0 follows the hardware count). Threading
+/// never changes the persisted formats, so checkpoints built with any
+/// thread count reload under any other.
+LanConfig ToolConfig(const Flags& flags) {
   LanConfig config;
   config.query_ged.skip_exact_gap = 3.0;
   config.scorer.gnn_dims = {16, 16};
@@ -108,6 +114,11 @@ LanConfig ToolConfig() {
   config.nh.epochs = 5;
   config.max_rank_examples = 1500;
   config.max_nh_examples = 1500;
+  if (flags.Has("build-threads")) {
+    const int threads = static_cast<int>(flags.GetInt("build-threads", 0));
+    config.num_threads = threads;
+    config.hnsw.num_build_threads = threads;
+  }
   return config;
 }
 
@@ -159,7 +170,7 @@ int Build(const Flags& flags) {
     std::fprintf(stderr, "build: --models is required\n");
     return 2;
   }
-  LanIndex index(ToolConfig());
+  LanIndex index(ToolConfig(flags));
   LAN_CHECK_OK(index.Build(&*db));
   WorkloadOptions wopts;
   wopts.num_queries = flags.GetInt("queries", 30);
@@ -178,8 +189,9 @@ int Build(const Flags& flags) {
 
 /// Loads db + models into a ready index; exits on failure.
 struct LoadedIndex {
+  explicit LoadedIndex(LanConfig config) : index(std::move(config)) {}
   GraphDatabase db;
-  LanIndex index{ToolConfig()};
+  LanIndex index;
 };
 
 std::unique_ptr<LoadedIndex> LoadIndex(const Flags& flags,
@@ -194,7 +206,7 @@ std::unique_ptr<LoadedIndex> LoadIndex(const Flags& flags,
     std::fprintf(stderr, "--models is required\n");
     return nullptr;
   }
-  auto loaded = std::make_unique<LoadedIndex>();
+  auto loaded = std::make_unique<LoadedIndex>(ToolConfig(flags));
   loaded->db = std::move(db).value();
   Status build_status =
       flags.Has("index")

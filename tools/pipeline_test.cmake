@@ -12,7 +12,10 @@ endfunction()
 run_step(${LAN_TOOL} generate --kind syn --count 60 --seed 3 --out ${DB})
 run_step(${LAN_TOOL} stats --db ${DB})
 set(INDEX ${WORK_DIR}/pipeline.idx)
-run_step(${LAN_TOOL} build --db ${DB} --models ${MODELS} --index ${INDEX} --queries 12)
+# --build-threads 2 exercises the parallel construction path end-to-end
+# (recall/quality checks below run against the parallel-built index).
+run_step(${LAN_TOOL} build --db ${DB} --models ${MODELS} --index ${INDEX} --queries 12
+         --build-threads 2)
 run_step(${LAN_TOOL} search --db ${DB} --models ${MODELS} --index ${INDEX} --k 3 --queries 1)
 run_step(${LAN_TOOL} diagnose --db ${DB} --models ${MODELS} --index ${INDEX})
 
@@ -64,7 +67,7 @@ endif()
 set(DB2 ${WORK_DIR}/pipeline2.gdb)
 set(INDEX2 ${WORK_DIR}/pipeline2.idx)
 run_step(${LAN_TOOL} insert --db ${DB} --index ${INDEX} --count 5 --seed 11
-         --out-db ${DB2} --out-index ${INDEX2})
+         --build-threads 2 --out-db ${DB2} --out-index ${INDEX2})
 run_step(${LAN_TOOL} remove --db ${DB2} --index ${INDEX2} --count 2 --seed 12
          --out-db ${DB2} --out-index ${INDEX2})
 run_step(${LAN_TOOL} stats --db ${DB2})
