@@ -84,23 +84,23 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       fn(i);
     }
   };
-  std::atomic<size_t> pending{shards - 1};
+  // `pending` is guarded by `done_mu` (not an atomic): the caller can only
+  // observe 0 while holding the lock, i.e. after the last worker released
+  // it, so no worker can still be touching the stack-allocated mu/cv when
+  // the caller returns and destroys them.
+  size_t pending = shards - 1;
   std::mutex done_mu;
   std::condition_variable done_cv;
   for (size_t t = 1; t < shards; ++t) {
     Submit([&drain, &pending, &done_mu, &done_cv] {
       drain();
-      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_one();
-      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--pending == 0) done_cv.notify_one();
     });
   }
   drain();  // the calling thread is one of the shards
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&pending] {
-    return pending.load(std::memory_order_acquire) == 0;
-  });
+  done_cv.wait(lock, [&pending] { return pending == 0; });
 }
 
 void ThreadPool::ParallelFor(size_t n, size_t num_threads,

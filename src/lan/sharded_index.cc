@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace lan {
 
@@ -56,23 +56,28 @@ Status ShardedLanIndex::Build(const GraphDatabase& db) {
   // Construct every shard index first (cheap), then build them
   // concurrently: shards are independent, so shard-level parallelism
   // stacks on top of whatever per-shard threading each LanIndex uses.
+  // Bound the total thread footprint: each LanIndex owns a resident pool
+  // (num_threads == 0 means hardware width), so letting every shard build
+  // at once would run shards x hardware_concurrency threads. At most
+  // `concurrent` shards build simultaneously, and auto-sized shard pools
+  // split the hardware width between them.
+  const size_t hw = DefaultThreadCount();
+  const size_t concurrent = std::min<size_t>(static_cast<size_t>(shards), hw);
   shards_.clear();
   for (int s = 0; s < shards; ++s) {
     LanConfig config = options_.shard_config;
     config.seed += static_cast<uint64_t>(s) * 7919;
+    if (config.num_threads <= 0) {
+      config.num_threads =
+          static_cast<int>(std::max<size_t>(1, hw / concurrent));
+    }
     shards_.push_back(std::make_unique<LanIndex>(config));
   }
   std::vector<Status> statuses(static_cast<size_t>(shards), Status::OK());
-  std::vector<std::thread> builders;
-  builders.reserve(static_cast<size_t>(shards));
-  for (int s = 0; s < shards; ++s) {
-    builders.emplace_back([this, &statuses, s] {
-      statuses[static_cast<size_t>(s)] =
-          shards_[static_cast<size_t>(s)]->Build(
-              &shard_dbs_[static_cast<size_t>(s)]);
-    });
-  }
-  for (std::thread& t : builders) t.join();
+  ThreadPool::ParallelFor(
+      static_cast<size_t>(shards), concurrent, [this, &statuses](size_t s) {
+        statuses[s] = shards_[s]->Build(&shard_dbs_[s]);
+      });
   for (const Status& status : statuses) LAN_RETURN_NOT_OK(status);
   PublishMaps(std::move(maps));
   return Status::OK();

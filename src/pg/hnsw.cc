@@ -276,9 +276,10 @@ class ParallelHnswBuilder {
                       const HnswOptions& options)
       : core_(core), distance_fn_(distance), options_(options) {}
 
-  /// Builds the whole core from pre-drawn per-id levels. `num_threads`
-  /// governs the transient-thread fallback when `pool` is null; with a
-  /// pool, its width is the parallelism.
+  /// Builds the whole core from pre-drawn per-id levels. `num_threads` is
+  /// the parallelism; the pool's resident workers are reused only when its
+  /// width matches, so an explicit `num_build_threads` request always wins
+  /// over whatever pool the caller happens to hold.
   void Build(const std::vector<int>& levels, size_t num_threads,
              ThreadPool* pool) {
     const GraphId n = static_cast<GraphId>(levels.size());
@@ -299,7 +300,7 @@ class ParallelHnswBuilder {
     const auto insert_one = [this](size_t i) {
       InsertOne(static_cast<GraphId>(i) + 1);
     };
-    if (pool != nullptr) {
+    if (pool != nullptr && pool->num_threads() == num_threads) {
       pool->ParallelFor(static_cast<size_t>(n) - 1, insert_one);
     } else {
       ThreadPool::ParallelFor(static_cast<size_t>(n) - 1, num_threads,
@@ -571,7 +572,8 @@ Status HnswIndex::Insert(GraphId id, const PairDistanceFn& distance,
   const int level = DrawLevel(rng, options);
   HnswMutator mutator(&core_, distance, options, nullptr);
   mutator.Insert(id, level);
-  flat_search_view_ = options.flat_search_view;
+  // flat_search_view_ deliberately not updated from `options`: the layout
+  // chosen at build time is sticky across re-publishes (see hnsw.h).
   RebuildViewFromCore();
   return Status::OK();
 }

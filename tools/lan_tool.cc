@@ -443,7 +443,7 @@ int Diagnose(const Flags& flags) {
   WorkloadOptions wopts;
   wopts.num_queries = 6;
   QueryWorkload probes = SampleWorkload(loaded->db, wopts, 777);
-  GedComputer ged(ToolConfig().query_ged);
+  GedComputer ged(ToolConfig(flags).query_ged);
   std::printf("|N_Q| over %zu probe queries:", probes.train.size());
   for (const Graph& q : probes.train) {
     int64_t in_neighborhood = 0;
@@ -466,7 +466,7 @@ int Eval(const Flags& flags) {
   wopts.num_queries = flags.GetInt("queries", 6) * 5;  // 1/5 become test
   QueryWorkload workload = SampleWorkload(
       loaded->db, wopts, static_cast<uint64_t>(flags.GetInt("seed", 321)));
-  GedComputer ged(ToolConfig().query_ged);
+  GedComputer ged(ToolConfig(flags).query_ged);
   std::vector<KnnList> truths =
       BuildTruths(loaded->db, workload.test, k, ged);
   MetricsRegistry registry;
