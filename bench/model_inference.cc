@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -28,17 +29,23 @@ constexpr int kGnnLayers = 2;
 
 /// Best mean seconds per call over three repetitions, each repeating the
 /// call until >= 0.2s of wall time (at least 5 iterations). Best-of-N
-/// filters scheduler noise on busy machines.
+/// filters scheduler noise on busy machines. LAN_BENCH_SMOKE=1 shrinks
+/// the windows (used by `ctest -L perf-smoke`).
 double TimePerCall(const std::function<void()>& fn) {
+  const char* smoke_env = std::getenv("LAN_BENCH_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] != '\0' &&
+                     std::string(smoke_env) != "0";
+  const double window = smoke ? 0.005 : 0.2;
+  const int reps = smoke ? 1 : 3;
   fn();  // warmup
   double best = 0.0;
-  for (int rep = 0; rep < 3; ++rep) {
+  for (int rep = 0; rep < reps; ++rep) {
     int iters = 0;
     Timer timer;
     do {
       fn();
       ++iters;
-    } while (timer.ElapsedSeconds() < 0.2 || iters < 5);
+    } while (timer.ElapsedSeconds() < window || iters < 5);
     const double per_call = timer.ElapsedSeconds() / iters;
     if (rep == 0 || per_call < best) best = per_call;
   }

@@ -1,0 +1,69 @@
+#include "common/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace lan {
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+SimdLevel DetectOnce() {
+  // __builtin_cpu_supports reads CPUID once at init (libgcc caches it).
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdLevel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdLevel::kAvx2;
+  }
+  return SimdLevel::kScalar;
+}
+#else
+SimdLevel DetectOnce() { return SimdLevel::kScalar; }
+#endif
+
+std::atomic<int>& ActiveLevelStorage() {
+  // Initialized on first use: detected level, demoted to scalar when the
+  // environment pins reproducible kernels.
+  static std::atomic<int> active{static_cast<int>(
+      ForceScalarFromEnv() ? SimdLevel::kScalar : DetectedSimdLevel())};
+  return active;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel detected = DetectOnce();
+  return detected;
+}
+
+bool ForceScalarFromEnv() {
+  const char* v = std::getenv("LAN_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' &&
+         !(v[0] == '0' && v[1] == '\0');
+}
+
+SimdLevel ActiveSimdLevel() {
+  return static_cast<SimdLevel>(
+      ActiveLevelStorage().load(std::memory_order_relaxed));
+}
+
+void SetActiveSimdLevel(SimdLevel level) {
+  if (level > DetectedSimdLevel()) level = DetectedSimdLevel();
+  ActiveLevelStorage().store(static_cast<int>(level),
+                             std::memory_order_relaxed);
+}
+
+}  // namespace lan

@@ -1,0 +1,44 @@
+#ifndef LAN_COMMON_CPU_FEATURES_H_
+#define LAN_COMMON_CPU_FEATURES_H_
+
+namespace lan {
+
+/// \brief Vector ISA tiers the kernel layer can dispatch to. Levels are
+/// ordered: every level implies the ones below it, so "run at level L"
+/// is meaningful for any L <= the detected level.
+enum class SimdLevel : int {
+  /// Portable C++ only — the reference implementations. Always available,
+  /// and bit-for-bit identical to the pre-dispatch code on every host.
+  kScalar = 0,
+  /// AVX2 + FMA (256-bit lanes).
+  kAvx2 = 1,
+  /// AVX-512 F (512-bit lanes; implies AVX2 + FMA in practice on every
+  /// CPU that ships it, and we require both).
+  kAvx512 = 2,
+};
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest level the host CPU supports (queried once, cached). On
+/// non-x86 builds this is always kScalar.
+SimdLevel DetectedSimdLevel();
+
+/// Level the kernel layer currently dispatches to. Starts at
+/// DetectedSimdLevel(), or kScalar when the LAN_FORCE_SCALAR environment
+/// variable is set to a non-empty value other than "0" at first use.
+SimdLevel ActiveSimdLevel();
+
+/// Pins dispatch to `level` (clamped to DetectedSimdLevel(): requesting
+/// an ISA the host lacks selects the best available instead). Used by
+/// `lan_tool --force-scalar`, the dispatch tests, and benches; safe to
+/// call at any time, but concurrently running kernels finish on the
+/// table they already loaded.
+void SetActiveSimdLevel(SimdLevel level);
+
+/// True when the LAN_FORCE_SCALAR environment variable requests scalar
+/// kernels (set and neither empty nor "0").
+bool ForceScalarFromEnv();
+
+}  // namespace lan
+
+#endif  // LAN_COMMON_CPU_FEATURES_H_

@@ -5,32 +5,43 @@
 #include <tuple>
 
 #include "common/logging.h"
+#include "ged/ged_scratch.h"
 
 namespace lan {
 
 // Jonker–Volgenant style shortest augmenting path (a.k.a. the "lap"
 // algorithm as used by scipy.optimize.linear_sum_assignment).
-Assignment SolveAssignment(const CostMatrix& cost) {
+void SolveAssignmentInto(const CostMatrix& cost, Assignment* out) {
   const int32_t n = cost.n();
-  Assignment result;
-  result.row_to_col.assign(static_cast<size_t>(n), -1);
-  if (n == 0) return result;
+  out->cost = 0.0;
+  out->row_to_col.assign(static_cast<size_t>(n), -1);
+  if (n == 0) return;
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  GedScratch& s = ThreadGedScratch();
   // Potentials for rows (u) and columns (v); 1-indexed internally with a
   // virtual row/column 0 to simplify the augmenting loop.
-  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
-  std::vector<double> v(static_cast<size_t>(n) + 1, 0.0);
-  std::vector<int32_t> col_to_row(static_cast<size_t>(n) + 1, 0);
-  std::vector<int32_t> way(static_cast<size_t>(n) + 1, 0);
+  std::vector<double>& u = s.jv_u;
+  std::vector<double>& v = s.jv_v;
+  std::vector<int32_t>& col_to_row = s.jv_col_to_row;
+  std::vector<int32_t>& way = s.jv_way;
+  std::vector<double>& minv = s.jv_minv;
+  std::vector<uint8_t>& used = s.jv_used;
+  u.assign(static_cast<size_t>(n) + 1, 0.0);
+  v.assign(static_cast<size_t>(n) + 1, 0.0);
+  col_to_row.assign(static_cast<size_t>(n) + 1, 0);
+  way.assign(static_cast<size_t>(n) + 1, 0);
+  minv.resize(static_cast<size_t>(n) + 1);
+  used.resize(static_cast<size_t>(n) + 1);
 
   for (int32_t i = 1; i <= n; ++i) {
     col_to_row[0] = i;
     int32_t j0 = 0;
-    std::vector<double> minv(static_cast<size_t>(n) + 1, kInf);
-    std::vector<bool> used(static_cast<size_t>(n) + 1, false);
+    // Refilled per augmenting row (the former per-row allocations).
+    std::fill(minv.begin(), minv.end(), kInf);
+    std::fill(used.begin(), used.end(), uint8_t{0});
     do {
-      used[static_cast<size_t>(j0)] = true;
+      used[static_cast<size_t>(j0)] = 1;
       const int32_t i0 = col_to_row[static_cast<size_t>(j0)];
       double delta = kInf;
       int32_t j1 = -1;
@@ -67,41 +78,54 @@ Assignment SolveAssignment(const CostMatrix& cost) {
     } while (j0 != 0);
   }
 
-  result.cost = 0.0;
   for (int32_t j = 1; j <= n; ++j) {
     const int32_t i = col_to_row[static_cast<size_t>(j)];
     if (i > 0) {
-      result.row_to_col[static_cast<size_t>(i - 1)] = j - 1;
-      result.cost += cost.at(i - 1, j - 1);
+      out->row_to_col[static_cast<size_t>(i - 1)] = j - 1;
+      out->cost += cost.at(i - 1, j - 1);
     }
   }
+}
+
+Assignment SolveAssignment(const CostMatrix& cost) {
+  Assignment result;
+  SolveAssignmentInto(cost, &result);
   return result;
 }
 
-Assignment SolveAssignmentGreedy(const CostMatrix& cost) {
+void SolveAssignmentGreedyInto(const CostMatrix& cost, Assignment* out) {
   const int32_t n = cost.n();
-  Assignment result;
-  result.row_to_col.assign(static_cast<size_t>(n), -1);
-  if (n == 0) return result;
+  out->cost = 0.0;
+  out->row_to_col.assign(static_cast<size_t>(n), -1);
+  if (n == 0) return;
 
-  std::vector<std::tuple<double, int32_t, int32_t>> cells;
+  GedScratch& s = ThreadGedScratch();
+  std::vector<std::tuple<double, int32_t, int32_t>>& cells = s.greedy_cells;
+  cells.clear();
   cells.reserve(static_cast<size_t>(n) * n);
   for (int32_t r = 0; r < n; ++r) {
     for (int32_t c = 0; c < n; ++c) cells.emplace_back(cost.at(r, c), r, c);
   }
   std::sort(cells.begin(), cells.end());
-  std::vector<bool> row_used(static_cast<size_t>(n), false);
-  std::vector<bool> col_used(static_cast<size_t>(n), false);
+  std::vector<uint8_t>& row_used = s.greedy_row_used;
+  std::vector<uint8_t>& col_used = s.greedy_col_used;
+  row_used.assign(static_cast<size_t>(n), 0);
+  col_used.assign(static_cast<size_t>(n), 0);
   int32_t assigned = 0;
   for (const auto& [c, r, col] : cells) {
     if (row_used[static_cast<size_t>(r)] || col_used[static_cast<size_t>(col)])
       continue;
-    row_used[static_cast<size_t>(r)] = true;
-    col_used[static_cast<size_t>(col)] = true;
-    result.row_to_col[static_cast<size_t>(r)] = col;
-    result.cost += c;
+    row_used[static_cast<size_t>(r)] = 1;
+    col_used[static_cast<size_t>(col)] = 1;
+    out->row_to_col[static_cast<size_t>(r)] = col;
+    out->cost += c;
     if (++assigned == n) break;
   }
+}
+
+Assignment SolveAssignmentGreedy(const CostMatrix& cost) {
+  Assignment result;
+  SolveAssignmentGreedyInto(cost, &result);
   return result;
 }
 

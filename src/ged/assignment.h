@@ -10,8 +10,17 @@ namespace lan {
 /// \brief Dense square cost matrix for assignment problems.
 class CostMatrix {
  public:
+  CostMatrix() = default;
   CostMatrix(int32_t n, double fill = 0.0)
       : n_(n), data_(static_cast<size_t>(n) * n, fill) {}
+
+  /// Re-dimensions to n x n filled with `fill`, reusing the existing
+  /// storage (no allocation once the matrix has reached its high-water
+  /// size). Equivalent to assigning a freshly constructed matrix.
+  void Reset(int32_t n, double fill = 0.0) {
+    n_ = n;
+    data_.assign(static_cast<size_t>(n) * n, fill);
+  }
 
   double& at(int32_t r, int32_t c) {
     return data_[static_cast<size_t>(r) * n_ + c];
@@ -22,7 +31,7 @@ class CostMatrix {
   int32_t n() const { return n_; }
 
  private:
-  int32_t n_;
+  int32_t n_ = 0;
   std::vector<double> data_;
 };
 
@@ -39,10 +48,17 @@ struct Assignment {
 /// approximations (they differ in the cost matrices they build, Sec. VII).
 Assignment SolveAssignment(const CostMatrix& cost);
 
+/// Allocation-free variant: writes into `out` (reusing its capacity) and
+/// draws working arrays from the thread's GedScratch.
+void SolveAssignmentInto(const CostMatrix& cost, Assignment* out);
+
 /// \brief Greedy (suboptimal) assignment: repeatedly picks the globally
 /// cheapest remaining cell. O(n^2 log n). Used as a fast baseline and in
 /// tests as a sanity upper bound for the optimal solver.
 Assignment SolveAssignmentGreedy(const CostMatrix& cost);
+
+/// Allocation-free variant of the greedy solver (see SolveAssignmentInto).
+void SolveAssignmentGreedyInto(const CostMatrix& cost, Assignment* out);
 
 }  // namespace lan
 

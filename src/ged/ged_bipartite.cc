@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "ged/assignment.h"
+#include "ged/ged_scratch.h"
 
 namespace lan {
 namespace {
@@ -14,16 +15,21 @@ namespace {
 constexpr double kForbidden = 1e9;
 
 /// Sorted far-endpoint label list of every node (one pass per graph, so
-/// the O(n1*n2) substitution cells below don't re-sort per cell).
-std::vector<std::vector<Label>> SortedNeighborLabels(const Graph& g) {
-  std::vector<std::vector<Label>> out(static_cast<size_t>(g.NumNodes()));
+/// the O(n1*n2) substitution cells below don't re-sort per cell). Flat CSR
+/// layout into reusable buffers: node v's labels live at
+/// [offsets[v], offsets[v + 1]).
+void SortedNeighborLabels(const Graph& g, std::vector<Label>* labels,
+                          std::vector<int32_t>* offsets) {
+  labels->clear();
+  offsets->clear();
+  offsets->reserve(static_cast<size_t>(g.NumNodes()) + 1);
+  offsets->push_back(0);
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
-    auto& labels = out[static_cast<size_t>(v)];
-    labels.reserve(static_cast<size_t>(g.Degree(v)));
-    for (NodeId t : g.Neighbors(v)) labels.push_back(g.label(t));
-    std::sort(labels.begin(), labels.end());
+    const size_t begin = labels->size();
+    for (NodeId t : g.Neighbors(v)) labels->push_back(g.label(t));
+    std::sort(labels->begin() + static_cast<ptrdiff_t>(begin), labels->end());
+    offsets->push_back(static_cast<int32_t>(labels->size()));
   }
-  return out;
 }
 
 /// Local edge-structure substitution cost for mapping u (of g1) onto v
@@ -31,11 +37,10 @@ std::vector<std::vector<Label>> SortedNeighborLabels(const Graph& g) {
 /// incident edge is described by the label of its far endpoint. Edges whose
 /// far labels cannot be paired each need one edit, shared between two
 /// endpoints, so we charge half per endpoint.
-double LocalEdgeCost(const std::vector<Label>& lu,
-                     const std::vector<Label>& lv) {
+double LocalEdgeCost(const Label* lu, size_t nu, const Label* lv, size_t nv) {
   size_t common = 0;
   size_t i = 0, j = 0;
-  while (i < lu.size() && j < lv.size()) {
+  while (i < nu && j < nv) {
     if (lu[i] == lv[j]) {
       ++common;
       ++i;
@@ -46,31 +51,38 @@ double LocalEdgeCost(const std::vector<Label>& lu,
       ++j;
     }
   }
-  const size_t unmatched = std::max(lu.size(), lv.size()) - common;
+  const size_t unmatched = std::max(nu, nv) - common;
   return 0.5 * static_cast<double>(unmatched);
 }
 
 /// Builds the classical (n1+n2) square Riesen–Bunke matrix:
 ///   [ substitution | deletion  ]
 ///   [ insertion    | zero      ]
-CostMatrix BuildMatrix(const Graph& g1, const Graph& g2,
-                       bool with_local_edges, const GedCosts& costs) {
+/// into the scratch's reusable storage.
+void BuildMatrix(const Graph& g1, const Graph& g2, bool with_local_edges,
+                 const GedCosts& costs, GedScratch* s) {
   const int32_t n1 = g1.NumNodes();
   const int32_t n2 = g2.NumNodes();
-  std::vector<std::vector<Label>> nl1, nl2;
   if (with_local_edges) {
-    nl1 = SortedNeighborLabels(g1);
-    nl2 = SortedNeighborLabels(g2);
+    SortedNeighborLabels(g1, &s->labels1, &s->offsets1);
+    SortedNeighborLabels(g2, &s->labels2, &s->offsets2);
   }
-  CostMatrix cost(n1 + n2, 0.0);
+  CostMatrix& cost = s->cost_matrix;
+  cost.Reset(n1 + n2, 0.0);
   for (int32_t i = 0; i < n1; ++i) {
     for (int32_t j = 0; j < n2; ++j) {
       const double edge_op = 0.5 * (costs.edge_delete + costs.edge_insert);
       double c =
           (g1.label(i) != g2.label(j)) ? costs.node_relabel : 0.0;
       if (with_local_edges) {
-        c += edge_op * LocalEdgeCost(nl1[static_cast<size_t>(i)],
-                                     nl2[static_cast<size_t>(j)]);
+        const int32_t u0 = s->offsets1[static_cast<size_t>(i)];
+        const int32_t u1 = s->offsets1[static_cast<size_t>(i) + 1];
+        const int32_t v0 = s->offsets2[static_cast<size_t>(j)];
+        const int32_t v1 = s->offsets2[static_cast<size_t>(j) + 1];
+        c += edge_op * LocalEdgeCost(s->labels1.data() + u0,
+                                     static_cast<size_t>(u1 - u0),
+                                     s->labels2.data() + v0,
+                                     static_cast<size_t>(v1 - v0));
       } else {
         // VJ variant: coarse degree-difference penalty.
         c += edge_op * 0.5 * std::abs(g1.Degree(i) - g2.Degree(j));
@@ -93,43 +105,56 @@ CostMatrix BuildMatrix(const Graph& g1, const Graph& g2,
     }
     // epsilon -> epsilon corner: free.
   }
-  return cost;
 }
 
-ApproxGedResult FromAssignment(const Graph& g1, const Graph& g2,
-                               const Assignment& assignment,
-                               const GedCosts& costs) {
+void FromAssignment(const Graph& g1, const Graph& g2,
+                    const Assignment& assignment, const GedCosts& costs,
+                    ApproxGedResult* result) {
   const int32_t n2 = g2.NumNodes();
-  ApproxGedResult result;
-  result.mapping.image.assign(static_cast<size_t>(g1.NumNodes()), kEpsilon);
+  result->mapping.image.assign(static_cast<size_t>(g1.NumNodes()), kEpsilon);
   for (NodeId u = 0; u < g1.NumNodes(); ++u) {
     const int32_t col = assignment.row_to_col[static_cast<size_t>(u)];
-    result.mapping.image[static_cast<size_t>(u)] =
+    result->mapping.image[static_cast<size_t>(u)] =
         (col >= 0 && col < n2) ? col : kEpsilon;
   }
-  LAN_DCHECK(result.mapping.IsValid(n2));
+  LAN_DCHECK(result->mapping.IsValid(n2));
   // The assignment objective is only an estimate; the true upper bound is
   // the exact cost of the induced edit path.
-  result.distance = MapCost(g1, g2, result.mapping, costs);
-  return result;
+  result->distance = MapCost(g1, g2, result->mapping, costs);
 }
 
 }  // namespace
 
+void BipartiteGedHungarianInto(const Graph& g1, const Graph& g2,
+                               const GedCosts& costs, ApproxGedResult* out) {
+  GedScratch& s = ThreadGedScratch();
+  BuildMatrix(g1, g2, /*with_local_edges=*/true, costs, &s);
+  SolveAssignmentInto(s.cost_matrix, &s.assignment);
+  FromAssignment(g1, g2, s.assignment, costs, out);
+}
+
 ApproxGedResult BipartiteGedHungarian(const Graph& g1, const Graph& g2,
                                       const GedCosts& costs) {
-  const CostMatrix cost =
-      BuildMatrix(g1, g2, /*with_local_edges=*/true, costs);
-  return FromAssignment(g1, g2, SolveAssignment(cost), costs);
+  ApproxGedResult result;
+  BipartiteGedHungarianInto(g1, g2, costs, &result);
+  return result;
+}
+
+void BipartiteGedVjInto(const Graph& g1, const Graph& g2,
+                        const GedCosts& costs, ApproxGedResult* out) {
+  // The VJ flavor trades matrix quality for speed: cheap substitution
+  // costs and the greedy solver.
+  GedScratch& s = ThreadGedScratch();
+  BuildMatrix(g1, g2, /*with_local_edges=*/false, costs, &s);
+  SolveAssignmentGreedyInto(s.cost_matrix, &s.assignment);
+  FromAssignment(g1, g2, s.assignment, costs, out);
 }
 
 ApproxGedResult BipartiteGedVj(const Graph& g1, const Graph& g2,
                                const GedCosts& costs) {
-  // The VJ flavor trades matrix quality for speed: cheap substitution
-  // costs and the greedy solver.
-  const CostMatrix cost =
-      BuildMatrix(g1, g2, /*with_local_edges=*/false, costs);
-  return FromAssignment(g1, g2, SolveAssignmentGreedy(cost), costs);
+  ApproxGedResult result;
+  BipartiteGedVjInto(g1, g2, costs, &result);
+  return result;
 }
 
 }  // namespace lan

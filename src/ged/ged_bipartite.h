@@ -23,11 +23,20 @@ ApproxGedResult BipartiteGedHungarian(
     const Graph& g1, const Graph& g2,
     const GedCosts& costs = GedCosts::Uniform());
 
+/// Allocation-free variant: writes into `out` (reusing its mapping's
+/// capacity) and draws all working storage from the thread's GedScratch.
+void BipartiteGedHungarianInto(const Graph& g1, const Graph& g2,
+                               const GedCosts& costs, ApproxGedResult* out);
+
 /// \brief Faster bipartite GED ("VJ" in the paper's protocol, after
 /// Fankhauser et al.): same framework with cheap degree-difference
 /// substitution costs instead of local edge assignments.
 ApproxGedResult BipartiteGedVj(const Graph& g1, const Graph& g2,
                                const GedCosts& costs = GedCosts::Uniform());
+
+/// Allocation-free variant of the VJ flavor (see BipartiteGedHungarianInto).
+void BipartiteGedVjInto(const Graph& g1, const Graph& g2,
+                        const GedCosts& costs, ApproxGedResult* out);
 
 }  // namespace lan
 

@@ -5,6 +5,7 @@
 #include "ged/ged_beam.h"
 #include "ged/ged_lower_bounds.h"
 #include "ged/ged_bipartite.h"
+#include "ged/ged_scratch.h"
 
 namespace lan {
 
@@ -23,9 +24,14 @@ const char* GedMethodName(GedMethod method) {
 }
 
 GedValue GedComputer::Compute(const Graph& g1, const Graph& g2) const {
-  // Approximate upper bounds (also used to prune the exact search).
-  const ApproxGedResult vj = BipartiteGedVj(g1, g2, options_.costs);
-  const ApproxGedResult hung = BipartiteGedHungarian(g1, g2, options_.costs);
+  // Approximate upper bounds (also used to prune the exact search). The
+  // results live in the thread's scratch, so the dominant per-distance
+  // path (approximate_only) allocates nothing in the steady state.
+  GedScratch& s = ThreadGedScratch();
+  BipartiteGedVjInto(g1, g2, options_.costs, &s.vj_result);
+  BipartiteGedHungarianInto(g1, g2, options_.costs, &s.hung_result);
+  const ApproxGedResult& vj = s.vj_result;
+  const ApproxGedResult& hung = s.hung_result;
 
   GedValue best;
   best.distance = vj.distance;

@@ -1,0 +1,10 @@
+#include "ged/ged_scratch.h"
+
+namespace lan {
+
+GedScratch& ThreadGedScratch() {
+  static thread_local GedScratch scratch;
+  return scratch;
+}
+
+}  // namespace lan

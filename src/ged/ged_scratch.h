@@ -1,0 +1,48 @@
+#ifndef LAN_GED_GED_SCRATCH_H_
+#define LAN_GED_GED_SCRATCH_H_
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "ged/assignment.h"
+#include "ged/ged_bipartite.h"
+#include "graph/graph.h"
+
+namespace lan {
+
+/// \brief Reusable per-thread buffers of the approximate-GED hot path
+/// (bipartite matrix build, assignment solvers, MapCost). A query computes
+/// hundreds of GEDs; pulling these out of the per-call scope makes the
+/// whole d(Q, G) evaluation allocation-free in the steady state.
+///
+/// Every member is private to one call frame of the function that uses it
+/// (the functions never call each other through the same member), so a
+/// single thread-local instance is safe.
+struct GedScratch {
+  // --- SolveAssignment (Jonker–Volgenant) ---
+  std::vector<double> jv_u, jv_v, jv_minv;
+  std::vector<int32_t> jv_col_to_row, jv_way;
+  std::vector<uint8_t> jv_used;
+  // --- SolveAssignmentGreedy ---
+  std::vector<std::tuple<double, int32_t, int32_t>> greedy_cells;
+  std::vector<uint8_t> greedy_row_used, greedy_col_used;
+  // --- BipartiteGed* ---
+  CostMatrix cost_matrix;
+  Assignment assignment;
+  /// Flattened sorted far-endpoint label lists (CSR layout: node v's
+  /// labels live at [offsets[v], offsets[v + 1])).
+  std::vector<Label> labels1, labels2;
+  std::vector<int32_t> offsets1, offsets2;
+  /// GedComputer::Compute's per-call results.
+  ApproxGedResult vj_result, hung_result;
+  // --- MapCost ---
+  std::vector<NodeId> preimage;
+};
+
+/// The calling thread's GED scratch (created on first use).
+GedScratch& ThreadGedScratch();
+
+}  // namespace lan
+
+#endif  // LAN_GED_GED_SCRATCH_H_

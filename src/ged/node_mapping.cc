@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "ged/ged_scratch.h"
 
 namespace lan {
 
@@ -23,7 +24,8 @@ double MapCost(const Graph& g1, const Graph& g2, const NodeMapping& map,
   LAN_DCHECK(map.IsValid(g2.NumNodes()));
 
   double cost = 0.0;
-  std::vector<NodeId> preimage(static_cast<size_t>(g2.NumNodes()), kEpsilon);
+  std::vector<NodeId>& preimage = ThreadGedScratch().preimage;
+  preimage.assign(static_cast<size_t>(g2.NumNodes()), kEpsilon);
   int32_t matched = 0;
   for (NodeId u = 0; u < g1.NumNodes(); ++u) {
     const NodeId v = map.image[static_cast<size_t>(u)];
@@ -37,20 +39,28 @@ double MapCost(const Graph& g1, const Graph& g2, const NodeMapping& map,
   }
   cost += (g2.NumNodes() - matched) * costs.node_insert;
 
-  // Edge deletions: g1 edges whose image is not an edge of g2.
-  for (const auto& [u1, u2] : g1.Edges()) {
-    const NodeId v1 = map.image[static_cast<size_t>(u1)];
-    const NodeId v2 = map.image[static_cast<size_t>(u2)];
-    if (v1 == kEpsilon || v2 == kEpsilon || !g2.HasEdge(v1, v2)) {
-      cost += costs.edge_delete;
+  // Edge deletions: g1 edges whose image is not an edge of g2. Iterated
+  // in place (same u < v order as Graph::Edges()) to avoid materializing
+  // the edge list.
+  for (NodeId u1 = 0; u1 < g1.NumNodes(); ++u1) {
+    for (NodeId u2 : g1.Neighbors(u1)) {
+      if (u1 >= u2) continue;
+      const NodeId v1 = map.image[static_cast<size_t>(u1)];
+      const NodeId v2 = map.image[static_cast<size_t>(u2)];
+      if (v1 == kEpsilon || v2 == kEpsilon || !g2.HasEdge(v1, v2)) {
+        cost += costs.edge_delete;
+      }
     }
   }
   // Edge insertions: g2 edges not covered by the image of a g1 edge.
-  for (const auto& [v1, v2] : g2.Edges()) {
-    const NodeId u1 = preimage[static_cast<size_t>(v1)];
-    const NodeId u2 = preimage[static_cast<size_t>(v2)];
-    if (u1 == kEpsilon || u2 == kEpsilon || !g1.HasEdge(u1, u2)) {
-      cost += costs.edge_insert;
+  for (NodeId v1 = 0; v1 < g2.NumNodes(); ++v1) {
+    for (NodeId v2 : g2.Neighbors(v1)) {
+      if (v1 >= v2) continue;
+      const NodeId u1 = preimage[static_cast<size_t>(v1)];
+      const NodeId u2 = preimage[static_cast<size_t>(v2)];
+      if (u1 == kEpsilon || u2 == kEpsilon || !g1.HasEdge(u1, u2)) {
+        cost += costs.edge_insert;
+      }
     }
   }
   return cost;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "graph/wl_labeling.h"
+#include "nn/kernels.h"
 
 namespace lan {
 namespace {
@@ -75,12 +76,8 @@ std::vector<std::vector<float>> EmbedDatabase(const GraphDatabase& db,
 
 double SquaredL2(const std::vector<float>& a, const std::vector<float>& b) {
   LAN_CHECK_EQ(a.size(), b.size());
-  double total = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    total += d * d;
-  }
-  return total;
+  return ActiveKernels().l2sq(a.data(), b.data(),
+                              static_cast<int64_t>(a.size()));
 }
 
 }  // namespace lan

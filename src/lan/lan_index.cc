@@ -697,8 +697,23 @@ Status LanIndex::Ready(const SearchOptions& options) const {
 SearchResult LanIndex::Search(const Graph& query,
                               const SearchOptions& options) const {
   SearchResult out;
+  SearchInto(query, options, &out);
+  return out;
+}
+
+void LanIndex::SearchInto(const Graph& query, const SearchOptions& options,
+                          SearchResult* out_ptr) const {
+  SearchResult& out = *out_ptr;
+  out.results.clear();
+  out.stats = SearchStats{};
+  out.epoch = 0;
   out.status = Ready(options);
-  if (!out.status.ok()) return out;
+  if (!out.status.ok()) return;
+
+  // Per-query working state: dense visited/cache arrays, candidate pool
+  // storage, and result buffers, reused across the thread's queries.
+  ScratchLease lease(nullptr);
+  SearchScratch* scratch = lease.get();
 
   // Pin this query's epoch: everything below reads `snap`, never the
   // index members, so a concurrent Insert/Remove publishing a successor
@@ -730,7 +745,7 @@ SearchResult LanIndex::Search(const Graph& query,
   }
 
   Timer total_timer;
-  DistanceOracle oracle(db_, &query, &query_ged_, &out.stats, sink);
+  DistanceOracle oracle(db_, &query, &query_ged_, &out.stats, sink, scratch);
 
   // Deterministic per-query randomness.
   uint64_t qhash = config_.seed;
@@ -760,6 +775,7 @@ SearchResult LanIndex::Search(const Graph& query,
                                   snap->embeddings.get(), snap->cgs.get(),
                                   &query_cg, &config_.embedding,
                                   config_.use_compressed_gnn, init_options);
+      selector.set_scratch(scratch);
       start = selector.Select(&oracle, &rng);
       break;
     }
@@ -774,7 +790,7 @@ SearchResult LanIndex::Search(const Graph& query,
 
   // ---- Routing. ----
   const ProximityGraph& base = snap->hnsw->BaseLayer();
-  RoutingResult routed;
+  RoutingResult& routed = scratch->routing;
   switch (routing) {
     case RoutingMethod::kLanRoute: {
       LearnedNeighborRanker ranker(rank_model_.get(), snap->cgs.get(),
@@ -785,7 +801,7 @@ SearchResult LanIndex::Search(const Graph& query,
       opts.k = k;
       opts.step_size = config_.step_size;
       opts.live = live;
-      routed = NpRoute(base, &oracle, &ranker, start, opts);
+      NpRouteInto(base, &oracle, &ranker, start, opts, scratch, &routed);
       break;
     }
     case RoutingMethod::kOracleRoute: {
@@ -795,15 +811,16 @@ SearchResult LanIndex::Search(const Graph& query,
       opts.k = k;
       opts.step_size = config_.step_size;
       opts.live = live;
-      routed = NpRoute(base, &oracle, &ranker, start, opts);
+      NpRouteInto(base, &oracle, &ranker, start, opts, scratch, &routed);
       break;
     }
     case RoutingMethod::kBaselineRoute:
-      routed = BeamSearchRoute(base, &oracle, start, beam, k, live);
+      BeamSearchRouteInto(base, &oracle, start, beam, k, live, scratch,
+                          &routed);
       break;
   }
 
-  out.results = std::move(routed.results);
+  out.results.assign(routed.results.begin(), routed.results.end());
   out.stats.other_seconds = std::max(
       0.0, total_timer.ElapsedSeconds() - out.stats.distance_seconds -
                out.stats.learning_seconds);
@@ -816,7 +833,6 @@ SearchResult LanIndex::Search(const Graph& query,
     event.aux = static_cast<double>(out.stats.routing_steps);
     sink->Record(event);
   }
-  return out;
 }
 
 }  // namespace lan

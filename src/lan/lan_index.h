@@ -260,6 +260,13 @@ class LanIndex {
   /// instead of crashing or silently degrading.
   SearchResult Search(const Graph& query, const SearchOptions& options) const;
 
+  /// Allocation-free variant: writes into `out`, reusing its vectors'
+  /// capacity (all fields are reset first). Per-query working state comes
+  /// from the calling thread's SearchScratch, so a warmed-up thread serving
+  /// baseline-routed queries performs zero heap allocations per query.
+  void SearchInto(const Graph& query, const SearchOptions& options,
+                  SearchResult* out) const;
+
   /// Full LAN search (LAN_IS + LAN_Route).
   /// DEPRECATED(kept as a thin forwarder): prefer Search(query, options).
   SearchResult Search(const Graph& query, int k) const {

@@ -19,7 +19,10 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
       EmbedGraph(oracle->query(), *embedding_options_);
   const std::vector<float> counts = cluster_model_->PredictCounts(
       query_embedding, clusters_->centroids, sink);
-  std::vector<size_t> cluster_order(counts.size());
+  std::vector<size_t> local_order;
+  std::vector<size_t>& cluster_order =
+      scratch_ != nullptr ? scratch_->order_buffer : local_order;
+  cluster_order.resize(counts.size());
   std::iota(cluster_order.begin(), cluster_order.end(), 0);
   std::stable_sort(cluster_order.begin(), cluster_order.end(),
                    [&](size_t a, size_t b) { return counts[a] > counts[b]; });
@@ -42,7 +45,10 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
   // 2) Member-level prediction with M_nh: gather every member of the
   // scanned clusters (in scan order) and score them in one batched
   // inference pass against the query encoded once.
-  std::vector<GraphId> candidates;
+  std::vector<GraphId> local_candidates;
+  std::vector<GraphId>& candidates =
+      scratch_ != nullptr ? scratch_->init_candidates : local_candidates;
+  candidates.clear();
   for (size_t i = 0; i < scan; ++i) {
     for (int32_t member : clusters_->members[cluster_order[i]]) {
       candidates.push_back(static_cast<GraphId>(member));

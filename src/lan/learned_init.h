@@ -8,6 +8,7 @@
 #include "lan/kmeans.h"
 #include "lan/neighborhood_model.h"
 #include "pg/init_selector.h"
+#include "pg/search_scratch.h"
 
 namespace lan {
 
@@ -48,6 +49,10 @@ class LanInitialSelector : public InitialSelector {
 
   GraphId Select(DistanceOracle* oracle, Rng* rng) override;
 
+  /// Optional per-query scratch: Select's gather buffers (candidate list,
+  /// cluster scan order) reuse the scratch's storage instead of allocating.
+  void set_scratch(SearchScratch* scratch) { scratch_ = scratch; }
+
   /// The predicted neighborhood of the last Select call (for diagnostics).
   const std::vector<GraphId>& last_predicted_neighborhood() const {
     return predicted_;
@@ -63,6 +68,7 @@ class LanInitialSelector : public InitialSelector {
   const EmbeddingOptions* embedding_options_;
   bool use_compressed_;
   LanInitOptions options_;
+  SearchScratch* scratch_ = nullptr;
   std::vector<GraphId> predicted_;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/kernels.h"
 
 namespace lan {
 
@@ -60,10 +61,11 @@ VarId PairScorer::ForwardRaw(Tape* tape, const Graph& g, const Graph& q,
 namespace {
 
 std::vector<float> SigmoidRow(const Matrix& logits) {
-  std::vector<float> out(static_cast<size_t>(logits.cols()));
-  for (int32_t j = 0; j < logits.cols(); ++j) {
-    out[static_cast<size_t>(j)] = 1.0f / (1.0f + std::exp(-logits.at(0, j)));
-  }
+  // Row 0 is contiguous: copy it out, then squash in place via the kernel
+  // table (scalar at every level — see docs/kernels.md).
+  std::vector<float> out(logits.data(),
+                         logits.data() + static_cast<size_t>(logits.cols()));
+  ActiveKernels().sigmoid(out.data(), static_cast<int64_t>(out.size()));
   return out;
 }
 

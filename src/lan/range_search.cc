@@ -80,9 +80,9 @@ RangeSearchResult RangeSearchApproximate(const LanIndex& index,
   // Harvest every encountered pair within the threshold: the routing's
   // second stage swept thresholds outward, so the cache covers the
   // query's vicinity.
-  for (const auto& [id, d] : oracle.cached()) {
+  oracle.ForEachCached([&](GraphId id, double d) {
     if (d <= threshold) out.results.emplace_back(id, d);
-  }
+  });
   SortAscending(&out.results);
   out.stats.verified = stats.ndc;
   out.stats.seconds = timer.ElapsedSeconds();

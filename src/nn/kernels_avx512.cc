@@ -1,0 +1,277 @@
+// AVX-512 kernel table (avx512f zmm lanes + native masking). Selected at
+// runtime only when cpuid reports avx512f+avx512bw on top of avx2+fma; the
+// TU compiles to a stub on non-x86 builds. Same bitwise contract as the
+// AVX2 table: one FMA chain per GEMM output element, chain shape a function
+// of (k, n) only; elementwise passes exact.
+
+#include "nn/kernels.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#define LAN_AVX512 __attribute__((target("avx512f")))
+
+namespace lan {
+namespace {
+
+LAN_AVX512 void MatMulAccumulateAvx512(const float* a, int32_t m, int32_t k,
+                                       const float* b, int32_t n, float* c) {
+  int32_t j0 = 0;
+  // 32-column blocks, 4 rows at a time: 8 independent FMA chains.
+  for (; j0 + 32 <= n; j0 += 32) {
+    int32_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      __m512 acc[4][2];
+      for (int32_t r = 0; r < 4; ++r) {
+        const float* crow = c + static_cast<size_t>(i + r) * n + j0;
+        acc[r][0] = _mm512_loadu_ps(crow);
+        acc[r][1] = _mm512_loadu_ps(crow + 16);
+      }
+      for (int32_t p = 0; p < k; ++p) {
+        const float* bp = b + static_cast<size_t>(p) * n + j0;
+        const __m512 b0 = _mm512_loadu_ps(bp);
+        const __m512 b1 = _mm512_loadu_ps(bp + 16);
+        for (int32_t r = 0; r < 4; ++r) {
+          const __m512 av =
+              _mm512_set1_ps(a[static_cast<size_t>(i + r) * k + p]);
+          acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+          acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+        }
+      }
+      for (int32_t r = 0; r < 4; ++r) {
+        float* crow = c + static_cast<size_t>(i + r) * n + j0;
+        _mm512_storeu_ps(crow, acc[r][0]);
+        _mm512_storeu_ps(crow + 16, acc[r][1]);
+      }
+    }
+    for (; i < m; ++i) {
+      float* crow = c + static_cast<size_t>(i) * n + j0;
+      const float* arow = a + static_cast<size_t>(i) * k;
+      __m512 acc0 = _mm512_loadu_ps(crow);
+      __m512 acc1 = _mm512_loadu_ps(crow + 16);
+      for (int32_t p = 0; p < k; ++p) {
+        const float* bp = b + static_cast<size_t>(p) * n + j0;
+        const __m512 av = _mm512_set1_ps(arow[p]);
+        acc0 = _mm512_fmadd_ps(av, _mm512_loadu_ps(bp), acc0);
+        acc1 = _mm512_fmadd_ps(av, _mm512_loadu_ps(bp + 16), acc1);
+      }
+      _mm512_storeu_ps(crow, acc0);
+      _mm512_storeu_ps(crow + 16, acc1);
+    }
+  }
+  // At most one full 16-column block.
+  if (j0 + 16 <= n) {
+    int32_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      __m512 acc[4];
+      for (int32_t r = 0; r < 4; ++r) {
+        acc[r] = _mm512_loadu_ps(c + static_cast<size_t>(i + r) * n + j0);
+      }
+      for (int32_t p = 0; p < k; ++p) {
+        const __m512 bv = _mm512_loadu_ps(b + static_cast<size_t>(p) * n + j0);
+        for (int32_t r = 0; r < 4; ++r) {
+          const __m512 av =
+              _mm512_set1_ps(a[static_cast<size_t>(i + r) * k + p]);
+          acc[r] = _mm512_fmadd_ps(av, bv, acc[r]);
+        }
+      }
+      for (int32_t r = 0; r < 4; ++r) {
+        _mm512_storeu_ps(c + static_cast<size_t>(i + r) * n + j0, acc[r]);
+      }
+    }
+    for (; i < m; ++i) {
+      float* crow = c + static_cast<size_t>(i) * n + j0;
+      const float* arow = a + static_cast<size_t>(i) * k;
+      __m512 acc = _mm512_loadu_ps(crow);
+      for (int32_t p = 0; p < k; ++p) {
+        acc = _mm512_fmadd_ps(
+            _mm512_set1_ps(arow[p]),
+            _mm512_loadu_ps(b + static_cast<size_t>(p) * n + j0), acc);
+      }
+      _mm512_storeu_ps(crow, acc);
+    }
+    j0 += 16;
+  }
+  // Masked tail: 1..15 columns (and the whole GEMV case n < 16).
+  if (j0 < n) {
+    const __mmask16 mask =
+        static_cast<__mmask16>((1u << (n - j0)) - 1u);
+    for (int32_t i = 0; i < m; ++i) {
+      float* crow = c + static_cast<size_t>(i) * n + j0;
+      const float* arow = a + static_cast<size_t>(i) * k;
+      __m512 acc = _mm512_maskz_loadu_ps(mask, crow);
+      for (int32_t p = 0; p < k; ++p) {
+        const __m512 bv =
+            _mm512_maskz_loadu_ps(mask, b + static_cast<size_t>(p) * n + j0);
+        acc = _mm512_fmadd_ps(_mm512_set1_ps(arow[p]), bv, acc);
+      }
+      _mm512_mask_storeu_ps(crow, mask, acc);
+    }
+  }
+}
+
+LAN_AVX512 float DotAvx512(const float* a, const float* b, int32_t n) {
+  __m512 s0 = _mm512_setzero_ps();
+  __m512 s1 = _mm512_setzero_ps();
+  __m512 s2 = _mm512_setzero_ps();
+  __m512 s3 = _mm512_setzero_ps();
+  int32_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    s0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), s0);
+    s1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                         _mm512_loadu_ps(b + i + 16), s1);
+    s2 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 32),
+                         _mm512_loadu_ps(b + i + 32), s2);
+    s3 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 48),
+                         _mm512_loadu_ps(b + i + 48), s3);
+  }
+  for (; i + 16 <= n; i += 16) {
+    s0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), s0);
+  }
+  float sum = _mm512_reduce_add_ps(
+      _mm512_add_ps(_mm512_add_ps(s0, s1), _mm512_add_ps(s2, s3)));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+LAN_AVX512 void AxpyAvx512(float* y, float a, const float* x, int64_t n) {
+  const __m512 av = _mm512_set1_ps(a);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        y + i, _mm512_fmadd_ps(av, _mm512_loadu_ps(x + i),
+                               _mm512_loadu_ps(y + i)));
+  }
+  if (i < n) {
+    const __mmask16 mask = static_cast<__mmask16>((1u << (n - i)) - 1u);
+    const __m512 xv = _mm512_maskz_loadu_ps(mask, x + i);
+    const __m512 yv = _mm512_maskz_loadu_ps(mask, y + i);
+    _mm512_mask_storeu_ps(y + i, mask, _mm512_fmadd_ps(av, xv, yv));
+  }
+}
+
+LAN_AVX512 void ScaleAvx512(float* x, float a, int64_t n) {
+  const __m512 av = _mm512_set1_ps(a);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, _mm512_mul_ps(_mm512_loadu_ps(x + i), av));
+  }
+  if (i < n) {
+    const __mmask16 mask = static_cast<__mmask16>((1u << (n - i)) - 1u);
+    _mm512_mask_storeu_ps(
+        x + i, mask, _mm512_mul_ps(_mm512_maskz_loadu_ps(mask, x + i), av));
+  }
+}
+
+LAN_AVX512 double L2SqAvx512(const float* a, const float* b, int64_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512d d0 =
+        _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(a + i)),
+                      _mm512_cvtps_pd(_mm256_loadu_ps(b + i)));
+    const __m512d d1 =
+        _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(a + i + 8)),
+                      _mm512_cvtps_pd(_mm256_loadu_ps(b + i + 8)));
+    acc0 = _mm512_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm512_fmadd_pd(d1, d1, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m512d d =
+        _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(a + i)),
+                      _mm512_cvtps_pd(_mm256_loadu_ps(b + i)));
+    acc0 = _mm512_fmadd_pd(d, d, acc0);
+  }
+  double total = _mm512_reduce_add_pd(_mm512_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+LAN_AVX512 void ReluAvx512(float* x, int64_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, _mm512_max_ps(_mm512_loadu_ps(x + i), zero));
+  }
+  if (i < n) {
+    const __mmask16 mask = static_cast<__mmask16>((1u << (n - i)) - 1u);
+    _mm512_mask_storeu_ps(
+        x + i, mask,
+        _mm512_max_ps(_mm512_maskz_loadu_ps(mask, x + i), zero));
+  }
+}
+
+LAN_AVX512 void SoftmaxRowsAvx512(float* data, int32_t rows, int32_t cols) {
+  const __m512 ninf = _mm512_set1_ps(-__builtin_huge_valf());
+  for (int32_t i = 0; i < rows; ++i) {
+    float* row = data + static_cast<size_t>(i) * cols;
+    __m512 vmax = ninf;
+    int32_t j = 0;
+    for (; j + 16 <= cols; j += 16) {
+      vmax = _mm512_max_ps(vmax, _mm512_loadu_ps(row + j));
+    }
+    if (j < cols) {
+      const __mmask16 mask = static_cast<__mmask16>((1u << (cols - j)) - 1u);
+      vmax = _mm512_max_ps(vmax, _mm512_mask_loadu_ps(ninf, mask, row + j));
+    }
+    const float row_max = _mm512_reduce_max_ps(vmax);
+    float total = 0.0f;
+    for (j = 0; j < cols; ++j) {
+      const float e = std::exp(row[j] - row_max);
+      row[j] = e;
+      total += e;
+    }
+    const __m512 vt = _mm512_set1_ps(total);
+    for (j = 0; j + 16 <= cols; j += 16) {
+      _mm512_storeu_ps(row + j,
+                       _mm512_div_ps(_mm512_loadu_ps(row + j), vt));
+    }
+    if (j < cols) {
+      const __mmask16 mask = static_cast<__mmask16>((1u << (cols - j)) - 1u);
+      _mm512_mask_storeu_ps(
+          row + j, mask,
+          _mm512_div_ps(_mm512_maskz_loadu_ps(mask, row + j), vt));
+    }
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelTable* Avx512Kernels() {
+  static const KernelTable table = [] {
+    KernelTable t = ScalarKernels();  // sigmoid stays scalar by design
+    t.name = "avx512";
+    t.matmul_accumulate = &MatMulAccumulateAvx512;
+    t.dot = &DotAvx512;
+    t.axpy = &AxpyAvx512;
+    t.scale = &ScaleAvx512;
+    t.l2sq = &L2SqAvx512;
+    t.relu = &ReluAvx512;
+    t.softmax_rows = &SoftmaxRowsAvx512;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace lan
+
+#else  // non-x86 builds: no AVX-512 table.
+
+namespace lan {
+namespace internal {
+const KernelTable* Avx512Kernels() { return nullptr; }
+}  // namespace internal
+}  // namespace lan
+
+#endif

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "nn/kernels.h"
 
 namespace lan {
 
@@ -30,18 +31,21 @@ Matrix Matrix::OneHotRows(const std::vector<int32_t>& ids, int32_t depth) {
 
 void Matrix::AddInPlace(const Matrix& other) {
   LAN_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  // axpy with a == 1.0f: 1.0f * x == x exactly, so this matches the plain
+  // elementwise add bit for bit at every dispatch level.
+  ActiveKernels().axpy(data_.data(), 1.0f, other.data_.data(),
+                       static_cast<int64_t>(data_.size()));
 }
 
 void Matrix::AddScaledInPlace(const Matrix& other, float scale) {
   LAN_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += scale * other.data_[i];
-  }
+  ActiveKernels().axpy(data_.data(), scale, other.data_.data(),
+                       static_cast<int64_t>(data_.size()));
 }
 
 void Matrix::ScaleInPlace(float scale) {
-  for (float& x : data_) x *= scale;
+  ActiveKernels().scale(data_.data(), scale,
+                        static_cast<int64_t>(data_.size()));
 }
 
 float Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
@@ -63,83 +67,12 @@ std::string Matrix::ShapeString() const {
   return StrFormat("[%dx%d]", rows_, cols_);
 }
 
-namespace {
-
-// Register-tile sizes of the GEMM micro-kernel: a kRowBlock x kColTile
-// block of C is held in registers while the full depth streams through it,
-// so C costs one load and one store per tile instead of one per k-step.
-// Every output element still sums its terms in ascending k through a
-// single accumulator, so results are bitwise identical to the naive loop.
-// Skipping a zero A entry only drops exact +-0.0f products, which never
-// change an accumulator's bits (an accumulator seeded from +0.0 can never
-// become -0.0 under round-to-nearest).
-constexpr int32_t kRowBlock = 4;
-constexpr int32_t kColTile = 8;
-
-}  // namespace
-
 void MatMulAccumulate(const float* a, int32_t m, int32_t k, const float* b,
                       int32_t n, float* c) {
-  const int32_t tiled_cols = n - n % kColTile;
-  for (int32_t j0 = 0; j0 < tiled_cols; j0 += kColTile) {
-    int32_t i = 0;
-    for (; i + kRowBlock <= m; i += kRowBlock) {
-      float acc[kRowBlock][kColTile];
-      for (int32_t r = 0; r < kRowBlock; ++r) {
-        const float* crow = c + static_cast<size_t>(i + r) * n + j0;
-        for (int32_t t = 0; t < kColTile; ++t) acc[r][t] = crow[t];
-      }
-      for (int32_t p = 0; p < k; ++p) {
-        const float* bp = b + static_cast<size_t>(p) * n + j0;
-        for (int32_t r = 0; r < kRowBlock; ++r) {
-          // One-hot inputs and sparse attention rows make zeros common.
-          const float av = a[static_cast<size_t>(i + r) * k + p];
-          if (av == 0.0f) continue;
-          for (int32_t t = 0; t < kColTile; ++t) acc[r][t] += av * bp[t];
-        }
-      }
-      for (int32_t r = 0; r < kRowBlock; ++r) {
-        float* crow = c + static_cast<size_t>(i + r) * n + j0;
-        for (int32_t t = 0; t < kColTile; ++t) crow[t] = acc[r][t];
-      }
-    }
-    for (; i < m; ++i) {
-      const float* arow = a + static_cast<size_t>(i) * k;
-      float* crow = c + static_cast<size_t>(i) * n + j0;
-      float acc[kColTile];
-      for (int32_t t = 0; t < kColTile; ++t) acc[t] = crow[t];
-      for (int32_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* bp = b + static_cast<size_t>(p) * n + j0;
-        for (int32_t t = 0; t < kColTile; ++t) acc[t] += av * bp[t];
-      }
-      for (int32_t t = 0; t < kColTile; ++t) crow[t] = acc[t];
-    }
-  }
-  // Rightmost n % kColTile columns (also the whole GEMV case n == 1 of the
-  // attention score projections): four-lane dot products that break the
-  // add-latency chain. The lane split is a fixed function of k alone, so
-  // any two computations of the same logical element — per-pair or batched,
-  // which stack rows and never columns — still agree bit for bit.
-  for (int32_t i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    float* crow = c + static_cast<size_t>(i) * n;
-    for (int32_t j = tiled_cols; j < n; ++j) {
-      const float* bcol = b + j;
-      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-      int32_t p = 0;
-      for (; p + 4 <= k; p += 4) {
-        acc0 += arow[p] * bcol[static_cast<size_t>(p) * n];
-        acc1 += arow[p + 1] * bcol[(static_cast<size_t>(p) + 1) * n];
-        acc2 += arow[p + 2] * bcol[(static_cast<size_t>(p) + 2) * n];
-        acc3 += arow[p + 3] * bcol[(static_cast<size_t>(p) + 3) * n];
-      }
-      float rest = 0.0f;
-      for (; p < k; ++p) rest += arow[p] * bcol[static_cast<size_t>(p) * n];
-      crow[j] += ((acc0 + acc1) + (acc2 + acc3)) + rest;
-    }
-  }
+  // The scalar reference micro-kernel lives in kernels.cc; SIMD variants in
+  // kernels_avx2.cc / kernels_avx512.cc. Dispatch is one relaxed atomic
+  // load plus an indirect call.
+  ActiveKernels().matmul_accumulate(a, m, k, b, n, c);
 }
 
 Matrix MatMulValues(const Matrix& a, const Matrix& b) {
@@ -150,24 +83,11 @@ Matrix MatMulValues(const Matrix& a, const Matrix& b) {
 }
 
 void ReluInPlace(Matrix* m) {
-  float* p = m->data();
-  const int64_t size = m->size();
-  for (int64_t i = 0; i < size; ++i) p[i] = std::max(0.0f, p[i]);
+  ActiveKernels().relu(m->data(), m->size());
 }
 
 void SoftmaxRowsInPlace(float* data, int32_t rows, int32_t cols) {
-  for (int32_t i = 0; i < rows; ++i) {
-    float* row = data + static_cast<size_t>(i) * cols;
-    float row_max = -std::numeric_limits<float>::infinity();
-    for (int32_t j = 0; j < cols; ++j) row_max = std::max(row_max, row[j]);
-    float total = 0.0f;
-    for (int32_t j = 0; j < cols; ++j) {
-      const float e = std::exp(row[j] - row_max);
-      row[j] = e;
-      total += e;
-    }
-    for (int32_t j = 0; j < cols; ++j) row[j] /= total;
-  }
+  ActiveKernels().softmax_rows(data, rows, cols);
 }
 
 void WeightedMeanRowsInto(const float* data, int32_t rows, int32_t cols,
@@ -178,16 +98,17 @@ void WeightedMeanRowsInto(const float* data, int32_t rows, int32_t cols,
     total += weights[i];
   }
   LAN_CHECK_GT(total, 0.0f);
+  const KernelTable& kt = ActiveKernels();
   for (int32_t i = 0; i < rows; ++i) {
     const float norm = weights[i] / total;
-    const float* row = data + static_cast<size_t>(i) * cols;
-    for (int32_t j = 0; j < cols; ++j) out[j] += norm * row[j];
+    kt.axpy(out, norm, data + static_cast<size_t>(i) * cols, cols);
   }
 }
 
 Matrix MatMulTransposedLhs(const Matrix& a, const Matrix& b) {
   LAN_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
+  const KernelTable& kt = ActiveKernels();
   for (int32_t k = 0; k < a.rows(); ++k) {
     const float* arow = a.data() + static_cast<size_t>(k) * a.cols();
     const float* brow = b.data() + static_cast<size_t>(k) * b.cols();
@@ -195,7 +116,7 @@ Matrix MatMulTransposedLhs(const Matrix& a, const Matrix& b) {
       const float aki = arow[i];
       if (aki == 0.0f) continue;
       float* crow = c.data() + static_cast<size_t>(i) * c.cols();
-      for (int32_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+      kt.axpy(crow, aki, brow, b.cols());
     }
   }
   return c;
@@ -204,13 +125,12 @@ Matrix MatMulTransposedLhs(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransposedRhs(const Matrix& a, const Matrix& b) {
   LAN_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
+  const KernelTable& kt = ActiveKernels();
   for (int32_t i = 0; i < a.rows(); ++i) {
     const float* arow = a.data() + static_cast<size_t>(i) * a.cols();
     for (int32_t j = 0; j < b.rows(); ++j) {
       const float* brow = b.data() + static_cast<size_t>(j) * b.cols();
-      float sum = 0.0f;
-      for (int32_t k = 0; k < a.cols(); ++k) sum += arow[k] * brow[k];
-      c.at(i, j) = sum;
+      c.at(i, j) = kt.dot(arow, brow, a.cols());
     }
   }
   return c;
@@ -219,10 +139,11 @@ Matrix MatMulTransposedRhs(const Matrix& a, const Matrix& b) {
 Matrix SparseMatrix::Apply(const Matrix& x) const {
   LAN_CHECK_EQ(cols, x.rows());
   Matrix out(rows, x.cols());
+  const KernelTable& kt = ActiveKernels();
   for (const Entry& e : entries) {
     const float* xrow = x.data() + static_cast<size_t>(e.col) * x.cols();
     float* orow = out.data() + static_cast<size_t>(e.row) * out.cols();
-    for (int32_t j = 0; j < x.cols(); ++j) orow[j] += e.weight * xrow[j];
+    kt.axpy(orow, e.weight, xrow, x.cols());
   }
   return out;
 }
@@ -230,10 +151,11 @@ Matrix SparseMatrix::Apply(const Matrix& x) const {
 Matrix SparseMatrix::ApplyTransposed(const Matrix& x) const {
   LAN_CHECK_EQ(rows, x.rows());
   Matrix out(cols, x.cols());
+  const KernelTable& kt = ActiveKernels();
   for (const Entry& e : entries) {
     const float* xrow = x.data() + static_cast<size_t>(e.row) * x.cols();
     float* orow = out.data() + static_cast<size_t>(e.col) * out.cols();
-    for (int32_t j = 0; j < x.cols(); ++j) orow[j] += e.weight * xrow[j];
+    kt.axpy(orow, e.weight, xrow, x.cols());
   }
   return out;
 }

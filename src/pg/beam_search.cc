@@ -1,37 +1,42 @@
 #include "pg/beam_search.h"
 
 #include <span>
-#include <unordered_map>
 
 #include "common/logging.h"
 #include "pg/candidate_pool.h"
 
 namespace lan {
 
-RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
-                                const std::function<double(GraphId)>& distance,
-                                GraphId init, int beam_size, int k,
-                                bool record_trace, TraceSink* sink,
-                                const std::function<int64_t()>& ndc_probe,
-                                const std::vector<uint8_t>* live) {
+void BeamSearchRouteFnInto(const ProximityGraph& pg,
+                           const std::function<double(GraphId)>& distance,
+                           GraphId init, int beam_size, int k,
+                           bool record_trace, TraceSink* sink,
+                           const std::function<int64_t()>& ndc_probe,
+                           const std::vector<uint8_t>* live,
+                           SearchScratch* scratch, RoutingResult* out) {
   LAN_CHECK_GE(init, 0);
   LAN_CHECK_LT(init, pg.NumNodes());
-  RouteStateMap states;
-  CandidatePool pool(&states);
+  ScratchLease lease(scratch);
+  SearchScratch& s = *lease.get();
+  s.route_states.Reset(pg.NumNodes());
+  // Memoization so the callback is hit once per node (epoch-stamped: O(1)
+  // reset, no per-query map).
+  s.route_memo.Reset(pg.NumNodes());
+  CandidatePool pool(&s.route_states, &s.pool_entries);
   int64_t clock = 0;
-  // Local memoization so the callback is hit once per node.
-  std::unordered_map<GraphId, double> memo;
-  auto dist = [&](GraphId id) {
-    auto it = memo.find(id);
-    if (it != memo.end()) return it->second;
+  auto dist = [&s, &distance](GraphId id) {
+    if (const double* found = s.route_memo.Find(id)) return *found;
     const double d = distance(id);
-    memo.emplace(id, d);
+    s.route_memo.Insert(id, d);
     return d;
   };
 
+  out->results.clear();
+  out->trace.clear();
+  out->routing_steps = 0;
+
   int64_t ndc_at_last_step = ndc_probe ? ndc_probe() : 0;
   pool.Add(init, dist(init));
-  RoutingResult out;
   for (;;) {
     const GraphId current = pool.BestUnexplored();
     if (current == kInvalidGraphId) break;
@@ -44,13 +49,13 @@ RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
       if (i + 1 < neighbors.size()) pg.PrefetchNeighbors(neighbors[i + 1]);
       pool.Add(neighbors[i], dist(neighbors[i]));
     }
-    states[current] = RouteNodeState{true, clock++};
-    if (record_trace) out.trace.push_back(current);
+    s.route_states.MarkExplored(current, clock++);
+    if (record_trace) out->trace.push_back(current);
     if (sink != nullptr) {
       TraceEvent event;
       event.type = TraceEventType::kRouteStep;
       event.id = current;
-      event.step = out.routing_steps;
+      event.step = out->routing_steps;
       event.value = dist(current);
       if (ndc_probe) {
         const int64_t ndc_now = ndc_probe();
@@ -59,27 +64,50 @@ RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
       }
       sink->Record(event);
     }
-    ++out.routing_steps;
+    ++out->routing_steps;
     pool.Resize(beam_size);
   }
-  out.results = pool.TopK(k, live);
+  pool.TopKInto(k, live, &s.pool_sort, &out->results);
+}
+
+RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
+                                const std::function<double(GraphId)>& distance,
+                                GraphId init, int beam_size, int k,
+                                bool record_trace, TraceSink* sink,
+                                const std::function<int64_t()>& ndc_probe,
+                                const std::vector<uint8_t>* live,
+                                SearchScratch* scratch) {
+  RoutingResult out;
+  BeamSearchRouteFnInto(pg, distance, init, beam_size, k, record_trace, sink,
+                        ndc_probe, live, scratch, &out);
   return out;
 }
 
-RoutingResult BeamSearchRoute(const ProximityGraph& pg, DistanceOracle* oracle,
-                              GraphId init, int beam_size, int k,
-                              const std::vector<uint8_t>* live) {
-  RoutingResult out = BeamSearchRouteFn(
+void BeamSearchRouteInto(const ProximityGraph& pg, DistanceOracle* oracle,
+                         GraphId init, int beam_size, int k,
+                         const std::vector<uint8_t>* live,
+                         SearchScratch* scratch, RoutingResult* out) {
+  // Both lambdas capture one pointer, so the std::function wrappers stay
+  // within the small-buffer optimization — no heap allocation.
+  BeamSearchRouteFnInto(
       pg, [oracle](GraphId id) { return oracle->Distance(id); }, init,
       beam_size, k, /*record_trace=*/false, oracle->trace(),
       [oracle]() {
         SearchStats* stats = oracle->stats();
         return stats != nullptr ? stats->ndc : 0;
       },
-      live);
+      live, scratch, out);
   if (oracle->stats() != nullptr) {
-    oracle->stats()->routing_steps += out.routing_steps;
+    oracle->stats()->routing_steps += out->routing_steps;
   }
+}
+
+RoutingResult BeamSearchRoute(const ProximityGraph& pg, DistanceOracle* oracle,
+                              GraphId init, int beam_size, int k,
+                              const std::vector<uint8_t>* live,
+                              SearchScratch* scratch) {
+  RoutingResult out;
+  BeamSearchRouteInto(pg, oracle, init, beam_size, k, live, scratch, &out);
   return out;
 }
 

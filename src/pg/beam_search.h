@@ -7,17 +7,12 @@
 
 #include "pg/distance.h"
 #include "pg/proximity_graph.h"
+#include "pg/search_scratch.h"
 
 namespace lan {
 
-/// \brief Answer list of a routing run: ids with distances, ascending.
-struct RoutingResult {
-  std::vector<std::pair<GraphId, double>> results;
-  int64_t routing_steps = 0;
-  /// Explored nodes in order (populated only when tracing is requested;
-  /// see the *WithTrace entry points / NpRouteOptions::record_trace).
-  std::vector<GraphId> trace;
-};
+// RoutingResult is defined in pg/search_scratch.h (so SearchScratch can
+// own a reusable one) and re-exported here.
 
 /// \brief Algorithm 1: greedy beam-search routing on a proximity graph
 /// (the baseline router, also HNSW's base-layer search).
@@ -27,10 +22,20 @@ struct RoutingResult {
 /// pooled candidate is explored. Every distance goes through `oracle`, so
 /// stats/NDC accounting is automatic. `live` (optional) filters
 /// tombstoned ids out of the answers; dead nodes are still traversed so
-/// the graph stays navigable.
+/// the graph stays navigable. `scratch` (optional) donates the per-query
+/// state; when null the calling thread's scratch is leased, so the steady
+/// state allocates nothing either way.
 RoutingResult BeamSearchRoute(const ProximityGraph& pg, DistanceOracle* oracle,
                               GraphId init, int beam_size, int k,
-                              const std::vector<uint8_t>* live = nullptr);
+                              const std::vector<uint8_t>* live = nullptr,
+                              SearchScratch* scratch = nullptr);
+
+/// Allocation-free variant: writes into `out`, reusing its vectors'
+/// capacity (results/trace are cleared first).
+void BeamSearchRouteInto(const ProximityGraph& pg, DistanceOracle* oracle,
+                         GraphId init, int beam_size, int k,
+                         const std::vector<uint8_t>* live,
+                         SearchScratch* scratch, RoutingResult* out);
 
 /// Algorithm 1 over an arbitrary distance callback (must be cheap or do
 /// its own caching; called once per (step, neighbor) encounter). Used by
@@ -47,7 +52,17 @@ RoutingResult BeamSearchRouteFn(const ProximityGraph& pg,
                                 bool record_trace = false,
                                 TraceSink* sink = nullptr,
                                 const std::function<int64_t()>& ndc_probe = {},
-                                const std::vector<uint8_t>* live = nullptr);
+                                const std::vector<uint8_t>* live = nullptr,
+                                SearchScratch* scratch = nullptr);
+
+/// Out-param variant of BeamSearchRouteFn (see BeamSearchRouteInto).
+void BeamSearchRouteFnInto(const ProximityGraph& pg,
+                           const std::function<double(GraphId)>& distance,
+                           GraphId init, int beam_size, int k,
+                           bool record_trace, TraceSink* sink,
+                           const std::function<int64_t()>& ndc_probe,
+                           const std::vector<uint8_t>* live,
+                           SearchScratch* scratch, RoutingResult* out);
 
 }  // namespace lan
 

@@ -6,17 +6,7 @@
 
 namespace lan {
 
-bool CandidatePool::Explored(GraphId id) const {
-  auto it = states_->find(id);
-  return it != states_->end() && it->second.explored;
-}
-
-int64_t CandidatePool::ExploredAt(GraphId id) const {
-  auto it = states_->find(id);
-  return it != states_->end() ? it->second.explored_at : -1;
-}
-
-bool CandidatePool::Before(const Entry& a, const Entry& b) const {
+bool CandidatePool::Before(const PoolEntry& a, const PoolEntry& b) const {
   if (a.distance != b.distance) return a.distance < b.distance;
   const bool ea = Explored(a.id);
   const bool eb = Explored(b.id);
@@ -27,19 +17,21 @@ bool CandidatePool::Before(const Entry& a, const Entry& b) const {
 
 void CandidatePool::Add(GraphId id, double distance) {
   if (Contains(id)) return;
-  entries_.push_back(Entry{id, distance});
+  entries_->push_back(PoolEntry{id, distance});
 }
 
 void CandidatePool::Resize(int beam_size) {
   LAN_CHECK_GT(beam_size, 0);
-  if (entries_.size() <= static_cast<size_t>(beam_size)) return;
-  std::sort(entries_.begin(), entries_.end(),
-            [this](const Entry& a, const Entry& b) { return Before(a, b); });
-  entries_.resize(static_cast<size_t>(beam_size));
+  if (entries_->size() <= static_cast<size_t>(beam_size)) return;
+  std::sort(entries_->begin(), entries_->end(),
+            [this](const PoolEntry& a, const PoolEntry& b) {
+              return Before(a, b);
+            });
+  entries_->resize(static_cast<size_t>(beam_size));
 }
 
 bool CandidatePool::Contains(GraphId id) const {
-  for (const Entry& e : entries_) {
+  for (const PoolEntry& e : *entries_) {
     if (e.id == id) return true;
   }
   return false;
@@ -48,7 +40,7 @@ bool CandidatePool::Contains(GraphId id) const {
 GraphId CandidatePool::BestUnexplored() const {
   GraphId best = kInvalidGraphId;
   double best_d = 0.0;
-  for (const Entry& e : entries_) {
+  for (const PoolEntry& e : *entries_) {
     if (Explored(e.id)) continue;
     if (best == kInvalidGraphId || e.distance < best_d ||
         (e.distance == best_d && e.id < best)) {
@@ -62,7 +54,7 @@ GraphId CandidatePool::BestUnexplored() const {
 GraphId CandidatePool::BestUnexploredWithin(double gamma) const {
   GraphId best = kInvalidGraphId;
   double best_d = 0.0;
-  for (const Entry& e : entries_) {
+  for (const PoolEntry& e : *entries_) {
     if (e.distance > gamma || Explored(e.id)) continue;
     if (best == kInvalidGraphId || e.distance < best_d ||
         (e.distance == best_d && e.id < best)) {
@@ -74,50 +66,58 @@ GraphId CandidatePool::BestUnexploredWithin(double gamma) const {
 }
 
 GraphId CandidatePool::Best() const {
-  if (entries_.empty()) return kInvalidGraphId;
-  const Entry* best = &entries_[0];
-  for (const Entry& e : entries_) {
+  if (entries_->empty()) return kInvalidGraphId;
+  const PoolEntry* best = &(*entries_)[0];
+  for (const PoolEntry& e : *entries_) {
     if (Before(e, *best)) best = &e;
   }
   return best->id;
 }
 
 bool CandidatePool::AllExplored() const {
-  for (const Entry& e : entries_) {
+  for (const PoolEntry& e : *entries_) {
     if (!Explored(e.id)) return false;
   }
   return true;
 }
 
 double CandidatePool::DistanceOf(GraphId id) const {
-  for (const Entry& e : entries_) {
+  for (const PoolEntry& e : *entries_) {
     if (e.id == id) return e.distance;
   }
   LAN_LOG(Fatal) << "DistanceOf: id " << id << " not in pool";
   return 0.0;
 }
 
-std::vector<std::pair<GraphId, double>> CandidatePool::TopK(
-    int k, const std::vector<uint8_t>* live) const {
-  std::vector<Entry> sorted;
-  sorted.reserve(entries_.size());
-  for (const Entry& e : entries_) {
+void CandidatePool::TopKInto(
+    int k, const std::vector<uint8_t>* live, std::vector<PoolEntry>* sort_buf,
+    std::vector<std::pair<GraphId, double>>* out) const {
+  sort_buf->clear();
+  for (const PoolEntry& e : *entries_) {
     if (live != nullptr && static_cast<size_t>(e.id) < live->size() &&
         !(*live)[static_cast<size_t>(e.id)]) {
       continue;
     }
-    sorted.push_back(e);
+    sort_buf->push_back(e);
   }
-  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.id < b.id;
-  });
-  std::vector<std::pair<GraphId, double>> out;
-  const size_t limit = std::min(sorted.size(), static_cast<size_t>(k));
-  out.reserve(limit);
+  std::sort(sort_buf->begin(), sort_buf->end(),
+            [](const PoolEntry& a, const PoolEntry& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  out->clear();
+  const size_t limit = std::min(sort_buf->size(), static_cast<size_t>(k));
   for (size_t i = 0; i < limit; ++i) {
-    out.emplace_back(sorted[i].id, sorted[i].distance);
+    out->emplace_back((*sort_buf)[i].id, (*sort_buf)[i].distance);
   }
+}
+
+std::vector<std::pair<GraphId, double>> CandidatePool::TopK(
+    int k, const std::vector<uint8_t>* live) const {
+  std::vector<PoolEntry> sort_buf;
+  sort_buf.reserve(entries_->size());
+  std::vector<std::pair<GraphId, double>> out;
+  TopKInto(k, live, &sort_buf, &out);
   return out;
 }
 

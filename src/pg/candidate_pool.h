@@ -2,33 +2,30 @@
 #define LAN_PG_CANDIDATE_POOL_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "pg/search_scratch.h"
 
 namespace lan {
-
-/// \brief Global (per-query) routing state of a PG node: the `G.explored`
-/// flag of Algorithms 1-4, with a timestamp for the tie-break rules.
-struct RouteNodeState {
-  bool explored = false;
-  int64_t explored_at = -1;
-};
-
-/// Map GraphId -> state, shared between the pool and the routers.
-using RouteStateMap = std::unordered_map<GraphId, RouteNodeState>;
 
 /// \brief The candidate pool W of Algorithms 1 and 2: a set of (distance,
 /// node) pairs ordered ascending by distance with the paper's tie-break
 /// rules (unexplored before explored; among unexplored, smaller id first;
 /// among explored, the more recently explored first). Resize(b) keeps the
 /// best b candidates.
+///
+/// Exploration state and entry storage are donated by the caller (normally
+/// a SearchScratch), so constructing a pool per query allocates nothing.
 class CandidatePool {
  public:
-  /// `states` must outlive the pool.
-  explicit CandidatePool(const RouteStateMap* states) : states_(states) {}
+  /// `states` and `entries` must outlive the pool; `entries` is cleared
+  /// (its capacity is the reuse) and used as the pool's backing storage.
+  CandidatePool(const RouteStateArray* states, std::vector<PoolEntry>* entries)
+      : states_(states), entries_(entries) {
+    entries_->clear();
+  }
 
   /// Inserts (id, distance); no-op if the id is already present.
   void Add(GraphId id, double distance);
@@ -57,28 +54,29 @@ class CandidatePool {
 
   double DistanceOf(GraphId id) const;
 
-  /// Top-k entries by (distance, id); may return fewer than k. `live`
-  /// (optional, indexed by GraphId) filters tombstoned ids out of the
-  /// answers — dead nodes stay in the pool for navigation but are never
-  /// returned.
+  /// Top-k entries by (distance, id) appended into `out` (cleared first);
+  /// may produce fewer than k. `sort_buf` is working storage (normally the
+  /// scratch's). `live` (optional, indexed by GraphId) filters tombstoned
+  /// ids out of the answers — dead nodes stay in the pool for navigation
+  /// but are never returned.
+  void TopKInto(int k, const std::vector<uint8_t>* live,
+                std::vector<PoolEntry>* sort_buf,
+                std::vector<std::pair<GraphId, double>>* out) const;
+
+  /// Allocating convenience wrapper around TopKInto.
   std::vector<std::pair<GraphId, double>> TopK(
       int k, const std::vector<uint8_t>* live = nullptr) const;
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return entries_->size(); }
 
  private:
-  struct Entry {
-    GraphId id;
-    double distance;
-  };
-
-  bool Explored(GraphId id) const;
-  int64_t ExploredAt(GraphId id) const;
+  bool Explored(GraphId id) const { return states_->Explored(id); }
+  int64_t ExploredAt(GraphId id) const { return states_->ExploredAt(id); }
   /// True if a ranks strictly before b in the priority order.
-  bool Before(const Entry& a, const Entry& b) const;
+  bool Before(const PoolEntry& a, const PoolEntry& b) const;
 
-  const RouteStateMap* states_;
-  std::vector<Entry> entries_;
+  const RouteStateArray* states_;
+  std::vector<PoolEntry>* entries_;
 };
 
 }  // namespace lan

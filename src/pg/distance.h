@@ -8,6 +8,7 @@
 #include "common/trace.h"
 #include "ged/ged_computer.h"
 #include "graph/graph_database.h"
+#include "pg/search_scratch.h"
 
 namespace lan {
 
@@ -21,24 +22,83 @@ namespace lan {
 class DistanceOracle {
  public:
   /// `trace` (optional) receives one kDistance event per cache miss, so a
-  /// trace always holds exactly stats->ndc distance events.
+  /// trace always holds exactly stats->ndc distance events. `scratch`
+  /// (optional) donates an epoch-stamped dense cache, making the oracle
+  /// allocation-free; without it a per-query hash map is used.
   DistanceOracle(const GraphDatabase* db, const Graph* query,
                  const GedComputer* ged, SearchStats* stats,
-                 TraceSink* trace = nullptr)
-      : db_(db), query_(query), ged_(ged), stats_(stats), trace_(trace) {
-    // A routing search touches a few hundred graphs; pre-sizing keeps the
-    // per-distance bookkeeping rehash-free.
-    cache_.reserve(kInitialCacheBuckets);
+                 TraceSink* trace = nullptr, SearchScratch* scratch = nullptr)
+      : db_(db), query_(query), ged_(ged), stats_(stats), trace_(trace),
+        scratch_(scratch) {
+    if (scratch_ != nullptr) {
+      scratch_->distance_cache.Reset(db->size());
+    } else {
+      // A routing search touches a few hundred graphs; pre-sizing keeps
+      // the per-distance bookkeeping rehash-free.
+      cache_.reserve(kInitialCacheBuckets);
+    }
   }
 
   DistanceOracle(const DistanceOracle&) = delete;
   DistanceOracle& operator=(const DistanceOracle&) = delete;
 
-  /// d(Q, db[id]); cached. Single probe: try_emplace either finds the
-  /// cached value or claims the slot the computed value lands in.
+  /// d(Q, db[id]); cached. Scratch-backed: one array probe. Map-backed:
+  /// single probe — try_emplace either finds the cached value or claims
+  /// the slot the computed value lands in.
   double Distance(GraphId id) {
+    if (scratch_ != nullptr) {
+      if (const double* found = scratch_->distance_cache.Find(id)) {
+        return *found;
+      }
+      const double d = ComputeDistance(id);
+      scratch_->distance_cache.Insert(id, d);
+      return d;
+    }
     auto [it, inserted] = cache_.try_emplace(id, 0.0);
     if (!inserted) return it->second;
+    it->second = ComputeDistance(id);
+    return it->second;
+  }
+
+  /// True if d(Q, db[id]) has already been computed for this query.
+  bool IsCached(GraphId id) const { return FindCached(id) != nullptr; }
+
+  /// The cached distance, or nullptr if not computed yet — one probe
+  /// where IsCached + Distance would take two.
+  const double* FindCached(GraphId id) const {
+    if (scratch_ != nullptr) return scratch_->distance_cache.Find(id);
+    const auto it = cache_.find(id);
+    return it != cache_.end() ? &it->second : nullptr;
+  }
+
+  const Graph& query() const { return *query_; }
+  const GraphDatabase& db() const { return *db_; }
+  SearchStats* stats() { return stats_; }
+  /// The query's trace sink (null when tracing is disabled). The oracle is
+  /// the per-query context every routing/init component already receives,
+  /// so it carries the sink to all of them.
+  TraceSink* trace() const { return trace_; }
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+
+  /// Visits every distance computed so far with fn(GraphId, double) —
+  /// range queries harvest encounters. Iteration order is unspecified.
+  template <typename Fn>
+  void ForEachCached(Fn&& fn) const {
+    if (scratch_ != nullptr) {
+      for (GraphId id : scratch_->distance_cache.keys()) {
+        fn(id, *scratch_->distance_cache.Find(id));
+      }
+      return;
+    }
+    for (const auto& [id, d] : cache_) fn(id, d);
+  }
+
+ private:
+  static constexpr size_t kInitialCacheBuckets = 256;
+
+  /// Cache-miss path: computes d(Q, db[id]), charges stats, emits the
+  /// trace event. Shared by the scratch- and map-backed caches.
+  double ComputeDistance(GraphId id) {
     double d;
     {
       ScopedTimer timer(stats_ != nullptr ? &distance_timer_ : nullptr);
@@ -55,40 +115,15 @@ class DistanceOracle {
       event.value = d;
       trace_->Record(event);
     }
-    it->second = d;
     return d;
   }
-
-  /// True if d(Q, db[id]) has already been computed for this query.
-  bool IsCached(GraphId id) const { return cache_.contains(id); }
-
-  /// The cached distance, or nullptr if not computed yet — one hash probe
-  /// where IsCached + Distance would take two.
-  const double* FindCached(GraphId id) const {
-    const auto it = cache_.find(id);
-    return it != cache_.end() ? &it->second : nullptr;
-  }
-
-  const Graph& query() const { return *query_; }
-  const GraphDatabase& db() const { return *db_; }
-  SearchStats* stats() { return stats_; }
-  /// The query's trace sink (null when tracing is disabled). The oracle is
-  /// the per-query context every routing/init component already receives,
-  /// so it carries the sink to all of them.
-  TraceSink* trace() const { return trace_; }
-  void set_trace(TraceSink* trace) { trace_ = trace; }
-
-  /// Every distance computed so far (range queries harvest encounters).
-  const std::unordered_map<GraphId, double>& cached() const { return cache_; }
-
- private:
-  static constexpr size_t kInitialCacheBuckets = 256;
 
   const GraphDatabase* db_;
   const Graph* query_;
   const GedComputer* ged_;
   SearchStats* stats_;
   TraceSink* trace_;
+  SearchScratch* scratch_;
   AccumulatingTimer distance_timer_;
   std::unordered_map<GraphId, double> cache_;
 };

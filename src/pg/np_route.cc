@@ -23,14 +23,26 @@ struct BatchState {
 class NpRouter {
  public:
   NpRouter(const ProximityGraph& pg, DistanceOracle* oracle,
-           NeighborRanker* ranker, const NpRouteOptions& options)
+           NeighborRanker* ranker, const NpRouteOptions& options,
+           SearchScratch* scratch)
       : pg_(pg), oracle_(oracle), ranker_(ranker), options_(options),
-        pool_(&states_), sink_(oracle->trace()) {}
+        scratch_(scratch), states_(&scratch->route_states),
+        pool_(&scratch->route_states, &scratch->pool_entries),
+        sink_(oracle->trace()) {
+    // Ranked batches hold nested vectors, so they stay in a per-query map;
+    // one state is created per explored node, which the beam bounds (each
+    // gamma round explores at most a beam of nodes before the resize).
+    batch_states_.reserve(static_cast<size_t>(options.beam_size) * 4 + 16);
+  }
 
-  RoutingResult Run(GraphId init) {
+  void Run(GraphId init, RoutingResult* out) {
     // Distances spent before routing (init selection) are not charged to
     // the first route step's per-step NDC.
     ndc_at_last_step_ = CurrentNdc();
+    out->results.clear();
+    out->trace.clear();
+    out->routing_steps = 0;
+    trace_ = &out->trace;
     pool_.Add(init, oracle_->Distance(init));
 
     // ---- Stage 1 (Algorithm 2, lines 5-11): greedy descent. ----
@@ -61,25 +73,20 @@ class NpRouter {
       gamma += options_.step_size;
     }
 
-    RoutingResult out;
-    out.results = pool_.TopK(options_.k, options_.live);
-    out.routing_steps = routing_steps_;
-    out.trace = std::move(trace_);
+    pool_.TopKInto(options_.k, options_.live, &scratch_->pool_sort,
+                   &out->results);
+    out->routing_steps = routing_steps_;
     if (oracle_->stats() != nullptr) {
       oracle_->stats()->routing_steps += routing_steps_;
     }
-    return out;
   }
 
  private:
-  bool Explored(GraphId id) const {
-    auto it = states_.find(id);
-    return it != states_.end() && it->second.explored;
-  }
+  bool Explored(GraphId id) const { return states_->Explored(id); }
 
   void MarkExplored(GraphId id) {
-    states_[id] = RouteNodeState{true, clock_++};
-    if (options_.record_trace) trace_.push_back(id);
+    states_->MarkExplored(id, clock_++);
+    if (options_.record_trace) trace_->push_back(id);
     if (sink_ != nullptr) {
       TraceEvent event;
       event.type = TraceEventType::kRouteStep;
@@ -100,12 +107,10 @@ class NpRouter {
     return stats != nullptr ? stats->ndc : 0;
   }
 
-  std::vector<GraphId> ExploredNodesSorted() const {
-    std::vector<GraphId> out;
-    out.reserve(states_.size());
-    for (const auto& [id, st] : states_) {
-      if (st.explored) out.push_back(id);
-    }
+  const std::vector<GraphId>& ExploredNodesSorted() const {
+    std::vector<GraphId>& out = scratch_->id_buffer;
+    out.assign(states_->explored_ids().begin(),
+               states_->explored_ids().end());
     std::sort(out.begin(), out.end());
     return out;
   }
@@ -203,26 +208,38 @@ class NpRouter {
   DistanceOracle* oracle_;
   NeighborRanker* ranker_;
   const NpRouteOptions& options_;
-  RouteStateMap states_;
+  SearchScratch* scratch_;
+  RouteStateArray* states_;
   CandidatePool pool_;
   std::unordered_map<GraphId, BatchState> batch_states_;
   int64_t clock_ = 0;
   int64_t routing_steps_ = 0;
-  std::vector<GraphId> trace_;
+  std::vector<GraphId>* trace_ = nullptr;
   TraceSink* sink_;
   int64_t ndc_at_last_step_ = 0;
 };
 
 }  // namespace
 
-RoutingResult NpRoute(const ProximityGraph& pg, DistanceOracle* oracle,
-                      NeighborRanker* ranker, GraphId init,
-                      const NpRouteOptions& options) {
+void NpRouteInto(const ProximityGraph& pg, DistanceOracle* oracle,
+                 NeighborRanker* ranker, GraphId init,
+                 const NpRouteOptions& options, SearchScratch* scratch,
+                 RoutingResult* out) {
   LAN_CHECK_GE(init, 0);
   LAN_CHECK_LT(init, pg.NumNodes());
   LAN_CHECK_GT(options.step_size, 0.0);
-  NpRouter router(pg, oracle, ranker, options);
-  return router.Run(init);
+  ScratchLease lease(scratch);
+  lease.get()->route_states.Reset(pg.NumNodes());
+  NpRouter router(pg, oracle, ranker, options, lease.get());
+  router.Run(init, out);
+}
+
+RoutingResult NpRoute(const ProximityGraph& pg, DistanceOracle* oracle,
+                      NeighborRanker* ranker, GraphId init,
+                      const NpRouteOptions& options, SearchScratch* scratch) {
+  RoutingResult out;
+  NpRouteInto(pg, oracle, ranker, init, options, scratch, &out);
+  return out;
 }
 
 }  // namespace lan

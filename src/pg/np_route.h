@@ -31,9 +31,20 @@ struct NpRouteOptions {
 /// `step_size`), re-qualifying neighbors of explored nodes against each
 /// new gamma. With an oracle ranker this returns exactly the Algorithm 1
 /// result with no more distance computations (Theorem 1).
+///
+/// `scratch` (optional) donates the per-query routing state; when null the
+/// calling thread's scratch is leased.
 RoutingResult NpRoute(const ProximityGraph& pg, DistanceOracle* oracle,
                       NeighborRanker* ranker, GraphId init,
-                      const NpRouteOptions& options);
+                      const NpRouteOptions& options,
+                      SearchScratch* scratch = nullptr);
+
+/// Out-param variant: writes into `out`, reusing its vectors' capacity
+/// (results/trace are cleared first).
+void NpRouteInto(const ProximityGraph& pg, DistanceOracle* oracle,
+                 NeighborRanker* ranker, GraphId init,
+                 const NpRouteOptions& options, SearchScratch* scratch,
+                 RoutingResult* out);
 
 }  // namespace lan
 

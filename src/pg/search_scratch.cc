@@ -1,0 +1,34 @@
+#include "pg/search_scratch.h"
+
+namespace lan {
+namespace {
+
+// One scratch per thread, grown to the largest id universe the thread has
+// searched. Destroyed at thread exit.
+thread_local SearchScratch t_scratch;
+
+}  // namespace
+
+ScratchLease::ScratchLease(SearchScratch* provided) {
+  if (provided != nullptr) {
+    scratch_ = provided;
+    return;
+  }
+  if (!t_scratch.in_use) {
+    t_scratch.in_use = true;
+    leased_thread_local_ = true;
+    scratch_ = &t_scratch;
+    return;
+  }
+  // Re-entrant use on this thread (e.g. a distance callback that itself
+  // routes): fall back to a private scratch rather than corrupting the
+  // outer query's state.
+  owned_ = std::make_unique<SearchScratch>();
+  scratch_ = owned_.get();
+}
+
+ScratchLease::~ScratchLease() {
+  if (leased_thread_local_) t_scratch.in_use = false;
+}
+
+}  // namespace lan

@@ -42,8 +42,10 @@ TEST(ProximityGraphTest, EdgesAndDegrees) {
 // ---------- CandidatePool ----------
 
 TEST(CandidatePoolTest, ResizeKeepsClosest) {
-  RouteStateMap states;
-  CandidatePool pool(&states);
+  RouteStateArray states;
+  states.Reset(8);
+  std::vector<PoolEntry> entries;
+  CandidatePool pool(&states, &entries);
   pool.Add(0, 5.0);
   pool.Add(1, 1.0);
   pool.Add(2, 3.0);
@@ -55,9 +57,11 @@ TEST(CandidatePoolTest, ResizeKeepsClosest) {
 }
 
 TEST(CandidatePoolTest, TieBreakUnexploredFirst) {
-  RouteStateMap states;
-  states[0] = RouteNodeState{true, 0};
-  CandidatePool pool(&states);
+  RouteStateArray states;
+  states.Reset(8);
+  states.MarkExplored(0, 0);
+  std::vector<PoolEntry> entries;
+  CandidatePool pool(&states, &entries);
   pool.Add(0, 2.0);  // explored
   pool.Add(1, 2.0);  // unexplored
   pool.Resize(1);
@@ -65,10 +69,12 @@ TEST(CandidatePoolTest, TieBreakUnexploredFirst) {
 }
 
 TEST(CandidatePoolTest, TieBreakRecentExploredFirst) {
-  RouteStateMap states;
-  states[0] = RouteNodeState{true, 0};
-  states[1] = RouteNodeState{true, 5};
-  CandidatePool pool(&states);
+  RouteStateArray states;
+  states.Reset(8);
+  states.MarkExplored(0, 0);
+  states.MarkExplored(1, 5);
+  std::vector<PoolEntry> entries;
+  CandidatePool pool(&states, &entries);
   pool.Add(0, 2.0);
   pool.Add(1, 2.0);
   pool.Resize(1);
@@ -76,22 +82,26 @@ TEST(CandidatePoolTest, TieBreakRecentExploredFirst) {
 }
 
 TEST(CandidatePoolTest, BestUnexploredSkipsExplored) {
-  RouteStateMap states;
-  states[3] = RouteNodeState{true, 0};
-  CandidatePool pool(&states);
+  RouteStateArray states;
+  states.Reset(8);
+  states.MarkExplored(3, 0);
+  std::vector<PoolEntry> entries;
+  CandidatePool pool(&states, &entries);
   pool.Add(3, 0.5);
   pool.Add(4, 2.0);
   EXPECT_EQ(pool.BestUnexplored(), 4);
   EXPECT_EQ(pool.Best(), 3);
   EXPECT_FALSE(pool.AllExplored());
-  states[4] = RouteNodeState{true, 1};
+  states.MarkExplored(4, 1);
   EXPECT_TRUE(pool.AllExplored());
   EXPECT_EQ(pool.BestUnexplored(), kInvalidGraphId);
 }
 
 TEST(CandidatePoolTest, BestUnexploredWithinGamma) {
-  RouteStateMap states;
-  CandidatePool pool(&states);
+  RouteStateArray states;
+  states.Reset(8);
+  std::vector<PoolEntry> entries;
+  CandidatePool pool(&states, &entries);
   pool.Add(0, 5.0);
   pool.Add(1, 3.0);
   EXPECT_EQ(pool.BestUnexploredWithin(4.0), 1);
@@ -99,8 +109,10 @@ TEST(CandidatePoolTest, BestUnexploredWithinGamma) {
 }
 
 TEST(CandidatePoolTest, TopKSortsByDistanceThenId) {
-  RouteStateMap states;
-  CandidatePool pool(&states);
+  RouteStateArray states;
+  states.Reset(8);
+  std::vector<PoolEntry> entries;
+  CandidatePool pool(&states, &entries);
   pool.Add(7, 2.0);
   pool.Add(3, 2.0);
   pool.Add(5, 1.0);
@@ -111,8 +123,10 @@ TEST(CandidatePoolTest, TopKSortsByDistanceThenId) {
 }
 
 TEST(CandidatePoolTest, AddIsIdempotent) {
-  RouteStateMap states;
-  CandidatePool pool(&states);
+  RouteStateArray states;
+  states.Reset(8);
+  std::vector<PoolEntry> entries;
+  CandidatePool pool(&states, &entries);
   pool.Add(0, 1.0);
   pool.Add(0, 1.0);
   EXPECT_EQ(pool.size(), 1u);

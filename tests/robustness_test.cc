@@ -233,8 +233,10 @@ TEST(NpRouteFailureInjectionTest, SingleBatchRankerEqualsBaseline) {
 TEST(CandidatePoolFuzzTest, ResizeMatchesReferenceSort) {
   Rng rng(81);
   for (int trial = 0; trial < 50; ++trial) {
-    RouteStateMap states;
-    CandidatePool pool(&states);
+    RouteStateArray states;
+    states.Reset(32);
+    std::vector<PoolEntry> pool_entries;
+    CandidatePool pool(&states, &pool_entries);
     struct Ref {
       GraphId id;
       double d;
@@ -247,7 +249,7 @@ TEST(CandidatePoolFuzzTest, ResizeMatchesReferenceSort) {
       const double d = static_cast<double>(rng.NextBounded(6));  // many ties
       pool.Add(id, d);
       reference.push_back({id, d});
-      if (rng.NextBool(0.4)) states[id] = RouteNodeState{true, clock++};
+      if (rng.NextBool(0.4)) states.MarkExplored(id, clock++);
     }
     const int b = 1 + static_cast<int>(rng.NextBounded(8));
     pool.Resize(b);
@@ -256,13 +258,11 @@ TEST(CandidatePoolFuzzTest, ResizeMatchesReferenceSort) {
     std::stable_sort(reference.begin(), reference.end(),
                      [&](const Ref& a, const Ref& c) {
                        if (a.d != c.d) return a.d < c.d;
-                       auto ea = states.find(a.id);
-                       auto ec = states.find(c.id);
-                       const bool xa = ea != states.end() && ea->second.explored;
-                       const bool xc = ec != states.end() && ec->second.explored;
+                       const bool xa = states.Explored(a.id);
+                       const bool xc = states.Explored(c.id);
                        if (xa != xc) return !xa;
                        if (!xa) return a.id < c.id;
-                       return ea->second.explored_at > ec->second.explored_at;
+                       return states.ExploredAt(a.id) > states.ExploredAt(c.id);
                      });
     const size_t keep = std::min(reference.size(), static_cast<size_t>(b));
     EXPECT_EQ(pool.size(), keep);

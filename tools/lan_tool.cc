@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/timer.h"
@@ -70,6 +71,8 @@ int Usage() {
                "usage: lan_tool "
                "<generate|stats|build|search|eval|diagnose|insert|remove> "
                "[--flag value ...]\n"
+               "  global   --force-scalar 1     pin scalar kernels "
+               "(bit-reproducible; same as LAN_FORCE_SCALAR=1)\n"
                "  generate --kind aids|linux|pubchem|syn --count N "
                "[--seed S] --out FILE\n"
                "  stats    --db FILE\n"
@@ -412,6 +415,9 @@ int Diagnose(const Flags& flags) {
   auto loaded = LoadIndex(flags);
   if (loaded == nullptr) return 1;
   const LanIndex& index = loaded->index;
+  std::printf("simd: detected %s, active %s\n",
+              SimdLevelName(DetectedSimdLevel()),
+              SimdLevelName(ActiveSimdLevel()));
   std::printf("database: %d graphs, avg |V| %.1f, avg |E| %.1f\n",
               loaded->db.size(), loaded->db.AverageNodes(),
               loaded->db.AverageEdges());
@@ -515,6 +521,11 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Flags flags(argc, argv, 2);
+  // `--force-scalar 1` pins the scalar kernel table (same effect as
+  // LAN_FORCE_SCALAR=1): bit-for-bit reproducible results across hosts.
+  if (flags.GetInt("force-scalar", 0) != 0) {
+    SetActiveSimdLevel(SimdLevel::kScalar);
+  }
   if (command == "generate") return Generate(flags);
   if (command == "stats") return Stats(flags);
   if (command == "build") return Build(flags);
