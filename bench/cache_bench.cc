@@ -1,0 +1,169 @@
+// Macrobenchmark for the cross-query GED result cache: the same query
+// stream (50% repetition — every query appears twice) is served by a
+// cache-off index, a cold cache-on index, and a warm cache-on index, and
+// the three QPS figures plus hit rates land on stdout and in
+// BENCH_cache.json. The steady-state (warm) speedup is the headline: a
+// repeated query's GED work is entirely memoized, so the target is >= 2x
+// over cache-off at 50% repetition. Every cached result is also compared
+// against the cache-off answer — any mismatch is reported and fails the
+// run, because the cache's contract is bitwise transparency.
+//
+// LAN_BENCH_SMOKE=1 shrinks the database and stream (used by
+// `ctest -L perf-smoke` as a liveness check, not a performance gate).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "graph/graph_generator.h"
+#include "lan/lan_index.h"
+
+namespace lan {
+namespace bench {
+namespace {
+
+bool SmokeMode() {
+  const char* env = std::getenv("LAN_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+LanConfig BenchConfig(bool cache_enabled) {
+  LanConfig config;
+  config.hnsw.M = 8;
+  config.hnsw.ef_construction = 40;
+  // Deterministic approximate GED: cached and fresh values are
+  // bit-identical, so result comparison below can be exact.
+  config.query_ged.approximate_only = true;
+  config.query_ged.beam_width = 0;
+  config.default_beam = 16;
+  config.num_threads = 1;
+  config.cache.enabled = cache_enabled;
+  config.cache.capacity_bytes = 64ull << 20;
+  return config;
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  std::vector<KnnList> answers;
+};
+
+PassResult RunStream(const LanIndex& index, const std::vector<Graph>& stream,
+                     int k) {
+  SearchOptions options;
+  options.k = k;
+  options.routing = RoutingMethod::kBaselineRoute;
+  options.init = InitMethod::kHnswIs;
+  PassResult out;
+  out.answers.reserve(stream.size());
+  Timer timer;
+  for (const Graph& query : stream) {
+    SearchResult result = index.Search(query, options);
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "search failed: %s\n",
+                   result.status.ToString().c_str());
+      std::exit(1);
+    }
+    out.answers.push_back(std::move(result.results));
+  }
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+int Main() {
+  const bool smoke = SmokeMode();
+  const GraphId kDbSize = smoke ? 60 : 400;
+  const size_t kDistinct = smoke ? 8 : 60;  // stream = each query twice
+  const int kK = 10;
+
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(kDbSize), 97);
+  LanIndex plain(BenchConfig(/*cache_enabled=*/false));
+  LanIndex cached(BenchConfig(/*cache_enabled=*/true));
+  if (!plain.Build(&db).ok() || !cached.Build(&db).ok()) {
+    std::fprintf(stderr, "build failed\n");
+    return 1;
+  }
+
+  // 50%-repetition stream: kDistinct perturbed queries, each appearing
+  // twice, deterministically interleaved (repeat follows its original at
+  // distance kDistinct, i.e. outside any per-query state).
+  Rng rng(98);
+  std::vector<Graph> pool;
+  for (size_t i = 0; i < kDistinct; ++i) {
+    pool.push_back(PerturbGraph(
+        db.Get(static_cast<GraphId>(rng.NextBounded(
+            static_cast<uint64_t>(kDbSize)))),
+        2, db.num_labels(), &rng));
+  }
+  std::vector<Graph> stream = pool;
+  stream.insert(stream.end(), pool.begin(), pool.end());
+
+  // Warm both indexes' code paths (page cache, lazy tables) off the clock.
+  (void)RunStream(plain, {stream[0]}, kK);
+  (void)RunStream(cached, {stream[0]}, kK);
+  cached.result_cache()->Clear();
+
+  const PassResult off = RunStream(plain, stream, kK);
+  const PassResult cold = RunStream(cached, stream, kK);
+  const ShardCacheStats cold_stats = cached.result_cache()->Stats();
+  const PassResult steady = RunStream(cached, stream, kK);
+  ShardCacheStats steady_stats = cached.result_cache()->Stats();
+  steady_stats.hits -= cold_stats.hits;
+  steady_stats.misses -= cold_stats.misses;
+
+  // Transparency check: every cached answer must be bitwise identical to
+  // the cache-off answer for the same stream position.
+  int64_t mismatches = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (off.answers[i] != cold.answers[i]) ++mismatches;
+    if (off.answers[i] != steady.answers[i]) ++mismatches;
+  }
+
+  const double n = static_cast<double>(stream.size());
+  const double qps_off = n / off.seconds;
+  const double qps_cold = n / cold.seconds;
+  const double qps_steady = n / steady.seconds;
+  auto rate = [](const ShardCacheStats& stats) {
+    const int64_t lookups = stats.hits + stats.misses;
+    return lookups > 0
+               ? static_cast<double>(stats.hits) / static_cast<double>(lookups)
+               : 0.0;
+  };
+
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"cache\",\"queries\":%zu,\"repetition\":0.5,"
+      "\"qps_off\":%.1f,\"qps_cold\":%.1f,\"qps_steady\":%.1f,"
+      "\"cold_speedup\":%.2f,\"steady_speedup\":%.2f,"
+      "\"cold_hit_rate\":%.3f,\"steady_hit_rate\":%.3f,"
+      "\"mismatches\":%lld}",
+      stream.size(), qps_off, qps_cold, qps_steady, qps_cold / qps_off,
+      qps_steady / qps_off, rate(cold_stats), rate(steady_stats),
+      static_cast<long long>(mismatches));
+  std::printf("%s\n", line);
+  if (FILE* json = std::fopen("BENCH_cache.json", "w")) {
+    std::fprintf(json, "%s\n", line);
+    std::fclose(json);
+  }
+
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FAIL: cached results diverged from cache-off\n");
+    return 1;
+  }
+  if (!smoke && qps_steady / qps_off < 2.0) {
+    std::fprintf(stderr,
+                 "WARN: steady-state speedup %.2fx below the 2x target\n",
+                 qps_steady / qps_off);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lan
+
+int main() { return lan::bench::Main(); }

@@ -83,6 +83,14 @@ struct MetricsSnapshot {
 ///
 /// Thread-safe. One registry typically lives per server/process; benches
 /// and SearchBatch create short-lived private registries.
+///
+/// Naming convention: the query-serving metrics registered by SearchBatch
+/// (`queries`, `query_latency_seconds`, ...) own the bare namespace;
+/// every other subsystem prefixes its metrics with a dotted subsystem name
+/// (`cache.hits`, `cache.bytes`, ...). The prefix keeps the flat
+/// MetricsSnapshot JSON export collision-free as subsystems are added —
+/// observability_test asserts names stay unique across counters,
+/// histograms, and gauges.
 class MetricsRegistry {
  public:
   MetricsRegistry();

@@ -1,0 +1,287 @@
+#ifndef LAN_COMMON_SHARD_CACHE_H_
+#define LAN_COMMON_SHARD_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lan {
+
+/// Admission policy for ShardedLruCache::Put.
+///
+///  - kAdmitAll: every Put inserts (classic LRU).
+///  - kAdmitOnRepeat: a key must be Put twice before it is admitted
+///    (TinyLFU-style doorkeeper). One-hit-wonder keys then never displace
+///    entries that are actually re-used, which matters when the cache is
+///    much smaller than the working set.
+enum class CacheAdmission : int32_t {
+  kAdmitAll = 0,
+  kAdmitOnRepeat = 1,
+};
+
+const char* CacheAdmissionName(CacheAdmission admission);
+bool ParseCacheAdmission(const std::string& name, CacheAdmission* out);
+
+/// Aggregate counters for one cache (summed across shards).
+struct ShardCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserts = 0;
+  int64_t evictions = 0;      // capacity-driven removals
+  int64_t invalidations = 0;  // validity/EraseIf/Clear removals
+  int64_t rejected = 0;       // Puts refused by admission or size
+  int64_t entries = 0;        // resident entries (point-in-time)
+  int64_t bytes = 0;          // resident charged bytes (point-in-time)
+
+  void Merge(const ShardCacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    inserts += other.inserts;
+    evictions += other.evictions;
+    invalidations += other.invalidations;
+    rejected += other.rejected;
+    entries += other.entries;
+    bytes += other.bytes;
+  }
+};
+
+/// 128-bit cache key. `lo` is reserved for a sweepable attribute (the
+/// graph id in the result cache) so EraseIf can target all entries for
+/// one graph without knowing the hashed half; `hi` carries the mixed
+/// query/kind/protocol hash.
+struct CacheKey128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const CacheKey128& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+};
+
+/// Strong 64-bit finalizer (splitmix64) used for key mixing and shard
+/// selection.
+uint64_t MixCacheHash(uint64_t x);
+
+/// \brief A sharded, byte-bounded LRU cache with per-entry epoch stamps.
+///
+/// Each shard is an independent mutex + hash map + LRU list, so concurrent
+/// queries on different shards never contend. Entries are charged
+/// `value_bytes + kEntryOverheadBytes` against `capacity_bytes /
+/// num_shards`; the least recently used entries of the owning shard are
+/// evicted to make room.
+///
+/// Epoch semantics are caller-defined: Put stores an epoch stamp, FindIf
+/// takes a predicate over that stamp, and entries failing the predicate
+/// are dropped (counted as invalidations) instead of returned. EraseIf
+/// sweeps whole key ranges (e.g. every entry of one graph id).
+///
+/// All methods are thread-safe.
+template <typename V>
+class ShardedLruCache {
+ public:
+  /// Approximate bookkeeping cost per resident entry (key, LRU node,
+  /// hash bucket) charged on top of the caller-reported value bytes.
+  static constexpr size_t kEntryOverheadBytes = 64;
+
+  ShardedLruCache(size_t capacity_bytes, int num_shards,
+                  CacheAdmission admission)
+      : admission_(admission) {
+    if (num_shards < 1) num_shards = 1;
+    shards_.resize(static_cast<size_t>(num_shards));
+    for (auto& shard : shards_) shard = std::make_unique<Shard>();
+    shard_capacity_bytes_ = capacity_bytes / static_cast<size_t>(num_shards);
+    if (shard_capacity_bytes_ < kEntryOverheadBytes) {
+      shard_capacity_bytes_ = kEntryOverheadBytes;
+    }
+  }
+
+  /// Looks up `key`; on a hit whose epoch satisfies `valid(epoch)` copies
+  /// the value into `*out`, refreshes recency, and returns true. A resident
+  /// entry failing `valid` is erased (invalidation) and reported as a miss.
+  template <typename ValidFn>
+  bool FindIf(const CacheKey128& key, V* out, ValidFn&& valid) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.stats.misses;
+      return false;
+    }
+    if (!valid(it->second.epoch)) {
+      shard.bytes -= it->second.bytes;
+      shard.lru.erase(it->second.pos);
+      shard.map.erase(it);
+      ++shard.stats.invalidations;
+      ++shard.stats.misses;
+      return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
+    *out = it->second.value;
+    ++shard.stats.hits;
+    return true;
+  }
+
+  bool Find(const CacheKey128& key, V* out) {
+    return FindIf(key, out, [](uint64_t) { return true; });
+  }
+
+  /// Inserts (or refreshes) `key` with the given epoch stamp, charging
+  /// `value_bytes + kEntryOverheadBytes`. May be refused by the admission
+  /// policy or because the entry alone exceeds the shard capacity.
+  void Put(const CacheKey128& key, V value, size_t value_bytes,
+           uint64_t epoch) {
+    const size_t bytes = value_bytes + kEntryOverheadBytes;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (bytes > shard_capacity_bytes_) {
+      ++shard.stats.rejected;
+      return;
+    }
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Refresh in place (value may have been recomputed at a newer epoch).
+      shard.bytes += bytes - it->second.bytes;
+      it->second.value = std::move(value);
+      it->second.bytes = bytes;
+      it->second.epoch = epoch;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
+      EvictOver(shard);
+      return;
+    }
+    if (admission_ == CacheAdmission::kAdmitOnRepeat &&
+        !PassesDoorkeeper(shard, key)) {
+      ++shard.stats.rejected;
+      return;
+    }
+    shard.lru.push_front(key);
+    Entry entry;
+    entry.value = std::move(value);
+    entry.epoch = epoch;
+    entry.bytes = bytes;
+    entry.pos = shard.lru.begin();
+    shard.map.emplace(key, std::move(entry));
+    shard.bytes += bytes;
+    ++shard.stats.inserts;
+    EvictOver(shard);
+  }
+
+  /// Removes every entry for which `pred(key, epoch)` is true; returns the
+  /// number removed (also counted as invalidations).
+  template <typename Pred>
+  int64_t EraseIf(Pred&& pred) {
+    int64_t removed = 0;
+    for (auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.map.begin(); it != shard.map.end();) {
+        if (pred(it->first, it->second.epoch)) {
+          shard.bytes -= it->second.bytes;
+          shard.lru.erase(it->second.pos);
+          it = shard.map.erase(it);
+          ++shard.stats.invalidations;
+          ++removed;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return removed;
+  }
+
+  /// Drops every resident entry (counted as invalidations). Counters are
+  /// preserved; doorkeepers are reset.
+  void Clear() {
+    for (auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.stats.invalidations += static_cast<int64_t>(shard.map.size());
+      shard.map.clear();
+      shard.lru.clear();
+      shard.bytes = 0;
+      shard.door.clear();
+    }
+  }
+
+  ShardCacheStats Stats() const {
+    ShardCacheStats total;
+    for (const auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total.Merge(shard.stats);
+      total.entries += static_cast<int64_t>(shard.map.size());
+      total.bytes += static_cast<int64_t>(shard.bytes);
+    }
+    return total;
+  }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  size_t capacity_bytes() const {
+    return shard_capacity_bytes_ * shards_.size();
+  }
+
+ private:
+  struct KeyHasher {
+    size_t operator()(const CacheKey128& key) const {
+      return static_cast<size_t>(
+          MixCacheHash(key.hi ^ (key.lo * 0x9e3779b97f4a7c15ull)));
+    }
+  };
+
+  struct Entry {
+    V value{};
+    uint64_t epoch = 0;
+    size_t bytes = 0;
+    std::list<CacheKey128>::iterator pos;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<CacheKey128, Entry, KeyHasher> map;
+    std::list<CacheKey128> lru;  // front = most recently used
+    std::vector<uint32_t> door;  // doorkeeper fingerprints (lazy)
+    size_t bytes = 0;
+    ShardCacheStats stats;  // entries/bytes fields unused here
+  };
+
+  Shard& ShardFor(const CacheKey128& key) const {
+    const uint64_t h = KeyHasher()(key);
+    return *shards_[static_cast<size_t>(h % shards_.size())];
+  }
+
+  // Caller holds shard.mu.
+  bool PassesDoorkeeper(Shard& shard, const CacheKey128& key) const {
+    static constexpr size_t kDoorSlots = 4096;
+    if (shard.door.empty()) shard.door.assign(kDoorSlots, 0);
+    const uint64_t h = MixCacheHash(key.hi + 3 * key.lo + 1);
+    const size_t slot = static_cast<size_t>(h & (kDoorSlots - 1));
+    const uint32_t fp = static_cast<uint32_t>(h >> 32) | 1u;
+    if (shard.door[slot] == fp) return true;  // second sighting: admit
+    shard.door[slot] = fp;
+    return false;
+  }
+
+  // Caller holds shard.mu.
+  void EvictOver(Shard& shard) {
+    while (shard.bytes > shard_capacity_bytes_ && shard.map.size() > 1) {
+      auto victim = shard.map.find(shard.lru.back());
+      shard.bytes -= victim->second.bytes;
+      shard.lru.pop_back();
+      shard.map.erase(victim);
+      ++shard.stats.evictions;
+    }
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_capacity_bytes_ = 0;
+  CacheAdmission admission_ = CacheAdmission::kAdmitAll;
+};
+
+}  // namespace lan
+
+#endif  // LAN_COMMON_SHARD_CACHE_H_

@@ -66,6 +66,11 @@ struct SearchStats {
   int64_t routing_steps = 0;
   /// Number of learned-model forward passes.
   int64_t model_inferences = 0;
+  /// Number of cross-query result-cache hits (GED or model scores). Each
+  /// hit replaced a computation that would otherwise have counted toward
+  /// ndc or model_inferences, so results are identical either way — only
+  /// the cost accounting moves.
+  int64_t cache_hits = 0;
   /// Wall-clock split (seconds) for the Fig. 11 breakdown.
   double distance_seconds = 0.0;
   double learning_seconds = 0.0;
@@ -79,6 +84,7 @@ struct SearchStats {
     ndc += o.ndc;
     routing_steps += o.routing_steps;
     model_inferences += o.model_inferences;
+    cache_hits += o.cache_hits;
     distance_seconds += o.distance_seconds;
     learning_seconds += o.learning_seconds;
     other_seconds += o.other_seconds;

@@ -31,6 +31,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "model_inference";
     case TraceEventType::kEpochPinned:
       return "epoch_pinned";
+    case TraceEventType::kCacheHit:
+      return "cache_hit";
     case TraceEventType::kQueryEnd:
       return "query_end";
   }

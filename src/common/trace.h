@@ -33,6 +33,11 @@ namespace lan {
 ///   kEpochPinned   — search pinned index epoch value=epoch with
 ///                    aux=live graphs in that snapshot (LanIndex::Search;
 ///                    emitted right after kQueryBegin)
+///   kCacheHit      — cross-query result cache hit for graph `id`:
+///                    detail=result kind, value=distance for GED kinds.
+///                    Hits are NOT counted as NDC and emit no kDistance,
+///                    so the "one kDistance per NDC" invariant holds with
+///                    caching enabled (DistanceOracle)
 ///   kQueryEnd      — value=stats.ndc, aux=stats.routing_steps
 enum class TraceEventType : int8_t {
   kQueryBegin = 0,
@@ -47,6 +52,7 @@ enum class TraceEventType : int8_t {
   kDistance,
   kModelInference,
   kEpochPinned,
+  kCacheHit,
   kQueryEnd,
 };
 

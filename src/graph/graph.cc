@@ -124,6 +124,31 @@ bool Graph::operator==(const Graph& other) const {
   return labels_ == other.labels_ && adjacency_ == other.adjacency_;
 }
 
+uint64_t Graph::ContentHash() const {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  auto mix = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;  // FNV-1a prime
+    }
+  };
+  mix(static_cast<uint64_t>(NumNodes()));
+  for (Label label : labels_) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(label)));
+  }
+  mix(static_cast<uint64_t>(num_edges_));
+  // Sorted adjacency gives the (u, v) u < v edge set in lexicographic
+  // order without materializing Edges().
+  for (size_t u = 0; u < adjacency_.size(); ++u) {
+    for (NodeId v : adjacency_[u]) {
+      if (static_cast<size_t>(v) > u) {
+        mix((u << 32) | static_cast<uint32_t>(v));
+      }
+    }
+  }
+  return h;
+}
+
 std::string Graph::ToString() const {
   return StrFormat("Graph(n=%d, m=%lld)", NumNodes(),
                    static_cast<long long>(num_edges_));

@@ -80,6 +80,15 @@ class Graph {
   /// Structural + label equality under the identity node mapping.
   bool operator==(const Graph& other) const;
 
+  /// Canonical 64-bit content hash: FNV-1a over the node labels (in node
+  /// order) and the sorted edge set. Equal graphs (operator==) hash equal,
+  /// and the value is stable across processes and platforms, so it can key
+  /// cross-query caches and persisted artifacts. Not isomorphism-invariant:
+  /// the same structure under a different node numbering hashes differently
+  /// (repeated queries are typically byte-identical, which is the case the
+  /// hash exists for).
+  uint64_t ContentHash() const;
+
   /// Compact one-line description for logs: "Graph(n=5, m=6)".
   std::string ToString() const;
 

@@ -9,7 +9,7 @@ namespace lan {
 SearchResult BruteForceIndex::Search(const Graph& query, int k) const {
   SearchResult out;
   Timer timer;
-  DistanceOracle oracle(db_, &query, &ged_, &out.stats);
+  DistanceOracle oracle(this, db_, QueryContext{}, &query, &out.stats);
   KnnList all;
   all.reserve(static_cast<size_t>(db_->size()));
   for (GraphId id = 0; id < db_->size(); ++id) {

@@ -11,13 +11,29 @@ namespace lan {
 /// exact 20-NN query" regime the paper's introduction motivates against.
 /// Used as ground truth in benches and as the simplest possible index for
 /// API parity tests.
-class BruteForceIndex {
+///
+/// Also a DistanceProvider: ground truth serves both protocols from its
+/// one GED computer, so brute-force comparisons and cache layering (wrap
+/// it in a CachingDistanceProvider to memoize a ground-truth sweep) go
+/// through the same interface as the learned index.
+class BruteForceIndex : public DistanceProvider {
  public:
-  BruteForceIndex(const GraphDatabase* db, GedOptions ged_options = {})
+  explicit BruteForceIndex(const GraphDatabase* db, GedOptions ged_options = {})
       : db_(db), ged_(ged_options) {}
 
   /// Exhaustive k-NN with full stats accounting.
   SearchResult Search(const Graph& query, int k) const;
+
+  DistanceResult Exact(const QueryContext& ctx, const Graph& query,
+                       GraphId id) const override {
+    (void)ctx;
+    return DistanceResult{ged_.Distance(query, db_->Get(id)), true};
+  }
+
+  DistanceResult Approx(const QueryContext& ctx, const Graph& query,
+                        GraphId id) const override {
+    return Exact(ctx, query, id);
+  }
 
   const GraphDatabase& db() const { return *db_; }
 

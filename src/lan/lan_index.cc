@@ -84,6 +84,7 @@ Status LanConfig::Validate() const {
   if (embedding.dim <= 0) {
     return Status::InvalidArgument("embedding.dim must be positive");
   }
+  LAN_RETURN_NOT_OK(cache.Validate());
   return Status::OK();
 }
 
@@ -254,6 +255,18 @@ Status LanIndex::FinishBuild(HnswIndex hnsw, std::vector<uint8_t> live,
   insert_rng_ = Rng(config_.hnsw.seed ^
                     (0x9e3779b97f4a7c15ULL +
                      static_cast<uint64_t>(db_->size())));
+
+  // Provider stack: the query path computes through distance_provider(),
+  // which is the caching decorator iff the cross-query cache is on. The
+  // GED-protocol fingerprints salt the cache keys so exact- and
+  // build-protocol values can never alias.
+  base_provider_ = GedDistanceProvider(db_, &query_ged_, &build_ged_);
+  if (config_.cache.enabled) {
+    const uint64_t salt = config_.query_ged.Fingerprint() ^
+                          MixCacheHash(config_.build_ged.Fingerprint());
+    result_cache_ = std::make_shared<ResultCache>(config_.cache, salt);
+    caching_provider_ = MakeCachingProvider(&base_provider_, result_cache_);
+  }
   built_ = true;
   return Status::OK();
 }
@@ -292,14 +305,41 @@ Result<GraphId> LanIndex::Insert(Graph graph) {
   clusters->members[static_cast<size_t>(c)].push_back(id);
 
   // Copy-on-write PG extension: concurrent searches keep routing on the
-  // previous epoch's topology.
+  // previous epoch's topology. With the cache on, build-protocol pair
+  // distances route through the provider keyed by the smaller endpoint's
+  // content hash, so consecutive inserts re-probing the same region reuse
+  // each other's GED work.
   auto hnsw = std::make_shared<HnswIndex>(*snap->hnsw);
-  LAN_RETURN_NOT_OK(hnsw->Insert(
-      id,
-      [this](GraphId a, GraphId b) {
-        return build_ged_.Distance(db_->Get(a), db_->Get(b));
-      },
-      config_.hnsw, &insert_rng_));
+  std::vector<GraphId> touched;
+  const uint64_t next_epoch = snap->epoch + 1;
+  HnswIndex::PairDistanceFn pair_distance;
+  if (result_cache_ != nullptr) {
+    pair_distance = [this, next_epoch](GraphId a, GraphId b) {
+      const GraphId qa = std::min(a, b);
+      const GraphId qb = std::max(a, b);
+      const Graph& ga = db_->Get(qa);
+      QueryContext ctx;
+      ctx.query_hash = ga.ContentHash();
+      ctx.epoch = next_epoch;
+      return caching_provider_->Approx(ctx, ga, qb).value;
+    };
+  } else {
+    pair_distance = [this](GraphId a, GraphId b) {
+      return build_ged_.Distance(db_->Get(a), db_->Get(b));
+    };
+  }
+  LAN_RETURN_NOT_OK(hnsw->Insert(id, pair_distance, config_.hnsw,
+                                 &insert_rng_,
+                                 result_cache_ != nullptr ? &touched
+                                                          : nullptr));
+
+  // Invalidate before Publish: queries pinning the new epoch must never
+  // see a pre-mutation cached result for a graph whose base-layer
+  // neighborhood just changed (that is what kRankBatches depends on).
+  if (result_cache_ != nullptr) {
+    touched.push_back(id);
+    result_cache_->InvalidateGraphs(touched, next_epoch);
+  }
 
   auto live = std::make_shared<std::vector<uint8_t>>(*snap->live);
   live->push_back(1);
@@ -332,6 +372,14 @@ Status LanIndex::Remove(GraphId id) {
 
   auto live = std::make_shared<std::vector<uint8_t>>(*snap->live);
   (*live)[static_cast<size_t>(id)] = 0;
+
+  // Tombstoning keeps the node's graph content and PG edges (liveness is
+  // filtered at result-harvest time), so cached results never go *wrong* —
+  // but drop the dead graph's entries anyway: they can only be served to
+  // doomed lookups and the bytes are better spent on live graphs.
+  if (result_cache_ != nullptr) {
+    result_cache_->InvalidateGraph(id, snap->epoch + 1);
+  }
 
   auto next = std::make_shared<IndexSnapshot>(*snap);
   next->epoch = snap->epoch + 1;
@@ -449,6 +497,10 @@ Status LanIndex::Train(const std::vector<Graph>& train_queries) {
         std::make_unique<ClusterModel>(feature_dim, config_.cluster);
     cluster_model_->Train(query_embeddings, clusters.centroids, counts);
   }
+
+  // New models invalidate every memoized model score (and the GED entries
+  // are not worth keeping apart from them during an offline phase).
+  if (result_cache_ != nullptr) result_cache_->Clear();
 
   trained_ = true;
   LAN_LOG(Info) << "LanIndex::Train done in " << timer.ElapsedSeconds() << "s";
@@ -596,6 +648,8 @@ Status LanIndex::LoadModels(std::istream& in) {
   }
 
   rank_model_->PrecomputeContexts(*snap->cgs);
+  // Freshly loaded models invalidate every memoized model score.
+  if (result_cache_ != nullptr) result_cache_->Clear();
   trained_ = true;
   return Status::OK();
 }
@@ -630,6 +684,10 @@ BatchSearchResult LanIndex::SearchBatch(const std::vector<Graph>& queries,
   const GaugeId live_gauge = registry.Gauge("index_live_size");
   const GaugeId tombstone_gauge = registry.Gauge("index_tombstones");
   const GaugeId epoch_gauge = registry.Gauge("index_epoch");
+  // cache.* counters are scoped to this batch: delta against the cache's
+  // lifetime totals captured now.
+  const ShardCacheStats cache_before =
+      result_cache_ != nullptr ? result_cache_->Stats() : ShardCacheStats{};
   if (const auto snap = Snapshot(); snap != nullptr) {
     registry.SetGauge(live_gauge, static_cast<double>(snap->live_count));
     registry.SetGauge(tombstone_gauge,
@@ -668,6 +726,9 @@ BatchSearchResult LanIndex::SearchBatch(const std::vector<Graph>& queries,
 
   for (const SearchResult& r : out.results) {
     out.stats.totals.Merge(r.stats);
+  }
+  if (result_cache_ != nullptr) {
+    result_cache_->AppendMetrics(&registry, &cache_before);
   }
   out.stats.metrics = registry.Snapshot();
   return out;
@@ -745,7 +806,13 @@ void LanIndex::SearchInto(const Graph& query, const SearchOptions& options,
   }
 
   Timer total_timer;
-  DistanceOracle oracle(db_, &query, &query_ged_, &out.stats, sink, scratch);
+  // Cache identity: the canonical content hash keys this query's results
+  // in the cross-query cache (0 = caching off, providers pass through).
+  QueryContext ctx;
+  ctx.epoch = snap->epoch;
+  if (result_cache_ != nullptr) ctx.query_hash = query.ContentHash();
+  DistanceOracle oracle(distance_provider(), db_, ctx, &query, &out.stats,
+                        sink, scratch);
 
   // Deterministic per-query randomness.
   uint64_t qhash = config_.seed;

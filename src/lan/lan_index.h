@@ -19,6 +19,7 @@
 #include "lan/learned_init.h"
 #include "lan/neighborhood_model.h"
 #include "lan/rank_model.h"
+#include "lan/result_cache.h"
 #include "pg/hnsw.h"
 #include "pg/np_route.h"
 
@@ -87,6 +88,13 @@ struct LanConfig {
   /// Fig. 10 toggle: run model inference on compressed GNN-graphs
   /// (Definition 3) instead of raw graphs (Definition 1).
   bool use_compressed_gnn = true;
+
+  // ---- Cross-query result cache (docs/caching.md) ----
+  /// Memoizes GED values and M_rk/M_c scores across queries, keyed by the
+  /// query's canonical content hash; hits skip the whole GED/model
+  /// pipeline. Off by default; results are identical either way (only
+  /// stats.ndc / model_inferences vs stats.cache_hits accounting moves).
+  ResultCacheOptions cache;
 
   uint64_t seed = 123;
   /// Worker threads for offline phases (0 = hardware concurrency). Sizes
@@ -267,26 +275,6 @@ class LanIndex {
   void SearchInto(const Graph& query, const SearchOptions& options,
                   SearchResult* out) const;
 
-  /// Full LAN search (LAN_IS + LAN_Route).
-  /// DEPRECATED(kept as a thin forwarder): prefer Search(query, options).
-  SearchResult Search(const Graph& query, int k) const {
-    SearchOptions options;
-    options.k = k;
-    return Search(query, options);
-  }
-
-  /// Ablation/baseline entry point over the same PG.
-  /// DEPRECATED(kept as a thin forwarder): prefer Search(query, options).
-  SearchResult SearchWith(const Graph& query, int k, int beam,
-                          RoutingMethod routing, InitMethod init) const {
-    SearchOptions options;
-    options.k = k;
-    options.beam = beam;
-    options.routing = routing;
-    options.init = init;
-    return Search(query, options);
-  }
-
   /// Throughput mode: answers independent queries in parallel across
   /// `num_threads` workers (0 = the index's resident pool, so batch calls
   /// pay no thread-creation latency; an explicit count spawns exactly
@@ -300,14 +288,6 @@ class LanIndex {
   BatchSearchResult SearchBatch(const std::vector<Graph>& queries,
                                 const SearchOptions& options,
                                 int num_threads = 0) const;
-
-  /// DEPRECATED(kept as a thin forwarder): prefer the SearchOptions form.
-  std::vector<SearchResult> SearchBatch(const std::vector<Graph>& queries,
-                                        int k, int num_threads = 0) const {
-    SearchOptions options;
-    options.k = k;
-    return SearchBatch(queries, options, num_threads).results;
-  }
 
   // ---- Introspection (benches, tests; setup-phase views — references
   // are into the snapshot current at the call and stay valid until two
@@ -324,6 +304,17 @@ class LanIndex {
   const KMeansResult& clusters() const { return *Snapshot()->clusters; }
   const LanConfig& config() const { return config_; }
   bool trained() const { return trained_; }
+  /// The cross-query result cache, or null when `config.cache.enabled` is
+  /// false. Stats()/AppendMetrics expose hit rates; tools surface them via
+  /// --metrics-out.
+  ResultCache* result_cache() const { return result_cache_.get(); }
+  /// The provider the query path computes through (the caching decorator
+  /// when enabled, the direct GED provider otherwise). Valid after Build.
+  const DistanceProvider* distance_provider() const {
+    return caching_provider_ != nullptr
+               ? caching_provider_.get()
+               : static_cast<const DistanceProvider*>(&base_provider_);
+  }
 
   // ---- Mutable-index introspection ----
   /// The snapshot a search starting now would pin. Holding the returned
@@ -368,6 +359,14 @@ class LanIndex {
   GraphDatabase* mutable_db_ = nullptr;
   GedComputer build_ged_;
   GedComputer query_ged_;
+  /// Leaf of the provider stack (set up in FinishBuild): direct GED
+  /// computation, query protocol = Exact, build protocol = Approx.
+  GedDistanceProvider base_provider_;
+  /// Non-null iff config_.cache.enabled: the cross-query store and the
+  /// decorator that layers it over base_provider_. shared_ptr because the
+  /// cache may outlive a batch call that snapshots its stats.
+  std::shared_ptr<ResultCache> result_cache_;
+  std::unique_ptr<DistanceProvider> caching_provider_;
   std::unique_ptr<ThreadPool> pool_;
 
   /// Current epoch's state; accessed via atomic shared_ptr ops (readers

@@ -14,11 +14,27 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
   Timer timer;
   predicted_.clear();
 
-  // 1) Cluster-level pruning with M_c.
-  const std::vector<float> query_embedding =
-      EmbedGraph(oracle->query(), *embedding_options_);
-  const std::vector<float> counts = cluster_model_->PredictCounts(
-      query_embedding, clusters_->centroids, sink);
+  // 1) Cluster-level pruning with M_c. The per-cluster counts depend only
+  // on the query and the frozen centroids/weights, so they memoize across
+  // queries (kClusterCounts; graph id unused). A hit skips the query
+  // embedding too — it feeds nothing else.
+  std::vector<float> counts;
+  bool counts_cached = false;
+  CachedScore cached_counts;
+  if (oracle->FindScore(ResultKind::kClusterCounts, kInvalidGraphId,
+                        &cached_counts) &&
+      cached_counts.floats.size() == clusters_->centroids.size()) {
+    counts = std::move(cached_counts.floats);
+    counts_cached = true;
+  } else {
+    const std::vector<float> query_embedding =
+        EmbedGraph(oracle->query(), *embedding_options_);
+    counts = cluster_model_->PredictCounts(query_embedding,
+                                           clusters_->centroids, sink);
+    CachedScore store;
+    store.floats = counts;
+    oracle->StoreScore(ResultKind::kClusterCounts, kInvalidGraphId, store);
+  }
   std::vector<size_t> local_order;
   std::vector<size_t>& cluster_order =
       scratch_ != nullptr ? scratch_->order_buffer : local_order;
@@ -54,8 +70,10 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
       candidates.push_back(static_cast<GraphId>(member));
     }
   }
-  int64_t inferences =
-      static_cast<int64_t>(counts.size() + candidates.size());
+  // A counts hit replaced the M_c forward pass, so only M_nh inference is
+  // charged on that path.
+  int64_t inferences = static_cast<int64_t>(candidates.size()) +
+                       (counts_cached ? 0 : static_cast<int64_t>(counts.size()));
   if (sink != nullptr && !candidates.empty()) {
     TraceEvent event;
     event.type = TraceEventType::kModelInference;

@@ -14,6 +14,24 @@ std::vector<std::vector<GraphId>> LearnedNeighborRanker::RankNeighbors(
       node_distance != nullptr && *node_distance <= gamma_star_;
   if (!in_neighborhood) return {{neighbors.begin(), neighbors.end()}};
 
+  // Cross-query memoization: M_rk's output for (query, node) depends only
+  // on the query, the node's current neighbor list, and the trained
+  // weights — all captured by the cache key + epoch watermark — so a hit
+  // reproduces the computed batches exactly, skipping encode + forward.
+  CachedScore cached;
+  if (oracle_->FindScore(ResultKind::kRankBatches, node, &cached)) {
+    std::vector<std::vector<GraphId>> batches;
+    batches.reserve(cached.sizes.size());
+    size_t offset = 0;
+    for (int32_t size : cached.sizes) {
+      const size_t n = static_cast<size_t>(size);
+      batches.emplace_back(cached.ids.begin() + offset,
+                           cached.ids.begin() + offset + n);
+      offset += n;
+    }
+    return batches;
+  }
+
   SearchStats* stats = oracle_->stats();
   Timer timer;
   if (!query_cache_ready_) {
@@ -43,6 +61,13 @@ std::vector<std::vector<GraphId>> LearnedNeighborRanker::RankNeighbors(
     event.aux = static_cast<double>(inferences);
     sink->Record(event);
   }
+  CachedScore store;
+  store.sizes.reserve(batches.size());
+  for (const auto& batch : batches) {
+    store.sizes.push_back(static_cast<int32_t>(batch.size()));
+    store.ids.insert(store.ids.end(), batch.begin(), batch.end());
+  }
+  oracle_->StoreScore(ResultKind::kRankBatches, node, store);
   return batches;
 }
 

@@ -1,0 +1,213 @@
+#include "lan/result_cache.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace lan {
+
+namespace {
+
+// Per-kind key perturbation so (query, graph) pairs of different kinds
+// never collide even before mixing.
+constexpr uint64_t kKindSalt = 0x9e3779b97f4a7c15ull;
+
+// GED doubles dominate traffic and are tiny; model-score blobs are rarer
+// but bigger. A static 3/4 : 1/4 split keeps either kind from starving
+// the other.
+constexpr size_t GedShare(size_t capacity) { return capacity - capacity / 4; }
+constexpr size_t ScoreShare(size_t capacity) { return capacity / 4; }
+
+}  // namespace
+
+Status ResultCacheOptions::Validate() const {
+  if (!enabled) return Status::OK();
+  if (capacity_bytes == 0) {
+    return Status::InvalidArgument("cache.capacity_bytes must be > 0");
+  }
+  if (num_shards < 1) {
+    return Status::InvalidArgument(
+        StrFormat("cache.num_shards must be >= 1, got %d", num_shards));
+  }
+  return Status::OK();
+}
+
+ResultCache::ResultCache(const ResultCacheOptions& options, uint64_t key_salt)
+    : options_(options),
+      key_salt_(key_salt),
+      ged_cache_(GedShare(options.capacity_bytes), options.num_shards,
+                 options.admission),
+      score_cache_(ScoreShare(options.capacity_bytes), options.num_shards,
+                   options.admission) {}
+
+CacheKey128 ResultCache::MakeKey(uint64_t query_hash, GraphId id,
+                                 ResultKind kind) const {
+  CacheKey128 key;
+  key.hi = MixCacheHash(query_hash ^ key_salt_ ^
+                        (static_cast<uint64_t>(kind) + 1) * kKindSalt);
+  // The graph id rides in the clear so InvalidateGraph can sweep one id
+  // without knowing which queries cached against it.
+  key.lo = static_cast<uint64_t>(static_cast<int64_t>(id));
+  return key;
+}
+
+uint64_t ResultCache::WatermarkOf(GraphId id) const {
+  if (watermark_count_.load(std::memory_order_acquire) == 0) return 0;
+  std::shared_lock<std::shared_mutex> lock(watermark_mu_);
+  const auto it = watermarks_.find(id);
+  return it != watermarks_.end() ? it->second : 0;
+}
+
+bool ResultCache::FindGed(uint64_t query_hash, GraphId id, ResultKind kind,
+                          uint64_t query_epoch, double* out) {
+  const uint64_t watermark = WatermarkOf(id);
+  return ged_cache_.FindIf(
+      MakeKey(query_hash, id, kind), out,
+      [watermark, query_epoch](uint64_t entry_epoch) {
+        return watermark <= entry_epoch && watermark <= query_epoch;
+      });
+}
+
+void ResultCache::PutGed(uint64_t query_hash, GraphId id, ResultKind kind,
+                         uint64_t epoch, double value) {
+  if (epoch < WatermarkOf(id)) return;  // computed against a dead topology
+  ged_cache_.Put(MakeKey(query_hash, id, kind), value, sizeof(double), epoch);
+}
+
+bool ResultCache::FindScore(uint64_t query_hash, GraphId id, ResultKind kind,
+                            uint64_t query_epoch, CachedScore* out) {
+  const uint64_t watermark = WatermarkOf(id);
+  return score_cache_.FindIf(
+      MakeKey(query_hash, id, kind), out,
+      [watermark, query_epoch](uint64_t entry_epoch) {
+        return watermark <= entry_epoch && watermark <= query_epoch;
+      });
+}
+
+void ResultCache::PutScore(uint64_t query_hash, GraphId id, ResultKind kind,
+                           uint64_t epoch, const CachedScore& value) {
+  if (epoch < WatermarkOf(id)) return;
+  score_cache_.Put(MakeKey(query_hash, id, kind), value, value.ByteSize(),
+                   epoch);
+}
+
+void ResultCache::InvalidateGraph(GraphId id, uint64_t epoch) {
+  InvalidateGraphs({id}, epoch);
+}
+
+void ResultCache::InvalidateGraphs(const std::vector<GraphId>& ids,
+                                   uint64_t epoch) {
+  if (ids.empty()) return;
+  {
+    std::unique_lock<std::shared_mutex> lock(watermark_mu_);
+    for (GraphId id : ids) {
+      uint64_t& mark = watermarks_[id];
+      mark = std::max(mark, epoch);
+    }
+    watermark_count_.store(watermarks_.size(), std::memory_order_release);
+  }
+  // Physical sweep: entries below the new watermark can never be served
+  // again (FindIf would reject them), so reclaim their bytes now.
+  auto stale = [&ids, epoch](const CacheKey128& key, uint64_t entry_epoch) {
+    if (entry_epoch >= epoch) return false;
+    for (GraphId id : ids) {
+      if (key.lo == static_cast<uint64_t>(static_cast<int64_t>(id))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ged_cache_.EraseIf(stale);
+  score_cache_.EraseIf(stale);
+}
+
+void ResultCache::Clear() {
+  ged_cache_.Clear();
+  score_cache_.Clear();
+}
+
+ShardCacheStats ResultCache::Stats() const {
+  ShardCacheStats total = ged_cache_.Stats();
+  total.Merge(score_cache_.Stats());
+  return total;
+}
+
+void ResultCache::AppendMetrics(MetricsRegistry* registry,
+                                const ShardCacheStats* baseline) const {
+  ShardCacheStats stats = Stats();
+  if (baseline != nullptr) {
+    stats.hits -= baseline->hits;
+    stats.misses -= baseline->misses;
+    stats.inserts -= baseline->inserts;
+    stats.evictions -= baseline->evictions;
+    stats.invalidations -= baseline->invalidations;
+    stats.rejected -= baseline->rejected;
+  }
+  registry->Increment(registry->Counter("cache.hits"), stats.hits);
+  registry->Increment(registry->Counter("cache.misses"), stats.misses);
+  registry->Increment(registry->Counter("cache.inserts"), stats.inserts);
+  registry->Increment(registry->Counter("cache.evictions"), stats.evictions);
+  registry->Increment(registry->Counter("cache.invalidations"),
+                      stats.invalidations);
+  registry->Increment(registry->Counter("cache.rejected"), stats.rejected);
+  registry->SetGauge(registry->Gauge("cache.entries"),
+                     static_cast<double>(stats.entries));
+  registry->SetGauge(registry->Gauge("cache.bytes"),
+                     static_cast<double>(stats.bytes));
+  registry->SetGauge(
+      registry->Gauge("cache.capacity_bytes"),
+      static_cast<double>(ged_cache_.capacity_bytes() +
+                          score_cache_.capacity_bytes()));
+}
+
+DistanceResult CachingDistanceProvider::CachedGed(const QueryContext& ctx,
+                                                  const Graph& query,
+                                                  GraphId id,
+                                                  ResultKind kind) const {
+  const bool exact = kind == ResultKind::kExactGed;
+  if (ctx.query_hash == 0) {
+    return exact ? base_->Exact(ctx, query, id) : base_->Approx(ctx, query, id);
+  }
+  double value = 0.0;
+  if (cache_->FindGed(ctx.query_hash, id, kind, ctx.epoch, &value)) {
+    return DistanceResult{value, false};
+  }
+  const DistanceResult result =
+      exact ? base_->Exact(ctx, query, id) : base_->Approx(ctx, query, id);
+  cache_->PutGed(ctx.query_hash, id, kind, ctx.epoch, result.value);
+  return result;
+}
+
+DistanceResult CachingDistanceProvider::Exact(const QueryContext& ctx,
+                                              const Graph& query,
+                                              GraphId id) const {
+  return CachedGed(ctx, query, id, ResultKind::kExactGed);
+}
+
+DistanceResult CachingDistanceProvider::Approx(const QueryContext& ctx,
+                                               const Graph& query,
+                                               GraphId id) const {
+  return CachedGed(ctx, query, id, ResultKind::kApproxGed);
+}
+
+bool CachingDistanceProvider::FindScore(const QueryContext& ctx,
+                                        ResultKind kind, GraphId id,
+                                        CachedScore* out) const {
+  if (ctx.query_hash == 0) return false;
+  return cache_->FindScore(ctx.query_hash, id, kind, ctx.epoch, out);
+}
+
+void CachingDistanceProvider::StoreScore(const QueryContext& ctx,
+                                         ResultKind kind, GraphId id,
+                                         const CachedScore& value) const {
+  if (ctx.query_hash == 0) return;
+  cache_->PutScore(ctx.query_hash, id, kind, ctx.epoch, value);
+}
+
+std::unique_ptr<DistanceProvider> MakeCachingProvider(
+    const DistanceProvider* base, std::shared_ptr<ResultCache> cache) {
+  if (cache == nullptr) return nullptr;
+  return std::make_unique<CachingDistanceProvider>(base, std::move(cache));
+}
+
+}  // namespace lan

@@ -67,6 +67,12 @@ Status ShardedLanIndex::Build(const GraphDatabase& db) {
   for (int s = 0; s < shards; ++s) {
     LanConfig config = options_.shard_config;
     config.seed += static_cast<uint64_t>(s) * 7919;
+    // The configured cache budget is for the whole sharded index; each
+    // shard's private cache gets an equal slice.
+    if (config.cache.enabled && shards > 0) {
+      config.cache.capacity_bytes = std::max<size_t>(
+          1 << 20, config.cache.capacity_bytes / static_cast<size_t>(shards));
+    }
     if (config.num_threads <= 0) {
       config.num_threads =
           static_cast<int>(std::max<size_t>(1, hw / concurrent));

@@ -67,27 +67,6 @@ class ShardedLanIndex {
   SearchResult Search(const Graph& query, const SearchOptions& options,
                       int max_shards = 0) const;
 
-  /// Full LAN search over shards.
-  /// DEPRECATED(kept as a thin forwarder): prefer Search(query, options).
-  SearchResult Search(const Graph& query, int k, int max_shards = 0) const {
-    SearchOptions options;
-    options.k = k;
-    return Search(query, options, max_shards);
-  }
-
-  /// Ablation variant.
-  /// DEPRECATED(kept as a thin forwarder): prefer Search(query, options).
-  SearchResult SearchWith(const Graph& query, int k, int beam,
-                          RoutingMethod routing, InitMethod init,
-                          int max_shards = 0) const {
-    SearchOptions options;
-    options.k = k;
-    options.beam = beam;
-    options.routing = routing;
-    options.init = init;
-    return Search(query, options, max_shards);
-  }
-
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const LanIndex& shard(int i) const { return *shards_[static_cast<size_t>(i)]; }
   GraphId total_size() const {

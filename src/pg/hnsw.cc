@@ -115,6 +115,12 @@ class HnswMutator {
     if (level > max_level) core_->entry = id;
   }
 
+  /// Collects the ids whose base-layer adjacency this mutator rewires
+  /// (Connect endpoints + Shrink casualties). Duplicates are not filtered.
+  void set_touched_collector(std::vector<GraphId>* touched) {
+    touched_ = touched;
+  }
+
  private:
   /// Level of the current entry layer (-1 on an empty core).
   int TopLevel() const {
@@ -196,8 +202,34 @@ class HnswMutator {
     auto& lb = Neighbors(layer, b);
     if (std::find(la.begin(), la.end(), b) == la.end()) la.push_back(b);
     if (std::find(lb.begin(), lb.end(), a) == lb.end()) lb.push_back(a);
-    Shrink(&la, a, cap);
-    Shrink(&lb, b, cap);
+    // Base-layer rewiring is what invalidates cached routing state: the
+    // endpoints gain an edge, and anything Shrink drops loses one.
+    std::vector<GraphId>* touched = (layer == 0) ? touched_ : nullptr;
+    if (touched != nullptr) {
+      touched->push_back(a);
+      touched->push_back(b);
+    }
+    Shrink(&la, a, cap, touched);
+    Shrink(&lb, b, cap, touched);
+  }
+
+  /// Shrinks `list` to `cap` entries; when `dropped` is non-null, appends
+  /// every neighbor removed in the process (callers use it to know whose
+  /// base-layer view changed).
+  void Shrink(std::vector<GraphId>* list, GraphId node, int cap,
+              std::vector<GraphId>* dropped = nullptr) {
+    if (dropped == nullptr) {
+      ShrinkImpl(list, node, cap);
+      return;
+    }
+    if (list->size() <= static_cast<size_t>(cap)) return;
+    const std::vector<GraphId> before = *list;
+    ShrinkImpl(list, node, cap);
+    for (GraphId g : before) {
+      if (std::find(list->begin(), list->end(), g) == list->end()) {
+        dropped->push_back(g);
+      }
+    }
   }
 
   /// Keeps only `cap` neighbors of `node`: the closest ones, or (with the
@@ -205,7 +237,7 @@ class HnswMutator {
   /// candidate is kept only if it is closer to `node` than to every
   /// already-kept neighbor, so kept edges spread across clusters instead
   /// of all pointing into one.
-  void Shrink(std::vector<GraphId>* list, GraphId node, int cap) {
+  void ShrinkImpl(std::vector<GraphId>* list, GraphId node, int cap) {
     if (list->size() <= static_cast<size_t>(cap)) return;
     std::sort(list->begin(), list->end(), [&](GraphId x, GraphId y) {
       const double dx = Distance(node, x);
@@ -254,6 +286,7 @@ class HnswMutator {
   const HnswOptions& options_;
   ThreadPool* pool_;
   std::unordered_map<int64_t, double> cache_;
+  std::vector<GraphId>* touched_ = nullptr;
 };
 
 /// Concurrent batch construction over a pre-sized HnswCore, hnswlib/SVS
@@ -564,14 +597,21 @@ HnswIndex HnswIndex::BuildWithDistance(GraphId num_nodes,
 }
 
 Status HnswIndex::Insert(GraphId id, const PairDistanceFn& distance,
-                         const HnswOptions& options, Rng* rng) {
+                         const HnswOptions& options, Rng* rng,
+                         std::vector<GraphId>* touched) {
   if (id != core_.num_nodes) {
     return Status::InvalidArgument(
         "Insert: id must equal the current node count");
   }
   const int level = DrawLevel(rng, options);
   HnswMutator mutator(&core_, distance, options, nullptr);
+  if (touched != nullptr) mutator.set_touched_collector(touched);
   mutator.Insert(id, level);
+  if (touched != nullptr) {
+    std::sort(touched->begin(), touched->end());
+    touched->erase(std::unique(touched->begin(), touched->end()),
+                   touched->end());
+  }
   // flat_search_view_ deliberately not updated from `options`: the layout
   // chosen at build time is sticky across re-publishes (see hnsw.h).
   RebuildViewFromCore();

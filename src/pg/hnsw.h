@@ -122,9 +122,14 @@ class HnswIndex {
   /// `distance` must cover all ids up to and including the new one.
   /// Runs the same per-node insertion step as batch construction (level
   /// assignment, ef-search, diversity heuristic and backfill), with the
-  /// level drawn from `rng`.
+  /// level drawn from `rng`. When `touched` is non-null it receives the
+  /// ids (deduplicated, sorted) whose base-layer adjacency the insert
+  /// rewired — the new node, the neighbors it connected to, and anyone
+  /// the diversity shrink dropped — which is exactly the set whose
+  /// routing-relevant view changed (cache invalidation consumes this).
   Status Insert(GraphId id, const PairDistanceFn& distance,
-                const HnswOptions& options, Rng* rng);
+                const HnswOptions& options, Rng* rng,
+                std::vector<GraphId>* touched = nullptr);
 
   /// Full HNSW k-ANN query: upper-layer descent, then Algorithm 1 on the
   /// base layer with beam size `ef`. `live` (optional) filters tombstoned

@@ -258,12 +258,13 @@ TEST(BatchedSearchTest, SearchBatchMatchesSequentialSearch) {
   ASSERT_TRUE(index.Build(&db).ok());
   ASSERT_TRUE(index.Train(workload.train).ok());
 
-  const int k = 3;
+  SearchOptions sopts;
+  sopts.k = 3;
   const std::vector<SearchResult> batch =
-      index.SearchBatch(workload.test, k, /*num_threads=*/2);
+      index.SearchBatch(workload.test, sopts, /*num_threads=*/2).results;
   ASSERT_EQ(batch.size(), workload.test.size());
   for (size_t i = 0; i < workload.test.size(); ++i) {
-    const SearchResult sequential = index.Search(workload.test[i], k);
+    const SearchResult sequential = index.Search(workload.test[i], sopts);
     ASSERT_EQ(batch[i].results.size(), sequential.results.size());
     for (size_t j = 0; j < sequential.results.size(); ++j) {
       EXPECT_EQ(batch[i].results[j].first, sequential.results[j].first);

@@ -35,6 +35,17 @@ LanConfig TinyConfig() {
   return config;
 }
 
+SearchOptions Opts(int k, int beam = 0,
+                   RoutingMethod routing = RoutingMethod::kLanRoute,
+                   InitMethod init = InitMethod::kLanIs) {
+  SearchOptions options;
+  options.k = k;
+  options.beam = beam;
+  options.routing = routing;
+  options.init = init;
+  return options;
+}
+
 /// Shared across tests in this file (Build+Train are the slow parts).
 class LanIndexTest : public ::testing::Test {
  protected:
@@ -86,7 +97,7 @@ TEST_F(LanIndexTest, BuildPopulatesStructures) {
 
 TEST_F(LanIndexTest, FullSearchReturnsKResultsWithStats) {
   const Graph& query = workload_->test[0];
-  SearchResult result = index_->Search(query, 5);
+  SearchResult result = index_->Search(query, Opts(5));
   ASSERT_EQ(result.results.size(), 5u);
   for (size_t i = 1; i < result.results.size(); ++i) {
     EXPECT_LE(result.results[i - 1].second, result.results[i].second);
@@ -100,8 +111,8 @@ TEST_F(LanIndexTest, FullSearchReturnsKResultsWithStats) {
 
 TEST_F(LanIndexTest, SearchIsDeterministic) {
   const Graph& query = workload_->test[1];
-  SearchResult a = index_->Search(query, 4);
-  SearchResult b = index_->Search(query, 4);
+  SearchResult a = index_->Search(query, Opts(4));
+  SearchResult b = index_->Search(query, Opts(4));
   EXPECT_EQ(a.results, b.results);
   EXPECT_EQ(a.stats.ndc, b.stats.ndc);
 }
@@ -113,7 +124,7 @@ TEST_F(LanIndexTest, AllAblationsRun) {
         RoutingMethod::kOracleRoute}) {
     for (InitMethod init :
          {InitMethod::kLanIs, InitMethod::kHnswIs, InitMethod::kRandomIs}) {
-      SearchResult result = index_->SearchWith(query, 3, 8, routing, init);
+      SearchResult result = index_->Search(query, Opts(3, 8, routing, init));
       EXPECT_EQ(result.results.size(), 3u)
           << RoutingMethodName(routing) << "/" << InitMethodName(init);
     }
@@ -126,8 +137,8 @@ TEST_F(LanIndexTest, RecallBeatsNaiveRandomAnswer) {
   for (int i = 0; i < kQueries; ++i) {
     const Graph& query = workload_->test[static_cast<size_t>(i)];
     KnnList truth = ComputeGroundTruth(*db_, query, 5, *ged_);
-    SearchResult result = index_->SearchWith(
-        query, 5, 16, RoutingMethod::kLanRoute, InitMethod::kHnswIs);
+    SearchResult result = index_->Search(
+        query, Opts(5, 16, RoutingMethod::kLanRoute, InitMethod::kHnswIs));
     recall_sum += RecallAtK(result.results, truth, 5);
   }
   // A random 5-subset of 80 graphs has expected recall 1/16.
@@ -140,13 +151,13 @@ TEST_F(LanIndexTest, OracleRouteUsesFewerDistancesThanBaseline) {
   for (int i = 0; i < 4; ++i) {
     const Graph& query = workload_->test[static_cast<size_t>(i)];
     oracle_ndc += index_
-                      ->SearchWith(query, 5, 8, RoutingMethod::kOracleRoute,
-                                   InitMethod::kHnswIs)
+                      ->Search(query, Opts(5, 8, RoutingMethod::kOracleRoute,
+                                           InitMethod::kHnswIs))
                       .stats.ndc;
     baseline_ndc += index_
-                        ->SearchWith(query, 5, 8,
-                                     RoutingMethod::kBaselineRoute,
-                                     InitMethod::kHnswIs)
+                        ->Search(query, Opts(5, 8,
+                                             RoutingMethod::kBaselineRoute,
+                                             InitMethod::kHnswIs))
                         .stats.ndc;
   }
   EXPECT_LE(oracle_ndc, baseline_ndc);
@@ -155,13 +166,13 @@ TEST_F(LanIndexTest, OracleRouteUsesFewerDistancesThanBaseline) {
 TEST_F(LanIndexTest, CompressedAndRawInferenceAgreeOnResults) {
   // Fig. 10 toggle: the CG path must not change what is returned.
   const Graph& query = workload_->test[3];
-  SearchResult compressed = index_->Search(query, 4);
+  SearchResult compressed = index_->Search(query, Opts(4));
 
   LanConfig raw_config = index_->config();
   // Rebuilding the whole index for the raw path is the honest comparison,
   // but models are already trained; instead verify the ranker produces the
   // same batches (PairScorer CG/raw agreement is covered in model tests).
-  SearchResult again = index_->Search(query, 4);
+  SearchResult again = index_->Search(query, Opts(4));
   EXPECT_EQ(compressed.results, again.results);
   (void)raw_config;
 }
@@ -192,10 +203,11 @@ TEST_F(LanIndexTest, EvaluationSweepProducesMonotoneNdc) {
 TEST_F(LanIndexTest, BatchSearchMatchesSequential) {
   std::vector<Graph> queries(workload_->test.begin(),
                              workload_->test.begin() + 3);
-  std::vector<SearchResult> batch = index_->SearchBatch(queries, 4, 3);
+  std::vector<SearchResult> batch =
+      index_->SearchBatch(queries, Opts(4), 3).results;
   ASSERT_EQ(batch.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    SearchResult sequential = index_->Search(queries[i], 4);
+    SearchResult sequential = index_->Search(queries[i], Opts(4));
     EXPECT_EQ(batch[i].results, sequential.results) << "query " << i;
     EXPECT_EQ(batch[i].stats.ndc, sequential.stats.ndc);
   }

@@ -1,0 +1,688 @@
+// Tests for the cross-query result cache: the ShardedLruCache store, the
+// canonical keying inputs (Graph::ContentHash, GedOptions::Fingerprint),
+// the ResultCache epoch/watermark invalidation contract, the
+// CachingDistanceProvider decorator, and — the property the whole design
+// exists to preserve — that cache-on searches are bitwise identical to
+// cache-off searches across every routing/init combination, including
+// across Insert/Remove epoch advances and under concurrent mutation
+// (ResultCacheConcurrencyTest runs under the asan/tsan presets via
+// `ctest -L concurrency`).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/shard_cache.h"
+#include "graph/graph_generator.h"
+#include "lan/lan_index.h"
+#include "lan/result_cache.h"
+#include "lan/workload.h"
+
+namespace lan {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ShardedLruCache
+// ---------------------------------------------------------------------------
+
+CacheKey128 Key(uint64_t hi, uint64_t lo) { return CacheKey128{hi, lo}; }
+
+TEST(ShardedLruCacheTest, FindAfterPutRoundTrips) {
+  ShardedLruCache<double> cache(1 << 16, 4, CacheAdmission::kAdmitAll);
+  cache.Put(Key(1, 7), 3.5, sizeof(double), /*epoch=*/2);
+  double value = 0.0;
+  ASSERT_TRUE(cache.Find(Key(1, 7), &value));
+  EXPECT_DOUBLE_EQ(value, 3.5);
+  EXPECT_FALSE(cache.Find(Key(1, 8), &value));
+  EXPECT_FALSE(cache.Find(Key(2, 7), &value));
+  const ShardCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.inserts, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_GT(stats.bytes, 0);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedUnderBytePressure) {
+  // One shard, room for exactly three (8 + 64)-byte entries.
+  const size_t entry = sizeof(double) +
+                       ShardedLruCache<double>::kEntryOverheadBytes;
+  ShardedLruCache<double> cache(3 * entry, 1, CacheAdmission::kAdmitAll);
+  cache.Put(Key(1, 0), 1.0, sizeof(double), 0);
+  cache.Put(Key(2, 0), 2.0, sizeof(double), 0);
+  cache.Put(Key(3, 0), 3.0, sizeof(double), 0);
+  double value = 0.0;
+  ASSERT_TRUE(cache.Find(Key(1, 0), &value));  // refresh 1: LRU is now 2
+  cache.Put(Key(4, 0), 4.0, sizeof(double), 0);
+  EXPECT_FALSE(cache.Find(Key(2, 0), &value));
+  EXPECT_TRUE(cache.Find(Key(1, 0), &value));
+  EXPECT_TRUE(cache.Find(Key(3, 0), &value));
+  EXPECT_TRUE(cache.Find(Key(4, 0), &value));
+  EXPECT_EQ(cache.Stats().evictions, 1);
+  EXPECT_EQ(cache.Stats().entries, 3);
+}
+
+TEST(ShardedLruCacheTest, OversizedValueIsRejected) {
+  ShardedLruCache<double> cache(128, 1, CacheAdmission::kAdmitAll);
+  cache.Put(Key(1, 0), 1.0, /*value_bytes=*/4096, 0);
+  double value = 0.0;
+  EXPECT_FALSE(cache.Find(Key(1, 0), &value));
+  EXPECT_EQ(cache.Stats().rejected, 1);
+  EXPECT_EQ(cache.Stats().inserts, 0);
+}
+
+TEST(ShardedLruCacheTest, AdmitOnRepeatRequiresSecondPut) {
+  ShardedLruCache<double> cache(1 << 16, 1, CacheAdmission::kAdmitOnRepeat);
+  cache.Put(Key(9, 1), 5.0, sizeof(double), 0);  // first sighting: refused
+  double value = 0.0;
+  EXPECT_FALSE(cache.Find(Key(9, 1), &value));
+  EXPECT_EQ(cache.Stats().rejected, 1);
+  cache.Put(Key(9, 1), 5.0, sizeof(double), 0);  // second sighting: admitted
+  ASSERT_TRUE(cache.Find(Key(9, 1), &value));
+  EXPECT_DOUBLE_EQ(value, 5.0);
+}
+
+TEST(ShardedLruCacheTest, EraseIfSweepsMatchingKeys) {
+  ShardedLruCache<double> cache(1 << 16, 4, CacheAdmission::kAdmitAll);
+  for (uint64_t q = 0; q < 4; ++q) {
+    cache.Put(Key(q, /*lo=*/q % 2), static_cast<double>(q), sizeof(double), q);
+  }
+  // Sweep everything with lo == 1 (two entries).
+  const int64_t removed = cache.EraseIf(
+      [](const CacheKey128& key, uint64_t) { return key.lo == 1; });
+  EXPECT_EQ(removed, 2);
+  double value = 0.0;
+  EXPECT_TRUE(cache.Find(Key(0, 0), &value));
+  EXPECT_FALSE(cache.Find(Key(1, 1), &value));
+  EXPECT_TRUE(cache.Find(Key(2, 0), &value));
+  EXPECT_FALSE(cache.Find(Key(3, 1), &value));
+  EXPECT_EQ(cache.Stats().invalidations, 2);
+}
+
+TEST(ShardedLruCacheTest, FindIfErasesEntriesFailingThePredicate) {
+  ShardedLruCache<double> cache(1 << 16, 1, CacheAdmission::kAdmitAll);
+  cache.Put(Key(5, 5), 1.5, sizeof(double), /*epoch=*/3);
+  double value = 0.0;
+  EXPECT_FALSE(cache.FindIf(Key(5, 5), &value,
+                            [](uint64_t epoch) { return epoch >= 4; }));
+  EXPECT_EQ(cache.Stats().invalidations, 1);
+  // The stale entry is physically gone, not just hidden.
+  EXPECT_FALSE(cache.Find(Key(5, 5), &value));
+  EXPECT_EQ(cache.Stats().entries, 0);
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEntriesAndKeepsCounters) {
+  ShardedLruCache<double> cache(1 << 16, 2, CacheAdmission::kAdmitAll);
+  cache.Put(Key(1, 1), 1.0, sizeof(double), 0);
+  cache.Put(Key(2, 2), 2.0, sizeof(double), 0);
+  cache.Clear();
+  double value = 0.0;
+  EXPECT_FALSE(cache.Find(Key(1, 1), &value));
+  const ShardCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes, 0);
+  EXPECT_EQ(stats.inserts, 2);  // history survives Clear
+  EXPECT_EQ(stats.invalidations, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical keying inputs
+// ---------------------------------------------------------------------------
+
+TEST(GraphContentHashTest, EqualGraphsShareHashAndPerturbationsChange) {
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(10), 11);
+  for (GraphId id = 0; id < db.size(); ++id) {
+    Graph copy = db.Get(id);
+    EXPECT_EQ(copy.ContentHash(), db.Get(id).ContentHash());
+  }
+  Rng rng(12);
+  int changed = 0;
+  for (GraphId id = 0; id < db.size(); ++id) {
+    Graph perturbed = PerturbGraph(db.Get(id), 1, db.num_labels(), &rng);
+    if (!(perturbed == db.Get(id)) &&
+        perturbed.ContentHash() != db.Get(id).ContentHash()) {
+      ++changed;
+    }
+    if (perturbed == db.Get(id)) ++changed;  // no-op edit: hash must agree
+  }
+  EXPECT_EQ(changed, db.size());
+}
+
+TEST(GedFingerprintTest, DistinguishesProtocols) {
+  GedOptions base;
+  EXPECT_EQ(base.Fingerprint(), GedOptions().Fingerprint());
+  GedOptions approximate = base;
+  approximate.approximate_only = true;
+  GedOptions beam = base;
+  beam.beam_width = 32;
+  GedOptions costs = base;
+  costs.costs.node_relabel = 2.0;
+  EXPECT_NE(base.Fingerprint(), approximate.Fingerprint());
+  EXPECT_NE(base.Fingerprint(), beam.Fingerprint());
+  EXPECT_NE(base.Fingerprint(), costs.Fingerprint());
+  EXPECT_NE(approximate.Fingerprint(), beam.Fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache: keying and the epoch/watermark contract
+// ---------------------------------------------------------------------------
+
+ResultCacheOptions SmallCacheOptions() {
+  ResultCacheOptions options;
+  options.enabled = true;
+  options.capacity_bytes = 1 << 20;
+  options.num_shards = 2;
+  return options;
+}
+
+TEST(ResultCacheTest, GedRoundTripAndKeySeparation) {
+  ResultCache cache(SmallCacheOptions(), /*key_salt=*/0xabcd);
+  cache.PutGed(/*query_hash=*/10, /*id=*/3, ResultKind::kExactGed,
+               /*epoch=*/0, 7.5);
+  double value = 0.0;
+  ASSERT_TRUE(cache.FindGed(10, 3, ResultKind::kExactGed, 0, &value));
+  EXPECT_DOUBLE_EQ(value, 7.5);
+  // Different kind, query, or graph: distinct keys.
+  EXPECT_FALSE(cache.FindGed(10, 3, ResultKind::kApproxGed, 0, &value));
+  EXPECT_FALSE(cache.FindGed(11, 3, ResultKind::kExactGed, 0, &value));
+  EXPECT_FALSE(cache.FindGed(10, 4, ResultKind::kExactGed, 0, &value));
+}
+
+TEST(ResultCacheTest, WatermarkInvalidationContract) {
+  ResultCache cache(SmallCacheOptions());
+  cache.PutGed(10, 3, ResultKind::kExactGed, /*epoch=*/0, 7.5);
+  cache.PutGed(10, 4, ResultKind::kExactGed, /*epoch=*/0, 9.5);
+
+  // Graph 3's neighborhood changes at epoch 1.
+  cache.InvalidateGraph(3, /*epoch=*/1);
+
+  double value = 0.0;
+  // The pre-mutation entry is gone for everyone; the untouched graph
+  // still serves.
+  EXPECT_FALSE(cache.FindGed(10, 3, ResultKind::kExactGed, 1, &value));
+  ASSERT_TRUE(cache.FindGed(10, 4, ResultKind::kExactGed, 1, &value));
+  EXPECT_DOUBLE_EQ(value, 9.5);
+
+  // A racing Put stamped below the watermark is refused.
+  cache.PutGed(10, 3, ResultKind::kExactGed, /*epoch=*/0, 7.5);
+  EXPECT_FALSE(cache.FindGed(10, 3, ResultKind::kExactGed, 1, &value));
+
+  // A post-mutation recomputation is accepted and served to queries at
+  // the new epoch...
+  cache.PutGed(10, 3, ResultKind::kExactGed, /*epoch=*/1, 8.5);
+  ASSERT_TRUE(cache.FindGed(10, 3, ResultKind::kExactGed, 1, &value));
+  EXPECT_DOUBLE_EQ(value, 8.5);
+  // ...but never to a query still pinned before the mutation.
+  EXPECT_FALSE(cache.FindGed(10, 3, ResultKind::kExactGed, 0, &value));
+}
+
+TEST(ResultCacheTest, InvalidateGraphsSweepsOnlyTouchedIds) {
+  ResultCache cache(SmallCacheOptions());
+  for (GraphId id = 0; id < 6; ++id) {
+    cache.PutGed(77, id, ResultKind::kApproxGed, 0, static_cast<double>(id));
+  }
+  cache.InvalidateGraphs({1, 4}, /*epoch=*/2);
+  double value = 0.0;
+  for (GraphId id = 0; id < 6; ++id) {
+    const bool expect_live = (id != 1 && id != 4);
+    EXPECT_EQ(cache.FindGed(77, id, ResultKind::kApproxGed, 2, &value),
+              expect_live)
+        << "graph " << id;
+  }
+}
+
+TEST(ResultCacheTest, ScoreRoundTripAndClear) {
+  ResultCache cache(SmallCacheOptions());
+  CachedScore score;
+  score.floats = {1.5f, 2.5f};
+  score.ids = {4, 5, 6};
+  score.sizes = {1, 2};
+  cache.PutScore(42, 9, ResultKind::kRankBatches, 0, score);
+  CachedScore out;
+  ASSERT_TRUE(cache.FindScore(42, 9, ResultKind::kRankBatches, 0, &out));
+  EXPECT_EQ(out.floats, score.floats);
+  EXPECT_EQ(out.ids, score.ids);
+  EXPECT_EQ(out.sizes, score.sizes);
+
+  cache.PutGed(42, 9, ResultKind::kExactGed, 0, 1.0);
+  cache.Clear();
+  double value = 0.0;
+  EXPECT_FALSE(cache.FindScore(42, 9, ResultKind::kRankBatches, 0, &out));
+  EXPECT_FALSE(cache.FindGed(42, 9, ResultKind::kExactGed, 0, &value));
+  EXPECT_EQ(cache.Stats().entries, 0);
+}
+
+TEST(ResultCacheTest, ValidateRejectsBadKnobs) {
+  ResultCacheOptions options = SmallCacheOptions();
+  EXPECT_TRUE(options.Validate().ok());
+  options.capacity_bytes = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options = SmallCacheOptions();
+  options.num_shards = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  // Disabled caches never validate their knobs (they are not constructed).
+  options.enabled = false;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(CacheAdmissionTest, NamesRoundTrip) {
+  CacheAdmission admission = CacheAdmission::kAdmitAll;
+  EXPECT_TRUE(ParseCacheAdmission("admit_on_repeat", &admission));
+  EXPECT_EQ(admission, CacheAdmission::kAdmitOnRepeat);
+  EXPECT_STREQ(CacheAdmissionName(admission), "admit_on_repeat");
+  EXPECT_TRUE(ParseCacheAdmission("admit_all", &admission));
+  EXPECT_EQ(admission, CacheAdmission::kAdmitAll);
+  EXPECT_FALSE(ParseCacheAdmission("bogus", &admission));
+}
+
+// ---------------------------------------------------------------------------
+// CachingDistanceProvider
+// ---------------------------------------------------------------------------
+
+TEST(CachingDistanceProviderTest, SecondLookupIsServedFromCache) {
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(6), 13);
+  GedOptions gopts;
+  gopts.approximate_only = true;
+  gopts.beam_width = 0;
+  GedComputer ged(gopts);
+  GedDistanceProvider base(&db, &ged, &ged);
+  auto cache = std::make_shared<ResultCache>(SmallCacheOptions());
+  CachingDistanceProvider provider(&base, cache);
+
+  const Graph& query = db.Get(0);
+  QueryContext ctx;
+  ctx.query_hash = query.ContentHash();
+  ctx.epoch = 0;
+
+  const DistanceResult first = provider.Exact(ctx, query, 3);
+  EXPECT_TRUE(first.computed);
+  const DistanceResult second = provider.Exact(ctx, query, 3);
+  EXPECT_FALSE(second.computed);
+  EXPECT_DOUBLE_EQ(second.value, first.value);
+  // The two GED protocols do not share entries.
+  const DistanceResult approx = provider.Approx(ctx, query, 3);
+  EXPECT_TRUE(approx.computed);
+  EXPECT_EQ(cache->Stats().hits, 1);
+}
+
+TEST(CachingDistanceProviderTest, ZeroQueryHashBypassesTheCache) {
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(6), 14);
+  GedOptions gopts;
+  gopts.approximate_only = true;
+  GedComputer ged(gopts);
+  GedDistanceProvider base(&db, &ged, &ged);
+  auto cache = std::make_shared<ResultCache>(SmallCacheOptions());
+  CachingDistanceProvider provider(&base, cache);
+
+  QueryContext anonymous;  // query_hash == 0
+  const Graph& query = db.Get(1);
+  EXPECT_TRUE(provider.Exact(anonymous, query, 2).computed);
+  EXPECT_TRUE(provider.Exact(anonymous, query, 2).computed);
+  EXPECT_EQ(cache->Stats().inserts, 0);
+
+  CachedScore score;
+  score.floats = {1.0f};
+  provider.StoreScore(anonymous, ResultKind::kClusterCounts, kInvalidGraphId,
+                      score);
+  CachedScore out;
+  EXPECT_FALSE(provider.FindScore(anonymous, ResultKind::kClusterCounts,
+                                  kInvalidGraphId, &out));
+}
+
+// ---------------------------------------------------------------------------
+// Index-level equivalence: cache-on == cache-off, bitwise
+// ---------------------------------------------------------------------------
+
+LanConfig TinyConfig(bool cache_enabled) {
+  LanConfig config;
+  config.hnsw.M = 4;
+  config.hnsw.ef_construction = 12;
+  // Approximate-only keeps the GED deterministic (the exact attempt's
+  // time budget is wall-clock dependent), so cached and fresh values are
+  // bit-identical by construction.
+  config.query_ged.approximate_only = true;
+  config.query_ged.beam_width = 0;
+  config.scorer.gnn_dims = {8, 8};
+  config.scorer.mlp_hidden = 8;
+  config.rank.epochs = 3;
+  config.nh.epochs = 3;
+  config.cluster.epochs = 10;
+  config.max_rank_examples = 300;
+  config.max_nh_examples = 300;
+  config.neighborhood_knn = 10;
+  config.embedding.dim = 16;
+  config.default_beam = 8;
+  config.num_threads = 2;
+  config.cache.enabled = cache_enabled;
+  config.cache.capacity_bytes = 8 << 20;
+  config.cache.num_shards = 4;
+  return config;
+}
+
+/// Cache-on and cache-off indexes over the same database, trained on the
+/// same workload. Build/Train are deterministic functions of (db, config
+/// seed), so any divergence between the two is the cache's fault.
+class CacheEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec = DatasetSpec::SynLike(60);
+    db_ = new GraphDatabase(GenerateDatabase(spec, 51));
+    WorkloadOptions wopts;
+    wopts.num_queries = 20;  // 20% test split -> 4 distinct test queries
+    workload_ = new QueryWorkload(SampleWorkload(*db_, wopts, 52));
+    cached_ = new LanIndex(TinyConfig(/*cache_enabled=*/true));
+    plain_ = new LanIndex(TinyConfig(/*cache_enabled=*/false));
+    ASSERT_TRUE(cached_->Build(db_).ok());
+    ASSERT_TRUE(plain_->Build(db_).ok());
+    ASSERT_TRUE(cached_->Train(workload_->train).ok());
+    ASSERT_TRUE(plain_->Train(workload_->train).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete cached_;
+    delete plain_;
+    delete workload_;
+    delete db_;
+    cached_ = nullptr;
+    plain_ = nullptr;
+    workload_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static GraphDatabase* db_;
+  static QueryWorkload* workload_;
+  static LanIndex* cached_;
+  static LanIndex* plain_;
+};
+
+GraphDatabase* CacheEquivalenceTest::db_ = nullptr;
+QueryWorkload* CacheEquivalenceTest::workload_ = nullptr;
+LanIndex* CacheEquivalenceTest::cached_ = nullptr;
+LanIndex* CacheEquivalenceTest::plain_ = nullptr;
+
+TEST_F(CacheEquivalenceTest, BitwiseIdenticalAcrossAllCombos) {
+  ASSERT_NE(cached_->result_cache(), nullptr);
+  EXPECT_EQ(plain_->result_cache(), nullptr);
+  for (RoutingMethod routing :
+       {RoutingMethod::kLanRoute, RoutingMethod::kBaselineRoute,
+        RoutingMethod::kOracleRoute}) {
+    for (InitMethod init :
+         {InitMethod::kLanIs, InitMethod::kHnswIs, InitMethod::kRandomIs}) {
+      SearchOptions options;
+      options.k = 4;
+      options.beam = 8;
+      options.routing = routing;
+      options.init = init;
+      for (int pass = 0; pass < 2; ++pass) {  // second pass hits the cache
+        for (const Graph& query : workload_->test) {
+          SearchResult with = cached_->Search(query, options);
+          SearchResult without = plain_->Search(query, options);
+          ASSERT_TRUE(with.status.ok());
+          ASSERT_TRUE(without.status.ok());
+          ASSERT_EQ(with.results.size(), without.results.size())
+              << RoutingMethodName(routing) << "/" << InitMethodName(init);
+          for (size_t i = 0; i < with.results.size(); ++i) {
+            EXPECT_EQ(with.results[i].first, without.results[i].first);
+            // Bitwise: EQ, not NEAR.
+            EXPECT_EQ(with.results[i].second, without.results[i].second)
+                << RoutingMethodName(routing) << "/" << InitMethodName(init);
+          }
+          // Control flow is value-driven, so the counters the cache must
+          // not perturb stay equal; distance work only ever shifts from
+          // ndc to cache_hits (score hits shift model inferences too, so
+          // the sum is a lower bound rather than an equality).
+          EXPECT_EQ(with.stats.routing_steps, without.stats.routing_steps);
+          EXPECT_LE(with.stats.ndc, without.stats.ndc);
+          EXPECT_GE(with.stats.ndc + with.stats.cache_hits,
+                    without.stats.ndc);
+        }
+      }
+    }
+  }
+  const ShardCacheStats stats = cached_->result_cache()->Stats();
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.inserts, 0);
+}
+
+TEST_F(CacheEquivalenceTest, RepeatedQueryShiftsNdcToCacheHits) {
+  // A query content-identical to a previous one (fresh Graph object, same
+  // canonical hash) reuses its GED results.
+  const Graph& query = workload_->test[0];
+  SearchOptions options;
+  options.k = 4;
+  SearchResult first = cached_->Search(query, options);
+  Graph same = query;
+  SearchResult second = cached_->Search(same, options);
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(first.results, second.results);
+  EXPECT_GT(second.stats.cache_hits, 0);
+  EXPECT_LT(second.stats.ndc, first.stats.ndc + first.stats.cache_hits);
+}
+
+TEST_F(CacheEquivalenceTest, TraceChargesHitsWithoutBreakingNdcInvariant) {
+  const Graph& query = workload_->test[1];
+  SearchOptions options;
+  options.k = 4;
+  (void)cached_->Search(query, options);  // warm the cache
+
+  QueryTrace trace;
+  SearchOptions traced = options;
+  traced.trace = &trace;
+  SearchResult result = cached_->Search(query, traced);
+  ASSERT_TRUE(result.status.ok());
+  // Exactly ndc kDistance events, exactly cache_hits kCacheHit events.
+  EXPECT_EQ(trace.CountOf(TraceEventType::kDistance), result.stats.ndc);
+  EXPECT_EQ(trace.CountOf(TraceEventType::kCacheHit),
+            result.stats.cache_hits);
+  EXPECT_GT(result.stats.cache_hits, 0);
+}
+
+TEST_F(CacheEquivalenceTest, SearchBatchExportsCacheMetrics) {
+  // Duplicate queries inside one batch: the second occurrence hits.
+  std::vector<Graph> queries;
+  for (int i = 0; i < 2; ++i) {
+    queries.push_back(workload_->test[2]);
+    queries.push_back(workload_->test[3]);
+  }
+  SearchOptions options;
+  options.k = 3;
+  BatchSearchResult batch = cached_->SearchBatch(queries, options, 2);
+  ASSERT_EQ(batch.results.size(), queries.size());
+  const int64_t* hits = batch.stats.metrics.FindCounter("cache.hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_GT(*hits, 0);
+  const double* capacity = batch.stats.metrics.FindGauge("cache.capacity_bytes");
+  ASSERT_NE(capacity, nullptr);
+  EXPECT_GT(*capacity, 0.0);
+  EXPECT_EQ(batch.stats.totals.cache_hits, *hits);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation: epoch advance keeps cached results correct
+// ---------------------------------------------------------------------------
+
+LanConfig MutationConfig(bool cache_enabled) {
+  LanConfig config = TinyConfig(cache_enabled);
+  config.num_threads = 2;
+  return config;
+}
+
+TEST(ResultCacheMutationTest, InsertRemoveKeepCachedSearchesIdentical) {
+  GraphDatabase db_a = GenerateDatabase(DatasetSpec::SynLike(40), 61);
+  GraphDatabase db_b = GenerateDatabase(DatasetSpec::SynLike(40), 61);
+  LanIndex cached(MutationConfig(true));
+  LanIndex plain(MutationConfig(false));
+  ASSERT_TRUE(cached.Build(&db_a).ok());
+  ASSERT_TRUE(plain.Build(&db_b).ok());
+
+  SearchOptions options;
+  options.k = 5;
+  options.routing = RoutingMethod::kBaselineRoute;
+  options.init = InitMethod::kHnswIs;
+
+  Rng rng(62);
+  std::vector<Graph> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(PerturbGraph(db_a.Get(static_cast<GraphId>(i)), 2,
+                                   db_a.num_labels(), &rng));
+  }
+
+  auto expect_identical = [&](const char* when) {
+    for (const Graph& query : queries) {
+      SearchResult with = cached.Search(query, options);
+      SearchResult without = plain.Search(query, options);
+      ASSERT_TRUE(with.status.ok()) << when;
+      ASSERT_TRUE(without.status.ok()) << when;
+      EXPECT_EQ(with.results, without.results) << when;
+    }
+  };
+
+  // Populate the cache pre-mutation.
+  expect_identical("before mutation");
+  ASSERT_GT(cached.result_cache()->Stats().inserts, 0);
+
+  // Same mutation sequence on both indexes; their RNG streams are seeded
+  // identically so they stay structurally identical.
+  Rng mrng(63);
+  for (int m = 0; m < 6; ++m) {
+    if (m % 3 == 2) {
+      const GraphId victim = static_cast<GraphId>(m);  // distinct victims
+      ASSERT_TRUE(cached.Remove(victim).ok());
+      ASSERT_TRUE(plain.Remove(victim).ok());
+    } else {
+      Graph graph = PerturbGraph(
+          db_a.Get(static_cast<GraphId>(mrng.NextBounded(20))), 2,
+          db_a.num_labels(), &mrng);
+      auto a = cached.Insert(graph);
+      auto b = plain.Insert(std::move(graph));
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(a.value(), b.value());
+    }
+    // Queries whose results were cached at the previous epoch must not be
+    // served stale entries for rewired graphs.
+    expect_identical("after mutation");
+  }
+  EXPECT_GT(cached.epoch(), 0u);
+  EXPECT_GT(cached.result_cache()->Stats().invalidations, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (ctest -L concurrency; run under asan/tsan presets)
+// ---------------------------------------------------------------------------
+
+TEST(ResultCacheConcurrencyTest, ConcurrentSearchesServeTrueDistances) {
+  constexpr GraphId kInitial = 50;
+  constexpr int kMutations = 30;
+  constexpr int kSearchers = 4;
+
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(kInitial), 71);
+  GraphDatabase mirror_db = GenerateDatabase(DatasetSpec::SynLike(kInitial), 71);
+  LanIndex cached(MutationConfig(true));
+  LanIndex plain(MutationConfig(false));
+  ASSERT_TRUE(cached.Build(&db).ok());
+  ASSERT_TRUE(plain.Build(&mirror_db).ok());
+
+  std::vector<Graph> queries;
+  Rng qgen(72);
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(PerturbGraph(
+        db.Get(static_cast<GraphId>(qgen.NextBounded(kInitial))), 2,
+        db.num_labels(), &qgen));
+  }
+  // Database graphs never change after insertion (removal only
+  // tombstones), so d(Q, G_id) is time-invariant: every distance a search
+  // returns — cached or fresh — must equal an independent recomputation.
+  GedOptions gopts;
+  gopts.approximate_only = true;
+  gopts.beam_width = 0;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::atomic<int> searches{0};
+
+  std::vector<std::thread> searchers;
+  searchers.reserve(kSearchers);
+  for (int t = 0; t < kSearchers; ++t) {
+    searchers.emplace_back([&, t] {
+      GedComputer ged(gopts);
+      SearchOptions options;
+      options.k = 5;
+      options.routing = t % 2 == 0 ? RoutingMethod::kBaselineRoute
+                                   : RoutingMethod::kOracleRoute;
+      options.init = t % 2 == 0 ? InitMethod::kHnswIs : InitMethod::kRandomIs;
+      size_t next = static_cast<size_t>(t);
+      while (!done.load(std::memory_order_acquire)) {
+        const Graph& query = queries[next++ % queries.size()];
+        SearchResult result = cached.Search(query, options);
+        if (!result.status.ok()) {
+          violations.fetch_add(1);
+          continue;
+        }
+        for (const auto& [id, distance] : result.results) {
+          const double truth = ged.Distance(query, cached.db().Get(id));
+          if (distance != truth) violations.fetch_add(1);
+        }
+        searches.fetch_add(1);
+      }
+    });
+  }
+
+  Rng wrng(73);
+  std::vector<GraphId> live;
+  for (GraphId id = 0; id < kInitial; ++id) live.push_back(id);
+  int writer_failures = 0;
+  for (int m = 0; m < kMutations; ++m) {
+    if (m % 2 == 0) {
+      const GraphId base =
+          live[static_cast<size_t>(wrng.NextBounded(live.size()))];
+      Graph graph = PerturbGraph(db.Get(base), 2, db.num_labels(), &wrng);
+      auto a = cached.Insert(graph);
+      auto b = plain.Insert(std::move(graph));
+      if (!a.ok() || !b.ok() || a.value() != b.value()) {
+        ++writer_failures;
+        break;
+      }
+      live.push_back(a.value());
+    } else {
+      const size_t pick = static_cast<size_t>(wrng.NextBounded(live.size()));
+      const GraphId id = live[pick];
+      if (!cached.Remove(id).ok() || !plain.Remove(id).ok()) {
+        ++writer_failures;
+        break;
+      }
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& thread : searchers) thread.join();
+
+  ASSERT_EQ(writer_failures, 0);
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(searches.load(), 0);
+
+  // Quiesced: the cache-on index (with a now well-populated cache) must
+  // still agree exactly with its never-cached twin.
+  SearchOptions options;
+  options.k = 5;
+  options.routing = RoutingMethod::kBaselineRoute;
+  options.init = InitMethod::kHnswIs;
+  for (const Graph& query : queries) {
+    SearchResult with = cached.Search(query, options);
+    SearchResult without = plain.Search(query, options);
+    ASSERT_TRUE(with.status.ok());
+    ASSERT_TRUE(without.status.ok());
+    EXPECT_EQ(with.results, without.results);
+  }
+}
+
+}  // namespace
+}  // namespace lan

@@ -130,8 +130,10 @@ TEST(LanIndexIoTest, SaveLoadReproducesSearchExactly) {
 
   for (size_t i = 0; i < 3; ++i) {
     const Graph& q = workload.test[i];
-    SearchResult a = trained.Search(q, 5);
-    SearchResult b = loaded.Search(q, 5);
+    SearchOptions sopts;
+    sopts.k = 5;
+    SearchResult a = trained.Search(q, sopts);
+    SearchResult b = loaded.Search(q, sopts);
     EXPECT_EQ(a.results, b.results) << "query " << i;
     EXPECT_EQ(a.stats.ndc, b.stats.ndc);
   }
@@ -185,9 +187,11 @@ TEST(LanIndexIoTest, SavedIndexSkipsRebuildAndMatchesSearches) {
   }
   EXPECT_EQ(restored.hnsw().EntryPoint(), original.hnsw().EntryPoint());
   // ...and identical end-to-end searches.
+  SearchOptions sopts;
+  sopts.k = 4;
   for (size_t i = 0; i < 2; ++i) {
-    SearchResult a = original.Search(workload.test[i], 4);
-    SearchResult b = restored.Search(workload.test[i], 4);
+    SearchResult a = original.Search(workload.test[i], sopts);
+    SearchResult b = restored.Search(workload.test[i], sopts);
     EXPECT_EQ(a.results, b.results);
     EXPECT_EQ(a.stats.ndc, b.stats.ndc);
   }
@@ -230,7 +234,9 @@ TEST(ShardedIndexTest, BuildsAndSearchesAcrossShards) {
   EXPECT_EQ(sharded.total_size(), db.size());
 
   const Graph& query = workload.test[0];
-  SearchResult result = sharded.Search(query, 6);
+  SearchOptions sopts;
+  sopts.k = 6;
+  SearchResult result = sharded.Search(query, sopts);
   ASSERT_EQ(result.results.size(), 6u);
   // Global ids valid + distances ascending + results actually correspond
   // to the claimed database graphs.
@@ -281,8 +287,10 @@ TEST(ShardedIndexTest, PrefixShardsSearchSubset) {
   ASSERT_TRUE(sharded.Train(workload.train).ok());
 
   const Graph& query = workload.test[0];
-  SearchResult one = sharded.Search(query, 4, /*max_shards=*/1);
-  SearchResult all = sharded.Search(query, 4);
+  SearchOptions sopts;
+  sopts.k = 4;
+  SearchResult one = sharded.Search(query, sopts, /*max_shards=*/1);
+  SearchResult all = sharded.Search(query, sopts);
   EXPECT_LE(one.stats.ndc, all.stats.ndc);
   // Prefix results come only from shard 0 (ids ≡ 0 mod 4 by round robin).
   for (const auto& [id, d] : one.results) EXPECT_EQ(id % 4, 0);
@@ -300,7 +308,9 @@ TEST(ShardedIndexTest, SingleShardDegeneratesToLanIndex) {
   ShardedLanIndex sharded(options);
   ASSERT_TRUE(sharded.Build(db).ok());
   ASSERT_TRUE(sharded.Train(workload.train).ok());
-  SearchResult result = sharded.Search(workload.test[0], 3);
+  SearchOptions sopts;
+  sopts.k = 3;
+  SearchResult result = sharded.Search(workload.test[0], sopts);
   EXPECT_EQ(result.results.size(), 3u);
 }
 

@@ -81,8 +81,12 @@ int Usage() {
                "  search   --db FILE --models FILE [--index FILE] [--k K]\n"
                "           [--trace-out FILE]    per-query trace, JSON lines\n"
                "           [--metrics-out FILE]  metrics snapshot, JSON\n"
+               "           [--ged-cache-mb N]    cross-query result cache "
+               "budget (0 = off)\n"
+               "           [--cache-admission admit_all|admit_on_repeat]\n"
                "  eval     --db FILE --models FILE [--index FILE] [--k K]\n"
                "           [--trace-out FILE] [--metrics-out FILE]\n"
+               "           [--ged-cache-mb N] [--cache-admission ...]\n"
                "  diagnose --db FILE --models FILE [--index FILE]\n"
                "  insert   --db FILE --count N [--seed S] [--edits E]\n"
                "           [--index FILE] [--models FILE] [--build-threads N]\n"
@@ -121,6 +125,24 @@ LanConfig ToolConfig(const Flags& flags) {
     const int threads = static_cast<int>(flags.GetInt("build-threads", 0));
     config.num_threads = threads;
     config.hnsw.num_build_threads = threads;
+  }
+  // `--ged-cache-mb N` opts into the cross-query result cache with an
+  // N MiB budget (0 keeps it off). Serving-time state only: checkpoints
+  // and model files are identical with and without it.
+  if (flags.Has("ged-cache-mb")) {
+    const int64_t mb = flags.GetInt("ged-cache-mb", 0);
+    config.cache.enabled = mb > 0;
+    config.cache.capacity_bytes = static_cast<size_t>(mb) << 20;
+  }
+  if (flags.Has("cache-admission")) {
+    const std::string name = flags.Get("cache-admission", "");
+    if (!ParseCacheAdmission(name, &config.cache.admission)) {
+      std::fprintf(stderr,
+                   "unknown --cache-admission '%s' "
+                   "(want admit_all or admit_on_repeat)\n",
+                   name.c_str());
+      std::exit(2);
+    }
   }
   return config;
 }
@@ -403,6 +425,18 @@ int SearchCmd(const Flags& flags) {
   if (trace_out != nullptr) {
     std::printf("trace written to %s\n", flags.Get("trace-out", "").c_str());
   }
+  if (ResultCache* cache = loaded->index.result_cache()) {
+    cache->AppendMetrics(&registry);
+    const ShardCacheStats stats = cache->Stats();
+    const int64_t lookups = stats.hits + stats.misses;
+    std::printf("ged cache: %lld/%lld hits (%.0f%%), %lld entries\n",
+                static_cast<long long>(stats.hits),
+                static_cast<long long>(lookups),
+                lookups > 0 ? 100.0 * static_cast<double>(stats.hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0,
+                static_cast<long long>(stats.entries));
+  }
   if (metrics_out != nullptr) {
     *metrics_out << registry.Snapshot().ToJson() << "\n";
     std::printf("metrics written to %s\n",
@@ -488,6 +522,9 @@ int Eval(const Flags& flags) {
   if (flags.Has("metrics-out")) {
     auto out = OpenOut(flags.Get("metrics-out", ""));
     if (out == nullptr) return 1;
+    if (ResultCache* cache = loaded->index.result_cache()) {
+      cache->AppendMetrics(&registry);
+    }
     *out << registry.Snapshot().ToJson() << "\n";
     std::printf("metrics written to %s\n",
                 flags.Get("metrics-out", "").c_str());
