@@ -200,10 +200,10 @@ int Main() {
     Rng rng(7);
     std::vector<float> query_embedding(kDim);
     for (float& x : query_embedding) x = rng.NextFloat(-1.0f, 1.0f);
-    std::vector<std::vector<float>> centroids(kClusters,
-                                              std::vector<float>(kDim));
-    for (auto& c : centroids) {
-      for (float& x : c) x = rng.NextFloat(-1.0f, 1.0f);
+    EmbeddingMatrix centroids(kClusters, kDim);
+    for (int c = 0; c < kClusters; ++c) {
+      float* row = centroids.MutableRow(c);
+      for (int32_t j = 0; j < kDim; ++j) row[j] = rng.NextFloat(-1.0f, 1.0f);
     }
     const double per_pair = TimePerCall(
         [&] { model.PredictCountsReference(query_embedding, centroids); });

@@ -1,0 +1,177 @@
+// Startup (time-to-ready) benchmark for the single-file zero-copy
+// snapshot: how long until a process can serve its first query, starting
+// from artifacts on disk.
+//
+//   legacy    read the graph database file, then BuildFromSavedIndexFile
+//             (the pre-snapshot checkpoint: HNSW topology is loaded, but
+//             embeddings, compressed GNN graphs, and clusters are all
+//             recomputed from the database).
+//   snapshot  LanIndex::OpenSnapshot — mmap one file, validate checksums,
+//             attach columnar views. No per-graph work at all.
+//
+// Both paths then answer the same queries; any result divergence fails
+// the run. The headline is the speedup, targeted at >= 10x on the
+// 10k-graph corpus. Results land on stdout and in BENCH_startup.json.
+//
+// LAN_BENCH_SMOKE=1 shrinks the corpus (used by `ctest -L perf-smoke` as
+// a liveness check, not a performance gate).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "graph/graph_generator.h"
+#include "graph/graph_io.h"
+#include "lan/lan_index.h"
+
+namespace lan {
+namespace bench {
+namespace {
+
+bool SmokeMode() {
+  const char* env = std::getenv("LAN_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+LanConfig BenchConfig() {
+  LanConfig config;
+  config.hnsw.M = 4;
+  config.hnsw.ef_construction = 8;
+  config.hnsw.num_build_threads = 0;
+  config.query_ged.approximate_only = true;
+  config.query_ged.beam_width = 0;
+  config.scorer.gnn_dims = {8, 8};
+  config.embedding.dim = 8;
+  config.default_beam = 8;
+  config.num_threads = 0;
+  return config;
+}
+
+KnnList Probe(const LanIndex& index, const Graph& query) {
+  SearchOptions options;
+  options.k = 10;
+  options.routing = RoutingMethod::kBaselineRoute;
+  options.init = InitMethod::kHnswIs;
+  SearchResult result = index.Search(query, options);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "probe search failed: %s\n",
+                 result.status.ToString().c_str());
+    std::exit(1);
+  }
+  return result.results;
+}
+
+int Main() {
+  const bool smoke = SmokeMode();
+  const int64_t kGraphs = smoke ? 800 : 10000;
+  const std::string db_path = "startup_bench_db.gdb";
+  const std::string index_path = "startup_bench_index.lanidx";
+  const std::string snap_path = "startup_bench_index.lansnap";
+
+  // ---- Offline phase (uncounted): build once, persist both formats. ----
+  int64_t snapshot_bytes = 0;
+  std::vector<Graph> probes;
+  {
+    GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(kGraphs), 131);
+    for (GraphId id = 0; id < 3; ++id) probes.push_back(db.Get(id * 7 + 1));
+    LanIndex index(BenchConfig());
+    if (!index.Build(&db).ok()) {
+      std::fprintf(stderr, "offline build failed\n");
+      return 1;
+    }
+    if (!WriteDatabaseToFile(db, db_path).ok() ||
+        !index.SaveIndexToFile(index_path).ok() ||
+        !index.SaveSnapshot(snap_path).ok()) {
+      std::fprintf(stderr, "offline save failed\n");
+      return 1;
+    }
+  }
+  if (FILE* f = std::fopen(snap_path.c_str(), "rb")) {
+    std::fseek(f, 0, SEEK_END);
+    snapshot_bytes = std::ftell(f);
+    std::fclose(f);
+  }
+
+  // ---- Legacy path: db file + checkpoint -> ready index. ----
+  std::vector<KnnList> legacy_answers;
+  double legacy_seconds = 0.0;
+  {
+    Timer timer;
+    auto db = ReadDatabaseFromFile(db_path);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    GraphDatabase database = std::move(db).value();
+    LanIndex index(BenchConfig());
+    if (Status s = index.BuildFromSavedIndexFile(&database, index_path);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    legacy_seconds = timer.ElapsedSeconds();
+    for (const Graph& q : probes) legacy_answers.push_back(Probe(index, q));
+  }
+
+  // ---- Snapshot path: one mmap -> ready index. ----
+  std::vector<KnnList> snapshot_answers;
+  double snapshot_seconds = 0.0;
+  {
+    Timer timer;
+    LanIndex index(BenchConfig());
+    if (Status s = index.OpenSnapshot(snap_path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    snapshot_seconds = timer.ElapsedSeconds();
+    for (const Graph& q : probes) snapshot_answers.push_back(Probe(index, q));
+  }
+
+  int64_t mismatches = 0;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    if (legacy_answers[i] != snapshot_answers[i]) ++mismatches;
+  }
+
+  const double speedup =
+      snapshot_seconds > 0.0 ? legacy_seconds / snapshot_seconds : 0.0;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"startup\",\"graphs\":%lld,"
+                "\"legacy_seconds\":%.4f,\"snapshot_seconds\":%.4f,"
+                "\"speedup\":%.1f,\"snapshot_bytes\":%lld,"
+                "\"mismatches\":%lld}",
+                static_cast<long long>(kGraphs), legacy_seconds,
+                snapshot_seconds, speedup,
+                static_cast<long long>(snapshot_bytes),
+                static_cast<long long>(mismatches));
+  std::printf("%s\n", line);
+  if (FILE* json = std::fopen("BENCH_startup.json", "w")) {
+    std::fprintf(json, "%s\n", line);
+    std::fclose(json);
+  }
+
+  std::remove(db_path.c_str());
+  std::remove(index_path.c_str());
+  std::remove(snap_path.c_str());
+
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: snapshot-loaded results diverged from rebuild\n");
+    return 1;
+  }
+  if (!smoke && speedup < 10.0) {
+    std::fprintf(stderr, "WARN: startup speedup %.1fx below the 10x target\n",
+                 speedup);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lan
+
+int main() { return lan::bench::Main(); }

@@ -1,7 +1,9 @@
 #include "common/status.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace lan {
 
@@ -37,6 +39,16 @@ std::string Status::ToString() const {
   out += ": ";
   out += message_;
   return out;
+}
+
+Status ErrnoIoError(const std::string& op, const std::string& path) {
+  const int err = errno;
+  std::string msg = op;
+  msg += ' ';
+  msg += path;
+  msg += ": ";
+  msg += err != 0 ? std::strerror(err) : "unknown error";
+  return Status::IoError(std::move(msg));
 }
 
 namespace internal {

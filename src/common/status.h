@@ -75,6 +75,12 @@ class Status {
   std::string message_;
 };
 
+/// \brief IoError for a failed file operation, carrying the current
+/// `errno` as text: "<op> <path>: <strerror(errno)>". Call it immediately
+/// after the failing syscall/stream open, before anything can clobber
+/// errno.
+Status ErrnoIoError(const std::string& op, const std::string& path);
+
 /// \brief Holds either a value of type T or an error Status.
 ///
 /// Mirrors arrow::Result / absl::StatusOr. Accessing the value of a failed

@@ -1,0 +1,51 @@
+#ifndef LAN_COMMON_VEC_VIEW_H_
+#define LAN_COMMON_VEC_VIEW_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lan {
+
+/// \brief A read-only sequence that either owns a std::vector<T> or views
+/// externally-owned contiguous elements (e.g. objects materialized over a
+/// mapped snapshot section). The read API is the const subset of
+/// std::vector, so existing consumers (indexing, range-for, size/empty/
+/// back, iterator-pair construction) compile unchanged.
+///
+/// Copying copies the owned vector or the view *pointer* — a copied view
+/// still depends on the external storage. Structures holding views across
+/// epochs must also hold the backing alive (see IndexSnapshot::backing).
+template <typename T>
+class ConstVecView {
+ public:
+  ConstVecView() = default;
+  /// Owned mode: adopts the vector.
+  ConstVecView(std::vector<T> v) : owned_(std::move(v)) {}  // NOLINT
+  /// View mode: wraps `size` elements at `data` (not owned; must outlive).
+  ConstVecView(const T* data, size_t size) : view_(data), view_size_(size) {}
+
+  bool is_view() const { return view_ != nullptr; }
+  const T* data() const { return is_view() ? view_ : owned_.data(); }
+  size_t size() const { return is_view() ? view_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T& back() const {
+    LAN_DCHECK(!empty());
+    return data()[size() - 1];
+  }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+ private:
+  std::vector<T> owned_;
+  const T* view_ = nullptr;
+  size_t view_size_ = 0;
+};
+
+}  // namespace lan
+
+#endif  // LAN_COMMON_VEC_VIEW_H_

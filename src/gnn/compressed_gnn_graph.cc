@@ -19,7 +19,7 @@ int64_t CompressedGnnGraph::NumNodes() const {
 int64_t CompressedGnnGraph::NumEdges() const {
   int64_t total = 0;
   for (const auto& op : aggregation) {
-    total += static_cast<int64_t>(op.entries.size());
+    total += static_cast<int64_t>(op.Entries().size());
   }
   return total;
 }
@@ -49,18 +49,21 @@ CompressedGnnGraph BuildCompressedGnnGraph(const Graph& g, int num_layers) {
   CompressedGnnGraph cg;
   cg.num_layers = num_layers;
   cg.node_group = wl;
-  cg.group_size.resize(wl.size());
+  std::vector<std::vector<int32_t>> group_size(wl.size());
   for (size_t l = 0; l < wl.size(); ++l) {
     int32_t num_groups = 0;
     for (int32_t id : wl[l]) num_groups = std::max(num_groups, id + 1);
-    cg.group_size[l].assign(static_cast<size_t>(num_groups), 0);
-    for (int32_t id : wl[l]) ++cg.group_size[l][static_cast<size_t>(id)];
+    group_size[l].assign(static_cast<size_t>(num_groups), 0);
+    for (int32_t id : wl[l]) ++group_size[l][static_cast<size_t>(id)];
   }
+  auto num_groups_at = [&group_size](int l) {
+    return static_cast<int32_t>(group_size[static_cast<size_t>(l)].size());
+  };
 
   // Level-0 representative labels.
-  cg.level0_group_labels.assign(cg.group_size[0].size(), 0);
+  std::vector<Label> level0_labels(group_size[0].size(), 0);
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
-    cg.level0_group_labels[static_cast<size_t>(wl[0][static_cast<size_t>(v)])] =
+    level0_labels[static_cast<size_t>(wl[0][static_cast<size_t>(v)])] =
         g.label(v);
   }
 
@@ -69,7 +72,7 @@ CompressedGnnGraph BuildCompressedGnnGraph(const Graph& g, int num_layers) {
   cg.parent.resize(static_cast<size_t>(num_layers));
   for (int l = 1; l <= num_layers; ++l) {
     auto& par = cg.parent[static_cast<size_t>(l) - 1];
-    par.assign(cg.group_size[static_cast<size_t>(l)].size(), -1);
+    par.assign(group_size[static_cast<size_t>(l)].size(), -1);
     for (NodeId v = 0; v < g.NumNodes(); ++v) {
       const int32_t child = wl[static_cast<size_t>(l)][static_cast<size_t>(v)];
       const int32_t prev =
@@ -83,27 +86,27 @@ CompressedGnnGraph BuildCompressedGnnGraph(const Graph& g, int num_layers) {
   }
 
   // Precompute the lift operators used by cross-graph attention.
-  cg.lift.resize(static_cast<size_t>(num_layers));
+  std::vector<SparseMatrix> lift(static_cast<size_t>(num_layers));
   for (int l = 1; l <= num_layers; ++l) {
     const auto& par = cg.parent[static_cast<size_t>(l) - 1];
     SparseMatrix op;
     op.rows = static_cast<int32_t>(par.size());
-    op.cols = cg.NumGroups(l - 1);
+    op.cols = num_groups_at(l - 1);
     op.entries.reserve(par.size());
     for (int32_t j = 0; j < op.rows; ++j) {
       op.entries.push_back({j, par[static_cast<size_t>(j)], 1.0f});
     }
-    cg.lift[static_cast<size_t>(l) - 1] = std::move(op);
+    lift[static_cast<size_t>(l) - 1] = std::move(op);
   }
 
   // Lines 6-10: weighted edges. For each level-l group pick one
   // representative u; the weight toward a level-(l-1) group i is
   // |N(u) ∩ g_{l-1,i}|, plus 1 if u itself lies in g_{l-1,i} (self edge).
-  cg.aggregation.resize(static_cast<size_t>(num_layers));
+  std::vector<SparseMatrix> aggregation(static_cast<size_t>(num_layers));
   for (int l = 1; l <= num_layers; ++l) {
     const auto& prev = wl[static_cast<size_t>(l) - 1];
     const auto& cur = wl[static_cast<size_t>(l)];
-    const int32_t num_cur_groups = cg.NumGroups(l);
+    const int32_t num_cur_groups = num_groups_at(l);
     // Representative node per current-level group.
     std::vector<NodeId> representative(static_cast<size_t>(num_cur_groups),
                                        -1);
@@ -115,7 +118,7 @@ CompressedGnnGraph BuildCompressedGnnGraph(const Graph& g, int num_layers) {
     }
     SparseMatrix op;
     op.rows = num_cur_groups;
-    op.cols = cg.NumGroups(l - 1);
+    op.cols = num_groups_at(l - 1);
     for (int32_t j = 0; j < num_cur_groups; ++j) {
       const NodeId u = representative[static_cast<size_t>(j)];
       std::map<int32_t, float> weights;  // source group -> weight
@@ -127,8 +130,17 @@ CompressedGnnGraph BuildCompressedGnnGraph(const Graph& g, int num_layers) {
         op.entries.push_back({j, src, w});
       }
     }
-    cg.aggregation[static_cast<size_t>(l) - 1] = std::move(op);
+    aggregation[static_cast<size_t>(l) - 1] = std::move(op);
   }
+
+  // Adopt the locals into the dual-mode fields (all owned here).
+  std::vector<ConstVecView<int32_t>> gs_levels;
+  gs_levels.reserve(group_size.size());
+  for (auto& level : group_size) gs_levels.emplace_back(std::move(level));
+  cg.group_size = ConstVecView<ConstVecView<int32_t>>(std::move(gs_levels));
+  cg.level0_group_labels = ConstVecView<Label>(std::move(level0_labels));
+  cg.aggregation = ConstVecView<SparseMatrix>(std::move(aggregation));
+  cg.lift = ConstVecView<SparseMatrix>(std::move(lift));
   return cg;
 }
 

@@ -64,17 +64,17 @@ std::vector<float> EmbedGraph(const Graph& g, const EmbeddingOptions& options) {
   return out;
 }
 
-std::vector<std::vector<float>> EmbedDatabase(const GraphDatabase& db,
-                                              const EmbeddingOptions& options) {
-  std::vector<std::vector<float>> out;
-  out.reserve(static_cast<size_t>(db.size()));
+EmbeddingMatrix EmbedDatabase(const GraphDatabase& db,
+                              const EmbeddingOptions& options) {
+  EmbeddingMatrix out(0, options.dim);
+  out.Reserve(db.size());
   for (GraphId id = 0; id < db.size(); ++id) {
-    out.push_back(EmbedGraph(db.Get(id), options));
+    out.AppendRow(EmbedGraph(db.Get(id), options));
   }
   return out;
 }
 
-double SquaredL2(const std::vector<float>& a, const std::vector<float>& b) {
+double SquaredL2(std::span<const float> a, std::span<const float> b) {
   LAN_CHECK_EQ(a.size(), b.size());
   return ActiveKernels().l2sq(a.data(), b.data(),
                               static_cast<int64_t>(a.size()));

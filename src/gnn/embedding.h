@@ -2,8 +2,10 @@
 #define LAN_GNN_EMBEDDING_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "gnn/embedding_matrix.h"
 #include "graph/graph_database.h"
 
 namespace lan {
@@ -28,12 +30,13 @@ struct EmbeddingOptions {
 /// similarity.
 std::vector<float> EmbedGraph(const Graph& g, const EmbeddingOptions& options);
 
-/// Embeds every graph of the database; result[i] has length options.dim.
-std::vector<std::vector<float>> EmbedDatabase(const GraphDatabase& db,
-                                              const EmbeddingOptions& options);
+/// Embeds every graph of the database into one row-major matrix; row i is
+/// graph i's options.dim-float embedding.
+EmbeddingMatrix EmbedDatabase(const GraphDatabase& db,
+                              const EmbeddingOptions& options);
 
 /// Squared L2 distance between two equal-length vectors.
-double SquaredL2(const std::vector<float>& a, const std::vector<float>& b);
+double SquaredL2(std::span<const float> a, std::span<const float> b);
 
 }  // namespace lan
 

@@ -8,13 +8,57 @@
 
 namespace lan {
 
+Graph::Graph(const Graph& other) { *this = other; }
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  num_edges_ = other.num_edges_;
+  view_labels_ = nullptr;
+  view_row_offsets_ = nullptr;
+  view_neighbors_ = nullptr;
+  view_num_nodes_ = 0;
+  if (other.is_view()) {
+    // Materialize: the copy owns its storage and is freely mutable.
+    const size_t n = static_cast<size_t>(other.view_num_nodes_);
+    labels_.assign(other.view_labels_, other.view_labels_ + n);
+    adjacency_.assign(n, {});
+    for (size_t v = 0; v < n; ++v) {
+      const std::span<const NodeId> nb =
+          other.Neighbors(static_cast<NodeId>(v));
+      adjacency_[v].assign(nb.begin(), nb.end());
+    }
+  } else {
+    labels_ = other.labels_;
+    adjacency_ = other.adjacency_;
+  }
+  return *this;
+}
+
+Graph Graph::View(int32_t num_nodes, int64_t num_edges, const Label* labels,
+                  const int32_t* row_offsets, const NodeId* neighbors) {
+  Graph g;
+  g.num_edges_ = num_edges;
+  g.view_labels_ = labels;
+  g.view_row_offsets_ = row_offsets;
+  g.view_neighbors_ = neighbors;
+  g.view_num_nodes_ = num_nodes;
+  return g;
+}
+
 NodeId Graph::AddNode(Label label) {
+  LAN_CHECK(!is_view());
   labels_.push_back(label);
   adjacency_.emplace_back();
   return static_cast<NodeId>(labels_.size() - 1);
 }
 
+void Graph::set_label(NodeId v, Label label) {
+  LAN_CHECK(!is_view());
+  labels_[static_cast<size_t>(v)] = label;
+}
+
 Status Graph::AddEdge(NodeId u, NodeId v) {
+  LAN_CHECK(!is_view());
   if (!ValidNode(u) || !ValidNode(v)) {
     return Status::OutOfRange(StrFormat("edge (%d,%d) out of range", u, v));
   }
@@ -34,7 +78,7 @@ Status Graph::AddEdge(NodeId u, NodeId v) {
 
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   if (!ValidNode(u) || !ValidNode(v)) return false;
-  const auto& au = adjacency_[static_cast<size_t>(u)];
+  const std::span<const NodeId> au = Neighbors(u);
   return std::binary_search(au.begin(), au.end(), v);
 }
 
@@ -51,13 +95,13 @@ std::vector<std::pair<NodeId, NodeId>> Graph::Edges() const {
 
 Label Graph::MaxLabelPlusOne() const {
   Label max_label = -1;
-  for (Label l : labels_) max_label = std::max(max_label, l);
+  for (Label l : labels()) max_label = std::max(max_label, l);
   return max_label + 1;
 }
 
 std::unordered_map<Label, int32_t> Graph::LabelHistogram() const {
   std::unordered_map<Label, int32_t> hist;
-  for (Label l : labels_) ++hist[l];
+  for (Label l : labels()) ++hist[l];
   return hist;
 }
 
@@ -82,6 +126,7 @@ bool Graph::IsConnected() const {
 }
 
 Status Graph::RemoveEdge(NodeId u, NodeId v) {
+  LAN_CHECK(!is_view());
   if (!HasEdge(u, v)) {
     return Status::NotFound(StrFormat("edge (%d,%d) absent", u, v));
   }
@@ -94,6 +139,7 @@ Status Graph::RemoveEdge(NodeId u, NodeId v) {
 }
 
 Status Graph::RemoveNode(NodeId v) {
+  LAN_CHECK(!is_view());
   if (!ValidNode(v)) {
     return Status::OutOfRange(StrFormat("node %d out of range", v));
   }
@@ -121,7 +167,21 @@ Status Graph::RemoveNode(NodeId v) {
 }
 
 bool Graph::operator==(const Graph& other) const {
-  return labels_ == other.labels_ && adjacency_ == other.adjacency_;
+  if (NumNodes() != other.NumNodes() || num_edges_ != other.num_edges_) {
+    return false;
+  }
+  const std::span<const Label> a = labels();
+  const std::span<const Label> b = other.labels();
+  if (!std::equal(a.begin(), a.end(), b.begin())) return false;
+  for (NodeId v = 0; v < NumNodes(); ++v) {
+    const std::span<const NodeId> na = Neighbors(v);
+    const std::span<const NodeId> nb = other.Neighbors(v);
+    if (na.size() != nb.size() ||
+        !std::equal(na.begin(), na.end(), nb.begin())) {
+      return false;
+    }
+  }
+  return true;
 }
 
 uint64_t Graph::ContentHash() const {
@@ -133,16 +193,17 @@ uint64_t Graph::ContentHash() const {
     }
   };
   mix(static_cast<uint64_t>(NumNodes()));
-  for (Label label : labels_) {
+  for (Label label : labels()) {
     mix(static_cast<uint64_t>(static_cast<uint32_t>(label)));
   }
   mix(static_cast<uint64_t>(num_edges_));
   // Sorted adjacency gives the (u, v) u < v edge set in lexicographic
   // order without materializing Edges().
-  for (size_t u = 0; u < adjacency_.size(); ++u) {
-    for (NodeId v : adjacency_[u]) {
-      if (static_cast<size_t>(v) > u) {
-        mix((u << 32) | static_cast<uint32_t>(v));
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (NodeId v : Neighbors(u)) {
+      if (v > u) {
+        mix((static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+            static_cast<uint32_t>(v));
       }
     }
   }

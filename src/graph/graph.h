@@ -2,6 +2,7 @@
 #define LAN_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,38 +26,80 @@ constexpr GraphId kInvalidGraphId = -1;
 /// Nodes are dense indices [0, NumNodes()). Parallel edges and self-loops
 /// are rejected. Adjacency lists are kept sorted so neighbor iteration is
 /// deterministic.
+///
+/// A Graph is either *owned* (the default: labels and adjacency live in
+/// this object's own vectors) or a *view* over externally-owned columnar
+/// arenas (see GraphStore): node labels, a CSR row-offset array, and a
+/// flat neighbor array. Views are read-only — every accessor works
+/// identically on both representations, mutators require ownership, and
+/// copying a view materializes an owned graph (so `Graph q = db.Get(id)`
+/// always yields a mutable copy). ContentHash and operator== are
+/// representation-independent.
 class Graph {
  public:
   Graph() = default;
 
-  /// Adds a node with the given label; returns its id.
+  /// Copying a view materializes it; copying an owned graph is a plain
+  /// deep copy. Either way the result owns its storage.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept = default;
+  Graph& operator=(Graph&& other) noexcept = default;
+
+  /// A read-only graph over externally-owned arenas. `row_offsets` has
+  /// `num_nodes + 1` entries (local offsets into `neighbors`, starting at
+  /// 0); the arenas must outlive the view (a GraphStore pins them).
+  static Graph View(int32_t num_nodes, int64_t num_edges, const Label* labels,
+                    const int32_t* row_offsets, const NodeId* neighbors);
+
+  /// True if this graph borrows its storage from an external arena.
+  bool is_view() const { return view_labels_ != nullptr; }
+
+  /// Adds a node with the given label; returns its id. Owned graphs only.
   NodeId AddNode(Label label);
 
-  /// Adds an undirected edge {u, v}.
+  /// Adds an undirected edge {u, v}. Owned graphs only.
   /// Fails on out-of-range endpoints, self-loops, and duplicates.
   Status AddEdge(NodeId u, NodeId v);
 
   /// True if the undirected edge {u, v} exists.
   bool HasEdge(NodeId u, NodeId v) const;
 
-  int32_t NumNodes() const { return static_cast<int32_t>(labels_.size()); }
+  int32_t NumNodes() const {
+    return is_view() ? view_num_nodes_ : static_cast<int32_t>(labels_.size());
+  }
   int64_t NumEdges() const { return num_edges_; }
 
-  Label label(NodeId v) const { return labels_[static_cast<size_t>(v)]; }
-  void set_label(NodeId v, Label label) {
-    labels_[static_cast<size_t>(v)] = label;
+  Label label(NodeId v) const {
+    return is_view() ? view_labels_[static_cast<size_t>(v)]
+                     : labels_[static_cast<size_t>(v)];
   }
+  void set_label(NodeId v, Label label);
 
   /// Sorted neighbor list of v.
-  const std::vector<NodeId>& Neighbors(NodeId v) const {
-    return adjacency_[static_cast<size_t>(v)];
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    if (is_view()) {
+      const int32_t begin = view_row_offsets_[static_cast<size_t>(v)];
+      const int32_t end = view_row_offsets_[static_cast<size_t>(v) + 1];
+      return {view_neighbors_ + begin, static_cast<size_t>(end - begin)};
+    }
+    return {adjacency_[static_cast<size_t>(v)]};
   }
 
   int32_t Degree(NodeId v) const {
+    if (is_view()) {
+      return view_row_offsets_[static_cast<size_t>(v) + 1] -
+             view_row_offsets_[static_cast<size_t>(v)];
+    }
     return static_cast<int32_t>(adjacency_[static_cast<size_t>(v)].size());
   }
 
-  const std::vector<Label>& labels() const { return labels_; }
+  std::span<const Label> labels() const {
+    if (is_view()) {
+      return {view_labels_, static_cast<size_t>(view_num_nodes_)};
+    }
+    return {labels_};
+  }
 
   /// All edges as (u, v) with u < v, sorted lexicographically.
   std::vector<std::pair<NodeId, NodeId>> Edges() const;
@@ -70,11 +113,11 @@ class Graph {
   /// True if the graph is connected (vacuously true when empty).
   bool IsConnected() const;
 
-  /// Removes the undirected edge {u, v}; fails if absent.
+  /// Removes the undirected edge {u, v}; fails if absent. Owned only.
   Status RemoveEdge(NodeId u, NodeId v);
 
   /// Removes node v (and incident edges), renumbering the last node to v.
-  /// Fails if v is out of range.
+  /// Fails if v is out of range. Owned only.
   Status RemoveNode(NodeId v);
 
   /// Structural + label equality under the identity node mapping.
@@ -82,11 +125,12 @@ class Graph {
 
   /// Canonical 64-bit content hash: FNV-1a over the node labels (in node
   /// order) and the sorted edge set. Equal graphs (operator==) hash equal,
-  /// and the value is stable across processes and platforms, so it can key
-  /// cross-query caches and persisted artifacts. Not isomorphism-invariant:
-  /// the same structure under a different node numbering hashes differently
-  /// (repeated queries are typically byte-identical, which is the case the
-  /// hash exists for).
+  /// and the value is stable across processes, platforms, and storage
+  /// representations (an arena view hashes identically to its owned
+  /// materialization), so it can key cross-query caches and persisted
+  /// artifacts. Not isomorphism-invariant: the same structure under a
+  /// different node numbering hashes differently (repeated queries are
+  /// typically byte-identical, which is the case the hash exists for).
   uint64_t ContentHash() const;
 
   /// Compact one-line description for logs: "Graph(n=5, m=6)".
@@ -98,6 +142,13 @@ class Graph {
   std::vector<Label> labels_;
   std::vector<std::vector<NodeId>> adjacency_;
   int64_t num_edges_ = 0;
+
+  // View representation (see class comment). Mutually exclusive with the
+  // owned vectors above; `view_labels_ != nullptr` selects it.
+  const Label* view_labels_ = nullptr;
+  const int32_t* view_row_offsets_ = nullptr;
+  const NodeId* view_neighbors_ = nullptr;
+  int32_t view_num_nodes_ = 0;
 };
 
 }  // namespace lan

@@ -16,6 +16,7 @@ GraphDatabase::GraphDatabase(const GraphDatabase& other) { *this = other; }
 
 GraphDatabase& GraphDatabase::operator=(const GraphDatabase& other) {
   if (this == &other) return *this;
+  store_ = other.store_;  // shared, immutable arenas
   graphs_ = other.graphs_;
   live_ = other.live_;
   num_removed_ = other.num_removed_;
@@ -35,13 +36,14 @@ GraphDatabase::GraphDatabase(GraphDatabase&& other) noexcept {
 
 GraphDatabase& GraphDatabase::operator=(GraphDatabase&& other) noexcept {
   if (this == &other) return *this;
+  store_ = std::move(other.store_);
   graphs_ = std::move(other.graphs_);
   live_ = std::move(other.live_);
   num_removed_ = other.num_removed_;
   num_labels_ = other.num_labels_;
   name_ = std::move(other.name_);
-  // Deque elements keep their addresses across the move, so the moved-from
-  // object's slot arrays stay valid for this one.
+  // Deque elements and store views keep their addresses across the move,
+  // so the moved-from object's slot arrays stay valid for this one.
   slot_arrays_ = std::move(other.slot_arrays_);
   slot_capacity_ = other.slot_capacity_;
   slots_.store(other.slots_.load(std::memory_order_relaxed),
@@ -56,12 +58,16 @@ GraphDatabase& GraphDatabase::operator=(GraphDatabase&& other) noexcept {
 }
 
 void GraphDatabase::RepublishSlots() {
-  const size_t n = graphs_.size();
+  const size_t base = static_cast<size_t>(store_size());
+  const size_t n = base + graphs_.size();
   if (n > slot_capacity_) {
     size_t cap = slot_capacity_ == 0 ? kInitialSlotCapacity : slot_capacity_;
     while (cap < n) cap *= 2;
     auto fresh = std::make_unique<const Graph*[]>(cap);
-    for (size_t i = 0; i < n; ++i) fresh[i] = &graphs_[i];
+    for (size_t i = 0; i < base; ++i) {
+      fresh[i] = &store_->view(static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < graphs_.size(); ++i) fresh[base + i] = &graphs_[i];
     slot_capacity_ = cap;
     slots_.store(fresh.get(), std::memory_order_release);
     slot_arrays_.push_back(std::move(fresh));
@@ -69,9 +75,47 @@ void GraphDatabase::RepublishSlots() {
     // In-capacity append: fill the new tail slot, then publish the size.
     // slot_arrays_.back() is the live array; writing an index >= size_ is
     // invisible to readers until the release store below.
-    slot_arrays_.back()[n - 1] = &graphs_[n - 1];
+    slot_arrays_.back()[n - 1] =
+        graphs_.empty() ? &store_->view(static_cast<int64_t>(n - 1))
+                        : &graphs_.back();
   }
   size_.store(static_cast<GraphId>(n), std::memory_order_release);
+}
+
+Status GraphDatabase::AttachStore(std::shared_ptr<const GraphStore> store,
+                                  std::vector<uint8_t> live) {
+  if (store == nullptr) return Status::InvalidArgument("null graph store");
+  if (!live.empty() &&
+      live.size() != static_cast<size_t>(store->size())) {
+    return Status::InvalidArgument(
+        StrFormat("live bitmap has %zu entries for %lld graphs", live.size(),
+                  static_cast<long long>(store->size())));
+  }
+  store_ = std::move(store);
+  graphs_.clear();
+  if (live.empty()) {
+    live_.assign(static_cast<size_t>(store_->size()), 1);
+    num_removed_ = 0;
+  } else {
+    live_ = std::move(live);
+    num_removed_ = 0;
+    for (uint8_t b : live_) {
+      if (b == 0) ++num_removed_;
+    }
+  }
+  slots_.store(nullptr, std::memory_order_relaxed);
+  size_.store(0, std::memory_order_relaxed);
+  slot_capacity_ = 0;
+  slot_arrays_.clear();
+  RepublishSlots();
+  return Status::OK();
+}
+
+Status GraphDatabase::CompactStorage() {
+  if (empty()) return Status::OK();
+  auto packed = std::make_shared<const GraphStore>(GraphStore::Pack(*this));
+  std::vector<uint8_t> live = live_;
+  return AttachStore(std::move(packed), std::move(live));
 }
 
 Result<GraphId> GraphDatabase::Add(Graph graph) {
@@ -86,11 +130,11 @@ Result<GraphId> GraphDatabase::Add(Graph graph) {
   graphs_.push_back(std::move(graph));
   live_.push_back(1);
   RepublishSlots();
-  return static_cast<GraphId>(graphs_.size() - 1);
+  return size() - 1;
 }
 
 Status GraphDatabase::Remove(GraphId id) {
-  if (id < 0 || static_cast<size_t>(id) >= graphs_.size()) {
+  if (id < 0 || id >= size()) {
     return Status::OutOfRange(
         StrFormat("remove id %d outside [0,%d)", id, size()));
   }
@@ -104,23 +148,27 @@ Status GraphDatabase::Remove(GraphId id) {
 }
 
 double GraphDatabase::AverageNodes() const {
-  if (graphs_.empty()) return 0.0;
+  const GraphId n = size();
+  if (n == 0) return 0.0;
   double total = 0.0;
-  for (const Graph& g : graphs_) total += g.NumNodes();
-  return total / static_cast<double>(graphs_.size());
+  for (GraphId id = 0; id < n; ++id) total += Get(id).NumNodes();
+  return total / static_cast<double>(n);
 }
 
 double GraphDatabase::AverageEdges() const {
-  if (graphs_.empty()) return 0.0;
+  const GraphId n = size();
+  if (n == 0) return 0.0;
   double total = 0.0;
-  for (const Graph& g : graphs_) total += static_cast<double>(g.NumEdges());
-  return total / static_cast<double>(graphs_.size());
+  for (GraphId id = 0; id < n; ++id) {
+    total += static_cast<double>(Get(id).NumEdges());
+  }
+  return total / static_cast<double>(n);
 }
 
 int32_t GraphDatabase::DistinctLabelsUsed() const {
   std::unordered_set<Label> seen;
-  for (const Graph& g : graphs_) {
-    for (Label l : g.labels()) seen.insert(l);
+  for (GraphId id = 0; id < size(); ++id) {
+    for (Label l : Get(id).labels()) seen.insert(l);
   }
   return static_cast<int32_t>(seen.size());
 }
@@ -130,10 +178,16 @@ Status GraphDatabase::Truncate(GraphId count) {
     return Status::OutOfRange(
         StrFormat("truncate to %d outside [0,%d]", count, size()));
   }
-  for (size_t i = static_cast<size_t>(count); i < graphs_.size(); ++i) {
+  if (count < store_size()) {
+    return Status::FailedPrecondition(
+        StrFormat("cannot truncate to %d below the attached store's %d "
+                  "arena-backed graphs",
+                  count, store_size()));
+  }
+  for (size_t i = static_cast<size_t>(count); i < live_.size(); ++i) {
     if (live_[i] == 0) --num_removed_;
   }
-  graphs_.resize(static_cast<size_t>(count));
+  graphs_.resize(static_cast<size_t>(count - store_size()));
   live_.resize(static_cast<size_t>(count));
   size_.store(count, std::memory_order_release);
   return Status::OK();

@@ -44,8 +44,11 @@ Status WriteDatabase(const GraphDatabase& db, std::ostream& out) {
 
 Status WriteDatabaseToFile(const GraphDatabase& db, const std::string& path) {
   std::ofstream out(path);
-  if (!out.is_open()) return Status::IoError("cannot open " + path);
-  return WriteDatabase(db, out);
+  if (!out.is_open()) return ErrnoIoError("cannot open", path);
+  LAN_RETURN_NOT_OK(WriteDatabase(db, out));
+  out.flush();
+  if (!out.good()) return ErrnoIoError("write failed for", path);
+  return Status::OK();
 }
 
 Result<GraphDatabase> ReadDatabase(std::istream& in) {
@@ -108,17 +111,33 @@ Result<GraphDatabase> ReadDatabase(std::istream& in) {
       NodeId u, v;
       es >> key >> u >> v;
       if (key != "e" || es.fail()) return Status::IoError("bad edge: " + line);
-      LAN_RETURN_NOT_OK(g.AddEdge(u, v));
+      // Explicit endpoint validation so a malformed file reports the graph
+      // it broke in (AddEdge would also catch these, plus duplicates).
+      if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
+        return Status::IoError(
+            StrFormat("graph %lld: edge (%d,%d) endpoint outside [0,%d)",
+                      static_cast<long long>(i), u, v, num_nodes));
+      }
+      Status edge = g.AddEdge(u, v);
+      if (!edge.ok()) {
+        return Status::IoError(StrFormat("graph %lld: %s",
+                                         static_cast<long long>(i),
+                                         edge.message().c_str()));
+      }
     }
     auto added = db.Add(std::move(g));
-    if (!added.ok()) return added.status();
+    if (!added.ok()) {
+      return Status::IoError(StrFormat("graph %lld: %s",
+                                       static_cast<long long>(i),
+                                       added.status().message().c_str()));
+    }
   }
   return db;
 }
 
 Result<GraphDatabase> ReadDatabaseFromFile(const std::string& path) {
   std::ifstream in(path);
-  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  if (!in.is_open()) return ErrnoIoError("cannot open", path);
   return ReadDatabase(in);
 }
 

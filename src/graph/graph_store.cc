@@ -1,0 +1,148 @@
+#include "graph/graph_store.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "graph/graph_database.h"
+
+namespace lan {
+
+void GraphStore::BuildViews(const ColumnarGraphSpans& spans) {
+  views_.clear();
+  views_.reserve(static_cast<size_t>(spans.num_graphs));
+  for (int64_t g = 0; g < spans.num_graphs; ++g) {
+    const int64_t label_base = spans.node_start[static_cast<size_t>(g)];
+    const int32_t n = static_cast<int32_t>(
+        spans.node_start[static_cast<size_t>(g) + 1] - label_base);
+    const int64_t neigh_base = spans.neigh_start[static_cast<size_t>(g)];
+    const int64_t neigh_count =
+        spans.neigh_start[static_cast<size_t>(g) + 1] - neigh_base;
+    // Each graph owns n + 1 row-offset slots, hence the `+ g` skew.
+    views_.push_back(Graph::View(
+        n, neigh_count / 2, spans.labels.data() + label_base,
+        spans.row_offsets.data() + label_base + g,
+        spans.neighbors.data() + neigh_base));
+  }
+}
+
+GraphStore GraphStore::Pack(const GraphDatabase& db) {
+  GraphStore s;
+  const int64_t n = db.size();
+  s.node_start_.resize(static_cast<size_t>(n) + 1, 0);
+  s.neigh_start_.resize(static_cast<size_t>(n) + 1, 0);
+  for (int64_t g = 0; g < n; ++g) {
+    const Graph& graph = db.Get(static_cast<GraphId>(g));
+    s.node_start_[static_cast<size_t>(g) + 1] =
+        s.node_start_[static_cast<size_t>(g)] + graph.NumNodes();
+    s.neigh_start_[static_cast<size_t>(g) + 1] =
+        s.neigh_start_[static_cast<size_t>(g)] + 2 * graph.NumEdges();
+  }
+  s.labels_.reserve(static_cast<size_t>(s.node_start_.back()));
+  s.row_offsets_.reserve(static_cast<size_t>(s.node_start_.back() + n));
+  s.neighbors_.reserve(static_cast<size_t>(s.neigh_start_.back()));
+  for (int64_t g = 0; g < n; ++g) {
+    const Graph& graph = db.Get(static_cast<GraphId>(g));
+    const std::span<const Label> labels = graph.labels();
+    s.labels_.insert(s.labels_.end(), labels.begin(), labels.end());
+    int32_t offset = 0;
+    s.row_offsets_.push_back(0);
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      const std::span<const NodeId> nb = graph.Neighbors(v);
+      s.neighbors_.insert(s.neighbors_.end(), nb.begin(), nb.end());
+      offset += static_cast<int32_t>(nb.size());
+      s.row_offsets_.push_back(offset);
+    }
+  }
+  s.BuildViews(s.spans());
+  return s;
+}
+
+ColumnarGraphSpans GraphStore::spans() const {
+  if (backing_ != nullptr || attached_.num_graphs > 0) return attached_;
+  ColumnarGraphSpans spans;
+  spans.num_graphs = static_cast<int64_t>(
+      node_start_.empty() ? 0 : node_start_.size() - 1);
+  spans.node_start = node_start_;
+  spans.neigh_start = neigh_start_;
+  spans.labels = labels_;
+  spans.row_offsets = row_offsets_;
+  spans.neighbors = neighbors_;
+  return spans;
+}
+
+Result<GraphStore> GraphStore::Attach(const ColumnarGraphSpans& spans,
+                                      std::shared_ptr<const void> backing) {
+  const int64_t n = spans.num_graphs;
+  if (n < 0) return Status::InvalidArgument("negative graph count");
+  const size_t ns = static_cast<size_t>(n);
+  if (spans.node_start.size() != ns + 1 || spans.neigh_start.size() != ns + 1) {
+    return Status::InvalidArgument("graph store: offset table size mismatch");
+  }
+  if (n > 0 && (spans.node_start[0] != 0 || spans.neigh_start[0] != 0)) {
+    return Status::InvalidArgument("graph store: offsets must start at 0");
+  }
+  for (size_t g = 0; g < ns; ++g) {
+    if (spans.node_start[g + 1] < spans.node_start[g] ||
+        spans.neigh_start[g + 1] < spans.neigh_start[g]) {
+      return Status::InvalidArgument(
+          StrFormat("graph store: non-monotone offsets at graph %zu", g));
+    }
+  }
+  const int64_t total_nodes = n > 0 ? spans.node_start[ns] : 0;
+  const int64_t total_neighbors = n > 0 ? spans.neigh_start[ns] : 0;
+  if (static_cast<int64_t>(spans.labels.size()) != total_nodes ||
+      static_cast<int64_t>(spans.row_offsets.size()) != total_nodes + n ||
+      static_cast<int64_t>(spans.neighbors.size()) != total_neighbors) {
+    return Status::InvalidArgument("graph store: arena size mismatch");
+  }
+  for (size_t g = 0; g < ns; ++g) {
+    const int64_t num_nodes = spans.node_start[g + 1] - spans.node_start[g];
+    const int64_t row_base = spans.node_start[g] + static_cast<int64_t>(g);
+    const int64_t neigh_count =
+        spans.neigh_start[g + 1] - spans.neigh_start[g];
+    if (num_nodes > INT32_MAX) {
+      return Status::InvalidArgument("graph store: graph too large");
+    }
+    if (spans.row_offsets[static_cast<size_t>(row_base)] != 0) {
+      return Status::InvalidArgument(
+          StrFormat("graph store: row offsets of graph %zu must start at 0",
+                    g));
+    }
+    for (int64_t v = 0; v < num_nodes; ++v) {
+      const int32_t lo = spans.row_offsets[static_cast<size_t>(row_base + v)];
+      const int32_t hi =
+          spans.row_offsets[static_cast<size_t>(row_base + v + 1)];
+      if (hi < lo || hi > neigh_count) {
+        return Status::InvalidArgument(
+            StrFormat("graph store: bad row offsets in graph %zu", g));
+      }
+    }
+    if (spans.row_offsets[static_cast<size_t>(row_base + num_nodes)] !=
+        neigh_count) {
+      return Status::InvalidArgument(
+          StrFormat("graph store: row/neighbor count mismatch in graph %zu",
+                    g));
+    }
+    if (neigh_count % 2 != 0) {
+      return Status::InvalidArgument(
+          StrFormat("graph store: odd neighbor count in graph %zu", g));
+    }
+    const int64_t neigh_base = spans.neigh_start[g];
+    for (int64_t e = 0; e < neigh_count; ++e) {
+      const NodeId t = spans.neighbors[static_cast<size_t>(neigh_base + e)];
+      if (t < 0 || t >= num_nodes) {
+        return Status::InvalidArgument(
+            StrFormat("graph store: neighbor %d out of range in graph %zu", t,
+                      g));
+      }
+    }
+  }
+  GraphStore s;
+  s.attached_ = spans;
+  s.backing_ = std::move(backing);
+  s.BuildViews(spans);
+  return s;
+}
+
+}  // namespace lan

@@ -1,0 +1,92 @@
+#ifndef LAN_GRAPH_GRAPH_STORE_H_
+#define LAN_GRAPH_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace lan {
+
+class GraphDatabase;
+
+/// \brief Columnar borrowed layout of a graph corpus: every graph's node
+/// labels, CSR row offsets, and neighbor lists packed into four shared
+/// arenas. This is the wire/mmap layout of the snapshot kGraphs section
+/// and the input to GraphStore::Attach.
+///
+/// Per graph g (0 <= g < num_graphs):
+///   - labels:        labels[node_start[g] .. node_start[g + 1])
+///   - row offsets:   row_offsets[node_start[g] + g .. +(n_g + 1)] —
+///                    graph-local (first entry 0), one extra slot per
+///                    graph, hence the `+ g` skew
+///   - neighbors:     neighbors[neigh_start[g] .. neigh_start[g + 1])
+struct ColumnarGraphSpans {
+  int64_t num_graphs = 0;
+  std::span<const int64_t> node_start;   // num_graphs + 1
+  std::span<const int64_t> neigh_start;  // num_graphs + 1
+  std::span<const Label> labels;
+  std::span<const int32_t> row_offsets;
+  std::span<const NodeId> neighbors;
+};
+
+/// \brief Arena-backed storage for a corpus of graphs.
+///
+/// All graphs live in shared columnar arenas (one labels array, one CSR
+/// offsets array, one neighbors array) and are exposed as read-only
+/// `Graph` views, so the whole corpus costs O(1) heap allocations instead
+/// of O(total nodes) — and can be attached zero-copy to a memory-mapped
+/// snapshot section. The views vector is sized exactly once, so
+/// `&store.view(i)` stays stable for the store's lifetime (GraphDatabase
+/// publishes those pointers in its lock-free slot table).
+///
+/// A store is immutable after construction. Mutable corpora layer on top:
+/// GraphDatabase keeps appending owned graphs to its deque tail while ids
+/// below `size()` resolve to store views (see GraphDatabase::AttachStore).
+class GraphStore {
+ public:
+  GraphStore() = default;
+  GraphStore(GraphStore&&) noexcept = default;
+  GraphStore& operator=(GraphStore&&) noexcept = default;
+  // Views hold pointers into this store's own arenas; copying would have
+  // to re-point them all, and nothing needs a copy (shared_ptr the store).
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// Packs `graphs[0 .. count)` (any representation) into fresh arenas.
+  static GraphStore Pack(const GraphDatabase& db);
+
+  /// Wraps externally-owned arenas (typically a mapped snapshot section)
+  /// without copying graph payloads; `backing` keeps them alive. Validates
+  /// the offset tables (monotone, in-range) and every neighbor id, so a
+  /// corrupted snapshot yields a Status instead of out-of-bounds reads.
+  static Result<GraphStore> Attach(const ColumnarGraphSpans& spans,
+                                   std::shared_ptr<const void> backing);
+
+  int64_t size() const { return static_cast<int64_t>(views_.size()); }
+  const Graph& view(int64_t i) const { return views_[static_cast<size_t>(i)]; }
+
+  /// The columnar arenas (for snapshot writing).
+  ColumnarGraphSpans spans() const;
+
+ private:
+  void BuildViews(const ColumnarGraphSpans& spans);
+
+  std::vector<Graph> views_;
+  // Owned arenas (Pack); empty when attached to external memory.
+  std::vector<Label> labels_;
+  std::vector<int32_t> row_offsets_;
+  std::vector<NodeId> neighbors_;
+  std::vector<int64_t> node_start_;
+  std::vector<int64_t> neigh_start_;
+  // External arenas (Attach): the spans the views point into.
+  ColumnarGraphSpans attached_;
+  std::shared_ptr<const void> backing_;
+};
+
+}  // namespace lan
+
+#endif  // LAN_GRAPH_GRAPH_STORE_H_

@@ -14,7 +14,7 @@ ClusterModel::ClusterModel(int32_t feature_dim, ClusterModelOptions options)
 }
 
 Matrix ClusterModel::BuildFeatures(const std::vector<float>& query_embedding,
-                                   const std::vector<float>& centroid) const {
+                                   std::span<const float> centroid) const {
   LAN_CHECK_EQ(static_cast<int32_t>(query_embedding.size() + centroid.size()),
                feature_dim_);
   Matrix features(1, feature_dim_);
@@ -26,21 +26,22 @@ Matrix ClusterModel::BuildFeatures(const std::vector<float>& query_embedding,
 
 void ClusterModel::Train(
     const std::vector<std::vector<float>>& query_embeddings,
-    const std::vector<std::vector<float>>& centroids,
+    const EmbeddingMatrix& centroids,
     const std::vector<std::vector<float>>& intersection_counts) {
   LAN_CHECK_EQ(query_embeddings.size(), intersection_counts.size());
   if (query_embeddings.empty() || centroids.empty()) return;
   Adam adam(&store_, options_.adam);
   Rng rng(options_.seed);
 
+  const size_t num_centroids = static_cast<size_t>(centroids.rows());
   struct Item {
     size_t query;
     size_t cluster;
   };
   std::vector<Item> items;
   for (size_t q = 0; q < query_embeddings.size(); ++q) {
-    LAN_CHECK_EQ(intersection_counts[q].size(), centroids.size());
-    for (size_t c = 0; c < centroids.size(); ++c) items.push_back({q, c});
+    LAN_CHECK_EQ(intersection_counts[q].size(), num_centroids);
+    for (size_t c = 0; c < num_centroids; ++c) items.push_back({q, c});
   }
 
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
@@ -49,7 +50,8 @@ void ClusterModel::Train(
     for (const Item& item : items) {
       Tape tape;
       const VarId x = tape.Input(
-          BuildFeatures(query_embeddings[item.query], centroids[item.cluster]));
+          BuildFeatures(query_embeddings[item.query],
+                        centroids.Row(static_cast<int64_t>(item.cluster))));
       const VarId pred = mlp_.Forward(&tape, x);
       Matrix target(1, 1);
       target.at(0, 0) =
@@ -68,29 +70,31 @@ void ClusterModel::Train(
 
 std::vector<float> ClusterModel::PredictCounts(
     const std::vector<float>& query_embedding,
-    const std::vector<std::vector<float>>& centroids,
-    TraceSink* trace) const {
+    const EmbeddingMatrix& centroids, TraceSink* trace) const {
   if (centroids.empty()) return {};
+  const size_t num_centroids = static_cast<size_t>(centroids.rows());
   if (trace != nullptr) {
     TraceEvent event;
     event.type = TraceEventType::kModelInference;
     event.detail = "M_c";
-    event.aux = static_cast<double>(centroids.size());
+    event.aux = static_cast<double>(num_centroids);
     trace->Record(event);
   }
-  Matrix features(static_cast<int32_t>(centroids.size()), feature_dim_);
-  for (size_t c = 0; c < centroids.size(); ++c) {
+  Matrix features(static_cast<int32_t>(num_centroids), feature_dim_);
+  for (size_t c = 0; c < num_centroids; ++c) {
+    const std::span<const float> centroid =
+        centroids.Row(static_cast<int64_t>(c));
     LAN_CHECK_EQ(
-        static_cast<int32_t>(query_embedding.size() + centroids[c].size()),
+        static_cast<int32_t>(query_embedding.size() + centroid.size()),
         feature_dim_);
     int32_t j = 0;
     const int32_t row = static_cast<int32_t>(c);
     for (float x : query_embedding) features.at(row, j++) = x;
-    for (float x : centroids[c]) features.at(row, j++) = x;
+    for (float x : centroid) features.at(row, j++) = x;
   }
   const Matrix preds = mlp_.InferForward(features);
   std::vector<float> out;
-  out.reserve(centroids.size());
+  out.reserve(num_centroids);
   for (int32_t c = 0; c < preds.rows(); ++c) {
     out.push_back(std::max(0.0f, std::expm1(preds.at(c, 0))));
   }
@@ -99,12 +103,13 @@ std::vector<float> ClusterModel::PredictCounts(
 
 std::vector<float> ClusterModel::PredictCountsReference(
     const std::vector<float>& query_embedding,
-    const std::vector<std::vector<float>>& centroids) const {
+    const EmbeddingMatrix& centroids) const {
   std::vector<float> out;
-  out.reserve(centroids.size());
-  for (const auto& centroid : centroids) {
+  out.reserve(static_cast<size_t>(centroids.rows()));
+  for (int64_t c = 0; c < centroids.rows(); ++c) {
     Tape tape(/*inference_mode=*/true);
-    const VarId x = tape.Input(BuildFeatures(query_embedding, centroid));
+    const VarId x =
+        tape.Input(BuildFeatures(query_embedding, centroids.Row(c)));
     const VarId pred = mlp_.Forward(&tape, x);
     out.push_back(std::max(0.0f, std::expm1(tape.value(pred).at(0, 0))));
   }

@@ -2,9 +2,11 @@
 #define LAN_LAN_CLUSTER_MODEL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/trace.h"
+#include "gnn/embedding_matrix.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 
@@ -34,9 +36,10 @@ class ClusterModel {
   ClusterModel(const ClusterModel&) = delete;
   ClusterModel& operator=(const ClusterModel&) = delete;
 
-  /// Trains on |queries| x |clusters| intersection counts.
+  /// Trains on |queries| x |clusters| intersection counts. `centroids`
+  /// row c is cluster c's centroid.
   void Train(const std::vector<std::vector<float>>& query_embeddings,
-             const std::vector<std::vector<float>>& centroids,
+             const EmbeddingMatrix& centroids,
              const std::vector<std::vector<float>>& intersection_counts);
 
   /// Predicted |C ∩ N_Q| per cluster (>= 0). All clusters are scored with
@@ -44,21 +47,21 @@ class ClusterModel {
   /// receives one kModelInference event covering the stacked batch.
   std::vector<float> PredictCounts(
       const std::vector<float>& query_embedding,
-      const std::vector<std::vector<float>>& centroids,
+      const EmbeddingMatrix& centroids,
       TraceSink* trace = nullptr) const;
 
   /// Per-cluster tape-based reference path; equals PredictCounts bit for
   /// bit (kept for the batched-equivalence tests and the microbench).
   std::vector<float> PredictCountsReference(
       const std::vector<float>& query_embedding,
-      const std::vector<std::vector<float>>& centroids) const;
+      const EmbeddingMatrix& centroids) const;
 
   ParamStore* params() { return &store_; }
   const ParamStore& params() const { return store_; }
 
  private:
   Matrix BuildFeatures(const std::vector<float>& query_embedding,
-                       const std::vector<float>& centroid) const;
+                       std::span<const float> centroid) const;
 
   int32_t feature_dim_;
   ClusterModelOptions options_;

@@ -16,8 +16,7 @@ L2RouteIndex L2RouteIndex::Build(const GraphDatabase& db,
   index.hnsw_ = HnswIndex::BuildWithDistance(
       db.size(),
       [&embeddings](GraphId a, GraphId b) {
-        return SquaredL2(embeddings[static_cast<size_t>(a)],
-                         embeddings[static_cast<size_t>(b)]);
+        return SquaredL2(embeddings.Row(a), embeddings.Row(b));
       },
       options.hnsw, pool);
   return index;
@@ -28,7 +27,7 @@ RoutingResult L2RouteIndex::Search(DistanceOracle* oracle, int ef,
   const std::vector<float> q =
       EmbedGraph(oracle->query(), options_.embedding);
   auto l2 = [this, &q](GraphId id) {
-    return SquaredL2(q, embeddings_[static_cast<size_t>(id)]);
+    return SquaredL2(q, embeddings_.Row(id));
   };
   const GraphId init = hnsw_.SelectInitialNodeFn(l2);
   // Route purely in embedding space; keep the whole beam as candidates.

@@ -35,7 +35,7 @@ class L2RouteIndex {
 
  private:
   L2RouteOptions options_;
-  std::vector<std::vector<float>> embeddings_;
+  EmbeddingMatrix embeddings_;
   HnswIndex hnsw_;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <string_view>
 
 #include "common/logging.h"
 #include "nn/serialization.h"
@@ -11,6 +13,7 @@
 #include "lan/learned_ranker.h"
 #include "pg/beam_search.h"
 #include "pg/init_selector.h"
+#include "store/snapshot.h"
 
 namespace lan {
 
@@ -129,13 +132,23 @@ Status LanIndex::BuildFromSavedIndex(const GraphDatabase* db,
   db_ = db;
   mutable_db_ = nullptr;
 
-  // Peek for the mutable-index wrapper; fall back to a bare HNSW stream.
+  // Peek the leading magic: a LANSNAP1 sectioned snapshot, the LANIDX01
+  // mutable-index wrapper, or (legacy) a bare HNSW stream.
   uint64_t epoch = 0;
   std::vector<uint8_t> live;
   char magic[8];
   in.read(magic, sizeof(magic));
   if (in.gcount() != static_cast<std::streamsize>(sizeof(magic))) {
     return Status::IoError("index read truncated");
+  }
+  if (Snapshot::LooksLikeSnapshot(std::string_view(magic, sizeof(magic)))) {
+    std::string bytes(magic, sizeof(magic));
+    bytes.append(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    HnswIndex hnsw;
+    LAN_RETURN_NOT_OK(
+        BuildFromSnapshotBuffer(db, bytes, &live, &epoch, &hnsw));
+    return FinishBuild(std::move(hnsw), std::move(live), epoch);
   }
   if (std::memcmp(magic, kIndexMagic, sizeof(magic)) == 0) {
     in.read(reinterpret_cast<char*>(&epoch), sizeof(epoch));
@@ -175,36 +188,30 @@ Status LanIndex::BuildFromSavedIndex(GraphDatabase* db, std::istream& in) {
   return Status::OK();
 }
 
-Status LanIndex::SaveIndex(std::ostream& out) const {
-  if (!built_) return Status::FailedPrecondition("SaveIndex before Build");
-  const auto snap = Snapshot();
-  out.write(kIndexMagic, sizeof(kIndexMagic));
-  out.write(reinterpret_cast<const char*>(&snap->epoch), sizeof(snap->epoch));
-  const int32_t num_graphs = snap->num_graphs;
-  out.write(reinterpret_cast<const char*>(&num_graphs), sizeof(num_graphs));
-  out.write(reinterpret_cast<const char*>(snap->live->data()),
-            static_cast<std::streamsize>(snap->live->size()));
-  if (!out.good()) return Status::IoError("index write failed");
-  return snap->hnsw->Save(out);
-}
+// SaveIndex lives in lan_snapshot.cc: it now writes a {kMeta, kHnsw}
+// sectioned snapshot, which the LooksLikeSnapshot branch above reads
+// back. kIndexMagic streams stay loadable (the branch below).
 
 Status LanIndex::SaveIndexToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return Status::IoError("cannot open " + path);
-  return SaveIndex(out);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return ErrnoIoError("cannot open for writing", path);
+  LAN_RETURN_NOT_OK(SaveIndex(out));
+  out.flush();
+  if (!out.good()) return ErrnoIoError("write failed", path);
+  return Status::OK();
 }
 
 Status LanIndex::BuildFromSavedIndexFile(const GraphDatabase* db,
                                          const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  if (!in.is_open()) return ErrnoIoError("cannot open", path);
   return BuildFromSavedIndex(db, in);
 }
 
 Status LanIndex::BuildFromSavedIndexFile(GraphDatabase* db,
                                          const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  if (!in.is_open()) return ErrnoIoError("cannot open", path);
   return BuildFromSavedIndex(db, in);
 }
 
@@ -224,8 +231,8 @@ Status LanIndex::FinishBuild(HnswIndex hnsw, std::vector<uint8_t> live,
   EmbeddingOptions embedding = config_.embedding;
   embedding.num_labels = db_->num_labels();
   config_.embedding = embedding;
-  auto embeddings = std::make_shared<std::vector<std::vector<float>>>(
-      EmbedDatabase(*db_, embedding));
+  auto embeddings =
+      std::make_shared<EmbeddingMatrix>(EmbedDatabase(*db_, embedding));
   const int num_clusters =
       config_.num_clusters > 0
           ? config_.num_clusters
@@ -296,11 +303,11 @@ Result<GraphId> LanIndex::Insert(Graph graph) {
   const int layers = static_cast<int>(config_.scorer.gnn_dims.size());
   auto cgs = std::make_shared<std::vector<CompressedGnnGraph>>(*snap->cgs);
   cgs->push_back(BuildCompressedGnnGraph(added, layers));
-  auto embeddings =
-      std::make_shared<std::vector<std::vector<float>>>(*snap->embeddings);
-  embeddings->push_back(EmbedGraph(added, config_.embedding));
+  auto embeddings = std::make_shared<EmbeddingMatrix>(*snap->embeddings);
+  embeddings->AppendRow(EmbedGraph(added, config_.embedding));
   auto clusters = std::make_shared<KMeansResult>(*snap->clusters);
-  const int32_t c = NearestCentroid(clusters->centroids, embeddings->back());
+  const int32_t c = NearestCentroid(clusters->centroids,
+                                    embeddings->Row(embeddings->rows() - 1));
   clusters->assignment.push_back(c);
   clusters->members[static_cast<size_t>(c)].push_back(id);
 
@@ -353,6 +360,9 @@ Result<GraphId> LanIndex::Insert(Graph graph) {
   next->cgs = std::move(cgs);
   next->embeddings = std::move(embeddings);
   next->clusters = std::move(clusters);
+  // The copied CG vector still views a mapped snapshot if this index was
+  // opened from one; carry the mapping forward with the new epoch.
+  next->backing = snap->backing;
   Publish(std::move(next));
   return id;
 }
@@ -483,7 +493,8 @@ Status LanIndex::Train(const std::vector<Graph>& train_queries) {
     }
     std::vector<std::vector<float>> counts(
         train_queries.size(),
-        std::vector<float>(clusters.centroids.size(), 0.0f));
+        std::vector<float>(static_cast<size_t>(clusters.centroids.rows()),
+                           0.0f));
     for (size_t qi = 0; qi < train_queries.size(); ++qi) {
       for (size_t g = 0; g < distances[qi].size(); ++g) {
         if (distances[qi][g] <= gamma_star_) {
@@ -543,16 +554,12 @@ Status LanIndex::SaveModels(std::ostream& out) const {
   LAN_RETURN_NOT_OK(WriteParamStore(
       static_cast<const ClusterModel&>(*cluster_model_).params(), out));
   // Clusters: centroid matrix + per-graph assignment.
-  const int32_t num_clusters =
-      static_cast<int32_t>(clusters.centroids.size());
-  const int32_t dim = num_clusters > 0
-                          ? static_cast<int32_t>(clusters.centroids[0].size())
-                          : 0;
+  const int32_t num_clusters = static_cast<int32_t>(clusters.centroids.rows());
+  const int32_t dim = num_clusters > 0 ? clusters.centroids.dim() : 0;
   LAN_RETURN_NOT_OK(WritePod(out, &num_clusters, sizeof(num_clusters)));
   LAN_RETURN_NOT_OK(WritePod(out, &dim, sizeof(dim)));
-  for (const auto& c : clusters.centroids) {
-    LAN_RETURN_NOT_OK(WritePod(out, c.data(), c.size() * sizeof(float)));
-  }
+  LAN_RETURN_NOT_OK(WritePod(out, clusters.centroids.data(),
+                             clusters.centroids.size() * sizeof(float)));
   const int64_t assigned = static_cast<int64_t>(clusters.assignment.size());
   LAN_RETURN_NOT_OK(WritePod(out, &assigned, sizeof(assigned)));
   LAN_RETURN_NOT_OK(WritePod(out, clusters.assignment.data(),
@@ -561,9 +568,12 @@ Status LanIndex::SaveModels(std::ostream& out) const {
 }
 
 Status LanIndex::SaveModelsToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return Status::IoError("cannot open " + path);
-  return SaveModels(out);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return ErrnoIoError("cannot open for writing", path);
+  LAN_RETURN_NOT_OK(SaveModels(out));
+  out.flush();
+  if (!out.good()) return ErrnoIoError("write failed", path);
+  return Status::OK();
 }
 
 Status LanIndex::LoadModels(std::istream& in) {
@@ -602,10 +612,10 @@ Status LanIndex::LoadModels(std::istream& in) {
   LAN_RETURN_NOT_OK(ReadPod(in, &dim, sizeof(dim)));
   if (num_clusters < 0 || dim < 0) return Status::IoError("bad cluster header");
   KMeansResult clusters;
-  clusters.centroids.assign(static_cast<size_t>(num_clusters),
-                            std::vector<float>(static_cast<size_t>(dim)));
-  for (auto& c : clusters.centroids) {
-    LAN_RETURN_NOT_OK(ReadPod(in, c.data(), c.size() * sizeof(float)));
+  clusters.centroids = EmbeddingMatrix(num_clusters, dim);
+  if (num_clusters > 0) {
+    LAN_RETURN_NOT_OK(ReadPod(in, clusters.centroids.MutableRow(0),
+                              clusters.centroids.size() * sizeof(float)));
   }
   int64_t assigned = 0;
   LAN_RETURN_NOT_OK(ReadPod(in, &assigned, sizeof(assigned)));
@@ -628,14 +638,10 @@ Status LanIndex::LoadModels(std::istream& in) {
   }
   for (GraphId id = static_cast<GraphId>(assigned); id < snap->num_graphs;
        ++id) {
-    clusters.assignment.push_back(NearestCentroid(
-        clusters.centroids, (*snap->embeddings)[static_cast<size_t>(id)]));
+    clusters.assignment.push_back(
+        NearestCentroid(clusters.centroids, snap->embeddings->Row(id)));
   }
-  clusters.members.assign(static_cast<size_t>(num_clusters), {});
-  for (size_t i = 0; i < clusters.assignment.size(); ++i) {
-    clusters.members[static_cast<size_t>(clusters.assignment[i])].push_back(
-        static_cast<int32_t>(i));
-  }
+  clusters.RebuildMembers(num_clusters);
 
   // The trained clustering replaces the rebuild-time KMeans: publish a
   // snapshot carrying it (same epoch — the PG and tombstones are
@@ -656,7 +662,7 @@ Status LanIndex::LoadModels(std::istream& in) {
 
 Status LanIndex::LoadModelsFromFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  if (!in.is_open()) return ErrnoIoError("cannot open", path);
   return LoadModels(in);
 }
 

@@ -185,8 +185,14 @@ struct IndexSnapshot {
   /// live[id] == 0 marks a tombstone: routed through, never returned.
   std::shared_ptr<const std::vector<uint8_t>> live;
   std::shared_ptr<const std::vector<CompressedGnnGraph>> cgs;
-  std::shared_ptr<const std::vector<std::vector<float>>> embeddings;
+  /// One row-major matrix; row id is graph id's embedding.
+  std::shared_ptr<const EmbeddingMatrix> embeddings;
   std::shared_ptr<const KMeansResult> clusters;
+  /// Keep-alive handle for a mapped snapshot the components above view
+  /// into (OpenSnapshot attach mode); null for fully owned state. Every
+  /// successor snapshot copies it, so the mapping lives as long as any
+  /// epoch whose views point into it.
+  std::shared_ptr<const void> backing;
 };
 
 /// \brief The LAN index: proximity graph + M_rk + M_nh + M_c (Fig. 3).
@@ -253,6 +259,25 @@ class LanIndex {
                                  const std::string& path);
   /// Mutable overload (see Build(GraphDatabase*)).
   Status BuildFromSavedIndexFile(GraphDatabase* db, const std::string& path);
+
+  /// Persists the COMPLETE index — database, PG, CGs, embeddings,
+  /// clusters, tombstones, and (if trained) the model parameters — as one
+  /// sectioned snapshot file (store/snapshot.h, docs/snapshot_format.md).
+  /// Unlike SaveIndex + SaveModels, the result is self-contained:
+  /// OpenSnapshot needs no database.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Restores a SaveSnapshot file by mmapping it and attaching every
+  /// component as a zero-copy view: graph arenas, CSR layers, embedding /
+  /// centroid / context matrices, and CG arenas all point into the
+  /// mapping, so time-to-ready is O(validate + O(1) allocations per
+  /// section), not O(rebuild). The index owns its database (db() serves
+  /// views into the mapping) and is immediately searchable — trained, if
+  /// the snapshot carried models. Insert() works: the PG thaws on first
+  /// mutation and the database appends owned graphs after the arena
+  /// prefix. The mapping is released when the last epoch viewing it
+  /// retires.
+  Status OpenSnapshot(const std::string& path);
 
   /// Trains gamma*, M_rk, M_nh, and M_c from the training queries.
   Status Train(const std::vector<Graph>& train_queries);
@@ -352,11 +377,26 @@ class LanIndex {
                      uint64_t epoch);
   /// Installs `snap` as the current snapshot (release publish).
   void Publish(std::shared_ptr<const IndexSnapshot> snap);
+  /// Legacy-stream shim: decodes a full LANSNAP1 image that arrived via
+  /// BuildFromSavedIndex(db, in) — only the PG/meta sections are used (the
+  /// caller supplied the database), and the PG is materialized to owned
+  /// form because the buffer dies with this call (lan_snapshot.cc).
+  Status BuildFromSnapshotBuffer(const GraphDatabase* db,
+                                 std::string_view bytes,
+                                 std::vector<uint8_t>* live_out,
+                                 uint64_t* epoch_out, HnswIndex* hnsw_out);
 
   LanConfig config_;
   const GraphDatabase* db_ = nullptr;
   /// Non-null only after a mutable Build; gates Insert/Remove.
   GraphDatabase* mutable_db_ = nullptr;
+  /// OpenSnapshot mode: the index owns its database (db_/mutable_db_
+  /// point here) instead of borrowing the caller's.
+  std::unique_ptr<GraphDatabase> owned_db_;
+  /// OpenSnapshot mode: keeps the mapping alive for views held OUTSIDE
+  /// the published snapshot (the rank model's context matrix, the owned
+  /// database's graph arenas) for the lifetime of the index.
+  std::shared_ptr<const void> snapshot_backing_;
   GedComputer build_ged_;
   GedComputer query_ged_;
   /// Leaf of the provider stack (set up in FinishBuild): direct GED

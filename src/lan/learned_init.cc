@@ -23,7 +23,8 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
   CachedScore cached_counts;
   if (oracle->FindScore(ResultKind::kClusterCounts, kInvalidGraphId,
                         &cached_counts) &&
-      cached_counts.floats.size() == clusters_->centroids.size()) {
+      static_cast<int64_t>(cached_counts.floats.size()) ==
+          clusters_->centroids.rows()) {
     counts = std::move(cached_counts.floats);
     counts_cached = true;
   } else {

@@ -37,7 +37,7 @@ class LanInitialSelector : public InitialSelector {
   LanInitialSelector(const NeighborhoodModel* nh_model,
                      const ClusterModel* cluster_model,
                      const KMeansResult* clusters,
-                     const std::vector<std::vector<float>>* db_embeddings,
+                     const EmbeddingMatrix* db_embeddings,
                      const std::vector<CompressedGnnGraph>* db_cgs,
                      const CompressedGnnGraph* query_cg,
                      const EmbeddingOptions* embedding_options,
@@ -62,7 +62,7 @@ class LanInitialSelector : public InitialSelector {
   const NeighborhoodModel* nh_model_;
   const ClusterModel* cluster_model_;
   const KMeansResult* clusters_;
-  const std::vector<std::vector<float>>* db_embeddings_;
+  const EmbeddingMatrix* db_embeddings_;
   const std::vector<CompressedGnnGraph>* db_cgs_;
   const CompressedGnnGraph* query_cg_;
   const EmbeddingOptions* embedding_options_;

@@ -105,19 +105,19 @@ QueryEncodingCache PairScorer::EncodeQuery(const Graph& q) const {
 }
 
 std::vector<std::vector<float>> PairScorer::FinishBatch(
-    const Matrix& cross, const Matrix* context_row) const {
+    const Matrix& cross, std::span<const float> context_row) const {
   const int32_t num_cands = cross.rows();
   Matrix features;
-  if (context_row != nullptr) {
+  if (!context_row.empty()) {
     LAN_CHECK(options_.include_context_embedding);
-    LAN_CHECK_EQ(context_row->rows(), 1);
-    features = Matrix(num_cands, cross.cols() + context_row->cols());
+    const int32_t ctx_cols = static_cast<int32_t>(context_row.size());
+    features = Matrix(num_cands, cross.cols() + ctx_cols);
     for (int32_t i = 0; i < num_cands; ++i) {
       for (int32_t j = 0; j < cross.cols(); ++j) {
         features.at(i, j) = cross.at(i, j);
       }
-      for (int32_t j = 0; j < context_row->cols(); ++j) {
-        features.at(i, cross.cols() + j) = context_row->at(0, j);
+      for (int32_t j = 0; j < ctx_cols; ++j) {
+        features.at(i, cross.cols() + j) = context_row[static_cast<size_t>(j)];
       }
     }
   } else {
@@ -141,11 +141,11 @@ std::vector<std::vector<float>> PairScorer::PredictCompressedBatch(
     const QueryEncodingCache& query, const CompressedGnnGraph* context) const {
   const Matrix cross = cross_.InferCrossEmbeddings(gs, query);
   if (!options_.include_context_embedding) {
-    return FinishBatch(cross, nullptr);
+    return FinishBatch(cross, {});
   }
   LAN_CHECK(context != nullptr);
   const Matrix ctx = context_gin_.InferGraphEmbeddingCompressed(*context);
-  return FinishBatch(cross, &ctx);
+  return FinishBatch(cross, {ctx.data(), static_cast<size_t>(ctx.cols())});
 }
 
 std::vector<std::vector<float>> PairScorer::PredictRawBatch(
@@ -153,25 +153,48 @@ std::vector<std::vector<float>> PairScorer::PredictRawBatch(
     const Graph* context) const {
   const Matrix cross = cross_.InferCrossEmbeddings(gs, query);
   if (!options_.include_context_embedding) {
-    return FinishBatch(cross, nullptr);
+    return FinishBatch(cross, {});
   }
   LAN_CHECK(context != nullptr);
   const Matrix ctx = context_gin_.InferGraphEmbedding(*context);
-  return FinishBatch(cross, &ctx);
+  return FinishBatch(cross, {ctx.data(), static_cast<size_t>(ctx.cols())});
+}
+
+std::vector<std::vector<float>> PairScorer::PredictCompressedBatchWithContextRow(
+    const std::vector<const CompressedGnnGraph*>& gs,
+    const QueryEncodingCache& query,
+    std::span<const float> context_row) const {
+  LAN_CHECK(options_.include_context_embedding);
+  LAN_CHECK(!context_row.empty());
+  return FinishBatch(cross_.InferCrossEmbeddings(gs, query), context_row);
+}
+
+std::vector<std::vector<float>> PairScorer::PredictRawBatchWithContextRow(
+    const std::vector<const Graph*>& gs, const QueryEncodingCache& query,
+    std::span<const float> context_row) const {
+  LAN_CHECK(options_.include_context_embedding);
+  LAN_CHECK(!context_row.empty());
+  return FinishBatch(cross_.InferCrossEmbeddings(gs, query), context_row);
 }
 
 std::vector<std::vector<float>> PairScorer::PredictCompressedBatchWithContextRow(
     const std::vector<const CompressedGnnGraph*>& gs,
     const QueryEncodingCache& query, const Matrix& context_row) const {
-  LAN_CHECK(options_.include_context_embedding);
-  return FinishBatch(cross_.InferCrossEmbeddings(gs, query), &context_row);
+  LAN_CHECK_EQ(context_row.rows(), 1);
+  return PredictCompressedBatchWithContextRow(
+      gs, query,
+      std::span<const float>(context_row.data(),
+                             static_cast<size_t>(context_row.cols())));
 }
 
 std::vector<std::vector<float>> PairScorer::PredictRawBatchWithContextRow(
     const std::vector<const Graph*>& gs, const QueryEncodingCache& query,
     const Matrix& context_row) const {
-  LAN_CHECK(options_.include_context_embedding);
-  return FinishBatch(cross_.InferCrossEmbeddings(gs, query), &context_row);
+  LAN_CHECK_EQ(context_row.rows(), 1);
+  return PredictRawBatchWithContextRow(
+      gs, query,
+      std::span<const float>(context_row.data(),
+                             static_cast<size_t>(context_row.cols())));
 }
 
 std::vector<float> PairScorer::PredictCompressedWithContextRow(

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "gnn/cross_graph.h"
@@ -88,7 +89,16 @@ class PairScorer {
       const std::vector<const Graph*>& gs, const QueryEncodingCache& query,
       const Graph* context) const;
 
-  /// Batched inference with a precomputed context embedding row.
+  /// Batched inference with a precomputed context embedding row. The span
+  /// overloads accept one row of a context matrix directly (no per-call
+  /// Matrix temporary); the Matrix overloads forward to them.
+  std::vector<std::vector<float>> PredictCompressedBatchWithContextRow(
+      const std::vector<const CompressedGnnGraph*>& gs,
+      const QueryEncodingCache& query,
+      std::span<const float> context_row) const;
+  std::vector<std::vector<float>> PredictRawBatchWithContextRow(
+      const std::vector<const Graph*>& gs, const QueryEncodingCache& query,
+      std::span<const float> context_row) const;
   std::vector<std::vector<float>> PredictCompressedBatchWithContextRow(
       const std::vector<const CompressedGnnGraph*>& gs,
       const QueryEncodingCache& query, const Matrix& context_row) const;
@@ -104,10 +114,11 @@ class PairScorer {
  private:
   VarId Heads(Tape* tape, VarId features) const;
 
-  /// Appends the optional context row to every cross-embedding row, runs
-  /// all heads batched, and returns per-candidate sigmoid probabilities.
-  std::vector<std::vector<float>> FinishBatch(const Matrix& cross,
-                                              const Matrix* context_row) const;
+  /// Appends the optional context row (empty span = none) to every
+  /// cross-embedding row, runs all heads batched, and returns
+  /// per-candidate sigmoid probabilities.
+  std::vector<std::vector<float>> FinishBatch(
+      const Matrix& cross, std::span<const float> context_row) const;
 
   int32_t num_labels_;
   PairScorerOptions options_;

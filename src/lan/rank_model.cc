@@ -134,11 +134,13 @@ std::vector<std::vector<GraphId>> NeighborRankModel::GroupByBatch(
 
 void NeighborRankModel::PrecomputeContexts(
     const std::vector<CompressedGnnGraph>& db_cgs) {
-  context_cache_.clear();
-  context_cache_.reserve(db_cgs.size());
+  EmbeddingMatrix contexts;
+  contexts.Reserve(static_cast<int64_t>(db_cgs.size()));
   for (const CompressedGnnGraph& cg : db_cgs) {
-    context_cache_.push_back(scorer_.ContextEmbedding(cg));
+    const Matrix row = scorer_.ContextEmbedding(cg);
+    contexts.AppendRow({row.data(), static_cast<size_t>(row.cols())});
   }
+  contexts_ = std::move(contexts);
 }
 
 std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatches(
@@ -153,17 +155,15 @@ std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatches(
     std::span<const GraphId> neighbors,
     const std::vector<CompressedGnnGraph>& db_cgs, GraphId node,
     const QueryEncodingCache& query, int64_t* inference_count) const {
-  const Matrix* cached_context =
-      static_cast<size_t>(node) < context_cache_.size()
-          ? &context_cache_[static_cast<size_t>(node)]
-          : nullptr;
+  const bool cached_context =
+      static_cast<int64_t>(node) < contexts_.rows();
   std::vector<const CompressedGnnGraph*> gs;
   gs.reserve(neighbors.size());
   for (GraphId n : neighbors) gs.push_back(&db_cgs[static_cast<size_t>(n)]);
   const std::vector<std::vector<float>> probs =
-      cached_context != nullptr
+      cached_context
           ? scorer_.PredictCompressedBatchWithContextRow(gs, query,
-                                                         *cached_context)
+                                                         contexts_.Row(node))
           : scorer_.PredictCompressedBatch(
                 gs, query, &db_cgs[static_cast<size_t>(node)]);
   if (inference_count != nullptr) {
@@ -183,16 +183,15 @@ std::vector<std::vector<GraphId>> NeighborRankModel::PredictBatchesRaw(
     std::span<const GraphId> neighbors, const GraphDatabase& db,
     GraphId node, const QueryEncodingCache& query,
     int64_t* inference_count) const {
-  const Matrix* cached_context =
-      static_cast<size_t>(node) < context_cache_.size()
-          ? &context_cache_[static_cast<size_t>(node)]
-          : nullptr;
+  const bool cached_context =
+      static_cast<int64_t>(node) < contexts_.rows();
   std::vector<const Graph*> gs;
   gs.reserve(neighbors.size());
   for (GraphId n : neighbors) gs.push_back(&db.Get(n));
   const std::vector<std::vector<float>> probs =
-      cached_context != nullptr
-          ? scorer_.PredictRawBatchWithContextRow(gs, query, *cached_context)
+      cached_context
+          ? scorer_.PredictRawBatchWithContextRow(gs, query,
+                                                  contexts_.Row(node))
           : scorer_.PredictRawBatch(gs, query, &db.Get(node));
   if (inference_count != nullptr) {
     *inference_count += static_cast<int64_t>(neighbors.size());

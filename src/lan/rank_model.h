@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "gnn/embedding_matrix.h"
 #include "graph/graph_database.h"
 #include "lan/pair_scorer.h"
 #include "nn/optimizer.h"
@@ -62,6 +63,16 @@ class NeighborRankModel {
   /// Predict* paths then skip re-encoding the routing node per neighbor.
   void PrecomputeContexts(const std::vector<CompressedGnnGraph>& db_cgs);
 
+  /// Installs a previously computed context matrix directly (row id =
+  /// graph id's context embedding) — the snapshot loader's alternative to
+  /// re-running PrecomputeContexts; may be a view over mapped memory.
+  void AttachContexts(EmbeddingMatrix contexts) {
+    contexts_ = std::move(contexts);
+  }
+  /// The cached context matrix (empty until PrecomputeContexts /
+  /// AttachContexts); row id is graph id's context embedding.
+  const EmbeddingMatrix& contexts() const { return contexts_; }
+
   /// Predicted batches, best first (empty predicted ranks are skipped).
   /// Increments *inference_count once per neighbor scored. All neighbors
   /// are scored in one batched inference pass (no per-pair tapes).
@@ -100,9 +111,9 @@ class NeighborRankModel {
 
   RankModelOptions options_;
   PairScorer scorer_;
-  /// context_cache_[id] = 1 x d context embedding (empty until
-  /// PrecomputeContexts).
-  std::vector<Matrix> context_cache_;
+  /// Row id = graph id's 1 x d context embedding (empty until
+  /// PrecomputeContexts / AttachContexts).
+  EmbeddingMatrix contexts_;
 };
 
 /// \brief Builds M_rk training triples from per-query distance tables:

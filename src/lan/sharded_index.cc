@@ -1,12 +1,18 @@
 #include "lan/sharded_index.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "store/snapshot.h"
 
 namespace lan {
 
@@ -65,19 +71,8 @@ Status ShardedLanIndex::Build(const GraphDatabase& db) {
   const size_t concurrent = std::min<size_t>(static_cast<size_t>(shards), hw);
   shards_.clear();
   for (int s = 0; s < shards; ++s) {
-    LanConfig config = options_.shard_config;
-    config.seed += static_cast<uint64_t>(s) * 7919;
-    // The configured cache budget is for the whole sharded index; each
-    // shard's private cache gets an equal slice.
-    if (config.cache.enabled && shards > 0) {
-      config.cache.capacity_bytes = std::max<size_t>(
-          1 << 20, config.cache.capacity_bytes / static_cast<size_t>(shards));
-    }
-    if (config.num_threads <= 0) {
-      config.num_threads =
-          static_cast<int>(std::max<size_t>(1, hw / concurrent));
-    }
-    shards_.push_back(std::make_unique<LanIndex>(config));
+    shards_.push_back(
+        std::make_unique<LanIndex>(ShardConfig(s, shards, concurrent)));
   }
   std::vector<Status> statuses(static_cast<size_t>(shards), Status::OK());
   ThreadPool::ParallelFor(
@@ -89,11 +84,194 @@ Status ShardedLanIndex::Build(const GraphDatabase& db) {
   return Status::OK();
 }
 
+LanConfig ShardedLanIndex::ShardConfig(int s, int shards,
+                                       size_t concurrent) const {
+  LanConfig config = options_.shard_config;
+  config.seed += static_cast<uint64_t>(s) * 7919;
+  // The configured cache budget is for the whole sharded index; each
+  // shard's private cache gets an equal slice.
+  if (config.cache.enabled && shards > 0) {
+    config.cache.capacity_bytes = std::max<size_t>(
+        1 << 20, config.cache.capacity_bytes / static_cast<size_t>(shards));
+  }
+  if (config.num_threads <= 0) {
+    config.num_threads = static_cast<int>(
+        std::max<size_t>(1, DefaultThreadCount() / concurrent));
+  }
+  return config;
+}
+
 Status ShardedLanIndex::Train(const std::vector<Graph>& train_queries) {
   if (shards_.empty()) return Status::FailedPrecondition("Train before Build");
   for (auto& shard : shards_) {
     LAN_RETURN_NOT_OK(shard->Train(train_queries));
   }
+  return Status::OK();
+}
+
+namespace {
+
+std::string ShardFileName(int s) { return StrFormat("shard-%03d.lansnap", s); }
+
+constexpr char kManifestFileName[] = "manifest.lansnap";
+
+}  // namespace
+
+Status ShardedLanIndex::SaveSnapshot(const std::string& dir) const {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("SaveSnapshot before Build");
+  }
+  // Hold the writer lock so the manifest's id maps describe exactly the
+  // shard states being written (no Insert/Remove can slip between files).
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoIoError("cannot create snapshot directory", dir);
+  }
+  const auto maps = Maps();
+
+  SnapshotWriter writer;
+  SectionBuilder* b = writer.AddSection(SectionKind::kShardManifest);
+  b->Pod<int32_t>(num_shards());
+  b->Pod<int64_t>(maps->total_size);
+  for (int s = 0; s < num_shards(); ++s) {
+    const std::string file = ShardFileName(s);
+    b->Pod<int64_t>(static_cast<int64_t>(file.size()));
+    b->Bytes(file.data(), file.size());
+    const auto& ids = maps->global_ids[static_cast<size_t>(s)];
+    b->Pod<int64_t>(static_cast<int64_t>(ids.size()));
+    b->Array(ids.data(), ids.size());
+  }
+
+  for (int s = 0; s < num_shards(); ++s) {
+    LAN_RETURN_NOT_OK(shards_[static_cast<size_t>(s)]->SaveSnapshot(
+        dir + "/" + ShardFileName(s)));
+  }
+  // Manifest last: its presence marks the directory complete, so a crash
+  // mid-save never leaves something OpenSnapshot would accept.
+  return writer.WriteToFile(dir + "/" + kManifestFileName);
+}
+
+Status ShardedLanIndex::OpenSnapshot(const std::string& dir) {
+  if (!shards_.empty()) {
+    return Status::FailedPrecondition(
+        "OpenSnapshot: index already built; use a fresh instance");
+  }
+  LAN_ASSIGN_OR_RETURN(Snapshot manifest,
+                       Snapshot::Open(dir + "/" + kManifestFileName));
+  if (!manifest.Has(SectionKind::kShardManifest)) {
+    return Status::IoError("snapshot manifest: missing shard_manifest section");
+  }
+  SectionReader r(manifest.Section(SectionKind::kShardManifest));
+  int32_t shards = 0;
+  int64_t total = 0;
+  LAN_RETURN_NOT_OK(r.Pod(&shards));
+  LAN_RETURN_NOT_OK(r.Pod(&total));
+  if (shards <= 0 || total < shards) {
+    return Status::IoError(
+        StrFormat("snapshot manifest: implausible shape (%d shards, %lld "
+                  "graphs)",
+                  shards, static_cast<long long>(total)));
+  }
+
+  // Decode the per-shard id maps first, rejecting structural corruption
+  // (out-of-range, duplicated or missing global ids) before paying for
+  // any shard open.
+  auto maps = std::make_shared<ShardMaps>();
+  maps->total_size = static_cast<GraphId>(total);
+  maps->global_ids.assign(static_cast<size_t>(shards), {});
+  maps->owner.assign(static_cast<size_t>(total), {-1, kInvalidGraphId});
+  std::vector<std::string> files(static_cast<size_t>(shards));
+  int64_t assigned = 0;
+  for (int s = 0; s < shards; ++s) {
+    int64_t name_len = 0;
+    LAN_RETURN_NOT_OK(r.Pod(&name_len));
+    if (name_len <= 0 || name_len > 4096) {
+      return Status::IoError("snapshot manifest: bad shard file name length");
+    }
+    LAN_ASSIGN_OR_RETURN(
+        std::span<const char> name,
+        r.Array<char>(static_cast<size_t>(name_len)));
+    std::string file(name.data(), name.size());
+    // The name joins onto `dir`; a separator would let a crafted manifest
+    // escape the snapshot directory.
+    if (file.find('/') != std::string::npos || file == "." || file == "..") {
+      return Status::IoError(
+          StrFormat("snapshot manifest: invalid shard file name '%s'",
+                    file.c_str()));
+    }
+    files[static_cast<size_t>(s)] = std::move(file);
+    int64_t count = 0;
+    LAN_RETURN_NOT_OK(r.Pod(&count));
+    if (count <= 0 || count > total) {
+      return Status::IoError(
+          StrFormat("snapshot manifest: shard %d has bad graph count %lld", s,
+                    static_cast<long long>(count)));
+    }
+    LAN_ASSIGN_OR_RETURN(std::span<const GraphId> ids,
+                         r.Array<GraphId>(static_cast<size_t>(count)));
+    auto& shard_ids = maps->global_ids[static_cast<size_t>(s)];
+    shard_ids.assign(ids.begin(), ids.end());
+    for (GraphId local = 0; local < count; ++local) {
+      const GraphId gid = ids[static_cast<size_t>(local)];
+      if (gid < 0 || static_cast<int64_t>(gid) >= total) {
+        return Status::IoError(
+            StrFormat("snapshot manifest: shard %d global id %d outside "
+                      "[0,%lld)",
+                      s, gid, static_cast<long long>(total)));
+      }
+      auto& owner = maps->owner[static_cast<size_t>(gid)];
+      if (owner.first != -1) {
+        return Status::IoError(
+            StrFormat("snapshot manifest: duplicate global id %d (shards %d "
+                      "and %d)",
+                      gid, owner.first, s));
+      }
+      owner = {s, local};
+    }
+    assigned += count;
+  }
+  if (assigned != total) {
+    return Status::IoError(
+        StrFormat("snapshot manifest: shards cover %lld of %lld global ids",
+                  static_cast<long long>(assigned),
+                  static_cast<long long>(total)));
+  }
+
+  // Open every shard with the same config derivation Build uses, and with
+  // the same bounded shard-level parallelism (opens are mmap + checksum
+  // validation, so they are I/O cheap but still hash the whole file).
+  const size_t concurrent =
+      std::min<size_t>(static_cast<size_t>(shards), DefaultThreadCount());
+  shards_.clear();
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(
+        std::make_unique<LanIndex>(ShardConfig(s, shards, concurrent)));
+  }
+  std::vector<Status> statuses(static_cast<size_t>(shards), Status::OK());
+  ThreadPool::ParallelFor(
+      static_cast<size_t>(shards), concurrent,
+      [this, &dir, &files, &statuses](size_t s) {
+        statuses[s] = shards_[s]->OpenSnapshot(dir + "/" + files[s]);
+      });
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      shards_.clear();
+      return status;
+    }
+  }
+  for (int s = 0; s < shards; ++s) {
+    const GraphId expect = static_cast<GraphId>(
+        maps->global_ids[static_cast<size_t>(s)].size());
+    const GraphId got = shards_[static_cast<size_t>(s)]->db().size();
+    if (got != expect) {
+      shards_.clear();
+      return Status::IoError(StrFormat(
+          "snapshot manifest: shard %d maps %d graphs but its snapshot "
+          "holds %d",
+          s, expect, got));
+    }
+  }
+  PublishMaps(std::move(maps));
   return Status::OK();
 }
 

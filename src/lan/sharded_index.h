@@ -48,6 +48,24 @@ class ShardedLanIndex {
   /// Trains every shard's models from the (shared) training queries.
   Status Train(const std::vector<Graph>& train_queries);
 
+  /// Persists the whole sharded index as a snapshot directory: one
+  /// `shard-NNN.lansnap` per shard (see LanIndex::SaveSnapshot) plus a
+  /// `manifest.lansnap` — itself a snapshot file whose single
+  /// kShardManifest section records the shard count, total size, and each
+  /// shard's file name + global-id map. The directory is created if
+  /// missing. Serialized against Insert/Remove, so the manifest is
+  /// consistent with every shard file.
+  Status SaveSnapshot(const std::string& dir) const;
+
+  /// Restores a sharded index written by SaveSnapshot on a fresh
+  /// (un-Built) instance: opens every shard zero-copy via
+  /// LanIndex::OpenSnapshot (per-shard configs re-derived from
+  /// options_.shard_config exactly as Build derives them) and rebuilds
+  /// the id maps from the manifest. Rejects manifests whose global ids
+  /// are out of range, duplicated, or inconsistent with a shard's size.
+  /// The manifest's shard count overrides options_.num_shards.
+  Status OpenSnapshot(const std::string& dir);
+
   /// Online insert: the graph joins the shard with the fewest live graphs
   /// (keeps shards balanced as the database grows) and gets the next
   /// global id. Serialized against other mutations; concurrent searches
@@ -101,6 +119,12 @@ class ShardedLanIndex {
 
   std::shared_ptr<const ShardMaps> Maps() const;
   void PublishMaps(std::shared_ptr<const ShardMaps> maps);
+
+  /// Per-shard LanConfig derivation (seed offset, cache slice, thread
+  /// split across `concurrent` simultaneous shard builds/opens). Shared
+  /// by Build and OpenSnapshot so a reopened shard gets bit-identical
+  /// configuration.
+  LanConfig ShardConfig(int s, int shards, size_t concurrent) const;
 
   ShardedIndexOptions options_;
   std::vector<GraphDatabase> shard_dbs_;

@@ -603,6 +603,9 @@ Status HnswIndex::Insert(GraphId id, const PairDistanceFn& distance,
     return Status::InvalidArgument(
         "Insert: id must equal the current node count");
   }
+  // A snapshot-attached index first materializes an owned core; the
+  // mutation below then proceeds exactly as on a freshly built index.
+  Thaw();
   const int level = DrawLevel(rng, options);
   HnswMutator mutator(&core_, distance, options, nullptr);
   if (touched != nullptr) mutator.set_touched_collector(touched);
@@ -619,6 +622,7 @@ Status HnswIndex::Insert(GraphId id, const PairDistanceFn& distance,
 }
 
 void HnswIndex::UpperLayer::Compact() {
+  if (ext_offsets != nullptr) return;  // attached CSR is already contiguous
   flat_offsets.assign(adjacency.size() + 1, 0);
   int64_t total = 0;
   for (size_t i = 0; i < adjacency.size(); ++i) {
@@ -665,6 +669,136 @@ void HnswIndex::RebuildViewFromCore() {
   }
 }
 
+void HnswIndex::UpperLayer::Attach(GraphId num_nodes, const int64_t* offsets,
+                                   const GraphId* neighbors) {
+  adjacency.clear();
+  flat_offsets.clear();
+  flat_neighbors.clear();
+  ext_offsets = offsets;
+  ext_neighbors = neighbors;
+  members.clear();
+  for (GraphId id = 0; id < num_nodes; ++id) {
+    if (offsets[static_cast<size_t>(id) + 1] >
+        offsets[static_cast<size_t>(id)]) {
+      members.push_back(id);
+    }
+  }
+}
+
+void HnswIndex::UpperLayer::PrefetchRow(GraphId id) const {
+  if (ext_offsets != nullptr) {
+    PrefetchRead(ext_neighbors + ext_offsets[static_cast<size_t>(id)]);
+    return;
+  }
+  if (!flat_offsets.empty()) {
+    PrefetchRead(flat_neighbors.data() + flat_offsets[static_cast<size_t>(id)]);
+  }
+}
+
+std::span<const GraphId> HnswIndex::CoreRow(int layer, GraphId id) const {
+  if (frozen()) {
+    const auto& [offsets, neighbors] = core_csr_[static_cast<size_t>(layer)];
+    const int64_t begin = offsets[static_cast<size_t>(id)];
+    const int64_t end = offsets[static_cast<size_t>(id) + 1];
+    return {neighbors + begin, static_cast<size_t>(end - begin)};
+  }
+  const auto& row =
+      core_.adjacency[static_cast<size_t>(layer)][static_cast<size_t>(id)];
+  return {row.data(), row.size()};
+}
+
+void HnswIndex::Thaw() {
+  if (!frozen()) return;
+  const GraphId num_nodes = core_.num_nodes;
+  core_.adjacency.assign(core_csr_.size(), {});
+  for (size_t l = 0; l < core_csr_.size(); ++l) {
+    const auto& [offsets, neighbors] = core_csr_[l];
+    auto& layer = core_.adjacency[l];
+    layer.resize(static_cast<size_t>(num_nodes));
+    for (GraphId id = 0; id < num_nodes; ++id) {
+      const int64_t begin = offsets[static_cast<size_t>(id)];
+      const int64_t end = offsets[static_cast<size_t>(id) + 1];
+      layer[static_cast<size_t>(id)].assign(neighbors + begin,
+                                            neighbors + end);
+    }
+  }
+  core_csr_.clear();
+  // The routing view (base_layer_/layers_) still points at the attached
+  // CSRs; the caller's next RebuildViewFromCore replaces it with an owned
+  // one. Until then the snapshot backing must stay alive — Insert, the
+  // only caller, rebuilds before returning.
+}
+
+Result<HnswIndex> HnswIndex::FromSnapshotView(const HnswSnapshotView& view) {
+  if (view.num_nodes <= 0) {
+    return Status::IoError("hnsw snapshot: bad node count");
+  }
+  if (view.entry < 0 || view.entry >= view.num_nodes) {
+    return Status::IoError("hnsw snapshot: bad entry point");
+  }
+  const size_t num_layers = view.core_layers.size();
+  if (num_layers == 0 || num_layers > 64) {
+    return Status::IoError("hnsw snapshot: bad layer count");
+  }
+  if (view.node_level == nullptr || view.base_offsets == nullptr ||
+      view.base_neighbors == nullptr) {
+    return Status::IoError("hnsw snapshot: missing arrays");
+  }
+  for (GraphId id = 0; id < view.num_nodes; ++id) {
+    const int32_t level = view.node_level[static_cast<size_t>(id)];
+    if (level < 0 || level >= static_cast<int32_t>(num_layers)) {
+      return Status::IoError("hnsw snapshot: bad node level");
+    }
+  }
+  // Structural validation of every CSR: monotone offsets starting at 0,
+  // neighbor ids in range, no self loops. O(edges) scan, no allocation;
+  // guarantees every later NeighborSpan stays in bounds even if the file
+  // was corrupted in a way its checksum missed.
+  auto validate_csr = [&view](const int64_t* offsets,
+                              const GraphId* neighbors) -> Status {
+    if (offsets == nullptr || offsets[0] != 0) {
+      return Status::IoError("hnsw snapshot: bad csr offsets");
+    }
+    for (GraphId id = 0; id < view.num_nodes; ++id) {
+      const int64_t begin = offsets[static_cast<size_t>(id)];
+      const int64_t end = offsets[static_cast<size_t>(id) + 1];
+      if (end < begin) return Status::IoError("hnsw snapshot: bad csr row");
+      for (int64_t i = begin; i < end; ++i) {
+        const GraphId n = neighbors[static_cast<size_t>(i)];
+        if (n < 0 || n >= view.num_nodes) {
+          return Status::IoError("hnsw snapshot: neighbor out of range");
+        }
+        if (n == id) return Status::IoError("hnsw snapshot: self loop");
+      }
+    }
+    return Status::OK();
+  };
+  LAN_RETURN_NOT_OK(validate_csr(view.base_offsets, view.base_neighbors));
+  for (const auto& [offsets, neighbors] : view.core_layers) {
+    LAN_RETURN_NOT_OK(validate_csr(offsets, neighbors));
+  }
+
+  HnswIndex index;
+  index.core_.num_nodes = view.num_nodes;
+  index.core_.entry = view.entry;
+  index.entry_point_ = view.entry;
+  index.core_.node_level.assign(view.node_level,
+                                view.node_level + view.num_nodes);
+  index.base_layer_.AttachFlatView(view.num_nodes, view.base_offsets,
+                                   view.base_neighbors);
+  for (size_t l = 1; l < num_layers; ++l) {
+    // Upper-layer view rows equal core rows (RebuildViewFromCore copies
+    // them verbatim above the base), so the core CSR backs both.
+    UpperLayer layer;
+    layer.Attach(view.num_nodes, view.core_layers[l].first,
+                 view.core_layers[l].second);
+    index.layers_.push_back(std::move(layer));
+  }
+  index.core_csr_ = view.core_layers;
+  index.flat_search_view_ = true;
+  return index;
+}
+
 void HnswIndex::RebuildCoreFromView() {
   const GraphId num_nodes = base_layer_.NumNodes();
   core_ = HnswCore();
@@ -707,7 +841,7 @@ Status ReadPod(std::istream& in, void* data, size_t bytes) {
   return Status::OK();
 }
 
-Status WriteIdList(std::ostream& out, const std::vector<GraphId>& ids) {
+Status WriteIdList(std::ostream& out, std::span<const GraphId> ids) {
   const int64_t count = static_cast<int64_t>(ids.size());
   LAN_RETURN_NOT_OK(WritePod(out, &count, sizeof(count)));
   if (count > 0) {
@@ -741,7 +875,7 @@ Status HnswIndex::Save(std::ostream& out) const {
   const GraphId num_nodes = core_.num_nodes;
   LAN_RETURN_NOT_OK(WritePod(out, &num_nodes, sizeof(num_nodes)));
   LAN_RETURN_NOT_OK(WritePod(out, &core_.entry, sizeof(core_.entry)));
-  const int32_t num_layers = static_cast<int32_t>(core_.adjacency.size());
+  const int32_t num_layers = static_cast<int32_t>(NumCoreLayers());
   LAN_RETURN_NOT_OK(WritePod(out, &num_layers, sizeof(num_layers)));
   std::vector<int32_t> levels(core_.node_level.begin(),
                               core_.node_level.end());
@@ -749,9 +883,11 @@ Status HnswIndex::Save(std::ostream& out) const {
     LAN_RETURN_NOT_OK(
         WritePod(out, levels.data(), levels.size() * sizeof(int32_t)));
   }
-  for (const auto& layer : core_.adjacency) {
+  // CoreRow reads the nested adjacency or, on a frozen index, the
+  // attached per-layer CSR — a snapshot-loaded index saves identically.
+  for (int32_t l = 0; l < num_layers; ++l) {
     for (GraphId id = 0; id < num_nodes; ++id) {
-      LAN_RETURN_NOT_OK(WriteIdList(out, layer[static_cast<size_t>(id)]));
+      LAN_RETURN_NOT_OK(WriteIdList(out, CoreRow(l, id)));
     }
   }
   return Status::OK();
@@ -865,10 +1001,7 @@ GraphId HnswIndex::SelectInitialNodeFn(
       curr_d = best_d;
       // Hint the next hop's row while the distance evaluations above are
       // still warm in flight.
-      if (!it->flat_offsets.empty()) {
-        PrefetchRead(it->flat_neighbors.data() +
-                     it->flat_offsets[static_cast<size_t>(curr)]);
-      }
+      it->PrefetchRow(curr);
     }
   }
   return curr;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <iosfwd>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -59,6 +60,23 @@ struct HnswCore {
   std::vector<int> node_level;
   GraphId entry = kInvalidGraphId;
   GraphId num_nodes = 0;
+};
+
+/// \brief Zero-copy view of a saved HNSW index: pointers into a mapped
+/// snapshot section (store/snapshot.h). The base CSR is the symmetrized
+/// search view with sorted rows; core_layers hold the directed
+/// construction-form adjacency per layer 0..L (for upper layers the two
+/// coincide — RebuildViewFromCore copies core rows verbatim above the
+/// base). All arrays stay owned by the mapping, which must outlive any
+/// index attached to it (and every copy of that index).
+struct HnswSnapshotView {
+  GraphId num_nodes = 0;
+  GraphId entry = kInvalidGraphId;
+  const int32_t* node_level = nullptr;    // [num_nodes]
+  const int64_t* base_offsets = nullptr;  // [num_nodes + 1]
+  const GraphId* base_neighbors = nullptr;
+  /// (offsets, neighbors) CSR per core layer, layer 0 first.
+  std::vector<std::pair<const int64_t*, const GraphId*>> core_layers;
 };
 
 /// \brief Hierarchical navigable small world index over a graph database
@@ -117,6 +135,40 @@ class HnswIndex {
   Status Save(std::ostream& out) const;
   static Result<HnswIndex> Load(std::istream& in);
 
+  /// Builds a frozen index over a mapped snapshot section without copying
+  /// the adjacency: the base layer and every upper layer route directly
+  /// over the view's CSR arrays, and the construction-form core is kept
+  /// as per-layer CSR pointers. Allocation count is O(num_layers), not
+  /// O(num_nodes). Validates structure (monotone offsets, ids in range,
+  /// no self loops) and returns a Status on malformed input. A frozen
+  /// index serves Search/Save normally; the first Insert thaws it
+  /// (materializes an owned core) and proceeds as usual.
+  static Result<HnswIndex> FromSnapshotView(const HnswSnapshotView& view);
+
+  /// True while the adjacency is backed by an attached snapshot view.
+  bool frozen() const { return !core_csr_.empty(); }
+
+  /// Frozen -> fully owned in one step: copies every attached array into
+  /// owned storage so the snapshot backing may be released afterwards.
+  /// No-op on an owned index.
+  void Materialize() {
+    if (frozen()) {
+      Thaw();
+      RebuildViewFromCore();
+    }
+  }
+
+  /// Construction-form introspection for the snapshot codec; works in
+  /// both frozen and owned modes.
+  int NumCoreLayers() const {
+    return frozen() ? static_cast<int>(core_csr_.size())
+                    : static_cast<int>(core_.adjacency.size());
+  }
+  std::span<const GraphId> CoreRow(int layer, GraphId id) const;
+  int NodeLevel(GraphId id) const {
+    return core_.node_level[static_cast<size_t>(id)];
+  }
+
   /// Incrementally inserts item `id` (which must equal the current node
   /// count) into the index — dynamic maintenance without a rebuild.
   /// `distance` must cover all ids up to and including the new one.
@@ -148,9 +200,21 @@ class HnswIndex {
     std::vector<GraphId> members;
     std::vector<int64_t> flat_offsets;
     std::vector<GraphId> flat_neighbors;
+    /// External CSR (snapshot view mode): not owned; null == owned mode.
+    const int64_t* ext_offsets = nullptr;
+    const GraphId* ext_neighbors = nullptr;
 
     void Compact();
+    /// Points the layer at an externally owned CSR and derives `members`
+    /// (the nodes with non-empty rows). One allocation total.
+    void Attach(GraphId num_nodes, const int64_t* offsets,
+                const GraphId* neighbors);
     std::span<const GraphId> NeighborSpan(GraphId id) const {
+      if (ext_offsets != nullptr) {
+        const int64_t begin = ext_offsets[static_cast<size_t>(id)];
+        const int64_t end = ext_offsets[static_cast<size_t>(id) + 1];
+        return {ext_neighbors + begin, static_cast<size_t>(end - begin)};
+      }
       if (!flat_offsets.empty()) {
         const auto begin = flat_offsets[static_cast<size_t>(id)];
         const auto end = flat_offsets[static_cast<size_t>(id) + 1];
@@ -160,6 +224,8 @@ class HnswIndex {
       const auto& nested = adjacency[static_cast<size_t>(id)];
       return {nested.data(), nested.size()};
     }
+    /// Prefetch hint for `id`'s row; no-op in nested-only form.
+    void PrefetchRow(GraphId id) const;
   };
 
   /// Re-derives the public view (symmetrized base layer, sparse upper
@@ -167,6 +233,11 @@ class HnswIndex {
   void RebuildViewFromCore();
   /// Reconstructs an equivalent `core_` from a legacy view-only load.
   void RebuildCoreFromView();
+  /// Frozen -> owned: materializes the nested core adjacency from the
+  /// attached per-layer CSRs and drops the view pointers. The routing
+  /// view still references the attached arrays until the next
+  /// RebuildViewFromCore, so the backing must stay alive through it.
+  void Thaw();
 
   HnswCore core_;
   ProximityGraph base_layer_;
@@ -175,6 +246,9 @@ class HnswIndex {
   /// Sticky copy of HnswOptions::flat_search_view, so every re-publish
   /// (Insert) keeps the layout the index was built with.
   bool flat_search_view_ = true;
+  /// Frozen mode: construction-form adjacency as per-layer CSR pointers
+  /// into the snapshot mapping (layer 0 first). Empty == owned mode.
+  std::vector<std::pair<const int64_t*, const GraphId*>> core_csr_;
 };
 
 }  // namespace lan

@@ -8,6 +8,10 @@
 namespace lan {
 
 Status ProximityGraph::AddEdge(GraphId a, GraphId b) {
+  if (is_view()) {
+    return Status::FailedPrecondition(
+        "pg is an immutable snapshot view; rebuild before mutating");
+  }
   if (a < 0 || b < 0 || a >= NumNodes() || b >= NumNodes()) {
     return Status::OutOfRange(StrFormat("pg edge (%d,%d) out of range", a, b));
   }
@@ -25,6 +29,7 @@ Status ProximityGraph::AddEdge(GraphId a, GraphId b) {
 }
 
 void ProximityGraph::Compact() {
+  if (is_view()) return;  // the attached CSR is already contiguous
   flat_offsets_.assign(adjacency_.size() + 1, 0);
   int64_t total = 0;
   for (size_t i = 0; i < adjacency_.size(); ++i) {
@@ -40,28 +45,42 @@ void ProximityGraph::Compact() {
 }
 
 void ProximityGraph::ClearFlatView() {
+  if (is_view()) return;  // no nested fallback to fall back to
   flat_offsets_.clear();
   flat_offsets_.shrink_to_fit();
   flat_neighbors_.clear();
   flat_neighbors_.shrink_to_fit();
 }
 
+void ProximityGraph::AttachFlatView(GraphId num_nodes, const int64_t* offsets,
+                                    const GraphId* neighbors) {
+  adjacency_.clear();
+  flat_offsets_.clear();
+  flat_neighbors_.clear();
+  view_num_nodes_ = num_nodes;
+  view_offsets_ = offsets;
+  view_neighbors_ = neighbors;
+  // Symmetrized CSR: each undirected edge appears in both rows.
+  num_edges_ = offsets[static_cast<size_t>(num_nodes)] / 2;
+}
+
 bool ProximityGraph::HasEdge(GraphId a, GraphId b) const {
   if (a < 0 || b < 0 || a >= NumNodes() || b >= NumNodes()) return false;
-  const auto& la = adjacency_[static_cast<size_t>(a)];
-  return std::binary_search(la.begin(), la.end(), b);
+  const std::span<const GraphId> row = NeighborSpan(a);
+  return std::binary_search(row.begin(), row.end(), b);
 }
 
 bool ProximityGraph::IsConnected() const {
-  if (adjacency_.empty()) return true;
-  std::vector<bool> seen(adjacency_.size(), false);
+  const GraphId num_nodes = NumNodes();
+  if (num_nodes == 0) return true;
+  std::vector<bool> seen(static_cast<size_t>(num_nodes), false);
   std::deque<GraphId> queue{0};
   seen[0] = true;
   size_t visited = 1;
   while (!queue.empty()) {
     GraphId u = queue.front();
     queue.pop_front();
-    for (GraphId v : Neighbors(u)) {
+    for (GraphId v : NeighborSpan(u)) {
       if (!seen[static_cast<size_t>(v)]) {
         seen[static_cast<size_t>(v)] = true;
         ++visited;
@@ -69,7 +88,7 @@ bool ProximityGraph::IsConnected() const {
       }
     }
   }
-  return visited == adjacency_.size();
+  return visited == static_cast<size_t>(num_nodes);
 }
 
 std::string ProximityGraph::ToDot(const std::string& name) const {
@@ -78,7 +97,7 @@ std::string ProximityGraph::ToDot(const std::string& name) const {
     out += StrFormat("  n%d;\n", id);
   }
   for (GraphId id = 0; id < NumNodes(); ++id) {
-    for (GraphId n : Neighbors(id)) {
+    for (GraphId n : NeighborSpan(id)) {
       if (id < n) out += StrFormat("  n%d -- n%d;\n", id, n);
     }
   }

@@ -1,0 +1,198 @@
+#ifndef LAN_STORE_SNAPSHOT_H_
+#define LAN_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lan {
+
+/// Single-file zero-copy index snapshot container.
+///
+/// Layout (all little-endian, offsets from file start):
+///   [0, 64)    header: magic "LANSNAP1", u32 version, u32 section_count,
+///              u64 file_size, u64 toc_offset, u64 toc_checksum, zero pad.
+///   toc_offset table of contents: section_count x 32-byte entries
+///              {u32 kind, u32 reserved, u64 offset, u64 size,
+///               u64 checksum}, XXH64-summed as one block (toc_checksum).
+///   ...        section payloads, each 64-byte aligned and XXH64-summed.
+///
+/// Open() maps the file and validates structure + every checksum before
+/// returning; Section() then hands out spans pointing straight into the
+/// mapping, so loaders can attach CSR/matrix views without copying. The
+/// mapping lives as long as the Snapshot (copies share it) — an index
+/// built over those views must keep a Snapshot copy (or its owner())
+/// alive; LanIndex threads it through IndexSnapshot::backing.
+///
+/// See docs/snapshot_format.md for the per-section payload layouts.
+
+/// Section identifiers. Values are part of the on-disk format; never
+/// renumber, only append.
+enum class SectionKind : uint32_t {
+  kMeta = 1,        ///< index-level scalars + live bitmap
+  kGraphs = 2,      ///< columnar GraphStore arenas
+  kEmbeddings = 3,  ///< database embedding matrix
+  kClusters = 4,    ///< M_c centroids + assignment
+  kCgs = 5,         ///< compressed GNN graphs (arena form)
+  kHnsw = 6,        ///< HNSW core + base-view CSR layers
+  kModels = 7,      ///< trained parameter blobs + rank context matrix
+  kShardManifest = 8,  ///< ShardedLanIndex directory manifest
+};
+
+/// Human-readable name of a section kind ("meta", "graphs", ...).
+const char* SectionKindName(SectionKind kind);
+
+/// One table-of-contents entry, decoded.
+struct SectionInfo {
+  SectionKind kind;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+};
+
+/// \brief Append-only byte buffer with POD/array helpers used to build
+/// one section payload. Array() pads to the element alignment first, so
+/// a reader mapping the payload (whose base is 64-byte aligned in the
+/// file) can reinterpret the bytes in place.
+class SectionBuilder {
+ public:
+  void Bytes(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+  template <typename T>
+  void Pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Bytes(&v, sizeof(T));
+  }
+  template <typename T>
+  void Array(const T* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Align(alignof(T));
+    Bytes(data, count * sizeof(T));
+  }
+  void Align(size_t alignment) {
+    while (buf_.size() % alignment != 0) buf_.push_back('\0');
+  }
+  size_t size() const { return buf_.size(); }
+  const std::string& data() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Sequential decoder over one section payload. Array() returns a
+/// span aliasing the payload (zero copy) after consuming alignment
+/// padding symmetric with SectionBuilder::Array. Every accessor
+/// bounds-checks and returns a Status on truncation, so a corrupted
+/// section degrades to an error, never an out-of-bounds read.
+class SectionReader {
+ public:
+  explicit SectionReader(std::span<const uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  Status Pod(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > data_.size()) {
+      return Status::IoError("snapshot section truncated");
+    }
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  template <typename T>
+  Result<std::span<const T>> Array(size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    LAN_RETURN_NOT_OK(Align(alignof(T)));
+    if (count > (data_.size() - pos_) / sizeof(T)) {
+      return Status::IoError("snapshot section truncated");
+    }
+    const T* base = reinterpret_cast<const T*>(data_.data() + pos_);
+    pos_ += count * sizeof(T);
+    return std::span<const T>(base, count);
+  }
+
+  Status Align(size_t alignment) {
+    const size_t aligned = (pos_ + alignment - 1) / alignment * alignment;
+    if (aligned > data_.size()) {
+      return Status::IoError("snapshot section truncated");
+    }
+    pos_ = aligned;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+/// \brief Assembles and writes a snapshot file: add sections in order,
+/// then WriteToFile/WriteTo lays out header + TOC + aligned payloads and
+/// stamps the checksums.
+class SnapshotWriter {
+ public:
+  /// Starts a new section; fill the returned builder before adding the
+  /// next one (the pointer stays valid until the writer is destroyed).
+  SectionBuilder* AddSection(SectionKind kind);
+
+  Status WriteToFile(const std::string& path) const;
+  Status WriteTo(std::ostream& out) const;
+
+ private:
+  std::vector<std::pair<SectionKind, std::unique_ptr<SectionBuilder>>>
+      sections_;
+};
+
+/// \brief A validated, read-only snapshot: either an mmap of the file
+/// (Open) or an owned aligned buffer (FromBuffer, the stream path).
+/// Copies share the backing.
+class Snapshot {
+ public:
+  /// Maps `path` and validates header, TOC and every section checksum.
+  static Result<Snapshot> Open(const std::string& path);
+  /// Same validation over an in-memory image (copied once into an
+  /// aligned allocation so zero-copy views stay well-aligned).
+  static Result<Snapshot> FromBuffer(std::string_view bytes);
+  /// True if `bytes` starts with the snapshot magic (format sniffing).
+  static bool LooksLikeSnapshot(std::string_view bytes);
+
+  bool Has(SectionKind kind) const;
+  /// The payload of the first section of `kind`; empty span if absent.
+  std::span<const uint8_t> Section(SectionKind kind) const;
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+  size_t size() const { return size_; }
+  uint32_t version() const { return version_; }
+
+  /// Keep-alive handle for the backing memory; attach-mode loaders store
+  /// this (IndexSnapshot::backing) so views outlive the Snapshot object.
+  std::shared_ptr<const void> owner() const { return owner_; }
+
+  /// One line per section: kind, offset, size, checksum (lan_tool
+  /// snapshot inspect).
+  std::string Describe() const;
+
+ private:
+  static Result<Snapshot> Validate(std::shared_ptr<const void> owner,
+                                   const uint8_t* data, size_t size);
+
+  std::shared_ptr<const void> owner_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  uint32_t version_ = 0;
+  std::vector<SectionInfo> sections_;
+};
+
+}  // namespace lan
+
+#endif  // LAN_STORE_SNAPSHOT_H_

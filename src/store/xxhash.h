@@ -1,0 +1,18 @@
+#ifndef LAN_STORE_XXHASH_H_
+#define LAN_STORE_XXHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lan {
+
+/// \brief XXH64 over a byte buffer (Yann Collet's xxHash, 64-bit
+/// variant). Used for the per-section and table-of-contents checksums of
+/// the snapshot format (store/snapshot.h): fast enough to validate a
+/// multi-gigabyte mapping at load without dominating startup, and stable
+/// across platforms — the digest is part of the on-disk format.
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed = 0);
+
+}  // namespace lan
+
+#endif  // LAN_STORE_XXHASH_H_

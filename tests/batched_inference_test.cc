@@ -216,10 +216,12 @@ TEST(ClusterModelBatchTest, BatchedCountsMatchReference) {
   Rng rng(99);
   std::vector<float> query_embedding(kEmbeddingDim);
   for (float& x : query_embedding) x = rng.NextFloat(-1.0f, 1.0f);
-  std::vector<std::vector<float>> centroids(7,
-                                            std::vector<float>(kCentroidDim));
-  for (auto& c : centroids) {
-    for (float& x : c) x = rng.NextFloat(-1.0f, 1.0f);
+  EmbeddingMatrix centroids(7, kCentroidDim);
+  for (int64_t c = 0; c < centroids.rows(); ++c) {
+    float* row = centroids.MutableRow(c);
+    for (int32_t j = 0; j < kCentroidDim; ++j) {
+      row[j] = rng.NextFloat(-1.0f, 1.0f);
+    }
   }
   const std::vector<float> batched =
       model.PredictCounts(query_embedding, centroids);

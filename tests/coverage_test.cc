@@ -145,10 +145,12 @@ TEST(EmbeddingTest, DatabaseEmbeddingAligned) {
   EmbeddingOptions options;
   options.dim = 24;
   options.num_labels = db.num_labels();
-  auto embeddings = EmbedDatabase(db, options);
-  ASSERT_EQ(embeddings.size(), static_cast<size_t>(db.size()));
+  const EmbeddingMatrix embeddings = EmbedDatabase(db, options);
+  ASSERT_EQ(embeddings.rows(), static_cast<int64_t>(db.size()));
+  ASSERT_EQ(embeddings.dim(), options.dim);
   for (GraphId id = 0; id < db.size(); ++id) {
-    EXPECT_EQ(embeddings[static_cast<size_t>(id)],
+    const std::span<const float> row = embeddings.Row(id);
+    EXPECT_EQ(std::vector<float>(row.begin(), row.end()),
               EmbedGraph(db.Get(id), options));
   }
 }

@@ -52,7 +52,9 @@ TEST(GraphTest, NeighborsSorted) {
   ASSERT_TRUE(g.AddEdge(2, 4).ok());
   ASSERT_TRUE(g.AddEdge(2, 0).ok());
   ASSERT_TRUE(g.AddEdge(2, 3).ok());
-  EXPECT_EQ(g.Neighbors(2), (std::vector<NodeId>{0, 3, 4}));
+  const std::span<const NodeId> nb = g.Neighbors(2);
+  EXPECT_EQ(std::vector<NodeId>(nb.begin(), nb.end()),
+            (std::vector<NodeId>{0, 3, 4}));
 }
 
 TEST(GraphTest, EdgesCanonical) {

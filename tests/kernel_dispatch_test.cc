@@ -245,9 +245,10 @@ TEST_F(ModelHeadDispatchTest, ClusterModelMatchesScalar) {
   Rng rng(7);
   std::vector<float> query_embedding(kDim);
   for (float& v : query_embedding) v = rng.NextFloat(-1.0f, 1.0f);
-  std::vector<std::vector<float>> centroids(12, std::vector<float>(kDim));
-  for (auto& c : centroids) {
-    for (float& v : c) v = rng.NextFloat(-1.0f, 1.0f);
+  EmbeddingMatrix centroids(12, kDim);
+  for (int64_t c = 0; c < centroids.rows(); ++c) {
+    float* row = centroids.MutableRow(c);
+    for (int32_t j = 0; j < kDim; ++j) row[j] = rng.NextFloat(-1.0f, 1.0f);
   }
   SetActiveSimdLevel(SimdLevel::kScalar);
   const std::vector<float> ref = model.PredictCounts(query_embedding,

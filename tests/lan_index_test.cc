@@ -90,7 +90,7 @@ TEST_F(LanIndexTest, BuildPopulatesStructures) {
   EXPECT_EQ(index_->pg().NumNodes(), db_->size());
   EXPECT_GT(index_->pg().NumEdges(), 0);
   EXPECT_EQ(index_->db_cgs().size(), static_cast<size_t>(db_->size()));
-  EXPECT_GT(index_->clusters().centroids.size(), 0u);
+  EXPECT_GT(index_->clusters().centroids.rows(), 0);
   EXPECT_TRUE(index_->trained());
   EXPECT_GT(index_->gamma_star(), 0.0);
 }

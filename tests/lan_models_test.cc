@@ -109,8 +109,9 @@ TEST(KMeansTest, SeparatesObviousClusters) {
                         rng.NextFloat(-0.5, 0.5)});
     }
   }
-  KMeansResult result = KMeans(points, 3, 20, &rng);
-  ASSERT_EQ(result.centroids.size(), 3u);
+  KMeansResult result =
+      KMeans(EmbeddingMatrix::FromRows(points), 3, 20, &rng);
+  ASSERT_EQ(result.centroids.rows(), 3);
   // Every true cluster maps to exactly one learned cluster.
   for (int c = 0; c < 3; ++c) {
     const int32_t rep = result.assignment[static_cast<size_t>(c) * 20];
@@ -127,7 +128,8 @@ TEST(KMeansTest, MembersPartitionInput) {
   for (int i = 0; i < 37; ++i) {
     points.push_back({rng.NextFloat(0, 1), rng.NextFloat(0, 1)});
   }
-  KMeansResult result = KMeans(points, 5, 10, &rng);
+  KMeansResult result =
+      KMeans(EmbeddingMatrix::FromRows(points), 5, 10, &rng);
   size_t total = 0;
   for (const auto& m : result.members) total += m.size();
   EXPECT_EQ(total, points.size());
@@ -136,8 +138,9 @@ TEST(KMeansTest, MembersPartitionInput) {
 TEST(KMeansTest, MoreClustersThanPointsClamped) {
   Rng rng(8);
   std::vector<std::vector<float>> points = {{0.f}, {1.f}};
-  KMeansResult result = KMeans(points, 10, 5, &rng);
-  EXPECT_EQ(result.centroids.size(), 2u);
+  KMeansResult result =
+      KMeans(EmbeddingMatrix::FromRows(points), 10, 5, &rng);
+  EXPECT_EQ(result.centroids.rows(), 2);
 }
 
 // ---------- PairScorer ----------
@@ -384,12 +387,13 @@ TEST(ClusterModelTest, LearnsCountSignal) {
   ClusterModelOptions options;
   options.epochs = 80;
   ClusterModel model(2 * dim, options);
-  model.Train(queries, centroids, counts);
+  const EmbeddingMatrix centroid_matrix = EmbeddingMatrix::FromRows(centroids);
+  model.Train(queries, centroid_matrix, counts);
 
   // A fresh query aligned with centroid 1 should score cluster 1 highest.
   std::vector<float> probe(dim, 0.0f);
   probe[1] = 5.0f;
-  auto predicted = model.PredictCounts(probe, centroids);
+  auto predicted = model.PredictCounts(probe, centroid_matrix);
   ASSERT_EQ(predicted.size(), 3u);
   EXPECT_GT(predicted[1], predicted[0]);
   EXPECT_GT(predicted[1], predicted[2]);
@@ -399,7 +403,8 @@ TEST(ClusterModelTest, PredictionsNonNegative) {
   ClusterModelOptions options;
   options.epochs = 1;
   ClusterModel model(4, options);
-  std::vector<std::vector<float>> centroids = {{0.f, 0.f}, {1.f, 1.f}};
+  const EmbeddingMatrix centroids =
+      EmbeddingMatrix::FromRows({{0.f, 0.f}, {1.f, 1.f}});
   auto counts = model.PredictCounts({0.5f, 0.5f}, centroids);
   for (float c : counts) EXPECT_GE(c, 0.0f);
 }

@@ -7,12 +7,20 @@
 //   lan_tool eval     --db db.gdb --models lan.mdl --k 10 [--queries 6]
 //   lan_tool insert   --db db.gdb --count 20 --out-db db2.gdb --out-index i2
 //   lan_tool remove   --db db.gdb --count 10 --out-db db2.gdb --out-index i2
+//   lan_tool snapshot save    --db db.gdb --out idx.lansnap
+//   lan_tool snapshot load    --snapshot idx.lansnap --k 10
+//   lan_tool snapshot inspect --snapshot idx.lansnap
 //
 // `build` trains the learned components and checkpoints them; `search`
 // and `eval` reload the checkpoint, so the expensive phases run once.
 // `insert`/`remove` exercise the online index maintenance path: they
 // mutate the database through the index (new epoch per mutation) and
 // persist the updated database + index checkpoint for the next command.
+// `snapshot` works with the single-file zero-copy format: `save` builds
+// (and by default trains) an index and writes everything — database,
+// embeddings, clusters, CGs, HNSW, models — into one file; `load` mmaps
+// that file into a ready index without the original database and runs a
+// few sanity queries; `inspect` prints the section table.
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +42,7 @@
 #include "lan/evaluation.h"
 #include "lan/lan_index.h"
 #include "lan/workload.h"
+#include "store/snapshot.h"
 
 namespace lan {
 namespace tool {
@@ -69,8 +78,8 @@ class Flags {
 int Usage() {
   std::fprintf(stderr,
                "usage: lan_tool "
-               "<generate|stats|build|search|eval|diagnose|insert|remove> "
-               "[--flag value ...]\n"
+               "<generate|stats|build|search|eval|diagnose|insert|remove|"
+               "snapshot> [--flag value ...]\n"
                "  global   --force-scalar 1     pin scalar kernels "
                "(bit-reproducible; same as LAN_FORCE_SCALAR=1)\n"
                "  generate --kind aids|linux|pubchem|syn --count N "
@@ -93,7 +102,12 @@ int Usage() {
                "           [--out-db FILE] [--out-index FILE]\n"
                "  remove   --db FILE (--id G | --count N [--seed S])\n"
                "           [--index FILE] [--models FILE]\n"
-               "           [--out-db FILE] [--out-index FILE]\n");
+               "           [--out-db FILE] [--out-index FILE]\n"
+               "  snapshot save    --db FILE --out FILE [--queries N] "
+               "[--seed S]\n"
+               "                   (--queries 0 skips model training)\n"
+               "  snapshot load    --snapshot FILE [--k K] [--queries N]\n"
+               "  snapshot inspect --snapshot FILE\n");
   return 2;
 }
 
@@ -350,14 +364,31 @@ int RemoveCmd(const Flags& flags) {
   return SaveMutation(flags, *loaded);
 }
 
-/// Opens `path` for writing or returns null after reporting the error.
+/// Opens `path` for writing or returns null after reporting the error
+/// (with errno, so "permission denied" and "no such directory" are
+/// distinguishable).
 std::unique_ptr<std::ofstream> OpenOut(const std::string& path) {
   auto out = std::make_unique<std::ofstream>(path);
   if (!out->is_open()) {
-    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    std::fprintf(stderr, "%s\n",
+                 ErrnoIoError("cannot open for writing", path)
+                     .ToString()
+                     .c_str());
     return nullptr;
   }
   return out;
+}
+
+/// Final-write check for an output stream: flushes and reports a failed
+/// write (ENOSPC and friends surface here, not at open).
+int CloseOut(std::ofstream* out, const std::string& path) {
+  out->flush();
+  if (!out->good()) {
+    std::fprintf(stderr, "%s\n",
+                 ErrnoIoError("write failed", path).ToString().c_str());
+    return 1;
+  }
+  return 0;
 }
 
 int SearchCmd(const Flags& flags) {
@@ -423,6 +454,7 @@ int SearchCmd(const Flags& flags) {
     }
   }
   if (trace_out != nullptr) {
+    if (CloseOut(trace_out.get(), flags.Get("trace-out", "")) != 0) return 1;
     std::printf("trace written to %s\n", flags.Get("trace-out", "").c_str());
   }
   if (ResultCache* cache = loaded->index.result_cache()) {
@@ -439,6 +471,9 @@ int SearchCmd(const Flags& flags) {
   }
   if (metrics_out != nullptr) {
     *metrics_out << registry.Snapshot().ToJson() << "\n";
+    if (CloseOut(metrics_out.get(), flags.Get("metrics-out", "")) != 0) {
+      return 1;
+    }
     std::printf("metrics written to %s\n",
                 flags.Get("metrics-out", "").c_str());
   }
@@ -464,7 +499,7 @@ int Diagnose(const Flags& flags) {
   std::printf("gamma* = %.2f; M_nh threshold = %.2f\n", index.gamma_star(),
               index.neighborhood_model()->calibrated_threshold());
   std::printf("clusters: %zu (largest %zu, smallest %zu members)\n",
-              index.clusters().centroids.size(),
+              static_cast<size_t>(index.clusters().centroids.rows()),
               [&] {
                 size_t largest = 0;
                 for (const auto& m : index.clusters().members) {
@@ -526,6 +561,7 @@ int Eval(const Flags& flags) {
       cache->AppendMetrics(&registry);
     }
     *out << registry.Snapshot().ToJson() << "\n";
+    if (CloseOut(out.get(), flags.Get("metrics-out", "")) != 0) return 1;
     std::printf("metrics written to %s\n",
                 flags.Get("metrics-out", "").c_str());
   }
@@ -548,15 +584,125 @@ int Eval(const Flags& flags) {
       }
       traces[i].WriteJsonLines(*out, static_cast<int64_t>(i));
     }
+    if (CloseOut(out.get(), flags.Get("trace-out", "")) != 0) return 1;
     std::printf("trace (%zu queries) written to %s\n", traces.size(),
                 flags.Get("trace-out", "").c_str());
   }
   return 0;
 }
 
+int SnapshotSave(const Flags& flags) {
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "snapshot save: --out is required\n");
+    return 2;
+  }
+  auto db = LoadDb(flags);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  LanIndex index(ToolConfig(flags));
+  LAN_CHECK_OK(index.Build(&*db));
+  const int64_t num_queries = flags.GetInt("queries", 30);
+  if (num_queries > 0) {
+    WorkloadOptions wopts;
+    wopts.num_queries = num_queries;
+    QueryWorkload workload = SampleWorkload(
+        *db, wopts, static_cast<uint64_t>(flags.GetInt("seed", 9)));
+    LAN_CHECK_OK(index.Train(workload.train));
+  }
+  if (Status s = index.SaveSnapshot(out); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot (%d graphs%s) written to %s\n", db->size(),
+              index.trained() ? ", trained models" : ", untrained",
+              out.c_str());
+  return 0;
+}
+
+int SnapshotLoad(const Flags& flags) {
+  const std::string path = flags.Get("snapshot", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "snapshot load: --snapshot is required\n");
+    return 2;
+  }
+  LanIndex index(ToolConfig(flags));
+  Timer timer;
+  if (Status s = index.OpenSnapshot(path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("opened %s in %.3fs: %d graphs (%d live), epoch %llu, %s\n",
+              path.c_str(), timer.ElapsedSeconds(), index.db().size(),
+              index.live_size(),
+              static_cast<unsigned long long>(index.epoch()),
+              index.trained() ? "trained" : "untrained");
+  // A few sanity queries straight off the mapped index — the snapshot is
+  // self-contained, so no --db is needed. Untrained snapshots fall back
+  // to the baseline (non-learned) routing.
+  const int k = static_cast<int>(flags.GetInt("k", 10));
+  WorkloadOptions wopts;
+  wopts.num_queries = flags.GetInt("queries", 3);
+  QueryWorkload workload = SampleWorkload(
+      index.db(), wopts, static_cast<uint64_t>(flags.GetInt("seed", 123)));
+  std::vector<Graph> queries = workload.train;
+  queries.insert(queries.end(), workload.validation.begin(),
+                 workload.validation.end());
+  queries.insert(queries.end(), workload.test.begin(), workload.test.end());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SearchOptions options;
+    options.k = k;
+    if (!index.trained()) {
+      options.routing = RoutingMethod::kBaselineRoute;
+      options.init = InitMethod::kHnswIs;
+    }
+    SearchResult result = index.Search(queries[i], options);
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "query %zu failed: %s\n", i,
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("query %zu: NDC %lld, top GED %.0f (%zu results)\n", i,
+                static_cast<long long>(result.stats.ndc),
+                result.results.empty() ? -1.0 : result.results.front().second,
+                result.results.size());
+  }
+  return 0;
+}
+
+int SnapshotInspect(const Flags& flags) {
+  const std::string path = flags.Get("snapshot", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "snapshot inspect: --snapshot is required\n");
+    return 2;
+  }
+  auto snapshot = Snapshot::Open(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu bytes, format v%u\n%s", path.c_str(),
+              snapshot->size(), snapshot->version(),
+              snapshot->Describe().c_str());
+  return 0;
+}
+
+int SnapshotCmd(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string verb = argv[2];
+  Flags flags(argc, argv, 3);
+  if (verb == "save") return SnapshotSave(flags);
+  if (verb == "load") return SnapshotLoad(flags);
+  if (verb == "inspect") return SnapshotInspect(flags);
+  return Usage();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "snapshot") return SnapshotCmd(argc, argv);
   Flags flags(argc, argv, 2);
   // `--force-scalar 1` pins the scalar kernel table (same effect as
   // LAN_FORCE_SCALAR=1): bit-for-bit reproducible results across hosts.
