@@ -67,7 +67,7 @@ std::vector<float> EmbedGraph(const Graph& g, const EmbeddingOptions& options) {
 EmbeddingMatrix EmbedDatabase(const GraphDatabase& db,
                               const EmbeddingOptions& options) {
   EmbeddingMatrix out(0, options.dim);
-  out.Reserve(db.size());
+  out.Reserve(db.size(), options.dim);
   for (GraphId id = 0; id < db.size(); ++id) {
     out.AppendRow(EmbedGraph(db.Get(id), options));
   }
@@ -78,6 +78,13 @@ double SquaredL2(std::span<const float> a, std::span<const float> b) {
   LAN_CHECK_EQ(a.size(), b.size());
   return ActiveKernels().l2sq(a.data(), b.data(),
                               static_cast<int64_t>(a.size()));
+}
+
+double SquaredL2Quantized(std::span<const int8_t> a, float scale_a,
+                          std::span<const int8_t> b, float scale_b) {
+  LAN_CHECK_EQ(a.size(), b.size());
+  return ActiveKernels().l2sq_i8(a.data(), scale_a, b.data(), scale_b,
+                                 static_cast<int64_t>(a.size()));
 }
 
 }  // namespace lan

@@ -233,6 +233,7 @@ Status LanIndex::FinishBuild(HnswIndex hnsw, std::vector<uint8_t> live,
   config_.embedding = embedding;
   auto embeddings =
       std::make_shared<EmbeddingMatrix>(EmbedDatabase(*db_, embedding));
+  if (config_.quantized_embeddings) embeddings->Quantize();
   const int num_clusters =
       config_.num_clusters > 0
           ? config_.num_clusters
@@ -240,7 +241,8 @@ Status LanIndex::FinishBuild(HnswIndex hnsw, std::vector<uint8_t> live,
                             static_cast<double>(db_->size()))));
   Rng rng(config_.seed);
   auto clusters = std::make_shared<KMeansResult>(
-      KMeans(*embeddings, num_clusters, config_.kmeans_iterations, &rng));
+      KMeans(*embeddings, num_clusters, config_.kmeans_iterations, &rng,
+             config_.quantized_embeddings));
 
   if (live.empty()) live.assign(static_cast<size_t>(db_->size()), 1);
   auto snap = std::make_shared<IndexSnapshot>();
@@ -306,8 +308,16 @@ Result<GraphId> LanIndex::Insert(Graph graph) {
   auto embeddings = std::make_shared<EmbeddingMatrix>(*snap->embeddings);
   embeddings->AppendRow(EmbedGraph(added, config_.embedding));
   auto clusters = std::make_shared<KMeansResult>(*snap->clusters);
-  const int32_t c = NearestCentroid(clusters->centroids,
-                                    embeddings->Row(embeddings->rows() - 1));
+  int32_t c;
+  if (embeddings->has_quantized() && clusters->centroids.has_quantized()) {
+    const int64_t last = embeddings->rows() - 1;
+    c = NearestCentroidQuantized(clusters->centroids,
+                                 embeddings->QuantizedRow(last),
+                                 embeddings->scale(last));
+  } else {
+    c = NearestCentroid(clusters->centroids,
+                        embeddings->Row(embeddings->rows() - 1));
+  }
   clusters->assignment.push_back(c);
   clusters->members[static_cast<size_t>(c)].push_back(id);
 
@@ -630,16 +640,28 @@ Status LanIndex::LoadModels(std::istream& in) {
   for (const int32_t c : clusters.assignment) {
     if (c < 0 || c >= num_clusters) return Status::IoError("bad assignment");
   }
+  // The checkpoint stores f32 centroids only; re-derive the int8 plane so
+  // the quantized fallback/assignment paths keep working after a load.
+  if (config_.quantized_embeddings && num_clusters > 0) {
+    clusters.centroids.Quantize();
+  }
   // A checkpoint taken before online inserts covers a prefix of the
   // current database; extend it exactly the way Insert() would have —
   // nearest frozen centroid per uncovered graph.
   if (assigned < static_cast<int64_t>(snap->num_graphs) && num_clusters == 0) {
     return Status::IoError("no centroids to assign inserted graphs to");
   }
+  const bool quantized_assign = clusters.centroids.has_quantized() &&
+                                snap->embeddings->has_quantized();
   for (GraphId id = static_cast<GraphId>(assigned); id < snap->num_graphs;
        ++id) {
     clusters.assignment.push_back(
-        NearestCentroid(clusters.centroids, snap->embeddings->Row(id)));
+        quantized_assign
+            ? NearestCentroidQuantized(clusters.centroids,
+                                       snap->embeddings->QuantizedRow(id),
+                                       snap->embeddings->scale(id))
+            : NearestCentroid(clusters.centroids,
+                              snap->embeddings->Row(id)));
   }
   clusters.RebuildMembers(num_clusters);
 
@@ -847,7 +869,8 @@ void LanIndex::SearchInto(const Graph& query, const SearchOptions& options,
                                   snap->clusters.get(),
                                   snap->embeddings.get(), snap->cgs.get(),
                                   &query_cg, &config_.embedding,
-                                  config_.use_compressed_gnn, init_options);
+                                  config_.use_compressed_gnn, init_options,
+                                  config_.quantized_embeddings);
       selector.set_scratch(scratch);
       start = selector.Select(&oracle, &rng);
       break;

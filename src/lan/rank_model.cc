@@ -135,9 +135,14 @@ std::vector<std::vector<GraphId>> NeighborRankModel::GroupByBatch(
 void NeighborRankModel::PrecomputeContexts(
     const std::vector<CompressedGnnGraph>& db_cgs) {
   EmbeddingMatrix contexts;
-  contexts.Reserve(static_cast<int64_t>(db_cgs.size()));
   for (const CompressedGnnGraph& cg : db_cgs) {
     const Matrix row = scorer_.ContextEmbedding(cg);
+    if (contexts.empty()) {
+      // The context dim is only known from the first row; reserving before
+      // it was a silent no-op under the old Reserve(rows) signature.
+      contexts.Reserve(static_cast<int64_t>(db_cgs.size()),
+                       static_cast<int32_t>(row.cols()));
+    }
     contexts.AppendRow({row.data(), static_cast<size_t>(row.cols())});
   }
   contexts_ = std::move(contexts);

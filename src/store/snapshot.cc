@@ -75,6 +75,8 @@ const char* SectionKindName(SectionKind kind) {
       return "models";
     case SectionKind::kShardManifest:
       return "shard-manifest";
+    case SectionKind::kQuantizedEmbeddings:
+      return "quantized-embeddings";
   }
   return "unknown";
 }

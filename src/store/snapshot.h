@@ -46,6 +46,7 @@ enum class SectionKind : uint32_t {
   kHnsw = 6,        ///< HNSW core + base-view CSR layers
   kModels = 7,      ///< trained parameter blobs + rank context matrix
   kShardManifest = 8,  ///< ShardedLanIndex directory manifest
+  kQuantizedEmbeddings = 9,  ///< int8 embedding codes + per-row scales
 };
 
 /// Human-readable name of a section kind ("meta", "graphs", ...).

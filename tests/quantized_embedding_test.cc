@@ -1,0 +1,389 @@
+// Int8-quantized embedding plane tests: quantization round-trip error
+// bound, EmbeddingMatrix plane maintenance (copy/append/view), L2Route
+// recall parity between f32 and int8 routing on a 1k-graph corpus,
+// LanIndex end-to-end parity across routing x init, and snapshot
+// persistence of the quantized-embeddings section (including the
+// legacy-snapshot lazy-quantize path).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gnn/embedding.h"
+#include "gnn/embedding_matrix.h"
+#include "graph/graph_generator.h"
+#include "lan/ground_truth.h"
+#include "lan/l2route.h"
+#include "lan/lan_index.h"
+#include "lan/workload.h"
+#include "store/snapshot.h"
+
+namespace lan {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+EmbeddingMatrix RandomMatrix(int64_t rows, int32_t dim, uint64_t seed) {
+  Rng rng(seed);
+  EmbeddingMatrix m(rows, dim);
+  for (int64_t i = 0; i < rows; ++i) {
+    float* row = m.MutableRow(i);
+    for (int32_t j = 0; j < dim; ++j) row[j] = rng.NextFloat(-3.0f, 3.0f);
+  }
+  return m;
+}
+
+// ---------- Quantization round trip ----------
+
+TEST(QuantizedEmbeddingTest, RoundTripErrorBound) {
+  EmbeddingMatrix m = RandomMatrix(64, 33, 7);
+  m.Quantize();
+  ASSERT_TRUE(m.has_quantized());
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    const std::span<const float> row = m.Row(i);
+    const std::span<const int8_t> codes = m.QuantizedRow(i);
+    const float scale = m.scale(i);
+    float max_abs = 0.0f;
+    for (const float x : row) max_abs = std::max(max_abs, std::fabs(x));
+    EXPECT_NEAR(scale, max_abs / 127.0f, 1e-6f * max_abs);
+    for (size_t j = 0; j < row.size(); ++j) {
+      // Symmetric rounding: reconstruction within half a quantization step.
+      EXPECT_LE(std::fabs(row[j] - static_cast<float>(codes[j]) * scale),
+                0.5f * scale + 1e-6f)
+          << "row " << i << " col " << j;
+      EXPECT_GE(codes[j], -127);
+      EXPECT_LE(codes[j], 127);
+    }
+  }
+}
+
+TEST(QuantizedEmbeddingTest, ZeroRowQuantizesToZero) {
+  EmbeddingMatrix m(2, 8);  // all zeros
+  m.Quantize();
+  for (int64_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(m.scale(i), 0.0f);
+    for (const int8_t c : m.QuantizedRow(i)) EXPECT_EQ(c, 0);
+  }
+  // A zero query against a zero row must give distance 0, not NaN.
+  EXPECT_EQ(SquaredL2Quantized(m.QuantizedRow(0), m.scale(0),
+                               m.QuantizedRow(1), m.scale(1)),
+            0.0);
+}
+
+TEST(QuantizedEmbeddingTest, QuantizedDistanceApproximatesF32) {
+  EmbeddingMatrix m = RandomMatrix(32, 48, 11);
+  m.Quantize();
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    for (int64_t j = i + 1; j < m.rows(); ++j) {
+      const double f32 = SquaredL2(m.Row(i), m.Row(j));
+      const double i8 = SquaredL2Quantized(m.QuantizedRow(i), m.scale(i),
+                                           m.QuantizedRow(j), m.scale(j));
+      // Per-element error <= scale/2 per side; the squared distance of
+      // 48-dim rows in [-3,3] stays within a few percent.
+      EXPECT_NEAR(i8, f32, 0.05 * f32 + 0.1) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(QuantizedEmbeddingTest, CopyAndAppendMaintainThePlane) {
+  EmbeddingMatrix m = RandomMatrix(10, 16, 23);
+  m.Quantize();
+  EmbeddingMatrix copy = m;
+  ASSERT_TRUE(copy.has_quantized());
+  Rng rng(29);
+  std::vector<float> extra(16);
+  for (float& x : extra) x = rng.NextFloat(-2.0f, 2.0f);
+  copy.AppendRow(extra);
+  ASSERT_EQ(copy.rows(), 11);
+  // The appended row's codes match a from-scratch quantization.
+  std::vector<int8_t> expect(16);
+  const float expect_scale = QuantizeRowI8(extra, expect.data());
+  EXPECT_EQ(copy.scale(10), expect_scale);
+  for (size_t j = 0; j < expect.size(); ++j) {
+    EXPECT_EQ(copy.QuantizedRow(10)[j], expect[j]);
+  }
+  // Source matrix is untouched.
+  EXPECT_EQ(m.rows(), 10);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(m.scale(i), copy.scale(i));
+  }
+}
+
+TEST(QuantizedEmbeddingTest, AttachedViewSurvivesCopyAsOwned) {
+  EmbeddingMatrix m = RandomMatrix(6, 8, 31);
+  m.Quantize();
+  // Simulate a mapped section by viewing m's own plane from a second
+  // matrix over the same f32 data.
+  EmbeddingMatrix view = EmbeddingMatrix::FromView(6, 8, m.data());
+  view.AttachQuantizedView(m.quantized_data(), m.scales_data());
+  ASSERT_TRUE(view.has_quantized());
+  EmbeddingMatrix owned = view;  // copy materializes both planes
+  EXPECT_FALSE(owned.is_view());
+  EXPECT_TRUE(owned.has_quantized());
+  EXPECT_NE(owned.quantized_data(), m.quantized_data());
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(owned.scale(i), m.scale(i));
+    for (int32_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(owned.QuantizedRow(i)[j], m.QuantizedRow(i)[j]);
+    }
+  }
+}
+
+TEST(QuantizedEmbeddingTest, ReserveAdoptsDimAndChecksMismatch) {
+  EmbeddingMatrix m;
+  m.Reserve(100, 24);  // pre-dim reserve now sizes rows * dim, not rows * 0
+  EXPECT_EQ(m.dim(), 24);
+  EXPECT_EQ(m.rows(), 0);
+  std::vector<float> row(24, 1.0f);
+  m.AppendRow(row);
+  EXPECT_EQ(m.dim(), 24);
+  EXPECT_DEATH(m.Reserve(10, 8), "dim");
+}
+
+// ---------- L2Route recall parity (1k corpus, embedding space) ----------
+
+TEST(QuantizedEmbeddingTest, L2RouteRecallParityOn1kCorpus) {
+  const int64_t kCorpus = 1000;
+  const int kQueries = 50, kK = 10, kEf = 48;
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(kCorpus), 501);
+  WorkloadOptions wopts;
+  wopts.num_queries = kQueries;
+  QueryWorkload workload = SampleWorkload(db, wopts, 502);
+
+  L2RouteOptions f32_opts;
+  f32_opts.embedding.dim = 32;
+  f32_opts.embedding.num_labels = db.num_labels();
+  f32_opts.hnsw.M = 8;
+  f32_opts.hnsw.ef_construction = 40;
+  L2RouteOptions i8_opts = f32_opts;
+  i8_opts.quantized_embeddings = true;
+
+  L2RouteIndex f32_index = L2RouteIndex::Build(db, f32_opts);
+  L2RouteIndex i8_index = L2RouteIndex::Build(db, i8_opts);
+  ASSERT_TRUE(i8_index.embeddings().has_quantized());
+  ASSERT_FALSE(f32_index.embeddings().has_quantized());
+
+  // Embedding-space ground truth: brute-force f32 top-k per query.
+  const EmbeddingMatrix& corpus = f32_index.embeddings();
+  auto top_k = [&](KnnList list) {
+    std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second < b.second;
+      return a.first < b.first;
+    });
+    if (list.size() > static_cast<size_t>(kK)) {
+      list.resize(static_cast<size_t>(kK));
+    }
+    return list;
+  };
+  double recall_f32 = 0.0, recall_i8 = 0.0;
+  for (const Graph& q : workload.train) {
+    const std::vector<float> qe = EmbedGraph(q, f32_opts.embedding);
+    KnnList truth;
+    truth.reserve(static_cast<size_t>(kCorpus));
+    for (GraphId id = 0; id < db.size(); ++id) {
+      truth.emplace_back(id, SquaredL2(qe, corpus.Row(id)));
+    }
+    truth = top_k(std::move(truth));
+    recall_f32 += RecallAtK(top_k(f32_index.RouteEmbedding(q, kEf).results),
+                            truth, kK);
+    recall_i8 += RecallAtK(top_k(i8_index.RouteEmbedding(q, kEf).results),
+                           truth, kK);
+  }
+  recall_f32 /= workload.train.size();
+  recall_i8 /= workload.train.size();
+  // Acceptance criterion: int8 routing within 1 pt of f32.
+  EXPECT_GE(recall_i8, recall_f32 - 0.01)
+      << "f32 recall " << recall_f32 << ", int8 recall " << recall_i8;
+  EXPECT_GT(recall_f32, 0.5);  // the baseline itself must be doing work
+}
+
+// ---------- LanIndex end-to-end parity across routing x init ----------
+
+LanConfig ParityConfig() {
+  LanConfig config;
+  config.hnsw.M = 4;
+  config.hnsw.ef_construction = 12;
+  config.query_ged.approximate_only = true;
+  config.query_ged.beam_width = 0;
+  config.build_ged.approximate_only = true;
+  config.build_ged.beam_width = 0;
+  config.scorer.gnn_dims = {8, 8};
+  config.scorer.mlp_hidden = 8;
+  config.rank.epochs = 2;
+  config.nh.epochs = 2;
+  config.cluster.epochs = 5;
+  config.max_rank_examples = 150;
+  config.max_nh_examples = 150;
+  config.neighborhood_knn = 10;
+  config.embedding.dim = 16;
+  config.default_beam = 8;
+  config.num_threads = 2;
+  return config;
+}
+
+TEST(QuantizedEmbeddingTest, LanIndexRecallParityAcrossRoutingAndInit) {
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(120), 601);
+  WorkloadOptions wopts;
+  wopts.num_queries = 15;
+  QueryWorkload workload = SampleWorkload(db, wopts, 602);
+
+  LanIndex f32_index(ParityConfig());
+  ASSERT_TRUE(f32_index.Build(&db).ok());
+  ASSERT_TRUE(f32_index.Train(workload.train).ok());
+  LanConfig qconfig = ParityConfig();
+  qconfig.quantized_embeddings = true;
+  LanIndex i8_index(qconfig);
+  ASSERT_TRUE(i8_index.Build(&db).ok());
+  ASSERT_TRUE(i8_index.Train(workload.train).ok());
+  ASSERT_TRUE(i8_index.embeddings().has_quantized());
+  ASSERT_TRUE(i8_index.clusters().centroids.has_quantized());
+
+  const int kK = 5;
+  GedComputer ged(ParityConfig().query_ged);
+  std::vector<KnnList> truths;
+  for (const Graph& q : workload.test) {
+    truths.push_back(ComputeGroundTruth(db, q, kK, ged));
+  }
+
+  const RoutingMethod routings[] = {RoutingMethod::kLanRoute,
+                                    RoutingMethod::kBaselineRoute};
+  const InitMethod inits[] = {InitMethod::kLanIs, InitMethod::kHnswIs,
+                              InitMethod::kRandomIs};
+  double f32_total = 0.0, i8_total = 0.0;
+  int combos = 0;
+  for (RoutingMethod routing : routings) {
+    for (InitMethod init : inits) {
+      double f32_recall = 0.0, i8_recall = 0.0;
+      for (size_t i = 0; i < workload.test.size(); ++i) {
+        SearchOptions sopts;
+        sopts.k = kK;
+        sopts.routing = routing;
+        sopts.init = init;
+        SearchResult a = f32_index.Search(workload.test[i], sopts);
+        SearchResult b = i8_index.Search(workload.test[i], sopts);
+        ASSERT_TRUE(a.status.ok());
+        ASSERT_TRUE(b.status.ok());
+        f32_recall += RecallAtK(a.results, truths[i], kK);
+        i8_recall += RecallAtK(b.results, truths[i], kK);
+      }
+      f32_recall /= workload.test.size();
+      i8_recall /= workload.test.size();
+      // Per-combo slack absorbs sampling noise of 15 queries; the
+      // aggregate below enforces the 1-pt budget.
+      EXPECT_GE(i8_recall, f32_recall - 0.05)
+          << RoutingMethodName(routing) << "/" << InitMethodName(init);
+      f32_total += f32_recall;
+      i8_total += i8_recall;
+      ++combos;
+    }
+  }
+  EXPECT_GE(i8_total / combos, f32_total / combos - 0.01)
+      << "aggregate f32 " << f32_total / combos << ", int8 "
+      << i8_total / combos;
+}
+
+// ---------- Snapshot persistence ----------
+
+TEST(QuantizedEmbeddingTest, SnapshotRoundTripWithQuantizedSection) {
+  const std::string path = TempPath("quantized.lansnap");
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(60), 701);
+  LanConfig config = ParityConfig();
+  config.quantized_embeddings = true;
+  LanIndex original(config);
+  ASSERT_TRUE(original.Build(&db).ok());
+  ASSERT_TRUE(original.SaveSnapshot(path).ok());
+
+  // The new section is present and named.
+  auto image = Snapshot::Open(path);
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(image->Has(SectionKind::kQuantizedEmbeddings));
+  EXPECT_NE(image->Describe().find("quantized-embeddings"),
+            std::string::npos);
+
+  // Reopened: int8 plane serves zero-copy and matches the original.
+  LanIndex opened(config);
+  ASSERT_TRUE(opened.OpenSnapshot(path).ok());
+  const EmbeddingMatrix& a = original.embeddings();
+  const EmbeddingMatrix& b = opened.embeddings();
+  ASSERT_TRUE(b.has_quantized());
+  ASSERT_EQ(a.rows(), b.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    EXPECT_EQ(a.scale(i), b.scale(i)) << "row " << i;
+    for (int32_t j = 0; j < a.dim(); ++j) {
+      EXPECT_EQ(a.QuantizedRow(i)[j], b.QuantizedRow(i)[j])
+          << "row " << i << " col " << j;
+    }
+  }
+  EXPECT_TRUE(opened.clusters().centroids.has_quantized());
+
+  // Searches agree between original and reopened.
+  WorkloadOptions wopts;
+  wopts.num_queries = 5;
+  QueryWorkload probes = SampleWorkload(db, wopts, 702);
+  for (const Graph& q : probes.train) {
+    SearchOptions sopts;
+    sopts.k = 5;
+    sopts.routing = RoutingMethod::kBaselineRoute;
+    sopts.init = InitMethod::kHnswIs;
+    SearchResult x = original.Search(q, sopts);
+    SearchResult y = opened.Search(q, sopts);
+    ASSERT_TRUE(x.status.ok());
+    ASSERT_TRUE(y.status.ok());
+    EXPECT_EQ(x.results, y.results);
+  }
+}
+
+TEST(QuantizedEmbeddingTest, LegacySnapshotLazyQuantizesOnOpen) {
+  const std::string path = TempPath("legacy_f32.lansnap");
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(60), 711);
+  LanIndex original(ParityConfig());  // quantization off: no section
+  ASSERT_TRUE(original.Build(&db).ok());
+  ASSERT_TRUE(original.SaveSnapshot(path).ok());
+  auto image = Snapshot::Open(path);
+  ASSERT_TRUE(image.ok());
+  EXPECT_FALSE(image->Has(SectionKind::kQuantizedEmbeddings));
+
+  // Opening with the knob on derives the plane from the mapped f32 data.
+  LanConfig qconfig = ParityConfig();
+  qconfig.quantized_embeddings = true;
+  LanIndex opened(qconfig);
+  ASSERT_TRUE(opened.OpenSnapshot(path).ok());
+  const EmbeddingMatrix& m = opened.embeddings();
+  ASSERT_TRUE(m.has_quantized());
+  EXPECT_TRUE(opened.clusters().centroids.has_quantized());
+  // The lazily-derived plane equals a from-scratch quantization.
+  EmbeddingMatrix expect = original.embeddings();
+  expect.Quantize();
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    EXPECT_EQ(m.scale(i), expect.scale(i));
+    for (int32_t j = 0; j < m.dim(); ++j) {
+      EXPECT_EQ(m.QuantizedRow(i)[j], expect.QuantizedRow(i)[j]);
+    }
+  }
+}
+
+TEST(QuantizedEmbeddingTest, QuantizedSnapshotOpensWithKnobOff) {
+  const std::string path = TempPath("quantized_knob_off.lansnap");
+  GraphDatabase db = GenerateDatabase(DatasetSpec::SynLike(60), 721);
+  LanConfig qconfig = ParityConfig();
+  qconfig.quantized_embeddings = true;
+  LanIndex original(qconfig);
+  ASSERT_TRUE(original.Build(&db).ok());
+  ASSERT_TRUE(original.SaveSnapshot(path).ok());
+
+  // Knob-off open still succeeds; the plane attaches (cheap, zero-copy)
+  // but centroids stay f32-only, so every serving path stays f32.
+  LanIndex opened(ParityConfig());
+  ASSERT_TRUE(opened.OpenSnapshot(path).ok());
+  EXPECT_TRUE(opened.embeddings().has_quantized());
+  EXPECT_FALSE(opened.clusters().centroids.has_quantized());
+}
+
+}  // namespace
+}  // namespace lan

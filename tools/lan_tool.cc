@@ -82,6 +82,8 @@ int Usage() {
                "snapshot> [--flag value ...]\n"
                "  global   --force-scalar 1     pin scalar kernels "
                "(bit-reproducible; same as LAN_FORCE_SCALAR=1)\n"
+               "           --quantized 1        int8 embedding plane for "
+               "embedding-space distances (default f32)\n"
                "  generate --kind aids|linux|pubchem|syn --count N "
                "[--seed S] --out FILE\n"
                "  stats    --db FILE\n"
@@ -147,6 +149,10 @@ LanConfig ToolConfig(const Flags& flags) {
     const int64_t mb = flags.GetInt("ged-cache-mb", 0);
     config.cache.enabled = mb > 0;
     config.cache.capacity_bytes = static_cast<size_t>(mb) << 20;
+  }
+  // `--quantized 1` builds/serves the int8 embedding plane (default f32).
+  if (flags.GetInt("quantized", 0) != 0) {
+    config.quantized_embeddings = true;
   }
   if (flags.Has("cache-admission")) {
     const std::string name = flags.Get("cache-admission", "");
@@ -498,6 +504,15 @@ int Diagnose(const Flags& flags) {
               index.hnsw().EntryPoint());
   std::printf("gamma* = %.2f; M_nh threshold = %.2f\n", index.gamma_star(),
               index.neighborhood_model()->calibrated_threshold());
+  const EmbeddingMatrix& embeddings = index.embeddings();
+  std::printf("embeddings: %lld x %d, storage %s (f32 %zu bytes",
+              static_cast<long long>(embeddings.rows()), embeddings.dim(),
+              embeddings.has_quantized() ? "f32+int8" : "f32",
+              embeddings.f32_bytes());
+  if (embeddings.has_quantized()) {
+    std::printf(", int8 codes+scales %zu bytes", embeddings.quantized_bytes());
+  }
+  std::printf(")\n");
   std::printf("clusters: %zu (largest %zu, smallest %zu members)\n",
               static_cast<size_t>(index.clusters().centroids.rows()),
               [&] {
@@ -686,6 +701,10 @@ int SnapshotInspect(const Flags& flags) {
   std::printf("%s: %zu bytes, format v%u\n%s", path.c_str(),
               snapshot->size(), snapshot->version(),
               snapshot->Describe().c_str());
+  std::printf("embedding storage: %s\n",
+              snapshot->Has(SectionKind::kQuantizedEmbeddings)
+                  ? "f32+int8 (serves int8 zero-copy)"
+                  : "f32 only (int8 derived lazily if configured)");
   return 0;
 }
 

@@ -16,7 +16,8 @@ if [[ ! -d "${build_dir}/bench" ]]; then
   exit 1
 fi
 
-for bench in model_inference kernel_bench cache_bench startup_bench; do
+for bench in model_inference kernel_bench cache_bench startup_bench \
+             quantized_route; do
   bin="${build_dir}/bench/${bench}"
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not built" >&2
@@ -26,4 +27,4 @@ for bench in model_inference kernel_bench cache_bench startup_bench; do
   "${bin}"
 done
 
-echo "wrote BENCH_model_inference.json, BENCH_kernels.json, BENCH_cache.json, and BENCH_startup.json"
+echo "wrote BENCH_model_inference.json, BENCH_kernels.json, BENCH_cache.json, BENCH_startup.json, and BENCH_quantized.json"
