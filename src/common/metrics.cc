@@ -84,7 +84,19 @@ HistogramId MetricsRegistry::Histogram(const std::string& name,
   }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_by_name_.find(name);
-  if (it != histograms_by_name_.end()) return it->second;
+  if (it != histograms_by_name_.end()) {
+    if (*it->second.bounds != bounds) {
+      ++bounds_conflicts_;
+      if (!bounds_conflict_warned_) {
+        bounds_conflict_warned_ = true;
+        LAN_LOG(Warning)
+            << "histogram '" << name
+            << "' re-registered with different bucket bounds; the first "
+               "registration wins (tracked as metrics.bounds_conflicts)";
+      }
+    }
+    return it->second;
+  }
   HistogramInfo info;
   info.name = name;
   info.bounds =
@@ -195,6 +207,12 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       h.min = std::min(h.min, cells.min);
       h.max = std::max(h.max, cells.max);
     }
+  }
+  // Emitted only when a conflict happened, so unaffected registries keep
+  // their exact pre-existing snapshot layout.
+  if (bounds_conflicts_ > 0) {
+    snapshot.counters.emplace_back("metrics.bounds_conflicts",
+                                   bounds_conflicts_);
   }
   return snapshot;
 }

@@ -102,7 +102,11 @@ class MetricsRegistry {
   /// Registers (or finds) a counter by name.
   CounterId Counter(const std::string& name);
   /// Registers (or finds) a histogram by name. `bounds` must be strictly
-  /// increasing; ignored (the registered bounds win) if `name` exists.
+  /// increasing. If `name` already exists the registered bounds win; a
+  /// re-registration with *different* bounds logs a warning (once per
+  /// registry) and bumps the `metrics.bounds_conflicts` counter exported by
+  /// Snapshot(), so a subsystem silently observing into someone else's
+  /// buckets is visible instead of a latent mis-aggregation.
   HistogramId Histogram(const std::string& name, std::vector<double> bounds);
   /// Registers (or finds) a gauge by name.
   GaugeId Gauge(const std::string& name);
@@ -140,6 +144,10 @@ class MetricsRegistry {
   std::unordered_map<std::string, HistogramId> histograms_by_name_;
   std::unordered_map<std::string, GaugeId> gauges_by_name_;
   mutable std::vector<std::unique_ptr<Shard>> shards_;
+  /// Histogram re-registrations whose bounds disagreed with the first
+  /// registration (exported as `metrics.bounds_conflicts` when non-zero).
+  int64_t bounds_conflicts_ = 0;
+  bool bounds_conflict_warned_ = false;
   /// Distinguishes this registry from a dead one reallocated at the same
   /// address (thread-local shard references are keyed by pointer+serial).
   uint64_t serial_;

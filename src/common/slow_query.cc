@@ -1,0 +1,71 @@
+#include "common/slow_query.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace lan {
+namespace {
+
+/// Heap comparator making the *fastest* retained record the heap top, so
+/// replacing the floor is pop/push of the front.
+bool Slower(const SlowQueryRecord& a, const SlowQueryRecord& b) {
+  return a.latency_seconds > b.latency_seconds;
+}
+
+}  // namespace
+
+SlowQueryRing::SlowQueryRing(size_t capacity, size_t num_shards)
+    : capacity_(capacity), shards_(num_shards == 0 ? 1 : num_shards) {}
+
+void SlowQueryRing::Offer(SlowQueryRecord record) {
+  if (capacity_ == 0) return;
+  Shard& shard =
+      shards_[static_cast<uint64_t>(record.query_id) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.records.size() < capacity_) {
+    shard.records.push_back(std::move(record));
+    std::push_heap(shard.records.begin(), shard.records.end(), Slower);
+    return;
+  }
+  if (record.latency_seconds <= shard.records.front().latency_seconds) return;
+  std::pop_heap(shard.records.begin(), shard.records.end(), Slower);
+  shard.records.back() = std::move(record);
+  std::push_heap(shard.records.begin(), shard.records.end(), Slower);
+}
+
+std::vector<SlowQueryRecord> SlowQueryRing::Drain() {
+  std::vector<SlowQueryRecord> all;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (SlowQueryRecord& record : shard.records) {
+      all.push_back(std::move(record));
+    }
+    shard.records.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SlowQueryRecord& a, const SlowQueryRecord& b) {
+              if (a.latency_seconds != b.latency_seconds) {
+                return a.latency_seconds > b.latency_seconds;
+              }
+              return a.query_id < b.query_id;  // deterministic tie-break
+            });
+  if (all.size() > capacity_) all.resize(capacity_);
+  return all;
+}
+
+void WriteSlowQueryJsonLines(const std::vector<SlowQueryRecord>& records,
+                             std::ostream& out) {
+  for (const SlowQueryRecord& record : records) {
+    out.precision(9);
+    out << "{\"type\":\"slow_query\",\"query_id\":" << record.query_id
+        << ",\"latency_seconds\":" << record.latency_seconds
+        << ",\"epoch\":" << record.epoch << ",\"ndc\":" << record.stats.ndc
+        << ",\"routing_steps\":" << record.stats.routing_steps
+        << ",\"cache_hits\":" << record.stats.cache_hits
+        << ",\"trace_events\":" << record.trace.events().size()
+        << ",\"stages\":" << record.stats.stages.ToJson() << "}\n";
+    record.trace.WriteJsonLines(out, record.query_id);
+  }
+}
+
+}  // namespace lan

@@ -1,0 +1,71 @@
+#ifndef LAN_COMMON_SLOW_QUERY_H_
+#define LAN_COMMON_SLOW_QUERY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/trace.h"
+
+namespace lan {
+
+/// \brief Everything retained about one slow query: identity, latency, the
+/// stage breakdown (inside `stats.stages`), and the full event trace when
+/// the query was sampled (empty otherwise).
+struct SlowQueryRecord {
+  int64_t query_id = -1;
+  double latency_seconds = 0.0;
+  uint64_t epoch = 0;
+  SearchStats stats;
+  QueryTrace trace;
+};
+
+/// \brief Mutex-sharded retention of the top-K slowest queries since the
+/// last drain.
+///
+/// Offer() hashes the query id to a shard and keeps the record only if it
+/// beats that shard's current floor (a min-heap per shard, each holding up
+/// to `capacity` records), so the serving loop never contends on one lock
+/// and a fast query costs one try-beat-the-floor comparison. Drain()
+/// merges all shards, returns the global top-`capacity` sorted
+/// slowest-first, and resets the ring — the /slowz endpoint is therefore a
+/// consuming read, like a counter delta: each scrape reports the slowest
+/// queries since the previous scrape.
+///
+/// Thread-safe.
+class SlowQueryRing {
+ public:
+  explicit SlowQueryRing(size_t capacity, size_t num_shards = 4);
+
+  /// Keeps `record` if it ranks among the shard's slowest; drops it (and
+  /// frees its trace) otherwise.
+  void Offer(SlowQueryRecord record);
+
+  /// Global top-`capacity()` slowest-first; empties the ring.
+  std::vector<SlowQueryRecord> Drain();
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Min-heap by latency (heap top = fastest retained record).
+    std::vector<SlowQueryRecord> records;
+  };
+
+  size_t capacity_;
+  std::vector<Shard> shards_;
+};
+
+/// Writes records as JSON lines: for each record one
+/// `{"type":"slow_query",...}` header line (latency, ndc, stage
+/// breakdown) followed by the query's trace events, all carrying the
+/// record's query_id.
+void WriteSlowQueryJsonLines(const std::vector<SlowQueryRecord>& records,
+                             std::ostream& out);
+
+}  // namespace lan
+
+#endif  // LAN_COMMON_SLOW_QUERY_H_

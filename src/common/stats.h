@@ -7,6 +7,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/profile.h"
+
 namespace lan {
 
 /// \brief Online summary statistics (count / mean / min / max / stddev).
@@ -75,6 +77,9 @@ struct SearchStats {
   double distance_seconds = 0.0;
   double learning_seconds = 0.0;
   double other_seconds = 0.0;
+  /// Per-stage self-time breakdown; populated only when the query ran with
+  /// SearchOptions::profile (all-zero otherwise).
+  StageBreakdown stages;
 
   double TotalSeconds() const {
     return distance_seconds + learning_seconds + other_seconds;
@@ -88,6 +93,7 @@ struct SearchStats {
     distance_seconds += o.distance_seconds;
     learning_seconds += o.learning_seconds;
     other_seconds += o.other_seconds;
+    stages.Merge(o.stages);
   }
 };
 

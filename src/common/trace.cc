@@ -80,4 +80,23 @@ void QueryTrace::WriteJsonLines(std::ostream& out, int64_t query_id) const {
   }
 }
 
+SamplingTraceSink::SamplingTraceSink(int64_t every)
+    : every_(every < 1 ? 1 : every) {}
+
+QueryTrace* SamplingTraceSink::Begin(int64_t query_id) {
+  if (!Sampled(query_id)) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_.empty()) return new QueryTrace();
+  QueryTrace* trace = pool_.back().release();
+  pool_.pop_back();
+  return trace;
+}
+
+void SamplingTraceSink::End(QueryTrace* trace) {
+  if (trace == nullptr) return;
+  trace->Clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_.emplace_back(trace);
+}
+
 }  // namespace lan

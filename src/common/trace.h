@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -127,6 +129,41 @@ class QueryTrace final : public TraceSink {
 
  private:
   std::vector<TraceEvent> events_;
+};
+
+/// \brief Deterministic 1-in-N query sampler with a reusable QueryTrace
+/// buffer pool — the always-on tracing front end for serving loops.
+///
+/// `Begin(query_id)` hands out a pooled QueryTrace (a drop-in
+/// SearchOptions::trace sink recording the existing event vocabulary
+/// unchanged) when the id is sampled — `query_id % every == 0` — and null
+/// otherwise, so the decision is reproducible across runs and processes.
+/// `End(trace)` returns the buffer to the pool; Clear() keeps the vector's
+/// capacity, so steady-state sampling allocates nothing once warm. A
+/// caller that wants to *retain* the events (the slow-query ring) moves
+/// them out (`std::move(*trace)`) before calling End.
+///
+/// Thread-safe; each leased trace is owned by exactly one query.
+class SamplingTraceSink {
+ public:
+  /// `every <= 1` samples every query; e.g. 16 keeps ids 0, 16, 32, ...
+  explicit SamplingTraceSink(int64_t every);
+
+  bool Sampled(int64_t query_id) const {
+    return query_id >= 0 && query_id % every_ == 0;
+  }
+
+  /// Pooled trace for a sampled id, null otherwise.
+  QueryTrace* Begin(int64_t query_id);
+  /// Recycles a trace from Begin (null is a no-op).
+  void End(QueryTrace* trace);
+
+  int64_t every() const { return every_; }
+
+ private:
+  int64_t every_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<QueryTrace>> pool_;
 };
 
 }  // namespace lan

@@ -712,6 +712,9 @@ BatchSearchResult LanIndex::SearchBatch(const std::vector<Graph>& queries,
   const GaugeId live_gauge = registry.Gauge("index_live_size");
   const GaugeId tombstone_gauge = registry.Gauge("index_tombstones");
   const GaugeId epoch_gauge = registry.Gauge("index_epoch");
+  // stage.<name>_seconds histograms, filled only when profiling is on.
+  StageHistograms stage_hists;
+  if (options.profile) stage_hists.Register(&registry);
   // cache.* counters are scoped to this batch: delta against the cache's
   // lifetime totals captured now.
   const ShardCacheStats cache_before =
@@ -741,6 +744,7 @@ BatchSearchResult LanIndex::SearchBatch(const std::vector<Graph>& queries,
     registry.Observe(steps_hist, static_cast<double>(r.stats.routing_steps));
     registry.Observe(inference_hist,
                      static_cast<double>(r.stats.model_inferences));
+    if (options.profile) stage_hists.Observe(r.stats.stages);
   };
   if (num_threads <= 0 || threads == pool_->num_threads()) {
     // Reuse the index's resident workers: no thread-creation latency per
@@ -804,10 +808,19 @@ void LanIndex::SearchInto(const Graph& query, const SearchOptions& options,
   ScratchLease lease(nullptr);
   SearchScratch* scratch = lease.get();
 
+  // Stack-allocated stage clock; a null pointer (profiling off) makes
+  // every StageSpan below a single never-taken branch, like TraceRecord.
+  StageProfile profile_storage;
+  StageProfile* const profile = options.profile ? &profile_storage : nullptr;
+
   // Pin this query's epoch: everything below reads `snap`, never the
   // index members, so a concurrent Insert/Remove publishing a successor
   // snapshot cannot be observed mid-query.
-  const std::shared_ptr<const IndexSnapshot> snap = Snapshot();
+  std::shared_ptr<const IndexSnapshot> snap;
+  {
+    StageSpan span(profile, Stage::kSnapshotPin);
+    snap = Snapshot();
+  }
   out.epoch = snap->epoch;
   const std::vector<uint8_t>* live = snap->live.get();
 
@@ -841,6 +854,7 @@ void LanIndex::SearchInto(const Graph& query, const SearchOptions& options,
   if (result_cache_ != nullptr) ctx.query_hash = query.ContentHash();
   DistanceOracle oracle(distance_provider(), db_, ctx, &query, &out.stats,
                         sink, scratch);
+  oracle.set_profile(profile);
 
   // Deterministic per-query randomness.
   uint64_t qhash = config_.seed;
@@ -854,6 +868,7 @@ void LanIndex::SearchInto(const Graph& query, const SearchOptions& options,
   // Query CG, needed by the learned components.
   CompressedGnnGraph query_cg;
   if (needs_models) {
+    StageSpan span(profile, Stage::kModelInference);
     Timer t;
     query_cg = QueryCg(query);
     out.stats.learning_seconds += t.ElapsedSeconds();
@@ -861,27 +876,30 @@ void LanIndex::SearchInto(const Graph& query, const SearchOptions& options,
 
   // ---- Initial node. ----
   GraphId start = kInvalidGraphId;
-  switch (init) {
-    case InitMethod::kLanIs: {
-      LanInitOptions init_options = config_.init;
-      init_options.threshold = nh_model_->calibrated_threshold();
-      LanInitialSelector selector(nh_model_.get(), cluster_model_.get(),
-                                  snap->clusters.get(),
-                                  snap->embeddings.get(), snap->cgs.get(),
-                                  &query_cg, &config_.embedding,
-                                  config_.use_compressed_gnn, init_options,
-                                  config_.quantized_embeddings);
-      selector.set_scratch(scratch);
-      start = selector.Select(&oracle, &rng);
-      break;
+  {
+    StageSpan init_span(profile, Stage::kInitSelection);
+    switch (init) {
+      case InitMethod::kLanIs: {
+        LanInitOptions init_options = config_.init;
+        init_options.threshold = nh_model_->calibrated_threshold();
+        LanInitialSelector selector(nh_model_.get(), cluster_model_.get(),
+                                    snap->clusters.get(),
+                                    snap->embeddings.get(), snap->cgs.get(),
+                                    &query_cg, &config_.embedding,
+                                    config_.use_compressed_gnn, init_options,
+                                    config_.quantized_embeddings);
+        selector.set_scratch(scratch);
+        start = selector.Select(&oracle, &rng);
+        break;
+      }
+      case InitMethod::kHnswIs:
+        start = snap->hnsw->SelectInitialNode(&oracle);
+        break;
+      case InitMethod::kRandomIs:
+        start = static_cast<GraphId>(
+            rng.NextBounded(static_cast<uint64_t>(snap->num_graphs)));
+        break;
     }
-    case InitMethod::kHnswIs:
-      start = snap->hnsw->SelectInitialNode(&oracle);
-      break;
-    case InitMethod::kRandomIs:
-      start = static_cast<GraphId>(
-          rng.NextBounded(static_cast<uint64_t>(snap->num_graphs)));
-      break;
   }
 
   // ---- Routing. ----
@@ -920,6 +938,7 @@ void LanIndex::SearchInto(const Graph& query, const SearchOptions& options,
   out.stats.other_seconds = std::max(
       0.0, total_timer.ElapsedSeconds() - out.stats.distance_seconds -
                out.stats.learning_seconds);
+  if (profile != nullptr) out.stats.stages = profile->breakdown();
   if (sink != nullptr) {
     TraceEvent event;
     event.type = TraceEventType::kQueryEnd;

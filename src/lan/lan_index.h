@@ -140,6 +140,12 @@ struct SearchOptions {
   /// query's events with no interleaving and must outlive the batch call.
   /// Ignored by single-query Search.
   std::function<TraceSink*(size_t query_index)> trace_factory;
+  /// Per-stage latency profiling (see common/profile.h). When set, the
+  /// query runs under a StageProfile and its exclusive per-stage times
+  /// land in SearchResult::stats.stages; SearchBatch additionally fills
+  /// `stage.<name>_seconds` histograms in the batch metrics. Off by
+  /// default: the disabled path is a null-pointer check per span.
+  bool profile = false;
 };
 
 /// \brief One query's answer.

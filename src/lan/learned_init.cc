@@ -28,6 +28,7 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
     counts = std::move(cached_counts.floats);
     counts_cached = true;
   } else {
+    StageSpan span(oracle->profile(), Stage::kModelInference);
     const std::vector<float> query_embedding =
         EmbedGraph(oracle->query(), *embedding_options_);
     counts = cluster_model_->PredictCounts(query_embedding,
@@ -84,6 +85,7 @@ GraphId LanInitialSelector::Select(DistanceOracle* oracle, Rng* rng) {
   }
   std::vector<float> probs;
   if (!candidates.empty()) {
+    StageSpan span(oracle->profile(), Stage::kModelInference);
     if (use_compressed_) {
       const QueryEncodingCache query_cache =
           nh_model_->scorer().EncodeQuery(*query_cg_);

@@ -6,6 +6,9 @@ std::vector<std::vector<GraphId>> LearnedNeighborRanker::RankNeighbors(
     const ProximityGraph& pg, GraphId node, const Graph& query) {
   const std::span<const GraphId> neighbors = pg.NeighborSpan(node);
   if (neighbors.empty()) return {};
+  // Opened inside the routing span; nested model-inference / cache-lookup
+  // spans below subtract themselves, so rerank reports batch assembly.
+  StageSpan rerank_span(oracle_->profile(), Stage::kRerank);
 
   // Outside N_Q (or before the node's own distance is known) the router
   // must not prune: one batch containing everything.
@@ -35,6 +38,7 @@ std::vector<std::vector<GraphId>> LearnedNeighborRanker::RankNeighbors(
   SearchStats* stats = oracle_->stats();
   Timer timer;
   if (!query_cache_ready_) {
+    StageSpan span(oracle_->profile(), Stage::kModelInference);
     query_cache_ = use_compressed_
                        ? model_->scorer().EncodeQuery(*query_cg_)
                        : model_->scorer().EncodeQuery(query);
@@ -42,12 +46,15 @@ std::vector<std::vector<GraphId>> LearnedNeighborRanker::RankNeighbors(
   }
   std::vector<std::vector<GraphId>> batches;
   int64_t inferences = 0;
-  if (use_compressed_) {
-    batches = model_->PredictBatches(neighbors, *db_cgs_, node, query_cache_,
-                                     &inferences);
-  } else {
-    batches = model_->PredictBatchesRaw(neighbors, oracle_->db(), node,
-                                        query_cache_, &inferences);
+  {
+    StageSpan span(oracle_->profile(), Stage::kModelInference);
+    if (use_compressed_) {
+      batches = model_->PredictBatches(neighbors, *db_cgs_, node, query_cache_,
+                                       &inferences);
+    } else {
+      batches = model_->PredictBatchesRaw(neighbors, oracle_->db(), node,
+                                          query_cache_, &inferences);
+    }
   }
   if (stats != nullptr) {
     stats->model_inferences += inferences;

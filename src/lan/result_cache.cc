@@ -132,17 +132,20 @@ ShardCacheStats ResultCache::Stats() const {
   return total;
 }
 
-void ResultCache::AppendMetrics(MetricsRegistry* registry,
-                                const ShardCacheStats* baseline) const {
-  ShardCacheStats stats = Stats();
-  if (baseline != nullptr) {
-    stats.hits -= baseline->hits;
-    stats.misses -= baseline->misses;
-    stats.inserts -= baseline->inserts;
-    stats.evictions -= baseline->evictions;
-    stats.invalidations -= baseline->invalidations;
-    stats.rejected -= baseline->rejected;
-  }
+ShardCacheStats SubtractCacheCounters(ShardCacheStats stats,
+                                      const ShardCacheStats& baseline) {
+  stats.hits -= baseline.hits;
+  stats.misses -= baseline.misses;
+  stats.inserts -= baseline.inserts;
+  stats.evictions -= baseline.evictions;
+  stats.invalidations -= baseline.invalidations;
+  stats.rejected -= baseline.rejected;
+  // entries/bytes stay absolute: they are point-in-time gauges.
+  return stats;
+}
+
+void AppendCacheMetrics(const ShardCacheStats& stats, size_t capacity_bytes,
+                        MetricsRegistry* registry) {
   registry->Increment(registry->Counter("cache.hits"), stats.hits);
   registry->Increment(registry->Counter("cache.misses"), stats.misses);
   registry->Increment(registry->Counter("cache.inserts"), stats.inserts);
@@ -150,14 +153,28 @@ void ResultCache::AppendMetrics(MetricsRegistry* registry,
   registry->Increment(registry->Counter("cache.invalidations"),
                       stats.invalidations);
   registry->Increment(registry->Counter("cache.rejected"), stats.rejected);
+  const int64_t lookups = stats.hits + stats.misses;
+  registry->SetGauge(registry->Gauge("cache.hit_rate"),
+                     lookups > 0 ? static_cast<double>(stats.hits) /
+                                       static_cast<double>(lookups)
+                                 : 0.0);
   registry->SetGauge(registry->Gauge("cache.entries"),
                      static_cast<double>(stats.entries));
   registry->SetGauge(registry->Gauge("cache.bytes"),
                      static_cast<double>(stats.bytes));
-  registry->SetGauge(
-      registry->Gauge("cache.capacity_bytes"),
-      static_cast<double>(ged_cache_.capacity_bytes() +
-                          score_cache_.capacity_bytes()));
+  registry->SetGauge(registry->Gauge("cache.capacity_bytes"),
+                     static_cast<double>(capacity_bytes));
+}
+
+size_t ResultCache::capacity_bytes() const {
+  return ged_cache_.capacity_bytes() + score_cache_.capacity_bytes();
+}
+
+void ResultCache::AppendMetrics(MetricsRegistry* registry,
+                                const ShardCacheStats* baseline) const {
+  ShardCacheStats stats = Stats();
+  if (baseline != nullptr) stats = SubtractCacheCounters(stats, *baseline);
+  AppendCacheMetrics(stats, capacity_bytes(), registry);
 }
 
 DistanceResult CachingDistanceProvider::CachedGed(const QueryContext& ctx,

@@ -15,6 +15,17 @@
 
 namespace lan {
 
+/// Returns `stats` with the counter-like fields (hits..rejected) reduced
+/// by `baseline`; the point-in-time fields (entries, bytes) pass through.
+ShardCacheStats SubtractCacheCounters(ShardCacheStats stats,
+                                      const ShardCacheStats& baseline);
+
+/// Emits one ShardCacheStats as the standard `cache.*` metrics — shared by
+/// ResultCache::AppendMetrics, ShardedLanIndex's per-shard aggregation,
+/// and the stats server's moving-baseline scrape.
+void AppendCacheMetrics(const ShardCacheStats& stats, size_t capacity_bytes,
+                        MetricsRegistry* registry);
+
 /// \brief Cross-query result-cache knobs (part of LanConfig).
 struct ResultCacheOptions {
   /// Master switch. Off by default: caching is an opt-in serving
@@ -83,11 +94,15 @@ class ResultCache {
 
   ShardCacheStats Stats() const;
 
+  /// Combined byte budget of both value stores.
+  size_t capacity_bytes() const;
+
   /// Registers/updates the `cache.*` metrics on `registry`: counters
   /// cache.hits/misses/inserts/evictions/invalidations/rejected and gauges
-  /// cache.entries/bytes/capacity_bytes. When `baseline` is non-null the
-  /// counters report the delta since it was captured (SearchBatch scopes
-  /// its per-call registry that way); gauges are always point-in-time.
+  /// cache.hit_rate/entries/bytes/capacity_bytes. When `baseline` is
+  /// non-null the counters (and the hit-rate gauge) report the delta since
+  /// it was captured (SearchBatch scopes its per-call registry that way);
+  /// the remaining gauges are always point-in-time.
   void AppendMetrics(MetricsRegistry* registry,
                      const ShardCacheStats* baseline = nullptr) const;
 

@@ -289,6 +289,29 @@ uint64_t ShardedLanIndex::epoch() const {
   return max_epoch;
 }
 
+ShardCacheStats ShardedLanIndex::CacheStats() const {
+  ShardCacheStats total;
+  for (const auto& shard : shards_) {
+    if (const ResultCache* cache = shard->result_cache()) {
+      total.Merge(cache->Stats());
+    }
+  }
+  return total;
+}
+
+void ShardedLanIndex::AppendCacheMetrics(
+    MetricsRegistry* registry, const ShardCacheStats* baseline) const {
+  ShardCacheStats stats = CacheStats();
+  if (baseline != nullptr) stats = SubtractCacheCounters(stats, *baseline);
+  size_t capacity = 0;
+  for (const auto& shard : shards_) {
+    if (const ResultCache* cache = shard->result_cache()) {
+      capacity += cache->capacity_bytes();
+    }
+  }
+  lan::AppendCacheMetrics(stats, capacity, registry);
+}
+
 Result<GraphId> ShardedLanIndex::Insert(Graph graph) {
   if (shards_.empty()) {
     return Status::FailedPrecondition("Insert before Build");

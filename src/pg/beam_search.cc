@@ -87,6 +87,10 @@ void BeamSearchRouteInto(const ProximityGraph& pg, DistanceOracle* oracle,
                          GraphId init, int beam_size, int k,
                          const std::vector<uint8_t>* live,
                          SearchScratch* scratch, RoutingResult* out) {
+  // GED evaluations inside the traversal open their own nested span, so
+  // this stage reports the traversal's self-time (pool and adjacency
+  // work), not distance time.
+  StageSpan span(oracle->profile(), Stage::kBeamSearch);
   // Both lambdas capture one pointer, so the std::function wrappers stay
   // within the small-buffer optimization — no heap allocation.
   BeamSearchRouteFnInto(

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/profile.h"
 #include "common/stats.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -213,6 +214,7 @@ class DistanceOracle {
   /// Looks up a memoized model score; charges stats->cache_hits and emits
   /// kCacheHit on a hit.
   bool FindScore(ResultKind kind, GraphId id, CachedScore* out) {
+    StageSpan span(profile_, Stage::kCacheLookup);
     if (!provider_->FindScore(ctx_, kind, id, out)) return false;
     ChargeCacheHit(kind, id, 0.0);
     return true;
@@ -220,6 +222,7 @@ class DistanceOracle {
 
   /// Offers a model score for cross-query memoization.
   void StoreScore(ResultKind kind, GraphId id, const CachedScore& value) {
+    StageSpan span(profile_, Stage::kCacheLookup);
     provider_->StoreScore(ctx_, kind, id, value);
   }
 
@@ -233,6 +236,12 @@ class DistanceOracle {
   /// so it carries the sink to all of them.
   TraceSink* trace() const { return trace_; }
   void set_trace(TraceSink* trace) { trace_ = trace; }
+
+  /// The query's stage profile (null when profiling is disabled). Carried
+  /// by the oracle for the same reason as the trace sink: every routing
+  /// and init component already receives the oracle.
+  StageProfile* profile() const { return profile_; }
+  void set_profile(StageProfile* profile) { profile_ = profile; }
 
   /// Visits every distance evaluated so far with fn(GraphId, double) —
   /// range queries harvest encounters. Iteration order is unspecified.
@@ -265,6 +274,10 @@ class DistanceOracle {
   double ComputeDistance(GraphId id) {
     DistanceResult result;
     {
+      // The span covers the provider stack: cross-query cache probes
+      // (when a caching provider is layered) and the GED computation
+      // itself are both charged to the ged stage.
+      StageSpan span(profile_, Stage::kGed);
       ScopedTimer timer(stats_ != nullptr ? &distance_timer_ : nullptr);
       result = provider_->Exact(ctx_, *query_, id);
     }
@@ -308,6 +321,7 @@ class DistanceOracle {
   const Graph* query_;
   SearchStats* stats_;
   TraceSink* trace_;
+  StageProfile* profile_ = nullptr;
   SearchScratch* scratch_;
   AccumulatingTimer distance_timer_;
   std::unordered_map<GraphId, double> cache_;

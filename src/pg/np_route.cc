@@ -228,6 +228,9 @@ void NpRouteInto(const ProximityGraph& pg, DistanceOracle* oracle,
   LAN_CHECK_GE(init, 0);
   LAN_CHECK_LT(init, pg.NumNodes());
   LAN_CHECK_GT(options.step_size, 0.0);
+  // Nested GED / rerank / model-inference spans pause this one, so the
+  // routing stage reports the walk's own bookkeeping time.
+  StageSpan span(oracle->profile(), Stage::kRouting);
   ScratchLease lease(scratch);
   lease.get()->route_states.Reset(pg.NumNodes());
   NpRouter router(pg, oracle, ranker, options, lease.get());

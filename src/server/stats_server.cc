@@ -1,0 +1,241 @@
+#include "server/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace lan {
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+/// registry names ("cache.hits", "stage.ged_seconds") map dots (and any
+/// other illegal byte) to '_'.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void AppendDouble(std::ostringstream* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out << buf;
+}
+
+/// Writes the whole buffer, tolerating short writes; returns false on a
+/// connection error (the client went away — nothing to do about it).
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+StatsServer::StatsServer(Options options) : options_(std::move(options)) {}
+
+StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status StatsServer::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("stats server: socket() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("stats server: bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("stats server: bind(" + options_.bind_address +
+                            ":" + std::to_string(options_.port) +
+                            ") failed: " + err);
+  }
+  if (listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("stats server: listen() failed: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void StatsServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    // The poll timeout bounds how long Stop() waits for the thread.
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+void StatsServer::ServeConnection(int fd) {
+  // Read until the end of the request headers (we never accept bodies).
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  HttpResponse response;
+  HttpRequest parsed;
+  const size_t line_end = request.find("\r\n");
+  std::istringstream line(request.substr(0, line_end));
+  std::string target, version;
+  if (!(line >> parsed.method >> target >> version) ||
+      parsed.method != "GET") {
+    response.status = 400;
+    response.body = "bad request\n";
+  } else {
+    const size_t qmark = target.find('?');
+    parsed.path = target.substr(0, qmark);
+    if (qmark != std::string::npos) parsed.query = target.substr(qmark + 1);
+    auto it = handlers_.find(parsed.path);
+    if (it == handlers_.end()) {
+      response.status = 404;
+      response.body = "not found\n";
+    } else {
+      response = it->second(parsed);
+    }
+  }
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << ' ' << StatusText(response.status)
+      << "\r\nContent-Type: " << response.content_type
+      << "\r\nContent-Length: " << response.body.size()
+      << "\r\nConnection: close\r\n\r\n"
+      << response.body;
+  WriteAll(fd, out.str());
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = SanitizeMetricName(name);
+    out << "# HELP " << prom << " lan metric " << name << '\n';
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = SanitizeMetricName(name);
+    out << "# HELP " << prom << " lan metric " << name << '\n';
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << ' ';
+    AppendDouble(&out, value);
+    out << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = SanitizeMetricName(name);
+    out << "# HELP " << prom << " lan metric " << name << '\n';
+    out << "# TYPE " << prom << " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += b < h.bucket_counts.size() ? h.bucket_counts[b] : 0;
+      out << prom << "_bucket{le=\"";
+      AppendDouble(&out, h.bounds[b]);
+      out << "\"} " << cumulative << '\n';
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    out << prom << "_sum ";
+    AppendDouble(&out, h.sum);
+    out << '\n';
+    out << prom << "_count " << h.count << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace lan

@@ -1,0 +1,92 @@
+#ifndef LAN_SERVER_STATS_SERVER_H_
+#define LAN_SERVER_STATS_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace lan {
+
+/// \brief One parsed request line. Only the method and split path matter;
+/// headers are read and discarded (this server speaks just enough
+/// HTTP/1.1 for scrapers and curl).
+struct HttpRequest {
+  std::string method;
+  std::string path;   // path without the query string
+  std::string query;  // raw query string ("" if none)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// \brief Minimal dependency-free embedded HTTP/1.1 stats server.
+///
+/// One listener socket plus one accept thread; each connection is served
+/// inline (read request, dispatch the exact-path handler, write response,
+/// close). That is the right shape for an observability port — a handful
+/// of scrapers, never user traffic — and keeps the subsystem free of any
+/// HTTP library dependency. Handlers run on the accept thread and must be
+/// thread-safe against the serving threads they observe.
+///
+/// Lifecycle: register handlers, Start() (binds, resolves port 0 to the
+/// kernel-assigned ephemeral port, spawns the thread), Stop() to join.
+/// Start-after-Stop is not supported; create a new server instead.
+class StatsServer {
+ public:
+  struct Options {
+    /// Loopback by default: the stats port exposes internals and has no
+    /// auth, so exporting it off-host is an explicit operator decision.
+    std::string bind_address = "127.0.0.1";
+    /// 0 = kernel-assigned ephemeral port (read it back via port()).
+    int port = 0;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit StatsServer(Options options);
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Registers an exact-path GET handler ("/metrics"). Call before Start.
+  void Handle(std::string path, Handler handler);
+
+  Status Start();
+  /// Idempotent; joins the accept thread. Also called by the destructor.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  std::map<std::string, Handler> handlers_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+};
+
+/// Renders a MetricsSnapshot in Prometheus text exposition format
+/// (text/plain; version=0.0.4). Dotted names are sanitized to underscores
+/// for the series names; each series' HELP line carries the original
+/// registry name (`# HELP cache_hits lan metric cache.hits`), so the
+/// exposition stays greppable by either spelling. Histograms render as
+/// cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace lan
+
+#endif  // LAN_SERVER_STATS_SERVER_H_

@@ -209,6 +209,152 @@ TEST(MetricsRegistryTest, CacheMetricsAreNamespacedAndCollisionFree) {
   EXPECT_NE(json.find("\"cache.capacity_bytes\""), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, PercentileOfEmptyHistogramIsZero) {
+  MetricsRegistry registry;
+  registry.Histogram("empty", MetricsRegistry::LatencyBounds());
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* h = snapshot.FindHistogram("empty");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(100), 0.0);
+}
+
+TEST(MetricsRegistryTest, PercentileWithEverythingInOverflowBucket) {
+  // CountBounds tops out at 1e5: all observations land in the open-ended
+  // overflow bucket, whose upper edge is the observed max.
+  MetricsRegistry registry;
+  const HistogramId hist =
+      registry.Histogram("overflow", MetricsRegistry::CountBounds());
+  registry.Observe(hist, 2e5);
+  registry.Observe(hist, 4e5);
+  registry.Observe(hist, 8e5);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* h = snapshot.FindHistogram("overflow");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3);
+  for (double pct : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_GE(h->Percentile(pct), 2e5) << pct;  // clamped to observed min
+    EXPECT_LE(h->Percentile(pct), 8e5) << pct;  // clamped to observed max
+  }
+}
+
+TEST(MetricsRegistryTest, PercentileOfSingleValueBucketIsExact) {
+  // When every observation is the same value, min == max pins the
+  // interpolation: any percentile must return exactly that value.
+  MetricsRegistry registry;
+  const HistogramId hist =
+      registry.Histogram("constant", MetricsRegistry::CountBounds());
+  for (int i = 0; i < 10; ++i) registry.Observe(hist, 42.0);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* h = snapshot.FindHistogram("constant");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->Percentile(1), 42.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(99), 42.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotMergeKeepsDisjointSeries) {
+  // Merging snapshots from registries with different layouts must append
+  // the series only one side has (counters sum, gauges incoming-wins).
+  MetricsRegistry a, b;
+  a.Increment(a.Counter("a_only"), 2);
+  a.Increment(a.Counter("shared"), 1);
+  a.SetGauge(a.Gauge("gauge_a"), 1.5);
+  b.Increment(b.Counter("b_only"), 7);
+  b.Increment(b.Counter("shared"), 4);
+  b.SetGauge(b.Gauge("gauge_b"), 2.5);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  ASSERT_NE(merged.FindCounter("a_only"), nullptr);
+  ASSERT_NE(merged.FindCounter("b_only"), nullptr);
+  EXPECT_EQ(*merged.FindCounter("a_only"), 2);
+  EXPECT_EQ(*merged.FindCounter("b_only"), 7);
+  EXPECT_EQ(*merged.FindCounter("shared"), 5);
+  ASSERT_NE(merged.FindGauge("gauge_a"), nullptr);
+  ASSERT_NE(merged.FindGauge("gauge_b"), nullptr);
+  EXPECT_DOUBLE_EQ(*merged.FindGauge("gauge_a"), 1.5);
+  EXPECT_DOUBLE_EQ(*merged.FindGauge("gauge_b"), 2.5);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsConflictIsCountedNotSilent) {
+  MetricsRegistry registry;
+  const HistogramId first =
+      registry.Histogram("latency", MetricsRegistry::LatencyBounds());
+  // No conflict yet: the counter must not pollute clean registries.
+  EXPECT_EQ(registry.Snapshot().FindCounter("metrics.bounds_conflicts"),
+            nullptr);
+
+  // Re-registration with different bounds: first registration wins, the
+  // conflict is tracked, and the returned id still works.
+  const HistogramId conflicting =
+      registry.Histogram("latency", MetricsRegistry::CountBounds());
+  EXPECT_EQ(first.slot, conflicting.slot);
+  registry.Observe(conflicting, 0.5);
+  registry.Histogram("latency", MetricsRegistry::CountBounds());
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const int64_t* conflicts = snapshot.FindCounter("metrics.bounds_conflicts");
+  ASSERT_NE(conflicts, nullptr);
+  EXPECT_EQ(*conflicts, 2);
+  const HistogramSnapshot* h = snapshot.FindHistogram("latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1);
+
+  // Same-bounds re-registration stays conflict-free.
+  registry.Histogram("latency", MetricsRegistry::LatencyBounds());
+  EXPECT_EQ(*registry.Snapshot().FindCounter("metrics.bounds_conflicts"), 2);
+}
+
+TEST(CacheMetricsTest, HitRateGaugeReflectsLookups) {
+  ResultCacheOptions options;
+  options.enabled = true;
+  options.capacity_bytes = 1 << 20;
+  options.num_shards = 2;
+  ResultCache cache(options);
+  cache.PutGed(/*query_hash=*/1, /*id=*/0, ResultKind::kExactGed,
+               /*epoch=*/0, 3.0);
+  double value = 0.0;
+  EXPECT_TRUE(cache.FindGed(1, 0, ResultKind::kExactGed, 0, &value));  // hit
+  EXPECT_FALSE(cache.FindGed(2, 1, ResultKind::kExactGed, 0, &value));
+  EXPECT_FALSE(cache.FindGed(3, 2, ResultKind::kExactGed, 0, &value));
+
+  MetricsRegistry registry;
+  cache.AppendMetrics(&registry);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const double* hit_rate = snapshot.FindGauge("cache.hit_rate");
+  ASSERT_NE(hit_rate, nullptr);
+  EXPECT_NEAR(*hit_rate, 1.0 / 3.0, 1e-9);
+  ASSERT_NE(snapshot.FindGauge("cache.capacity_bytes"), nullptr);
+  EXPECT_DOUBLE_EQ(*snapshot.FindGauge("cache.capacity_bytes"),
+                   static_cast<double>(cache.capacity_bytes()));
+}
+
+TEST(CacheMetricsTest, BaselineSubtractionScopesCountersNotGauges) {
+  ShardCacheStats baseline;
+  baseline.hits = 10;
+  baseline.misses = 5;
+  ShardCacheStats now = baseline;
+  now.hits = 30;  // +20 since the baseline
+  now.misses = 5;
+  now.entries = 7;
+  now.bytes = 512;
+  const ShardCacheStats delta = SubtractCacheCounters(now, baseline);
+  EXPECT_EQ(delta.hits, 20);
+  EXPECT_EQ(delta.misses, 0);
+  EXPECT_EQ(delta.entries, 7);  // point-in-time, not subtracted
+  EXPECT_EQ(delta.bytes, 512);
+
+  MetricsRegistry registry;
+  AppendCacheMetrics(delta, /*capacity_bytes=*/1024, &registry);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(*snapshot.FindCounter("cache.hits"), 20);
+  EXPECT_DOUBLE_EQ(*snapshot.FindGauge("cache.hit_rate"), 1.0);
+  EXPECT_DOUBLE_EQ(*snapshot.FindGauge("cache.entries"), 7.0);
+}
+
 // ---------------------------------------------------------------------------
 // QueryTrace (standalone)
 // ---------------------------------------------------------------------------
@@ -612,6 +758,42 @@ TEST(ShardedObservabilityTest, OptionsSearchEmitsShardEvents) {
   EXPECT_EQ(trace.CountOf(TraceEventType::kShard), 2);
   EXPECT_EQ(trace.CountOf(TraceEventType::kQueryBegin), 2);  // one per shard
   EXPECT_EQ(trace.CountOf(TraceEventType::kDistance), with_trace.stats.ndc);
+}
+
+TEST(ShardedObservabilityTest, AppendCacheMetricsAggregatesShards) {
+  DatasetSpec spec = DatasetSpec::SynLike(30);
+  GraphDatabase db = GenerateDatabase(spec, 94);
+  ShardedIndexOptions sharded_options;
+  sharded_options.num_shards = 2;
+  sharded_options.shard_config = TinyConfig();
+  sharded_options.shard_config.cache.enabled = true;
+  sharded_options.shard_config.cache.capacity_bytes = 1 << 20;
+  ShardedLanIndex sharded(sharded_options);
+  ASSERT_TRUE(sharded.Build(db).ok());
+  WorkloadOptions wopts;
+  wopts.num_queries = 8;
+  QueryWorkload workload = SampleWorkload(db, wopts, 95);
+  ASSERT_TRUE(sharded.Train(workload.train).ok());
+
+  const ShardCacheStats before = sharded.CacheStats();
+  SearchOptions options;
+  options.k = 3;
+  const Graph& query = workload.test.front();
+  ASSERT_TRUE(sharded.Search(query, options).status.ok());
+  ASSERT_TRUE(sharded.Search(query, options).status.ok());  // repeat: hits
+  const ShardCacheStats after = sharded.CacheStats();
+  EXPECT_GT(after.hits + after.misses, before.hits + before.misses);
+
+  MetricsRegistry registry;
+  sharded.AppendCacheMetrics(&registry, &before);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_NE(snapshot.FindCounter("cache.hits"), nullptr);
+  ASSERT_NE(snapshot.FindGauge("cache.hit_rate"), nullptr);
+  EXPECT_EQ(*snapshot.FindCounter("cache.hits"), after.hits - before.hits);
+  EXPECT_GT(*snapshot.FindGauge("cache.hit_rate"), 0.0);
+  // Capacity aggregates across both shards' caches.
+  EXPECT_GE(*snapshot.FindGauge("cache.capacity_bytes"),
+            static_cast<double>(1 << 20));
 }
 
 TEST(ShardedObservabilityTest, SearchBeforeBuildReturnsError) {

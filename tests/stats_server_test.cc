@@ -1,0 +1,301 @@
+// Tests for the serving observability plumbing: the embedded HTTP stats
+// server (request handling over a real socket, Prometheus rendering), the
+// slow-query ring (top-K retention, drain-on-read), and the sampled trace
+// sink (deterministic 1-in-N selection, buffer pooling).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/slow_query.h"
+#include "common/trace.h"
+#include "server/stats_server.h"
+
+namespace lan {
+namespace {
+
+/// Blocking one-shot HTTP client against 127.0.0.1:`port` — raw sockets,
+/// so the test exercises the server exactly the way curl would.
+std::string Fetch(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return Fetch(port,
+               "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+TEST(StatsServerTest, ServesRegisteredPathsOnEphemeralPort) {
+  StatsServer server(StatsServer::Options{});
+  server.Handle("/metrics", [](const HttpRequest& request) {
+    EXPECT_EQ(request.method, "GET");
+    EXPECT_EQ(request.path, "/metrics");
+    HttpResponse response;
+    response.body = "queries 7\n";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string response = Get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 10"), std::string::npos);
+  EXPECT_NE(response.find("queries 7\n"), std::string::npos);
+  server.Stop();
+}
+
+TEST(StatsServerTest, QueryStringIsSplitOffThePath) {
+  StatsServer server(StatsServer::Options{});
+  std::string seen_query;
+  server.Handle("/slowz", [&seen_query](const HttpRequest& request) {
+    seen_query = request.query;
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = Get(server.port(), "/slowz?limit=5");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(seen_query, "limit=5");
+  server.Stop();
+}
+
+TEST(StatsServerTest, UnknownPathIs404AndBadMethodIs400) {
+  StatsServer server(StatsServer::Options{});
+  server.Handle("/metrics", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(Get(server.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_NE(
+      Fetch(server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+          .find("400"),
+      std::string::npos);
+  server.Stop();
+}
+
+TEST(StatsServerTest, StopIsIdempotent) {
+  auto server = std::make_unique<StatsServer>(StatsServer::Options{});
+  server->Handle("/healthz", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server->Start().ok());
+  server->Stop();
+  server->Stop();        // second Stop is a no-op
+  server.reset();        // destructor after Stop is safe too
+}
+
+TEST(StatsServerTest, RejectsPortAlreadyInUse) {
+  StatsServer first(StatsServer::Options{});
+  first.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(first.Start().ok());
+  StatsServer::Options clash;
+  clash.port = first.port();
+  StatsServer second(clash);
+  EXPECT_FALSE(second.Start().ok());
+  first.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus rendering
+// ---------------------------------------------------------------------------
+
+TEST(RenderPrometheusTest, SanitizesDottedNamesAndKeepsOriginalInHelp) {
+  MetricsRegistry registry;
+  registry.Increment(registry.Counter("cache.hits"), 12);
+  registry.SetGauge(registry.Gauge("cache.hit_rate"), 0.75);
+  const std::string text = RenderPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP cache_hits lan metric cache.hits"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cache_hits counter"), std::string::npos);
+  EXPECT_NE(text.find("\ncache_hits 12\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cache_hit_rate gauge"), std::string::npos);
+  EXPECT_NE(text.find("cache_hit_rate 0.75"), std::string::npos);
+  // The dotted spelling must never appear as a series name.
+  EXPECT_EQ(text.find("\ncache.hits "), std::string::npos);
+}
+
+TEST(RenderPrometheusTest, HistogramsRenderCumulativeBuckets) {
+  MetricsRegistry registry;
+  const HistogramId hist =
+      registry.Histogram("stage.ged_seconds", MetricsRegistry::LatencyBounds());
+  registry.Observe(hist, 0.0001);
+  registry.Observe(hist, 0.01);
+  registry.Observe(hist, 100.0);  // overflow bucket
+  const std::string text = RenderPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE stage_ged_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage_ged_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("stage_ged_seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("stage_ged_seconds_sum"), std::string::npos);
+
+  // Cumulative: bucket values must be monotonically non-decreasing.
+  std::istringstream lines(text);
+  std::string line;
+  int64_t previous = 0;
+  int buckets = 0;
+  while (std::getline(lines, line)) {
+    const std::string prefix = "stage_ged_seconds_bucket{le=\"";
+    if (line.rfind(prefix, 0) != 0) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    const int64_t value = std::stoll(line.substr(space + 1));
+    EXPECT_GE(value, previous) << line;
+    previous = value;
+    ++buckets;
+  }
+  EXPECT_GT(buckets, 2);
+  EXPECT_EQ(previous, 3);  // the +Inf bucket holds everything
+}
+
+TEST(RenderPrometheusTest, EmptySnapshotRendersEmptyString) {
+  MetricsSnapshot snapshot;
+  EXPECT_EQ(RenderPrometheus(snapshot), "");
+}
+
+// ---------------------------------------------------------------------------
+// SlowQueryRing
+// ---------------------------------------------------------------------------
+
+SlowQueryRecord MakeRecord(int64_t query_id, double latency) {
+  SlowQueryRecord record;
+  record.query_id = query_id;
+  record.latency_seconds = latency;
+  TraceEvent event;
+  event.type = TraceEventType::kQueryBegin;
+  record.trace.Record(event);
+  return record;
+}
+
+TEST(SlowQueryRingTest, RetainsTheSlowestKAndDrainsSortedDescending) {
+  SlowQueryRing ring(/*capacity=*/4, /*num_shards=*/2);
+  for (int64_t i = 0; i < 20; ++i) {
+    // Latency grows with the id: ids 16..19 are the slowest.
+    ring.Offer(MakeRecord(i, 0.001 * static_cast<double>(i + 1)));
+  }
+  std::vector<SlowQueryRecord> drained = ring.Drain();
+  ASSERT_EQ(drained.size(), 4u);
+  std::set<int64_t> ids;
+  for (size_t i = 0; i < drained.size(); ++i) {
+    ids.insert(drained[i].query_id);
+    if (i > 0) {
+      EXPECT_LE(drained[i].latency_seconds, drained[i - 1].latency_seconds);
+    }
+  }
+  EXPECT_EQ(ids, (std::set<int64_t>{16, 17, 18, 19}));
+
+  // Drain-on-read: the ring resets and starts collecting fresh.
+  EXPECT_TRUE(ring.Drain().empty());
+  ring.Offer(MakeRecord(99, 0.5));
+  std::vector<SlowQueryRecord> second = ring.Drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].query_id, 99);
+}
+
+TEST(SlowQueryRingTest, FastQueriesNeverEvictSlowOnes) {
+  SlowQueryRing ring(/*capacity=*/2, /*num_shards=*/1);
+  ring.Offer(MakeRecord(1, 1.0));
+  ring.Offer(MakeRecord(2, 2.0));
+  for (int64_t i = 10; i < 40; ++i) {
+    ring.Offer(MakeRecord(i, 0.001));  // all faster than the retained floor
+  }
+  std::vector<SlowQueryRecord> drained = ring.Drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].query_id, 2);
+  EXPECT_EQ(drained[1].query_id, 1);
+}
+
+TEST(SlowQueryRingTest, JsonLinesCarryHeaderStagesAndTrace) {
+  SlowQueryRing ring(/*capacity=*/2);
+  SlowQueryRecord record = MakeRecord(7, 0.25);
+  record.stats.ndc = 11;
+  record.stats.stages.seconds[static_cast<size_t>(Stage::kGed)] = 0.2;
+  record.stats.stages.counts[static_cast<size_t>(Stage::kGed)] = 11;
+  ring.Offer(std::move(record));
+  std::ostringstream out;
+  WriteSlowQueryJsonLines(ring.Drain(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"type\":\"slow_query\""), std::string::npos);
+  EXPECT_NE(text.find("\"query_id\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"latency_seconds\":0.25"), std::string::npos);
+  EXPECT_NE(text.find("\"ndc\":11"), std::string::npos);
+  EXPECT_NE(text.find("\"stages\":"), std::string::npos);
+  // The retained trace follows the header as ordinary trace JSON lines.
+  EXPECT_NE(text.find("\"type\":\"query_begin\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SamplingTraceSink
+// ---------------------------------------------------------------------------
+
+TEST(SamplingTraceSinkTest, SamplesDeterministicallyOneInN) {
+  SamplingTraceSink sink(4);
+  std::vector<int64_t> sampled;
+  for (int64_t qid = 0; qid < 12; ++qid) {
+    QueryTrace* trace = sink.Begin(qid);
+    EXPECT_EQ(trace != nullptr, sink.Sampled(qid)) << qid;
+    if (trace != nullptr) {
+      sampled.push_back(qid);
+      sink.End(trace);
+    }
+  }
+  EXPECT_EQ(sampled, (std::vector<int64_t>{0, 4, 8}));
+}
+
+TEST(SamplingTraceSinkTest, EveryOneTracesEveryQuery) {
+  SamplingTraceSink sink(1);
+  for (int64_t qid = 0; qid < 5; ++qid) {
+    QueryTrace* trace = sink.Begin(qid);
+    ASSERT_NE(trace, nullptr);
+    sink.End(trace);
+  }
+}
+
+TEST(SamplingTraceSinkTest, PoolsAndClearsTraceBuffers) {
+  SamplingTraceSink sink(1);
+  QueryTrace* first = sink.Begin(0);
+  ASSERT_NE(first, nullptr);
+  TraceEvent event;
+  event.type = TraceEventType::kDistance;
+  first->Record(event);
+  sink.End(first);
+
+  // The pooled buffer comes back cleared, not carrying stale events.
+  QueryTrace* second = sink.Begin(1);
+  ASSERT_EQ(second, first);
+  EXPECT_TRUE(second->events().empty());
+  sink.End(second);
+}
+
+TEST(SamplingTraceSinkTest, ClampsNonPositiveRateToEveryQuery) {
+  SamplingTraceSink sink(0);
+  EXPECT_EQ(sink.every(), 1);
+  EXPECT_TRUE(sink.Sampled(3));
+  // Negative query ids (anonymous) are never sampled.
+  EXPECT_FALSE(sink.Sampled(-1));
+}
+
+}  // namespace
+}  // namespace lan

@@ -10,6 +10,7 @@
 //   lan_tool snapshot save    --db db.gdb --out idx.lansnap
 //   lan_tool snapshot load    --snapshot idx.lansnap --k 10
 //   lan_tool snapshot inspect --snapshot idx.lansnap
+//   lan_tool serve    --snapshot idx.lansnap --stats-port 8080
 //
 // `build` trains the learned components and checkpoints them; `search`
 // and `eval` reload the checkpoint, so the expensive phases run once.
@@ -21,20 +22,32 @@
 // embeddings, clusters, CGs, HNSW, models — into one file; `load` mmaps
 // that file into a ready index without the original database and runs a
 // few sanity queries; `inspect` prints the section table.
+// `serve` opens a snapshot and runs a self-generated query loop with the
+// embedded stats server attached (/metrics, /statusz, /slowz, /healthz)
+// until SIGTERM/SIGINT; `--stats-port` also attaches the server to
+// `search` and `eval` for long runs.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cpu_features.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/profile.h"
+#include "common/slow_query.h"
 #include "common/timer.h"
 #include "common/trace.h"
 #include "graph/graph_generator.h"
@@ -42,6 +55,7 @@
 #include "lan/evaluation.h"
 #include "lan/lan_index.h"
 #include "lan/workload.h"
+#include "server/stats_server.h"
 #include "store/snapshot.h"
 
 namespace lan {
@@ -79,7 +93,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: lan_tool "
                "<generate|stats|build|search|eval|diagnose|insert|remove|"
-               "snapshot> [--flag value ...]\n"
+               "snapshot|serve> [--flag value ...]\n"
                "  global   --force-scalar 1     pin scalar kernels "
                "(bit-reproducible; same as LAN_FORCE_SCALAR=1)\n"
                "           --quantized 1        int8 embedding plane for "
@@ -95,9 +109,12 @@ int Usage() {
                "           [--ged-cache-mb N]    cross-query result cache "
                "budget (0 = off)\n"
                "           [--cache-admission admit_all|admit_on_repeat]\n"
+               "           [--stats-port P]      embedded stats server "
+               "(0 = ephemeral port)\n"
                "  eval     --db FILE --models FILE [--index FILE] [--k K]\n"
                "           [--trace-out FILE] [--metrics-out FILE]\n"
                "           [--ged-cache-mb N] [--cache-admission ...]\n"
+               "           [--stats-port P]\n"
                "  diagnose --db FILE --models FILE [--index FILE]\n"
                "  insert   --db FILE --count N [--seed S] [--edits E]\n"
                "           [--index FILE] [--models FILE] [--build-threads N]\n"
@@ -109,7 +126,19 @@ int Usage() {
                "[--seed S]\n"
                "                   (--queries 0 skips model training)\n"
                "  snapshot load    --snapshot FILE [--k K] [--queries N]\n"
-               "  snapshot inspect --snapshot FILE\n");
+               "  snapshot inspect --snapshot FILE\n"
+               "  serve    --snapshot FILE [--stats-port P] [--k K]\n"
+               "           [--port-file FILE]    write the bound port\n"
+               "           [--queries N]         query pool size (default 8)\n"
+               "           [--max-queries N]     stop after N (0 = until "
+               "SIGTERM)\n"
+               "           [--trace-sample N]    trace 1-in-N queries "
+               "(default 1)\n"
+               "           [--slow-queries K]    /slowz ring size "
+               "(default 16)\n"
+               "           [--slow-inject-every N] widen every Nth query's "
+               "beam\n"
+               "           [--throttle-ms N]     sleep between queries\n");
   return 2;
 }
 
@@ -397,6 +426,63 @@ int CloseOut(std::ofstream* out, const std::string& path) {
   return 0;
 }
 
+/// Writes the bound stats port to `--port-file` so scripts launching the
+/// tool with an ephemeral port (--stats-port 0) can learn where it landed.
+int WritePortFile(const Flags& flags, int port) {
+  if (!flags.Has("port-file")) return 0;
+  const std::string path = flags.Get("port-file", "");
+  auto out = OpenOut(path);
+  if (out == nullptr) return 1;
+  *out << port << "\n";
+  return CloseOut(out.get(), path);
+}
+
+/// Attaches the embedded stats server to a long-running command when
+/// `--stats-port P` is present (0 = kernel-assigned; the bound port is
+/// printed and written to `--port-file`). Serves /metrics, /statusz and
+/// /healthz straight off `registry`, which must outlive the returned
+/// server. Returns null without the flag; exits on bind failure so a
+/// mistyped port fails loudly instead of running unobserved.
+std::unique_ptr<StatsServer> StartStatsServer(const Flags& flags,
+                                              MetricsRegistry* registry) {
+  if (!flags.Has("stats-port")) return nullptr;
+  StatsServer::Options options;
+  options.port = static_cast<int>(flags.GetInt("stats-port", 0));
+  auto server = std::make_unique<StatsServer>(options);
+  server->Handle("/metrics", [registry](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheus(registry->Snapshot());
+    return response;
+  });
+  server->Handle("/healthz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+  auto uptime = std::make_shared<Timer>();
+  server->Handle("/statusz", [registry, uptime](const HttpRequest&) {
+    std::ostringstream body;
+    body << "{\"uptime_seconds\":" << uptime->ElapsedSeconds()
+         << ",\"simd\":{\"detected\":\"" << SimdLevelName(DetectedSimdLevel())
+         << "\",\"active\":\"" << SimdLevelName(ActiveSimdLevel()) << "\"}"
+         << ",\"metrics\":" << registry->Snapshot().ToJson() << "}\n";
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = body.str();
+    return response;
+  });
+  if (Status s = server->Start(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  if (WritePortFile(flags, server->port()) != 0) std::exit(1);
+  std::printf("stats server on http://%s:%d\n", options.bind_address.c_str(),
+              server->port());
+  std::fflush(stdout);
+  return server;
+}
+
 int SearchCmd(const Flags& flags) {
   auto loaded = LoadIndex(flags);
   if (loaded == nullptr) return 1;
@@ -429,11 +515,15 @@ int SearchCmd(const Flags& flags) {
       "query_latency_seconds", MetricsRegistry::LatencyBounds());
   const HistogramId ndc_hist =
       registry.Histogram("query_ndc", MetricsRegistry::CountBounds());
+  StageHistograms stage_hists;
+  stage_hists.Register(&registry);
+  auto stats_server = StartStatsServer(flags, &registry);
 
   QueryTrace trace;
   for (size_t i = 0; i < queries.size(); ++i) {
     SearchOptions options;
     options.k = k;
+    options.profile = true;
     if (trace_out != nullptr) {
       trace.Clear();
       options.trace = &trace;
@@ -443,6 +533,7 @@ int SearchCmd(const Flags& flags) {
     registry.Increment(queries_counter);
     registry.Observe(latency_hist, timer.ElapsedSeconds());
     registry.Observe(ndc_hist, static_cast<double>(result.stats.ndc));
+    stage_hists.Observe(result.stats.stages);
     if (!result.status.ok()) {
       std::fprintf(stderr, "query %zu failed: %s\n", i,
                    result.status.ToString().c_str());
@@ -560,6 +651,7 @@ int Eval(const Flags& flags) {
   std::vector<KnnList> truths =
       BuildTruths(loaded->db, workload.test, k, ged);
   MetricsRegistry registry;
+  auto stats_server = StartStatsServer(flags, &registry);
   PrintCurveHeader(k);
   PrintCurve(SweepIndex(loaded->index, RoutingMethod::kLanRoute,
                         InitMethod::kLanIs, workload.test, truths, k,
@@ -708,6 +800,216 @@ int SnapshotInspect(const Flags& flags) {
   return 0;
 }
 
+/// SIGTERM/SIGINT latch for `serve`: the handler only sets a flag; the
+/// query loop notices it between queries and shuts down cleanly (stats
+/// server joined, summary printed).
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStopSignal(int) { g_stop = 1; }
+
+/// `serve`: opens a snapshot and runs a self-generated query loop with the
+/// embedded stats server attached until SIGTERM/SIGINT (or --max-queries).
+/// Every query runs with the stage profiler on; 1-in-`--trace-sample`
+/// queries carry a full trace, and the slowest land in the /slowz ring
+/// with their trace and per-stage breakdown.
+int Serve(const Flags& flags) {
+  const std::string path = flags.Get("snapshot", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "serve: --snapshot is required\n");
+    return 2;
+  }
+  LanIndex index(ToolConfig(flags));
+  Timer open_timer;
+  if (Status s = index.OpenSnapshot(path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("opened %s in %.3fs: %d graphs (%d live), epoch %llu, %s\n",
+              path.c_str(), open_timer.ElapsedSeconds(), index.db().size(),
+              index.live_size(),
+              static_cast<unsigned long long>(index.epoch()),
+              index.trained() ? "trained" : "untrained");
+
+  // The query pool: sampled perturbations of database graphs, cycled
+  // forever. Self-contained like `snapshot load` — no --db needed.
+  WorkloadOptions wopts;
+  wopts.num_queries = flags.GetInt("queries", 8);
+  QueryWorkload workload = SampleWorkload(
+      index.db(), wopts, static_cast<uint64_t>(flags.GetInt("seed", 123)));
+  std::vector<Graph> queries = workload.train;
+  queries.insert(queries.end(), workload.validation.begin(),
+                 workload.validation.end());
+  queries.insert(queries.end(), workload.test.begin(), workload.test.end());
+  if (queries.empty()) {
+    std::fprintf(stderr, "serve: empty query pool\n");
+    return 1;
+  }
+
+  const int k = static_cast<int>(flags.GetInt("k", 10));
+  const int64_t max_queries = flags.GetInt("max-queries", 0);
+  const int64_t slow_inject_every = flags.GetInt("slow-inject-every", 0);
+  const int64_t throttle_ms = flags.GetInt("throttle-ms", 0);
+  SearchOptions base_options;
+  base_options.k = k;
+  base_options.profile = true;
+  if (!index.trained()) {
+    base_options.routing = RoutingMethod::kBaselineRoute;
+    base_options.init = InitMethod::kHnswIs;
+  }
+
+  MetricsRegistry registry;
+  const CounterId queries_counter = registry.Counter("queries");
+  const CounterId errors_counter = registry.Counter("query_errors");
+  const HistogramId latency_hist = registry.Histogram(
+      "query_latency_seconds", MetricsRegistry::LatencyBounds());
+  const HistogramId ndc_hist =
+      registry.Histogram("query_ndc", MetricsRegistry::CountBounds());
+  StageHistograms stage_hists;
+  stage_hists.Register(&registry);
+  registry.SetGauge(registry.Gauge("index_live_size"),
+                    static_cast<double>(index.live_size()));
+  registry.SetGauge(registry.Gauge("index_tombstones"),
+                    static_cast<double>(index.tombstones()));
+  registry.SetGauge(registry.Gauge("index_epoch"),
+                    static_cast<double>(index.epoch()));
+
+  SamplingTraceSink sampler(flags.GetInt("trace-sample", 1));
+  SlowQueryRing slow_ring(static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("slow-queries", 16))));
+  std::atomic<int64_t> served{0};
+  Timer uptime;
+
+  // Repeated /metrics scrapes must export cache counter deltas, not
+  // re-add lifetime totals (AppendCacheMetrics increments), so the scrape
+  // keeps a moving baseline under its own mutex.
+  std::mutex scrape_mu;
+  ShardCacheStats cache_baseline;
+
+  StatsServer::Options server_options;
+  server_options.port = static_cast<int>(flags.GetInt("stats-port", 0));
+  StatsServer server(server_options);
+  server.Handle("/metrics", [&](const HttpRequest&) {
+    std::lock_guard<std::mutex> lock(scrape_mu);
+    if (ResultCache* cache = index.result_cache()) {
+      const ShardCacheStats now = cache->Stats();
+      AppendCacheMetrics(SubtractCacheCounters(now, cache_baseline),
+                         cache->capacity_bytes(), &registry);
+      cache_baseline = now;
+    }
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderPrometheus(registry.Snapshot());
+    return response;
+  });
+  server.Handle("/healthz", [&](const HttpRequest&) {
+    HttpResponse response;
+    if (const Status ready = index.Ready(base_options); ready.ok()) {
+      response.body = "ok\n";
+    } else {
+      response.status = 503;
+      response.body = ready.ToString() + "\n";
+    }
+    return response;
+  });
+  server.Handle("/statusz", [&](const HttpRequest&) {
+    const ResultCache* cache = index.result_cache();
+    std::ostringstream body;
+    body << "{\"uptime_seconds\":" << uptime.ElapsedSeconds()
+         << ",\"snapshot\":\"" << path << "\""
+         << ",\"queries_served\":" << served.load()
+         << ",\"epoch\":" << index.epoch()
+         << ",\"live_graphs\":" << index.live_size()
+         << ",\"tombstones\":" << index.tombstones()
+         << ",\"trained\":" << (index.trained() ? "true" : "false")
+         << ",\"trace_sample\":" << sampler.every()
+         << ",\"slow_ring_capacity\":" << slow_ring.capacity()
+         << ",\"simd\":{\"detected\":\"" << SimdLevelName(DetectedSimdLevel())
+         << "\",\"active\":\"" << SimdLevelName(ActiveSimdLevel()) << "\"}"
+         << ",\"cache_bytes\":" << (cache != nullptr ? cache->Stats().bytes : 0)
+         << ",\"build\":{\"compiler\":\"" << __VERSION__ << "\"}"
+         << ",\"metrics\":" << registry.Snapshot().ToJson() << "}\n";
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = body.str();
+    return response;
+  });
+  server.Handle("/slowz", [&](const HttpRequest&) {
+    // Drain-on-read, like a counter delta: each fetch returns the slowest
+    // queries since the previous fetch and resets the ring.
+    std::ostringstream body;
+    WriteSlowQueryJsonLines(slow_ring.Drain(), body);
+    HttpResponse response;
+    response.content_type = "application/x-ndjson";
+    response.body = body.str();
+    return response;
+  });
+
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (WritePortFile(flags, server.port()) != 0) return 1;
+  std::printf(
+      "stats server on http://%s:%d (/metrics /statusz /slowz /healthz)\n",
+      server_options.bind_address.c_str(), server.port());
+  std::fflush(stdout);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+
+  int64_t errors = 0;
+  while (g_stop == 0 && (max_queries == 0 || served.load() < max_queries)) {
+    const int64_t qid = served.load(std::memory_order_relaxed);
+    const Graph& query = queries[static_cast<size_t>(qid) % queries.size()];
+    SearchOptions options = base_options;
+    // An injected slow query: widen the beam far past the default so the
+    // query is genuinely slower and lands in the /slowz ring with a full
+    // breakdown — the acceptance probe for slow-query capture.
+    if (slow_inject_every > 0 &&
+        qid % slow_inject_every == slow_inject_every - 1) {
+      options.beam = static_cast<int>(flags.GetInt("slow-beam", 64));
+    }
+    QueryTrace* trace = sampler.Begin(qid);
+    options.trace = trace;
+    Timer timer;
+    SearchResult result = index.Search(query, options);
+    const double latency = timer.ElapsedSeconds();
+    registry.Increment(queries_counter);
+    registry.Observe(latency_hist, latency);
+    registry.Observe(ndc_hist, static_cast<double>(result.stats.ndc));
+    stage_hists.Observe(result.stats.stages);
+    if (!result.status.ok()) {
+      ++errors;
+      registry.Increment(errors_counter);
+      if (errors == 1) {
+        std::fprintf(stderr, "query %lld failed: %s\n",
+                     static_cast<long long>(qid),
+                     result.status.ToString().c_str());
+      }
+      if (qid == 0) {  // immediate config error, not a transient
+        server.Stop();
+        return 1;
+      }
+    }
+    SlowQueryRecord record;
+    record.query_id = qid;
+    record.latency_seconds = latency;
+    record.epoch = result.epoch;
+    record.stats = result.stats;
+    if (trace != nullptr) record.trace = std::move(*trace);
+    slow_ring.Offer(std::move(record));
+    sampler.End(trace);
+    served.fetch_add(1, std::memory_order_relaxed);
+    if (throttle_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(throttle_ms));
+    }
+  }
+
+  server.Stop();
+  std::printf("served %lld queries (%lld errors) in %.1fs; shutting down\n",
+              static_cast<long long>(served.load()),
+              static_cast<long long>(errors), uptime.ElapsedSeconds());
+  return errors == 0 ? 0 : 1;
+}
+
 int SnapshotCmd(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string verb = argv[2];
@@ -736,6 +1038,7 @@ int Main(int argc, char** argv) {
   if (command == "diagnose") return Diagnose(flags);
   if (command == "insert") return InsertCmd(flags);
   if (command == "remove") return RemoveCmd(flags);
+  if (command == "serve") return Serve(flags);
   return Usage();
 }
 

@@ -98,3 +98,114 @@ if(num_eval_queries LESS 2)
   message(FATAL_ERROR
           "eval trace covers ${num_eval_queries} queries; expected >= 2")
 endif()
+
+# --- serve: embedded stats server over a snapshot -----------------------
+# Launches `lan_tool serve` in the background on an ephemeral port, scrapes
+# every endpoint through bare bash (/dev/tcp, no curl dependency), and
+# checks that SIGTERM shuts the loop down cleanly.
+find_program(BASH_PROGRAM bash)
+if(NOT BASH_PROGRAM)
+  return()  # the HTTP assertions need bash; everything above still ran
+endif()
+
+set(SNAP ${WORK_DIR}/pipeline.lansnap)
+run_step(${LAN_TOOL} snapshot save --db ${DB} --out ${SNAP} --queries 0)
+
+set(PORT_FILE ${WORK_DIR}/pipeline.serve.port)
+set(PID_FILE ${WORK_DIR}/pipeline.serve.pid)
+set(SERVE_LOG ${WORK_DIR}/pipeline.serve.log)
+file(REMOVE ${PORT_FILE})
+execute_process(
+  COMMAND ${BASH_PROGRAM} -c
+    "'${LAN_TOOL}' serve --snapshot '${SNAP}' --stats-port 0 --port-file '${PORT_FILE}' --slow-inject-every 4 --ged-cache-mb 4 --throttle-ms 1 > '${SERVE_LOG}' 2>&1 & echo $! > '${PID_FILE}'"
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "failed to launch lan_tool serve")
+endif()
+file(READ ${PID_FILE} SERVE_PID)
+string(STRIP "${SERVE_PID}" SERVE_PID)
+
+# serve writes the port file right after binding; poll up to 10s.
+set(SERVE_PORT "")
+foreach(attempt RANGE 100)
+  if(EXISTS ${PORT_FILE})
+    file(READ ${PORT_FILE} SERVE_PORT)
+    string(STRIP "${SERVE_PORT}" SERVE_PORT)
+    if(NOT SERVE_PORT STREQUAL "")
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(SERVE_PORT STREQUAL "")
+  execute_process(COMMAND ${BASH_PROGRAM} -c "kill ${SERVE_PID} 2>/dev/null")
+  message(FATAL_ERROR "serve never wrote its port file (log: ${SERVE_LOG})")
+endif()
+
+# Let the query loop turn over so histograms and the slow ring populate.
+execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 1)
+
+function(fetch path out_var)
+  execute_process(
+    COMMAND ${BASH_PROGRAM} -c
+      "exec 3<>/dev/tcp/127.0.0.1/${SERVE_PORT}; printf 'GET ${path} HTTP/1.1\\r\\nHost: localhost\\r\\n\\r\\n' >&3; cat <&3"
+    OUTPUT_VARIABLE response RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "fetch ${path} failed (${code})")
+  endif()
+  set(${out_var} "${response}" PARENT_SCOPE)
+endfunction()
+
+fetch(/healthz healthz)
+if(NOT healthz MATCHES "200 OK" OR NOT healthz MATCHES "ok")
+  message(FATAL_ERROR "/healthz not healthy:\n${healthz}")
+endif()
+
+fetch(/metrics metrics)
+foreach(needle
+        "# TYPE query_latency_seconds histogram"
+        "stage_routing_seconds"
+        "stage_ged_seconds_sum"
+        "cache_hits"
+        "query_latency_seconds_count")
+  if(NOT metrics MATCHES "${needle}")
+    message(FATAL_ERROR "/metrics missing '${needle}':\n${metrics}")
+  endif()
+endforeach()
+
+fetch(/statusz statusz)
+foreach(needle "uptime_seconds" "queries_served" "\"metrics\":")
+  if(NOT statusz MATCHES "${needle}")
+    message(FATAL_ERROR "/statusz missing '${needle}':\n${statusz}")
+  endif()
+endforeach()
+
+# /slowz: every retained record is a slow_query header line followed by
+# its full trace (serve defaults to tracing every query).
+fetch(/slowz slowz)
+foreach(needle "slow_query" "\"stages\":" "query_begin")
+  if(NOT slowz MATCHES "${needle}")
+    message(FATAL_ERROR "/slowz missing '${needle}':\n${slowz}")
+  endif()
+endforeach()
+
+# Clean SIGTERM shutdown within 10s.
+execute_process(COMMAND ${BASH_PROGRAM} -c "kill -TERM ${SERVE_PID}")
+set(stopped FALSE)
+foreach(attempt RANGE 100)
+  execute_process(COMMAND ${BASH_PROGRAM} -c "kill -0 ${SERVE_PID} 2>/dev/null"
+                  RESULT_VARIABLE alive)
+  if(NOT alive EQUAL 0)
+    set(stopped TRUE)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT stopped)
+  execute_process(COMMAND ${BASH_PROGRAM} -c "kill -9 ${SERVE_PID}")
+  message(FATAL_ERROR "serve did not exit within 10s of SIGTERM")
+endif()
+file(READ ${SERVE_LOG} serve_log)
+if(NOT serve_log MATCHES "shutting down")
+  message(FATAL_ERROR "serve log missing clean-shutdown line:\n${serve_log}")
+endif()

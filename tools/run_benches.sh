@@ -17,7 +17,7 @@ if [[ ! -d "${build_dir}/bench" ]]; then
 fi
 
 for bench in model_inference kernel_bench cache_bench startup_bench \
-             quantized_route; do
+             quantized_route stage_overhead; do
   bin="${build_dir}/bench/${bench}"
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not built" >&2
@@ -27,4 +27,4 @@ for bench in model_inference kernel_bench cache_bench startup_bench \
   "${bin}"
 done
 
-echo "wrote BENCH_model_inference.json, BENCH_kernels.json, BENCH_cache.json, BENCH_startup.json, and BENCH_quantized.json"
+echo "wrote BENCH_model_inference.json, BENCH_kernels.json, BENCH_cache.json, BENCH_startup.json, BENCH_quantized.json, and BENCH_observability.json"
